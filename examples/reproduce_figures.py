@@ -1,0 +1,39 @@
+"""Regenerate every figure of the paper's evaluation as CSV data files.
+
+A library-level alternative to the pytest-benchmark suite: runs each
+experiment at a configurable scale and writes one CSV per figure into
+``./figures/`` (or the directory given as argv[1]).  Useful for plotting
+the curves with your own tooling, or for re-running at paper scale
+(raise ``scale=`` and the sweep budgets — and bring patience: this is
+pure Python).
+
+Run:  python examples/reproduce_figures.py [output_dir]
+"""
+
+import sys
+
+from repro import build_workload
+from repro.reporting import write_all
+
+
+def main() -> None:
+    output_dir = sys.argv[1] if len(sys.argv) > 1 else "figures"
+    print("building the products workload...")
+    workload = build_workload("products", seed=7, scale=0.5, max_rules=120)
+    print(f"  {workload.summary()}\n")
+
+    print(f"running all figure experiments into {output_dir}/ ...")
+    written = write_all(workload, output_dir)
+    for name, path in written.items():
+        print(f"  {name:18s} -> {path}")
+
+    # Show one series inline as a taste.
+    from repro.reporting import run_pair_scaling
+
+    series = run_pair_scaling(workload)
+    print("\nFigure 5B (linearity in candidate pairs):")
+    print(series.render())
+
+
+if __name__ == "__main__":
+    main()

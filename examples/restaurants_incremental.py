@@ -1,0 +1,86 @@
+"""Hand-written rules and the paper's B1 -> B2 evolution, on restaurants.
+
+The paper's introduction (Figure 2) shows a matching function B1 —
+"names very similar, or phones equal and names similar" — evolving into a
+stricter B2 by adding street/zip evidence to the name rule.  This example
+replays that exact evolution on the synthetic Yelp/Foursquare restaurants
+dataset using the rule DSL, with incremental re-matching at each step.
+
+Run:  python examples/restaurants_incremental.py
+"""
+
+from repro import DebugSession, load_dataset
+from repro.blocking import OverlapBlocker, UnionBlocker, AttributeEquivalenceBlocker, blocking_recall
+from repro.core import AddPredicate, Predicate, TightenPredicate, parse_function
+from repro.core.rules import Feature
+from repro.similarity import make_similarity
+
+#: The paper's B1, in our DSL (name-similarity rule OR phone+name rule).
+B1 = """
+name_rule:  jaro_winkler(name, name) >= 0.90
+phone_rule: norm_exact_match(phone, phone) >= 1 AND jaro_winkler(name, name) >= 0.70
+"""
+
+
+def main() -> None:
+    dataset = load_dataset("restaurants", seed=11, scale=0.5)
+    print(dataset.summary())
+
+    blocker = UnionBlocker(
+        [
+            OverlapBlocker("name", min_overlap=1, stop_fraction=0.15),
+            AttributeEquivalenceBlocker("zipcode", keep_missing=False),
+        ]
+    )
+    candidates = blocker.block(dataset.table_a, dataset.table_b)
+    print(
+        f"blocking: {len(candidates)} candidates, "
+        f"recall {blocking_recall(candidates, dataset.gold):.3f}"
+    )
+
+    session = DebugSession(
+        candidates,
+        parse_function(B1),
+        gold=dataset.gold,
+        ordering="algorithm5",
+    )
+    result = session.run()
+    print(f"\nB1 run    : {result.stats.summary()}")
+    print(f"B1 quality: {session.metrics().summary()}")
+    # name_rule alone is loose: same-name franchises at other addresses
+    # (our generator plants exactly those distractors) match wrongly.
+
+    # --- evolve B1 -> B2: make the name rule require address evidence ----
+    zip_feature = Feature(make_similarity("exact_match"), "zipcode", "zipcode")
+    street_feature = Feature(make_similarity("jaccard_ws"), "address", "address")
+    for predicate in (
+        Predicate(zip_feature, ">=", 1.0),
+        Predicate(street_feature, ">=", 0.4),
+    ):
+        outcome = session.apply(AddPredicate("name_rule", predicate))
+        print(
+            f"\n+ {predicate.pid:45s} {outcome.elapsed_seconds * 1000:7.2f}ms"
+        )
+        print(f"  quality: {session.metrics().summary()}")
+
+    # --- one more screw-turn on the phone rule ---------------------------
+    outcome = session.apply(
+        TightenPredicate(
+            "phone_rule", "jaro_winkler(name,name)#lb", 0.80
+        )
+    )
+    print(
+        f"\ntighten phone_rule name-sim to 0.80        "
+        f"{outcome.elapsed_seconds * 1000:7.2f}ms"
+    )
+    print(f"  quality: {session.metrics().summary()}")
+
+    print(
+        f"\nall {len(session.history)} edits together took "
+        f"{session.total_incremental_seconds() * 1000:.1f}ms "
+        f"(initial run: {result.stats.elapsed_seconds * 1000:.0f}ms)"
+    )
+
+
+if __name__ == "__main__":
+    main()

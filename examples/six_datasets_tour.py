@@ -1,0 +1,52 @@
+"""Tour of all six datasets — the paper's Table 2 row by row.
+
+For each synthetic twin: generate, block, learn rules, match with DM+EE,
+score against gold, and print one Table 2-style line plus quality.  The
+paper says "experiments with the remaining five data sets show similar
+results"; this script lets you see that for yourself in about a minute.
+
+Run:  python examples/six_datasets_tour.py
+"""
+
+import time
+
+from repro import DynamicMemoMatcher, build_workload
+from repro.blocking import blocking_recall
+from repro.evaluation import confusion
+
+
+def main() -> None:
+    header = (
+        f"{'dataset':12s} {'|A|':>5s} {'|B|':>6s} {'pairs':>7s} {'rules':>5s} "
+        f"{'feat':>9s} {'block_R':>7s} {'P':>6s} {'R':>6s} {'F1':>6s} {'time':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in ("products", "restaurants", "books", "breakfast",
+                 "movies", "videogames", "people"):
+        started = time.perf_counter()
+        workload = build_workload(name, seed=7, scale=0.4, max_rules=60)
+        candidates = workload.candidates
+        result = DynamicMemoMatcher().run(workload.function, candidates)
+        quality = confusion(result.labels, candidates, workload.gold)
+        elapsed = time.perf_counter() - started
+        print(
+            f"{name:12s} "
+            f"{len(workload.dataset.table_a):5d} "
+            f"{len(workload.dataset.table_b):6d} "
+            f"{len(candidates):7d} "
+            f"{len(workload.function):5d} "
+            f"{workload.used_feature_count():4d}/{len(workload.space):<4d} "
+            f"{blocking_recall(candidates, workload.gold):7.3f} "
+            f"{quality.precision:6.3f} {quality.recall:6.3f} {quality.f1:6.3f} "
+            f"{elapsed:6.1f}s"
+        )
+    print(
+        "\nEvery dataset: near-total blocking recall, perfect-or-near rule "
+        "recall,\nand the imperfect precision that makes the paper's "
+        "debugging loop necessary."
+    )
+
+
+if __name__ == "__main__":
+    main()

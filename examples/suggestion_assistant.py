@@ -1,0 +1,83 @@
+"""Semi-automatic debugging: let the suggestion engine drive the loop.
+
+The paper's analyst decides each edit by eyeballing errors.  This example
+shows the natural next step (its §8 "full system" direction): generate
+ranked edit proposals from the materialized state + labeled sample, apply
+the best one incrementally, re-score, repeat — precision first
+(tightenings), then recall (relaxations).
+
+Run:  python examples/suggestion_assistant.py
+"""
+
+from repro import DebugSession, build_workload
+from repro.evaluation import suggest_relaxations, suggest_tightenings
+from repro.learning import remove_subsumed
+
+
+def main() -> None:
+    workload = build_workload("products", seed=7, scale=0.5, max_rules=80)
+
+    # Tidy the learned rule set first: forest extraction leaves subsumed
+    # rules that cost evaluation time but change nothing.
+    simplified, removed = remove_subsumed(workload.function)
+    print(
+        f"{workload.summary()}\n"
+        f"simplification removed {len(removed)} subsumed rules "
+        f"({len(simplified)} remain)\n"
+    )
+
+    session = DebugSession(
+        workload.candidates, simplified, gold=workload.gold,
+        ordering="algorithm6",
+    )
+    initial = session.run()
+    print(f"initial run: {initial.stats.summary()}")
+    print(f"quality    : {session.metrics().summary()}\n")
+
+    # ------------------------------------------------------------------
+    # Phase 1: precision — apply the best tightening until none helps.
+    # ------------------------------------------------------------------
+    print("--- phase 1: tightenings ---")
+    for step in range(1, 11):
+        proposals = suggest_tightenings(session.state, workload.gold)
+        proposals = [p for p in proposals if p.score > 0]
+        if not proposals:
+            print("no beneficial tightening left")
+            break
+        best = proposals[0]
+        outcome = session.apply(best.change)
+        print(
+            f"{step:2d}. {best.describe():70s} "
+            f"{outcome.elapsed_seconds * 1000:7.2f}ms  "
+            f"{session.metrics().summary()}"
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2: recall — recover what the rules now miss.
+    # ------------------------------------------------------------------
+    print("\n--- phase 2: relaxations ---")
+    for step in range(1, 6):
+        proposals = suggest_relaxations(session.state, workload.gold)
+        proposals = [p for p in proposals if p.score > 0]
+        if not proposals:
+            print("no beneficial relaxation left")
+            break
+        best = proposals[0]
+        outcome = session.apply(best.change)
+        print(
+            f"{step:2d}. {best.describe():70s} "
+            f"{outcome.elapsed_seconds * 1000:7.2f}ms  "
+            f"{session.metrics().summary()}"
+        )
+
+    final = session.metrics()
+    print(
+        f"\nfinal: {final.summary()}\n"
+        f"{len(session.history)} edits, "
+        f"{session.total_incremental_seconds() * 1000:.1f}ms of matching time "
+        f"(vs {initial.stats.elapsed_seconds * 1000:.0f}ms for one full run)"
+    )
+
+
+if __name__ == "__main__":
+    main()

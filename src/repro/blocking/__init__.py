@@ -1,0 +1,32 @@
+"""Blocking substrate: reduce |A| x |B| to a tractable candidate set.
+
+Blocking precedes matching (paper Section 3). These blockers produce the
+``CandidateSet`` every matcher, memo, and bitmap is indexed by.
+"""
+
+from .attr_equivalence import AttributeEquivalenceBlocker
+from .base import Blocker
+from .canopy import CanopyBlocker
+from .cartesian import CartesianBlocker
+from .overlap import OverlapBlocker
+from .sorted_neighborhood import SortedNeighborhoodBlocker, default_key
+from .rule_based import (
+    IntersectBlocker,
+    RuleBasedBlocker,
+    UnionBlocker,
+    blocking_recall,
+)
+
+__all__ = [
+    "Blocker",
+    "CartesianBlocker",
+    "CanopyBlocker",
+    "AttributeEquivalenceBlocker",
+    "OverlapBlocker",
+    "SortedNeighborhoodBlocker",
+    "default_key",
+    "RuleBasedBlocker",
+    "UnionBlocker",
+    "IntersectBlocker",
+    "blocking_recall",
+]

@@ -1,0 +1,69 @@
+"""Attribute-equivalence blocking.
+
+The paper's §3 example: "products from different categories are
+non-matches", so only same-category pairs become candidates.  Records with
+a missing blocking value are, by default, paired with *every* record on
+the other side (``keep_missing=True``) — dropping them would silently
+erase true matches whose blocking attribute one source failed to extract,
+which is the kind of blocking bug the debugging loop cannot recover from.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..data.table import Table
+from ..errors import BlockingError
+from .base import Blocker
+
+
+class AttributeEquivalenceBlocker(Blocker):
+    """Candidates are pairs whose (normalized) blocking values are equal."""
+
+    name = "attr_equivalence"
+
+    def __init__(self, attribute: str, keep_missing: bool = True, lowercase: bool = True):
+        self.attribute = attribute
+        self.keep_missing = keep_missing
+        self.lowercase = lowercase
+
+    def _key(self, value: object) -> object:
+        if value is None:
+            return None
+        text = str(value).strip()
+        return text.lower() if self.lowercase else text
+
+    def _pair_ids(self, table_a: Table, table_b: Table) -> Iterable[Tuple[str, str]]:
+        for table in (table_a, table_b):
+            if self.attribute not in table.attributes:
+                raise BlockingError(
+                    f"blocking attribute {self.attribute!r} not in table "
+                    f"{table.name!r} (schema: {list(table.attributes)})"
+                )
+        index_b: Dict[object, List[str]] = defaultdict(list)
+        missing_b: List[str] = []
+        for record_b in table_b:
+            key = self._key(record_b.get(self.attribute))
+            if key is None:
+                missing_b.append(record_b.record_id)
+            else:
+                index_b[key].append(record_b.record_id)
+
+        for record_a in table_a:
+            key = self._key(record_a.get(self.attribute))
+            matched: Set[str] = set()
+            if key is None:
+                if not self.keep_missing:
+                    continue
+                # Missing on the A side: pair with everything.
+                for record_b in table_b:
+                    yield record_a.record_id, record_b.record_id
+                continue
+            for b_id in index_b.get(key, ()):
+                matched.add(b_id)
+                yield record_a.record_id, b_id
+            if self.keep_missing:
+                for b_id in missing_b:
+                    if b_id not in matched:
+                        yield record_a.record_id, b_id

@@ -1,0 +1,53 @@
+"""Blocker interface.
+
+Blocking (paper §3) runs once, before any matching, and produces the
+*candidate set* every matcher then iterates over.  Blockers are pure
+functions of the two tables: given A and B they return a
+:class:`~repro.data.pairs.CandidateSet` whose pair order is deterministic
+(sorted by A-side insertion order, then B-side), so that memo indices and
+bitmaps are stable across runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Tuple
+
+from ..data.pairs import CandidateSet
+from ..data.table import Table
+
+
+class Blocker(ABC):
+    """Base class for all blockers."""
+
+    name: str = "blocker"
+
+    def block(self, table_a: Table, table_b: Table) -> CandidateSet:
+        """Return the candidate set for ``table_a`` x ``table_b``."""
+        candidates = CandidateSet(table_a, table_b)
+        for a_id, b_id in self._pair_ids(table_a, table_b):
+            candidates.add(a_id, b_id)
+        return candidates
+
+    @abstractmethod
+    def _pair_ids(
+        self, table_a: Table, table_b: Table
+    ) -> Iterable[Tuple[str, str]]:
+        """Yield surviving (a_id, b_id) pairs in deterministic order."""
+
+    @staticmethod
+    def _ordered(
+        table_a: Table, pairs_by_a: dict
+    ) -> List[Tuple[str, str]]:
+        """Flatten {a_id: set(b_ids)} deterministically (table order, then id)."""
+        ordered: List[Tuple[str, str]] = []
+        for record_a in table_a:
+            b_ids = pairs_by_a.get(record_a.record_id)
+            if b_ids:
+                ordered.extend(
+                    (record_a.record_id, b_id) for b_id in sorted(b_ids)
+                )
+        return ordered
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,94 @@
+"""Canopy clustering blocker (McCallum, Nigam & Ungar 2000).
+
+A cheap similarity (token-overlap fraction against a canopy center) sweeps
+records into overlapping *canopies*; candidate pairs are cross-table pairs
+sharing a canopy.  Two thresholds control the geometry:
+
+* ``loose`` — minimum cheap-similarity to join a canopy (membership);
+* ``tight`` — members above this are *removed* from the seed pool, so
+  canopy centers spread out instead of piling onto dense regions.
+
+Compared with plain token-overlap blocking, canopies bound the candidate
+count in dense vocabulary regions (every member pairs only within its
+canopies, not with every record sharing one common token), at the price
+of two tuning knobs.  Deterministic: seeds are drawn in table order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..data.table import Table
+from ..errors import BlockingError
+from ..similarity.tokenizers import Tokenizer, WhitespaceTokenizer
+from .base import Blocker
+
+
+def _overlap_fraction(tokens_a: frozenset, tokens_b: frozenset) -> float:
+    if not tokens_a or not tokens_b:
+        return 0.0
+    return len(tokens_a & tokens_b) / min(len(tokens_a), len(tokens_b))
+
+
+class CanopyBlocker(Blocker):
+    """Candidates share a canopy under a cheap token-overlap measure."""
+
+    name = "canopy"
+
+    def __init__(
+        self,
+        attribute: str,
+        loose: float = 0.3,
+        tight: float = 0.8,
+        tokenizer: Tokenizer | None = None,
+    ):
+        if not 0.0 < loose <= tight <= 1.0:
+            raise BlockingError(
+                f"need 0 < loose <= tight <= 1, got loose={loose}, tight={tight}"
+            )
+        self.attribute = attribute
+        self.loose = loose
+        self.tight = tight
+        self.tokenizer = tokenizer or WhitespaceTokenizer()
+
+    def _pair_ids(self, table_a: Table, table_b: Table) -> Iterable[Tuple[str, str]]:
+        for table in (table_a, table_b):
+            if self.attribute not in table.attributes:
+                raise BlockingError(
+                    f"blocking attribute {self.attribute!r} not in table "
+                    f"{table.name!r} (schema: {list(table.attributes)})"
+                )
+        # Pool all records; side 0 = A, side 1 = B.
+        pool: List[Tuple[int, str, frozenset]] = []
+        for record in table_a:
+            pool.append(
+                (0, record.record_id, self.tokenizer.tokenize_set(record.get(self.attribute)))
+            )
+        for record in table_b:
+            pool.append(
+                (1, record.record_id, self.tokenizer.tokenize_set(record.get(self.attribute)))
+            )
+
+        unseeded = list(range(len(pool)))
+        pairs_by_a: Dict[str, Set[str]] = {}
+        position = 0
+        while position < len(unseeded):
+            seed_index = unseeded[position]
+            position += 1
+            if seed_index is None:
+                continue
+            _side, _seed_id, seed_tokens = pool[seed_index]
+            members_a: List[str] = []
+            members_b: List[str] = []
+            for slot, candidate_index in enumerate(unseeded):
+                if candidate_index is None:
+                    continue
+                side, record_id, tokens = pool[candidate_index]
+                similarity = _overlap_fraction(seed_tokens, tokens)
+                if similarity >= self.loose or candidate_index == seed_index:
+                    (members_a if side == 0 else members_b).append(record_id)
+                    if similarity >= self.tight and candidate_index != seed_index:
+                        unseeded[slot] = None  # removed from future seeding
+            for a_id in members_a:
+                pairs_by_a.setdefault(a_id, set()).update(members_b)
+        yield from self._ordered(table_a, pairs_by_a)

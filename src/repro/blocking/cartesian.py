@@ -1,0 +1,35 @@
+"""Cartesian (no-op) blocker: every (a, b) pair is a candidate.
+
+Only sensible for small tables and for tests that need the full cross
+product; the docstring of :mod:`repro.blocking` explains why real
+workflows never run without blocking (|A| x |B| blows up quadratically —
+the paper's products dataset would have 56 million pairs unblocked
+versus 291,649 blocked).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..data.table import Table
+from .base import Blocker
+
+
+class CartesianBlocker(Blocker):
+    """Emit the full cross product A x B."""
+
+    name = "cartesian"
+
+    def __init__(self, limit: int | None = None):
+        """``limit`` (if set) caps the number of emitted pairs as a guard
+        against accidentally crossing two large tables."""
+        self.limit = limit
+
+    def _pair_ids(self, table_a: Table, table_b: Table) -> Iterable[Tuple[str, str]]:
+        emitted = 0
+        for record_a in table_a:
+            for record_b in table_b:
+                if self.limit is not None and emitted >= self.limit:
+                    return
+                yield record_a.record_id, record_b.record_id
+                emitted += 1

@@ -1,0 +1,185 @@
+"""Static analysis of matching functions, and a TSP-flavoured ordering.
+
+The paper proves the memo-aware ordering problem NP-hard by reduction
+*from* TSP: rules as cities, "cost of r_j when it immediately follows
+r_i" as edge weights (§5.4).  This module makes that reduction concrete
+and runs it forwards:
+
+* :func:`following_cost` — the paper's edge weight c(i, j).
+* :func:`tsp_ordering` — nearest-neighbour construction + 2-opt
+  improvement over those edge weights: the classic TSP heuristic stack,
+  applied to rule ordering.  It is *not* one of the paper's algorithms —
+  it exists to test how much the pairwise simplification ("cost of r_j
+  depends only on its predecessor") loses against Algorithms 5/6, which
+  accumulate memo state across the whole prefix.
+
+Plus the structural analytics an analyst (or the workbench's ``stats``
+command) wants about a rule set: feature usage frequencies — the paper's
+``freq(f)`` from §4.4.2 — predicate histograms, and the feature-sharing
+graph (networkx) whose connectivity explains when Algorithm 6's
+reduction metric has anything to work with.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .cost_model import Estimates, group_predicates, rule_cost, update_alpha
+from .rules import MatchingFunction, Rule
+
+# ---------------------------------------------------------------------------
+# Structural analytics
+# ---------------------------------------------------------------------------
+
+
+def feature_frequencies(function: MatchingFunction) -> Counter:
+    """freq(f): number of predicates referencing each feature (§4.4.2)."""
+    frequencies: Counter = Counter()
+    for rule in function.rules:
+        for predicate in rule.predicates:
+            frequencies[predicate.feature.name] += 1
+    return frequencies
+
+
+def predicate_histogram(function: MatchingFunction) -> Counter:
+    """Histogram of predicates-per-rule (the paper's 1,688/255 ≈ 6.6)."""
+    return Counter(len(rule) for rule in function.rules)
+
+
+def feature_sharing_graph(function: MatchingFunction) -> "nx.Graph":
+    """Graph over rules; edge weight = number of shared features.
+
+    Memoing (and therefore Algorithm 6) only pays off along these edges:
+    a rule in its own component never reuses another rule's computations.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(rule.name for rule in function.rules)
+    features_of: Dict[str, set] = {
+        rule.name: {feature.name for feature in rule.features()}
+        for rule in function.rules
+    }
+    names = [rule.name for rule in function.rules]
+    for index, first in enumerate(names):
+        for second in names[index + 1 :]:
+            shared = len(features_of[first] & features_of[second])
+            if shared:
+                graph.add_edge(first, second, weight=shared)
+    return graph
+
+
+def sharing_summary(function: MatchingFunction) -> Dict[str, float]:
+    """Connectivity digest of the feature-sharing graph."""
+    graph = feature_sharing_graph(function)
+    components = list(nx.connected_components(graph))
+    return {
+        "rules": graph.number_of_nodes(),
+        "sharing_edges": graph.number_of_edges(),
+        "components": len(components),
+        "largest_component": max((len(c) for c in components), default=0),
+        "mean_shared_features": (
+            sum(data["weight"] for *_e, data in graph.edges(data=True))
+            / graph.number_of_edges()
+            if graph.number_of_edges()
+            else 0.0
+        ),
+    }
+
+
+def describe_function(function: MatchingFunction) -> str:
+    """Multi-line structural report (the workbench's ``stats`` output)."""
+    frequencies = feature_frequencies(function)
+    histogram = predicate_histogram(function)
+    sharing = sharing_summary(function)
+    lines = [
+        f"{len(function)} rules, {function.predicate_count()} predicates, "
+        f"{len(function.features())} features",
+        "predicates per rule: "
+        + ", ".join(
+            f"{size}:{count}" for size, count in sorted(histogram.items())
+        ),
+        f"feature sharing: {sharing['sharing_edges']} rule pairs share features "
+        f"({sharing['components']} components, largest "
+        f"{sharing['largest_component']})",
+        "hottest features: "
+        + ", ".join(
+            f"{name} x{count}" for name, count in frequencies.most_common(5)
+        ),
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# TSP-heuristic ordering
+# ---------------------------------------------------------------------------
+
+
+def following_cost(
+    rule: Rule, predecessor: Optional[Rule], estimates: Estimates
+) -> float:
+    """The paper's edge weight: expected cost of ``rule`` when it
+    immediately follows ``predecessor`` (memo state from the predecessor
+    alone; ``None`` = cold start)."""
+    alpha: Dict[str, float] = {}
+    if predecessor is not None:
+        update_alpha(predecessor, estimates, alpha)
+    return rule_cost(rule, estimates, alpha)
+
+
+def _path_cost(order: Sequence[Rule], estimates: Estimates) -> float:
+    total = following_cost(order[0], None, estimates)
+    for previous, current in zip(order, order[1:]):
+        total += following_cost(current, previous, estimates)
+    return total
+
+
+def tsp_ordering(
+    function: MatchingFunction,
+    estimates: Estimates,
+    two_opt_rounds: int = 2,
+) -> MatchingFunction:
+    """Nearest-neighbour + 2-opt over the §5.4 pairwise edge weights.
+
+    Note the deliberate simplification this inherits from the paper's
+    reduction: the memo state is reset to "predecessor only" at each
+    step, so long-range reuse (a feature computed three rules ago) is
+    invisible.  Algorithms 5/6 model that accumulation and usually win;
+    the ordering-comparison test quantifies the gap.
+    """
+    from .ordering import _with_lemma3_predicates  # shared predicate order
+
+    rules = _with_lemma3_predicates(function, estimates)
+    if len(rules) == 1:
+        return MatchingFunction(rules)
+
+    # Nearest-neighbour construction.
+    remaining = list(rules)
+    start = min(remaining, key=lambda rule: following_cost(rule, None, estimates))
+    path = [start]
+    remaining.remove(start)
+    while remaining:
+        previous = path[-1]
+        best = min(
+            remaining,
+            key=lambda rule: (following_cost(rule, previous, estimates), rule.name),
+        )
+        path.append(best)
+        remaining.remove(best)
+
+    # 2-opt improvement on the open path.
+    for _round in range(two_opt_rounds):
+        improved = False
+        best_cost = _path_cost(path, estimates)
+        for i in range(len(path) - 1):
+            for j in range(i + 1, len(path)):
+                candidate = path[:i] + path[i : j + 1][::-1] + path[j + 1 :]
+                cost = _path_cost(candidate, estimates)
+                if cost < best_cost - 1e-15:
+                    path = candidate
+                    best_cost = cost
+                    improved = True
+        if not improved:
+            break
+    return MatchingFunction(path)

@@ -1,0 +1,204 @@
+"""Edit operations on matching functions — the analyst's vocabulary.
+
+§6.2 of the paper enumerates the changes an analyst makes between runs.
+Each is a small immutable description object that (a) validates itself
+against the current function, (b) produces the edited function, and
+(c) knows which incremental algorithm applies.  The actual incremental
+label maintenance lives in :mod:`repro.core.incremental`; these objects
+are what a :class:`~repro.core.session.DebugSession` logs and replays.
+
+The strictness direction matters for correctness, not just naming:
+Algorithm 7 (re-check only previously-matched pairs) is sound only for
+changes that *shrink* a rule's true-set; Algorithm 8 (re-check only
+observed-false, currently-unmatched pairs) only for changes that *grow*
+it.  ``TightenPredicate``/``RelaxPredicate`` therefore refuse thresholds
+that move the wrong way rather than silently corrupting the state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ChangeError
+from .rules import MatchingFunction, Predicate, Rule
+
+
+class Change:
+    """Base class for matching-function edits."""
+
+    #: which incremental algorithm (paper numbering) handles this change.
+    algorithm: int = 0
+
+    def validate(self, function: MatchingFunction) -> None:
+        """Raise ChangeError if this change does not apply to ``function``."""
+        raise NotImplementedError
+
+    def apply_to(self, function: MatchingFunction) -> MatchingFunction:
+        """Return the edited matching function (does not touch state)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class AddPredicate(Change):
+    """Add a predicate to an existing rule (Algorithm 7).
+
+    Equivalent to tightening "an empty predicate that always evaluates to
+    true" (§6.2.1), so it shares Algorithm 7 with TightenPredicate.
+    """
+
+    rule_name: str
+    predicate: Predicate
+    algorithm: int = 7
+
+    def validate(self, function: MatchingFunction) -> None:
+        rule = function.rule(self.rule_name)
+        if any(p.slot == self.predicate.slot for p in rule.predicates):
+            raise ChangeError(
+                f"rule {self.rule_name!r} already has a predicate in slot "
+                f"{self.predicate.slot!r}; tighten it instead"
+            )
+
+    def apply_to(self, function: MatchingFunction) -> MatchingFunction:
+        rule = function.rule(self.rule_name)
+        return function.with_rule_replaced(
+            rule.with_predicates([*rule.predicates, self.predicate])
+        )
+
+    def describe(self) -> str:
+        return f"add {self.predicate.pid} to {self.rule_name}"
+
+
+@dataclass(frozen=True, repr=False)
+class RemovePredicate(Change):
+    """Remove a predicate from a rule (Algorithm 8's removal variant)."""
+
+    rule_name: str
+    slot: str
+    algorithm: int = 8
+
+    def validate(self, function: MatchingFunction) -> None:
+        rule = function.rule(self.rule_name)
+        rule.predicate_by_slot(self.slot)  # raises if absent
+        if len(rule.predicates) == 1:
+            raise ChangeError(
+                f"cannot remove the only predicate of rule {self.rule_name!r}; "
+                f"remove the rule instead"
+            )
+
+    def apply_to(self, function: MatchingFunction) -> MatchingFunction:
+        rule = function.rule(self.rule_name)
+        kept = [p for p in rule.predicates if p.slot != self.slot]
+        return function.with_rule_replaced(rule.with_predicates(kept))
+
+    def describe(self) -> str:
+        return f"remove slot {self.slot} from {self.rule_name}"
+
+
+@dataclass(frozen=True, repr=False)
+class TightenPredicate(Change):
+    """Move a predicate's threshold in the stricter direction (Algorithm 7)."""
+
+    rule_name: str
+    slot: str
+    new_threshold: float
+    algorithm: int = 7
+
+    def _old_and_new(self, function: MatchingFunction) -> tuple:
+        rule = function.rule(self.rule_name)
+        old = rule.predicate_by_slot(self.slot)
+        new = old.with_threshold(self.new_threshold)
+        return old, new
+
+    def validate(self, function: MatchingFunction) -> None:
+        old, new = self._old_and_new(function)
+        if not new.is_stricter_than(old):
+            raise ChangeError(
+                f"threshold {self.new_threshold:g} does not tighten "
+                f"{old.pid} — use RelaxPredicate for the other direction"
+            )
+
+    def apply_to(self, function: MatchingFunction) -> MatchingFunction:
+        rule = function.rule(self.rule_name)
+        old, new = self._old_and_new(function)
+        predicates = [new if p.slot == self.slot else p for p in rule.predicates]
+        return function.with_rule_replaced(rule.with_predicates(predicates))
+
+    def describe(self) -> str:
+        return f"tighten {self.rule_name}:{self.slot} to {self.new_threshold:g}"
+
+
+@dataclass(frozen=True, repr=False)
+class RelaxPredicate(Change):
+    """Move a predicate's threshold in the looser direction (Algorithm 8)."""
+
+    rule_name: str
+    slot: str
+    new_threshold: float
+    algorithm: int = 8
+
+    def _old_and_new(self, function: MatchingFunction) -> tuple:
+        rule = function.rule(self.rule_name)
+        old = rule.predicate_by_slot(self.slot)
+        new = old.with_threshold(self.new_threshold)
+        return old, new
+
+    def validate(self, function: MatchingFunction) -> None:
+        old, new = self._old_and_new(function)
+        if not old.is_stricter_than(new):
+            raise ChangeError(
+                f"threshold {self.new_threshold:g} does not relax "
+                f"{old.pid} — use TightenPredicate for the other direction"
+            )
+
+    def apply_to(self, function: MatchingFunction) -> MatchingFunction:
+        rule = function.rule(self.rule_name)
+        old, new = self._old_and_new(function)
+        predicates = [new if p.slot == self.slot else p for p in rule.predicates]
+        return function.with_rule_replaced(rule.with_predicates(predicates))
+
+    def describe(self) -> str:
+        return f"relax {self.rule_name}:{self.slot} to {self.new_threshold:g}"
+
+
+@dataclass(frozen=True, repr=False)
+class AddRule(Change):
+    """Append a new rule to the matching function (Algorithm 10)."""
+
+    rule: Rule
+    algorithm: int = 10
+
+    def validate(self, function: MatchingFunction) -> None:
+        if self.rule.name in function:
+            raise ChangeError(f"rule {self.rule.name!r} already exists")
+
+    def apply_to(self, function: MatchingFunction) -> MatchingFunction:
+        return function.with_rule_added(self.rule)
+
+    def describe(self) -> str:
+        return f"add rule {self.rule.name} ({len(self.rule)} predicates)"
+
+
+@dataclass(frozen=True, repr=False)
+class RemoveRule(Change):
+    """Remove a rule from the matching function (Algorithm 9)."""
+
+    rule_name: str
+    algorithm: int = 9
+
+    def validate(self, function: MatchingFunction) -> None:
+        function.rule(self.rule_name)  # raises if absent
+        if len(function) == 1:
+            raise ChangeError("cannot remove the last rule")
+
+    def apply_to(self, function: MatchingFunction) -> MatchingFunction:
+        return function.with_rule_removed(self.rule_name)
+
+    def describe(self) -> str:
+        return f"remove rule {self.rule_name}"

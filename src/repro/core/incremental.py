@@ -1,0 +1,321 @@
+"""Incremental matching — Algorithms 7-10 of the paper (§6.2).
+
+Each function takes a live :class:`~repro.core.state.MatchState` and one
+:class:`~repro.core.changes.Change`, updates the state's function, labels,
+memo, and bitmaps in place, and returns an :class:`IncrementalResult`
+with the work counters.  :func:`apply_change` dispatches by change type.
+
+Soundness argument (and one fix to the paper)
+---------------------------------------------
+All four algorithms restrict re-evaluation using materialized facts:
+
+* Algorithm 7 (add/tighten predicate in rule r): only pairs matched *by r*
+  can change; on failure, only rules **after** r need evaluation, because
+  every rule before r was observed false for those pairs.
+* Algorithm 8 (relax/remove predicate of rule r): only pairs on which the
+  edited predicate was observed false can flip to matched.
+* Algorithm 9 (remove rule r): only pairs matched by r change; rules
+  before r were observed false, so only rules **after** r need evaluation.
+* Algorithm 10 (add rule): only currently-unmatched pairs, only the new
+  rule (it is appended last).
+
+The "rules before r are false" steps rest on an *attribution invariant*:
+for every matched pair, all rules preceding its attributed (first-true)
+rule are currently false.  The paper's Algorithm 8 as written re-checks
+only **unmatched** pairs, which silently breaks that invariant: relaxing
+rule q may make q true for a pair currently matched by a later rule x, and
+a subsequent tighten/remove on x would then wrongly unmatch the pair
+(rules before x are skipped, so the now-true q is never consulted).  We
+therefore extend Algorithm 8's affected set with matched pairs whose
+attribution lies *after* the relaxed rule; for those we re-evaluate the
+relaxed rule and re-attribute when it is now true.  Labels never change
+for such pairs — only the attribution moves — so the asymptotic savings
+of the paper's algorithm are preserved while restoring the invariant.
+(Property-based tests in ``tests/test_incremental_properties.py`` fail
+within a few examples if this extension is disabled.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ChangeError
+from .changes import (
+    AddPredicate,
+    AddRule,
+    Change,
+    RelaxPredicate,
+    RemovePredicate,
+    RemoveRule,
+    TightenPredicate,
+)
+from .matchers import PairEvaluator
+from .rules import MatchingFunction, Predicate, Rule
+from .state import MatchState
+from .stats import MatchStats
+
+
+@dataclass
+class IncrementalResult:
+    """Outcome of one incremental change application."""
+
+    change: Change
+    stats: MatchStats
+    affected_pairs: int
+    newly_matched: int
+    newly_unmatched: int
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.stats.elapsed_seconds
+
+    def summary(self) -> str:
+        return (
+            f"{self.change.describe()}: affected={self.affected_pairs} "
+            f"+{self.newly_matched}/-{self.newly_unmatched} matches, "
+            f"{self.stats.elapsed_seconds * 1000:.2f}ms "
+            f"(computed={self.stats.feature_computations}, "
+            f"hits={self.stats.memo_hits})"
+        )
+
+    def __repr__(self) -> str:
+        return f"IncrementalResult({self.summary()})"
+
+
+def _evaluator(state: MatchState, stats: MatchStats) -> PairEvaluator:
+    return PairEvaluator(
+        stats,
+        memo=state.memo,
+        recorder=state,
+        check_cache_first=state.check_cache_first,
+    )
+
+
+def _finish(
+    change: Change,
+    stats: MatchStats,
+    started: float,
+    affected: int,
+    newly_matched: int,
+    newly_unmatched: int,
+) -> IncrementalResult:
+    stats.elapsed_seconds = time.perf_counter() - started
+    stats.pairs_evaluated = affected
+    return IncrementalResult(
+        change=change,
+        stats=stats,
+        affected_pairs=affected,
+        newly_matched=newly_matched,
+        newly_unmatched=newly_unmatched,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 7: add a predicate / tighten a predicate
+# ---------------------------------------------------------------------------
+
+
+def apply_strictening(state: MatchState, change: Change) -> IncrementalResult:
+    """Algorithm 7: the rule's true-set can only shrink.
+
+    Re-evaluate the changed predicate on M(r); pairs that fail fall
+    through to the rules after r.  Existing predicate-false bits remain
+    sound under tightening (false stays false), so nothing is reset.
+    """
+    started = time.perf_counter()
+    stats = MatchStats()
+    change.validate(state.function)
+    if isinstance(change, AddPredicate):
+        rule_name, changed_slot = change.rule_name, change.predicate.slot
+    elif isinstance(change, TightenPredicate):
+        rule_name, changed_slot = change.rule_name, change.slot
+    else:
+        raise ChangeError(f"apply_strictening cannot handle {change!r}")
+
+    affected = state.matched_by_rule(rule_name)
+    state.function = change.apply_to(state.function)
+    rule = state.function.rule(rule_name)
+    changed_predicate = rule.predicate_by_slot(changed_slot)
+    rule_position = state.function.rule_index(rule_name)
+    later_rules = state.function.rules[rule_position + 1 :]
+
+    evaluator = _evaluator(state, stats)
+    newly_unmatched = 0
+    for pair_index in affected:
+        pair = state.candidates[pair_index]
+        if evaluator.predicate_true(pair, changed_predicate, rule_name):
+            continue  # still matched by this rule
+        state.clear_rule_match(pair_index, rule_name)
+        if evaluator.first_matching_rule(pair, later_rules) is None:
+            state.labels[pair_index] = False
+            newly_unmatched += 1
+        # else: first_matching_rule already recorded the new attribution.
+    return _finish(change, stats, started, len(affected), 0, newly_unmatched)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 8: remove a predicate / relax a predicate
+# ---------------------------------------------------------------------------
+
+
+def apply_loosening(state: MatchState, change: Change) -> IncrementalResult:
+    """Algorithm 8: the rule's true-set can only grow.
+
+    Candidates to flip are the pairs on which the edited predicate was
+    observed false (no other pair's evaluation involved this predicate as
+    the blocker).  Currently-unmatched ones may become matches; matched
+    ones attributed to a *later* rule are re-checked for re-attribution to
+    preserve the attribution invariant (see module docstring).
+
+    The edited slot's false-bitmap is rebuilt from this pass's
+    observations: a relax makes old false-bits unverifiable, so bits are
+    kept only where re-evaluation confirms falseness.
+    """
+    started = time.perf_counter()
+    stats = MatchStats()
+    change.validate(state.function)
+    if isinstance(change, RemovePredicate):
+        rule_name, slot, removed = change.rule_name, change.slot, True
+    elif isinstance(change, RelaxPredicate):
+        rule_name, slot, removed = change.rule_name, change.slot, False
+    else:
+        raise ChangeError(f"apply_loosening cannot handle {change!r}")
+
+    failed = state.failed_predicate(rule_name, slot)
+    state.function = change.apply_to(state.function)
+    rule = state.function.rule(rule_name)
+    rule_position = state.function.rule_index(rule_name)
+    relaxed_predicate: Optional[Predicate] = (
+        None if removed else rule.predicate_by_slot(slot)
+    )
+    other_predicates = tuple(
+        predicate for predicate in rule.predicates if predicate.slot != slot
+    )
+
+    if removed:
+        state.drop_predicate(rule_name, slot)
+    else:
+        # Old false-bits are stale under the looser threshold; keep only
+        # what this pass re-verifies.
+        state.reset_predicate_false(rule_name, slot)
+
+    evaluator = _evaluator(state, stats)
+    newly_matched = 0
+    examined = 0
+    for pair_index in failed:
+        currently_matched = bool(state.labels[pair_index])
+        attributed = int(state.attribution[pair_index])
+        if currently_matched and attributed <= rule_position:
+            # Matched by this rule or an earlier one: the invariant only
+            # covers rules before the attribution, which don't include r.
+            continue
+        examined += 1
+        pair = state.candidates[pair_index]
+        if relaxed_predicate is not None and not evaluator.predicate_true(
+            pair, relaxed_predicate, rule_name
+        ):
+            continue  # still false (bit re-recorded by the evaluator)
+        # Edited predicate passes; check the rest of the rule.  The paper's
+        # §6.2.2 footnote: with check-cache-first the historical predicate
+        # order is pair-dependent, so all other predicates are re-checked.
+        rule_true = True
+        for predicate in other_predicates:
+            if not evaluator.predicate_true(pair, predicate, rule_name):
+                rule_true = False
+                break
+        if not rule_true:
+            continue
+        if currently_matched:
+            # Re-attribution: r precedes the current attribution.
+            state.clear_rule_match(
+                pair_index, state.function.rules[attributed].name
+            )
+            state.record_rule_match(pair_index, rule_name)
+        else:
+            state.record_rule_match(pair_index, rule_name)
+            state.labels[pair_index] = True
+            newly_matched += 1
+    return _finish(change, stats, started, examined, newly_matched, 0)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 9: remove a rule
+# ---------------------------------------------------------------------------
+
+
+def apply_remove_rule(state: MatchState, change: RemoveRule) -> IncrementalResult:
+    """Algorithm 9: pairs matched by the removed rule fall through to the
+    rules after it (earlier rules are false by the attribution invariant)."""
+    started = time.perf_counter()
+    stats = MatchStats()
+    change.validate(state.function)
+    rule_name = change.rule_name
+    affected = state.matched_by_rule(rule_name)
+    old_index = state.function.rule_index(rule_name)
+    state.function = change.apply_to(state.function)
+    state.drop_rule(rule_name, old_index)
+    # Positions shifted down by one for rules after the removed one.
+    later_rules = state.function.rules[old_index:]
+
+    evaluator = _evaluator(state, stats)
+    newly_unmatched = 0
+    for pair_index in affected:
+        # drop_rule cleared the bitmap wholesale; fix this pair's entry.
+        state.attribution[pair_index] = -1
+        pair = state.candidates[pair_index]
+        if evaluator.first_matching_rule(pair, later_rules) is None:
+            state.labels[pair_index] = False
+            newly_unmatched += 1
+    return _finish(change, stats, started, len(affected), 0, newly_unmatched)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 10: add a rule
+# ---------------------------------------------------------------------------
+
+
+def apply_add_rule(state: MatchState, change: AddRule) -> IncrementalResult:
+    """Algorithm 10: evaluate only the new rule, only on unmatched pairs.
+
+    The new rule is appended at the end of the evaluation order, so for
+    every already-matched pair nothing changes (its attributed rule still
+    fires first), and for unmatched pairs every older rule is already
+    known false.
+    """
+    started = time.perf_counter()
+    stats = MatchStats()
+    change.validate(state.function)
+    affected = state.unmatched_indices()
+    state.function = change.apply_to(state.function)
+    new_rules = (state.function.rules[-1],)
+
+    evaluator = _evaluator(state, stats)
+    newly_matched = 0
+    for pair_index in affected:
+        pair = state.candidates[pair_index]
+        if evaluator.first_matching_rule(pair, new_rules) is not None:
+            state.labels[pair_index] = True
+            newly_matched += 1
+    return _finish(change, stats, started, len(affected), newly_matched, 0)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+
+def apply_change(state: MatchState, change: Change) -> IncrementalResult:
+    """Apply any change with its matching incremental algorithm."""
+    if isinstance(change, (AddPredicate, TightenPredicate)):
+        return apply_strictening(state, change)
+    if isinstance(change, (RemovePredicate, RelaxPredicate)):
+        return apply_loosening(state, change)
+    if isinstance(change, RemoveRule):
+        return apply_remove_rule(state, change)
+    if isinstance(change, AddRule):
+        return apply_add_rule(state, change)
+    raise ChangeError(f"no incremental algorithm for {type(change).__name__}")

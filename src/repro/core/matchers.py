@@ -1,0 +1,380 @@
+"""The five matching strategies of the paper's Figure 3.
+
+===========================  =============================================
+Class                        Paper algorithm
+===========================  =============================================
+:class:`RudimentaryMatcher`  Algorithm 1 — every predicate of every rule,
+                             every feature computed from scratch ("R").
+:class:`EarlyExitMatcher`    Algorithm 3 — early exit, no memo ("EE").
+:class:`PrecomputeMatcher`   Algorithm 2 (+ early exit) — production
+                             precomputation ("PPR + EE") with the default
+                             feature set, full precomputation ("FPR + EE")
+                             when given a feature superset.
+:class:`DynamicMemoMatcher`  Algorithm 4 — early exit + dynamic memoing
+                             ("DM + EE"), the paper's contribution.
+===========================  =============================================
+
+All matchers produce identical labels (a property-based test enforces it);
+they differ only in *when* feature values are computed, which the
+:class:`~repro.core.stats.MatchStats` counters expose.
+
+:class:`PairEvaluator` is the shared evaluation kernel — also reused by the
+incremental algorithms (§6), which re-evaluate rule fragments for affected
+pairs with exactly the same memo/recording semantics as a full run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..data.pairs import CandidatePair, CandidateSet, PairId
+from ..errors import MatchingError
+from .memo import ArrayMemo, FeatureMemo, HashMemo, ValueCache
+from .rules import Feature, MatchingFunction, Predicate, Rule
+from .stats import MatchStats
+
+
+class TraceRecorder(Protocol):
+    """Receives the facts a matching run observes.
+
+    Implemented by :class:`repro.core.state.MatchState` to materialize the
+    §6.1 bitmaps; matchers call these hooks whenever the corresponding fact
+    is *observed* (early exit means unobserved facts simply never arrive).
+    """
+
+    def record_rule_match(self, pair_index: int, rule_name: str) -> None: ...
+
+    def record_predicate_false(
+        self, pair_index: int, rule_name: str, slot: str
+    ) -> None: ...
+
+
+class MatchResult:
+    """Labels plus instrumentation for one matching run."""
+
+    def __init__(self, candidates: CandidateSet, labels: np.ndarray, stats: MatchStats):
+        if len(labels) != len(candidates):
+            raise MatchingError(
+                f"labels length {len(labels)} != candidate count {len(candidates)}"
+            )
+        self.candidates = candidates
+        self.labels = labels
+        self.stats = stats
+
+    def matched_ids(self) -> List[PairId]:
+        """Id pairs labeled as matches, in candidate order."""
+        return [
+            pair.pair_id for pair in self.candidates if self.labels[pair.index]
+        ]
+
+    def match_count(self) -> int:
+        return int(self.labels.sum())
+
+    def label_of(self, a_id: str, b_id: str) -> bool:
+        return bool(self.labels[self.candidates.index_of(a_id, b_id)])
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchResult({self.match_count()}/{len(self.candidates)} matched; "
+            f"{self.stats.summary()})"
+        )
+
+
+class PairEvaluator:
+    """Evaluation kernel: feature fetch, predicate/rule/function evaluation.
+
+    ``memo=None`` means every feature access recomputes (Algorithms 1/3);
+    with a memo, first access computes and stores, later accesses hit
+    (Algorithm 4).  ``check_cache_first`` applies the paper's §5.4.3
+    runtime optimization: inside a rule, predicates whose features are
+    already memoized for this pair are evaluated before the rest, with
+    both groups keeping their static relative order.
+    """
+
+    def __init__(
+        self,
+        stats: MatchStats,
+        memo: Optional[FeatureMemo] = None,
+        recorder: Optional[TraceRecorder] = None,
+        check_cache_first: bool = False,
+    ):
+        if check_cache_first and memo is None:
+            raise MatchingError("check_cache_first requires a memo")
+        self.stats = stats
+        self.memo = memo
+        self.recorder = recorder
+        self.check_cache_first = check_cache_first
+        # Per-pair local view of the memo: within one pair's evaluation the
+        # same feature may be referenced by hundreds of predicates across
+        # rules, and a plain dict lookup is much cheaper than the backing
+        # store's indexing.  Purely an access-path optimization — contents
+        # always mirror the memo.
+        self._local: dict = {}
+        self._local_index: int = -1
+
+    # -- feature access -------------------------------------------------
+
+    def feature_value(self, pair: CandidatePair, feature: Feature) -> float:
+        if self.memo is not None:
+            if pair.index != self._local_index:
+                self._local = {}
+                self._local_index = pair.index
+            cached = self._local.get(feature.name)
+            if cached is not None:
+                self.stats.memo_hits += 1
+                return cached
+            cached = self.memo.get(pair.index, feature.name)
+            if cached is not None:
+                self.stats.memo_hits += 1
+                self._local[feature.name] = cached
+                return cached
+        value = feature.compute(pair.record_a, pair.record_b)
+        self.stats.record_computation(feature.name)
+        if self.memo is not None:
+            self.memo.put(pair.index, feature.name, value)
+            self._local[feature.name] = value
+        return value
+
+    # -- predicate / rule / function evaluation -------------------------
+
+    def predicate_true(
+        self, pair: CandidatePair, predicate: Predicate, rule_name: str
+    ) -> bool:
+        value = self.feature_value(pair, predicate.feature)
+        self.stats.predicate_evaluations += 1
+        result = predicate.evaluate(value)
+        if not result and self.recorder is not None:
+            self.recorder.record_predicate_false(
+                pair.index, rule_name, predicate.slot
+            )
+        return result
+
+    def _rule_predicate_order(
+        self, pair: CandidatePair, rule: Rule
+    ) -> Sequence[Predicate]:
+        if not self.check_cache_first:
+            return rule.predicates
+        if pair.index != self._local_index:
+            self._local = {}
+            self._local_index = pair.index
+        cached: List[Predicate] = []
+        uncached: List[Predicate] = []
+        for predicate in rule.predicates:
+            name = predicate.feature.name
+            if name in self._local or self.memo.contains(pair.index, name):
+                cached.append(predicate)
+            else:
+                uncached.append(predicate)
+        return cached + uncached
+
+    def rule_true(self, pair: CandidatePair, rule: Rule) -> bool:
+        """Evaluate one rule with intra-rule early exit."""
+        self.stats.rule_evaluations += 1
+        for predicate in self._rule_predicate_order(pair, rule):
+            if not self.predicate_true(pair, predicate, rule.name):
+                return False
+        return True
+
+    def first_matching_rule(
+        self, pair: CandidatePair, rules: Iterable[Rule]
+    ) -> Optional[str]:
+        """First rule that is true for the pair (inter-rule early exit),
+        recording the match attribution; ``None`` if no rule fires."""
+        for rule in rules:
+            if self.rule_true(pair, rule):
+                if self.recorder is not None:
+                    self.recorder.record_rule_match(pair.index, rule.name)
+                return rule.name
+        return None
+
+
+class Matcher:
+    """Base class providing the run loop scaffolding and timing."""
+
+    strategy_name = "matcher"
+
+    def run(self, function: MatchingFunction, candidates: CandidateSet) -> MatchResult:
+        stats = MatchStats()
+        labels = np.zeros(len(candidates), dtype=bool)
+        started = time.perf_counter()
+        self._run(function, candidates, labels, stats)
+        stats.elapsed_seconds = time.perf_counter() - started
+        stats.pairs_evaluated = len(candidates)
+        stats.pairs_matched = int(labels.sum())
+        return MatchResult(candidates, labels, stats)
+
+    def _run(
+        self,
+        function: MatchingFunction,
+        candidates: CandidateSet,
+        labels: np.ndarray,
+        stats: MatchStats,
+    ) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RudimentaryMatcher(Matcher):
+    """Algorithm 1: evaluate everything, compute every feature from scratch.
+
+    No early exit, no memo — the per-pair cost is
+    ``Σ_r Σ_p cost(p)`` regardless of outcomes (the paper's C1).
+    """
+
+    strategy_name = "rudimentary"
+
+    def _run(self, function, candidates, labels, stats) -> None:
+        evaluator = PairEvaluator(stats)
+        for pair in candidates:
+            matched = False
+            for rule in function.rules:
+                stats.rule_evaluations += 1
+                rule_result = True
+                for predicate in rule.predicates:
+                    # Deliberately no short-circuiting: Algorithm 1 treats
+                    # predicates as black boxes and evaluates all of them.
+                    if not evaluator.predicate_true(pair, predicate, rule.name):
+                        rule_result = False
+                matched = matched or rule_result
+            labels[pair.index] = matched
+
+
+class EarlyExitMatcher(Matcher):
+    """Algorithm 3: early exit, but no memo — repeated features recompute."""
+
+    strategy_name = "early_exit"
+
+    def _run(self, function, candidates, labels, stats) -> None:
+        evaluator = PairEvaluator(stats)
+        for pair in candidates:
+            labels[pair.index] = (
+                evaluator.first_matching_rule(pair, function.rules) is not None
+            )
+
+
+class PrecomputeMatcher(Matcher):
+    """Algorithm 2 (+ optional early exit): precompute, then match on lookups.
+
+    ``features=None`` precomputes exactly the matching function's features
+    — the paper's *production precomputation* (PPR), feasible only once a
+    rule set is final.  Passing a feature superset models *full
+    precomputation* (FPR): the analyst's whole candidate feature space is
+    computed up front, including features no rule will ever use.
+
+    ``use_value_cache=True`` shares computations between candidate pairs
+    with identical attribute values (the paper's "hash table mapping pairs
+    of attribute values to similarity function outputs").
+    """
+
+    strategy_name = "precompute"
+
+    def __init__(
+        self,
+        features: Optional[Sequence[Feature]] = None,
+        early_exit: bool = True,
+        use_value_cache: bool = False,
+    ):
+        self.features = list(features) if features is not None else None
+        self.early_exit = early_exit
+        self.use_value_cache = use_value_cache
+
+    def _run(self, function, candidates, labels, stats) -> None:
+        features = self.features if self.features is not None else function.features()
+        missing = {f.name for f in function.features()} - {f.name for f in features}
+        if missing:
+            raise MatchingError(
+                f"precompute feature set lacks features used by the matching "
+                f"function: {sorted(missing)}"
+            )
+        memo = ArrayMemo(len(candidates), [feature.name for feature in features])
+        value_cache = ValueCache() if self.use_value_cache else None
+        for feature in features:
+            for pair in candidates:
+                if value_cache is not None:
+                    value_a = pair.record_a.get(feature.attr_a)
+                    value_b = pair.record_b.get(feature.attr_b)
+                    cached = value_cache.lookup(feature.name, value_a, value_b)
+                    if cached is not None:
+                        stats.record_hit()
+                        memo.put(pair.index, feature.name, cached)
+                        continue
+                    value = feature.compute(pair.record_a, pair.record_b)
+                    stats.record_computation(feature.name)
+                    value_cache.store(feature.name, value_a, value_b, value)
+                else:
+                    value = feature.compute(pair.record_a, pair.record_b)
+                    stats.record_computation(feature.name)
+                memo.put(pair.index, feature.name, value)
+
+        evaluator = PairEvaluator(stats, memo=memo)
+        if self.early_exit:
+            for pair in candidates:
+                labels[pair.index] = (
+                    evaluator.first_matching_rule(pair, function.rules) is not None
+                )
+        else:
+            for pair in candidates:
+                matched = False
+                for rule in function.rules:
+                    stats.rule_evaluations += 1
+                    rule_result = True
+                    for predicate in rule.predicates:
+                        if not evaluator.predicate_true(pair, predicate, rule.name):
+                            rule_result = False
+                    matched = matched or rule_result
+                labels[pair.index] = matched
+
+
+class DynamicMemoMatcher(Matcher):
+    """Algorithm 4: early exit + dynamic memoing — the paper's contribution.
+
+    ``memo`` may be supplied to persist across runs (the debugging loop's
+    key trick); otherwise a fresh one is created per run and exposed
+    afterwards as :attr:`last_memo`.  ``recorder`` (usually a
+    :class:`~repro.core.state.MatchState`) receives rule-match and
+    predicate-false facts for incremental matching.
+    """
+
+    strategy_name = "dynamic_memo"
+
+    def __init__(
+        self,
+        memo: Optional[FeatureMemo] = None,
+        memo_backend: str = "array",
+        check_cache_first: bool = False,
+        recorder: Optional[TraceRecorder] = None,
+    ):
+        if memo_backend not in ("array", "hash"):
+            raise MatchingError(
+                f"memo_backend must be 'array' or 'hash', got {memo_backend!r}"
+            )
+        self.memo = memo
+        self.memo_backend = memo_backend
+        self.check_cache_first = check_cache_first
+        self.recorder = recorder
+        self.last_memo: Optional[FeatureMemo] = memo
+
+    def _make_memo(self, function: MatchingFunction, candidates: CandidateSet) -> FeatureMemo:
+        names = [feature.name for feature in function.features()]
+        if self.memo_backend == "array":
+            return ArrayMemo(len(candidates), names)
+        return HashMemo(len(candidates), names)
+
+    def _run(self, function, candidates, labels, stats) -> None:
+        memo = self.memo if self.memo is not None else self._make_memo(function, candidates)
+        self.last_memo = memo
+        evaluator = PairEvaluator(
+            stats,
+            memo=memo,
+            recorder=self.recorder,
+            check_cache_first=self.check_cache_first,
+        )
+        for pair in candidates:
+            labels[pair.index] = (
+                evaluator.first_matching_rule(pair, function.rules) is not None
+            )

@@ -1,0 +1,235 @@
+"""Feature memos — the "Γ" of Algorithms 2 and 4.
+
+Two interchangeable backends implement the paper's §7.4 discussion:
+
+* :class:`ArrayMemo` — a dense ``|C| × |F|`` float array with a validity
+  bitmask.  O(1) access with tiny constants; memory is |C|·|F|·9 bytes
+  whether or not entries are filled.  This is the paper's choice.
+* :class:`HashMemo` — a dict keyed by ``(pair_index, feature_name)``.
+  Pays hashing on every access but only stores what was computed — the
+  alternative the paper suggests "for a data set where [the array does
+  not fit in memory]".
+
+Both persist across matching runs: dynamic memoing's payoff in the
+debugging loop comes precisely from the memo surviving rule edits.
+
+:class:`ValueCache` is the orthogonal *value-level* cache of Algorithm 2's
+"hash table mapping pairs of attribute values to similarity function
+outputs": two candidate pairs with identical attribute values share one
+computation.  Matchers can layer it under either memo.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import UnknownFeatureError
+
+
+class FeatureMemo(ABC):
+    """Protocol shared by both memo backends."""
+
+    @abstractmethod
+    def get(self, pair_index: int, feature_name: str) -> Optional[float]:
+        """Stored value, or ``None`` if not yet computed."""
+
+    @abstractmethod
+    def put(self, pair_index: int, feature_name: str, value: float) -> None:
+        """Store a computed value."""
+
+    @abstractmethod
+    def contains(self, pair_index: int, feature_name: str) -> bool:
+        """True iff the value is memoized (used by check-cache-first)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of memoized entries."""
+
+    @abstractmethod
+    def nbytes(self) -> int:
+        """Approximate resident bytes (for the §7.4 memory experiment)."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop all entries (fresh debugging session)."""
+
+
+class ArrayMemo(FeatureMemo):
+    """Dense ``|C| × |F|`` array memo (the paper's implementation).
+
+    Feature columns are allocated on first use; the column set may grow as
+    the analyst introduces new features mid-session (``ensure_feature``),
+    with geometric growth so amortized insertion stays O(1).
+    """
+
+    def __init__(self, n_pairs: int, feature_names: Iterable[str] = ()):
+        if n_pairs < 0:
+            raise ValueError(f"n_pairs must be >= 0, got {n_pairs}")
+        self.n_pairs = n_pairs
+        self._columns: Dict[str, int] = {}
+        initial = list(feature_names)
+        capacity = max(len(initial), 4)
+        self._values = np.zeros((n_pairs, capacity), dtype=np.float64)
+        self._valid = np.zeros((n_pairs, capacity), dtype=bool)
+        self._entries = 0
+        for name in initial:
+            self.ensure_feature(name)
+
+    def ensure_feature(self, feature_name: str) -> int:
+        """Return the column index for ``feature_name``, allocating it if new."""
+        column = self._columns.get(feature_name)
+        if column is not None:
+            return column
+        column = len(self._columns)
+        if column >= self._values.shape[1]:
+            grown = max(4, self._values.shape[1] * 2)
+            values = np.zeros((self.n_pairs, grown), dtype=np.float64)
+            valid = np.zeros((self.n_pairs, grown), dtype=bool)
+            values[:, : self._values.shape[1]] = self._values
+            valid[:, : self._valid.shape[1]] = self._valid
+            self._values, self._valid = values, valid
+        self._columns[feature_name] = column
+        return column
+
+    def _column(self, feature_name: str) -> int:
+        column = self._columns.get(feature_name)
+        if column is None:
+            raise UnknownFeatureError(
+                f"feature {feature_name!r} has no memo column; call "
+                f"ensure_feature first"
+            )
+        return column
+
+    def get(self, pair_index: int, feature_name: str) -> Optional[float]:
+        column = self._columns.get(feature_name)
+        if column is None or not self._valid[pair_index, column]:
+            return None
+        return float(self._values[pair_index, column])
+
+    def put(self, pair_index: int, feature_name: str, value: float) -> None:
+        column = self.ensure_feature(feature_name)
+        if not self._valid[pair_index, column]:
+            self._entries += 1
+        self._values[pair_index, column] = value
+        self._valid[pair_index, column] = True
+
+    def contains(self, pair_index: int, feature_name: str) -> bool:
+        column = self._columns.get(feature_name)
+        return column is not None and bool(self._valid[pair_index, column])
+
+    def fill_column(self, feature_name: str, values: np.ndarray) -> None:
+        """Bulk-store a full column (used by the precomputation baselines)."""
+        if len(values) != self.n_pairs:
+            raise ValueError(
+                f"column length {len(values)} != n_pairs {self.n_pairs}"
+            )
+        column = self.ensure_feature(feature_name)
+        newly = int((~self._valid[:, column]).sum())
+        self._values[:, column] = values
+        self._valid[:, column] = True
+        self._entries += newly
+
+    def fill_fraction(self, feature_name: str) -> float:
+        """Fraction of pairs whose value for this feature is memoized."""
+        column = self._columns.get(feature_name)
+        if column is None or self.n_pairs == 0:
+            return 0.0
+        return float(self._valid[:, column].mean())
+
+    def __len__(self) -> int:
+        return self._entries
+
+    def nbytes(self) -> int:
+        return int(self._values.nbytes + self._valid.nbytes)
+
+    def clear(self) -> None:
+        self._valid[:] = False
+        self._entries = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayMemo({self.n_pairs} pairs x {len(self._columns)} features, "
+            f"{self._entries} entries, {self.nbytes() / 1e6:.1f} MB)"
+        )
+
+
+class HashMemo(FeatureMemo):
+    """Sparse dict-backed memo — stores only computed entries."""
+
+    #: rough CPython overhead of one dict entry (key tuple + float + slot).
+    _BYTES_PER_ENTRY = 120
+
+    def __init__(self, n_pairs: int = 0, feature_names: Iterable[str] = ()):
+        # Signature mirrors ArrayMemo so the two are drop-in interchangeable;
+        # the sizing arguments are advisory only.
+        self.n_pairs = n_pairs
+        self._store: Dict[Tuple[int, str], float] = {}
+
+    def ensure_feature(self, feature_name: str) -> None:
+        """No-op (hash memos need no column allocation)."""
+
+    def get(self, pair_index: int, feature_name: str) -> Optional[float]:
+        return self._store.get((pair_index, feature_name))
+
+    def put(self, pair_index: int, feature_name: str, value: float) -> None:
+        self._store[(pair_index, feature_name)] = value
+
+    def contains(self, pair_index: int, feature_name: str) -> bool:
+        return (pair_index, feature_name) in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def nbytes(self) -> int:
+        return len(self._store) * self._BYTES_PER_ENTRY
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __repr__(self) -> str:
+        return f"HashMemo({len(self._store)} entries)"
+
+
+class ValueCache:
+    """Cache keyed by attribute *values* rather than pair indices.
+
+    Algorithm 2 stores "a hash table mapping pairs of attribute values to
+    similarity function outputs": when many records share values (common
+    for brands, categories, cities), distinct pairs reuse one computation.
+    The key is symmetric-insensitive only if the measure is symmetric,
+    which the package guarantees, so we canonicalize the value order.
+    """
+
+    def __init__(self):
+        self._store: Dict[Tuple[str, object, object], float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(
+        self, feature_name: str, value_a: object, value_b: object
+    ) -> Optional[float]:
+        key = self._key(feature_name, value_a, value_b)
+        cached = self._store.get(key)
+        if cached is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return cached
+
+    def store(
+        self, feature_name: str, value_a: object, value_b: object, value: float
+    ) -> None:
+        self._store[self._key(feature_name, value_a, value_b)] = value
+
+    @staticmethod
+    def _key(feature_name: str, value_a: object, value_b: object):
+        first, second = str(value_a), str(value_b)
+        if second < first:
+            first, second = second, first
+        return (feature_name, first, second)
+
+    def __len__(self) -> int:
+        return len(self._store)

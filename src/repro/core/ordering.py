@@ -1,0 +1,270 @@
+"""Rule/predicate ordering optimizers (paper §5).
+
+Orderings never change *what* a DNF matching function computes — only how
+fast early exit + memoing get there.  Every optimizer here therefore
+returns a **new, reordered MatchingFunction** that is semantically
+equivalent to its input (a property test enforces this), so matchers stay
+ordering-agnostic.
+
+Implemented orderings:
+
+* :func:`random_ordering` — the baseline of Figure 3C.
+* :func:`lemma3_predicate_order` — within-rule order: feature groups by
+  ``(sel-1)/cost`` (Lemma 3), predicates inside a group by ascending
+  selectivity (Lemma 2).
+* :func:`independent_ordering` — Lemma 1 + Theorem 1, the optimal order
+  *if* predicates/rules were independent and memoing were off.
+* :func:`greedy_cost_ordering` — Algorithm 5: repeatedly pick the rule
+  with the minimum memo-aware expected cost.
+* :func:`greedy_reduction_ordering` — Algorithm 6: repeatedly pick the
+  rule whose execution most reduces the expected cost of the rules that
+  share its features.
+* :func:`brute_force_ordering` — exhaustive search over rule permutations
+  (for ≤ ``max_rules``); the yardstick for greedy-vs-optimal gaps the
+  paper's NP-hardness discussion motivates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import EstimationError, ReproError
+from .cost_model import (
+    Estimates,
+    function_cost_with_memo,
+    group_cost,
+    group_predicates,
+    rule_cost,
+    rule_cost_no_memo,
+    update_alpha,
+)
+from .rules import MatchingFunction, Predicate, Rule
+
+
+def lemma3_predicate_order(rule: Rule, estimates: Estimates) -> Rule:
+    """Reorder one rule's predicates per Lemma 3 (groups) + Lemma 2 (within).
+
+    Group rank is ``(sel(group) - 1) / cost(group)`` ascending — the most
+    selective-per-unit-cost group goes first, maximizing the chance of a
+    cheap early exit.
+    """
+    groups = group_predicates(rule, estimates)
+
+    def rank(group) -> float:
+        cost = group_cost(group, estimates)
+        if cost <= 0.0:
+            # Free and selective sorts to the absolute front.
+            return float("-inf") if group.selectivity < 1.0 else 0.0
+        return (group.selectivity - 1.0) / cost
+
+    ordered: List[Predicate] = []
+    for group in sorted(groups, key=rank):
+        ordered.extend(group.predicates)  # already Lemma-2 ordered
+    return rule.with_predicates(ordered)
+
+
+def _with_lemma3_predicates(
+    function: MatchingFunction, estimates: Estimates
+) -> List[Rule]:
+    return [lemma3_predicate_order(rule, estimates) for rule in function.rules]
+
+
+def random_ordering(function: MatchingFunction, seed: int = 0) -> MatchingFunction:
+    """Uniformly random rule order and per-rule predicate orders."""
+    rng = random.Random(seed)
+    rules = list(function.rules)
+    rng.shuffle(rules)
+    shuffled: List[Rule] = []
+    for rule in rules:
+        predicates = list(rule.predicates)
+        rng.shuffle(predicates)
+        shuffled.append(rule.with_predicates(predicates))
+    return MatchingFunction(shuffled)
+
+
+def independent_ordering(
+    function: MatchingFunction, estimates: Estimates
+) -> MatchingFunction:
+    """Lemma 1 + Theorem 1: the provably optimal order under independence
+    (and without memoing).
+
+    Rule rank is ``-sel(r) / cost(r)`` ascending — unselective-but-cheap
+    rules first, because a rule that fires ends the pair's evaluation.
+    """
+    rules = _with_lemma3_predicates(function, estimates)
+
+    def rank(rule: Rule) -> float:
+        cost = rule_cost(rule, estimates)
+        selectivity = estimates.independent_rule_selectivity(rule)
+        if cost <= 0.0:
+            return float("-inf") if selectivity > 0.0 else 0.0
+        return -selectivity / cost
+
+    return MatchingFunction(sorted(rules, key=rank))
+
+
+def greedy_cost_ordering(
+    function: MatchingFunction, estimates: Estimates
+) -> MatchingFunction:
+    """Algorithm 5: next rule = minimum memo-aware expected cost.
+
+    After scheduling a rule, the memo-presence probabilities α advance via
+    the §4.4.4 recurrence, so each remaining rule's cost is re-evaluated
+    "assuming it immediately follows" everything scheduled so far — the
+    priority-queue update of the paper's line 12, implemented as a direct
+    argmin per step (same O(n²·|predicates|), simpler invariants).
+    """
+    remaining = _with_lemma3_predicates(function, estimates)
+    alpha: Dict[str, float] = {}
+    ordered: List[Rule] = []
+    while remaining:
+        best = min(
+            remaining,
+            key=lambda rule: (rule_cost(rule, estimates, alpha), rule.name),
+        )
+        remaining.remove(best)
+        ordered.append(best)
+        update_alpha(best, estimates, alpha)
+    return MatchingFunction(ordered)
+
+
+def _rule_feature_terms(
+    rule: Rule, estimates: Estimates
+) -> List[Tuple[str, float, float]]:
+    """Static per-rule terms: ``(feature, prefix_sel, weight)`` per group.
+
+    ``prefix_sel`` is sel(prev(f, r)) — the chance f's group is reached in
+    r; ``weight`` is ``prefix_sel · (cost(f) − δ)`` — the expected saving
+    in r per unit of memo-presence gain for f.  Both depend only on the
+    (fixed, Lemma-3) predicate order, so they are computed once and the
+    greedy loops become pure arithmetic.
+    """
+    terms: List[Tuple[str, float, float]] = []
+    prefix = 1.0
+    for group in group_predicates(rule, estimates):
+        saved_per_fetch = estimates.cost(group.feature) - estimates.lookup_cost
+        terms.append((group.feature.name, prefix, prefix * saved_per_fetch))
+        prefix *= group.selectivity
+    return terms
+
+
+def greedy_reduction_ordering(
+    function: MatchingFunction, estimates: Estimates
+) -> MatchingFunction:
+    """Algorithm 6: next rule = maximum expected overall cost reduction.
+
+    reduction(r) = Σ_{r' remaining} Σ_{f ∈ r ∩ r'}
+        sel(prev(f, r')) · Δ(f) · (cost(f) − δ),
+    with Δ(f) = (1 − α(f)) · sel(prev(f, r)) — §5.4.1's formulas.
+
+    Implementation: the per-rule factors are static (see
+    :func:`_rule_feature_terms`), so we keep a running per-feature total
+    weight ``W(f) = Σ_{r' remaining} weight(r', f)`` and compute
+    ``reduction(r) = Σ_f Δ(f) · (W(f) − weight(r, f))`` in O(|features of
+    r|) per candidate — O(n²) overall instead of the naive O(n³).
+
+    Ties (common when many rules share no features) break toward the
+    cheaper rule, then the rule name — without a tie-break the order of
+    feature-disjoint rules would be arbitrary, and Algorithm 6 would lose
+    to Algorithm 5 for the wrong reason.
+    """
+    remaining = _with_lemma3_predicates(function, estimates)
+    terms = {rule.name: _rule_feature_terms(rule, estimates) for rule in remaining}
+    total_weight: Dict[str, float] = {}
+    for rule in remaining:
+        for feature_name, _prefix, weight in terms[rule.name]:
+            total_weight[feature_name] = total_weight.get(feature_name, 0.0) + weight
+
+    alpha: Dict[str, float] = {}
+    ordered: List[Rule] = []
+    while remaining:
+
+        def priority(rule: Rule) -> Tuple[float, float, str]:
+            reduction = 0.0
+            for feature_name, prefix, weight in terms[rule.name]:
+                delta = (1.0 - alpha.get(feature_name, 0.0)) * prefix
+                reduction += delta * (total_weight[feature_name] - weight)
+            return (-reduction, rule_cost(rule, estimates, alpha), rule.name)
+
+        best = min(remaining, key=priority)
+        remaining.remove(best)
+        ordered.append(best)
+        for feature_name, _prefix, weight in terms[best.name]:
+            total_weight[feature_name] -= weight
+        update_alpha(best, estimates, alpha)
+    return MatchingFunction(ordered)
+
+
+def brute_force_ordering(
+    function: MatchingFunction, estimates: Estimates, max_rules: int = 8
+) -> MatchingFunction:
+    """Exhaustive search for the rule permutation minimizing C4.
+
+    Factorial cost — refuses more than ``max_rules`` rules.  Exists to
+    measure how far the greedy heuristics are from optimal on small
+    instances (the NP-hardness of §5.4 makes this the only ground truth
+    available).
+    """
+    if len(function.rules) > max_rules:
+        raise ReproError(
+            f"brute force over {len(function.rules)} rules would evaluate "
+            f"{len(function.rules)}! permutations; cap is {max_rules}"
+        )
+    rules = _with_lemma3_predicates(function, estimates)
+    best_function: Optional[MatchingFunction] = None
+    best_cost = float("inf")
+    for permutation in itertools.permutations(rules):
+        candidate = MatchingFunction(permutation)
+        cost = function_cost_with_memo(candidate, estimates)
+        if cost < best_cost:
+            best_cost = cost
+            best_function = candidate
+    assert best_function is not None  # len >= 1 guaranteed by MatchingFunction
+    return best_function
+
+
+def _tsp(function, estimates):
+    from .analysis import tsp_ordering
+
+    return tsp_ordering(function, estimates)
+
+
+#: Named registry used by benchmarks / the session API.
+ORDERING_STRATEGIES = {
+    "original": lambda function, estimates: function,
+    "random": lambda function, estimates: random_ordering(function),
+    "independent": independent_ordering,
+    "algorithm5": greedy_cost_ordering,
+    "algorithm6": greedy_reduction_ordering,
+    "tsp": _tsp,
+}
+
+
+def order_function(
+    function: MatchingFunction,
+    estimates: Optional[Estimates],
+    strategy: str = "algorithm6",
+    seed: int = 0,
+) -> MatchingFunction:
+    """Dispatch to a named ordering strategy.
+
+    ``estimates`` may be ``None`` only for the estimate-free strategies
+    (``original``, ``random``).
+    """
+    if strategy == "original":
+        return function
+    if strategy == "random":
+        return random_ordering(function, seed)
+    optimizer = ORDERING_STRATEGIES.get(strategy)
+    if optimizer is None:
+        raise ReproError(
+            f"unknown ordering strategy {strategy!r}; "
+            f"expected one of {sorted(ORDERING_STRATEGIES)}"
+        )
+    if estimates is None:
+        raise EstimationError(
+            f"ordering strategy {strategy!r} requires cost estimates"
+        )
+    return optimizer(function, estimates)

@@ -1,0 +1,184 @@
+"""Persist and restore a debugging session's materialized state.
+
+Analysts iterate on a matching task over hours or days; the memo — the
+expensive part of the state — is worth keeping across process restarts.
+This module serializes a :class:`~repro.core.state.MatchState` to a
+directory:
+
+* ``function.rules`` — the matching function in DSL text (human-readable,
+  diffable; re-parsed on load through the caller's feature resolver so
+  corpus-bound measures reattach correctly),
+* ``state.npz``     — labels, attribution, memo contents, and bitmaps as
+  compressed numpy arrays,
+* ``meta.json``     — candidate-set fingerprint and format version.
+
+The candidate set itself is NOT serialized — it is deterministic from the
+dataset + blocker, and re-blocking is cheap relative to re-computing
+similarity scores.  A fingerprint (pair count + hash of the id sequence)
+guards against loading state onto a different candidate set, which would
+silently misalign every pair index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..data.pairs import CandidateSet
+from ..errors import StateError
+from .memo import ArrayMemo, FeatureMemo, HashMemo
+from .parser import FeatureResolver, format_function, parse_function
+from .state import MatchState
+
+FORMAT_VERSION = 1
+
+
+def candidate_fingerprint(candidates: CandidateSet) -> str:
+    """A stable fingerprint of the candidate set's identity and order."""
+    digest = hashlib.sha256()
+    for a_id, b_id in candidates.id_pairs():
+        digest.update(a_id.encode())
+        digest.update(b"\x1f")
+        digest.update(b_id.encode())
+        digest.update(b"\x1e")
+    return f"{len(candidates)}:{digest.hexdigest()[:24]}"
+
+
+def _memo_arrays(memo: FeatureMemo, n_pairs: int) -> Dict[str, np.ndarray]:
+    """Extract memo contents as parallel (pair, feature-id, value) arrays."""
+    pairs = []
+    feature_ids = []
+    values = []
+    feature_names: Dict[str, int] = {}
+    if isinstance(memo, ArrayMemo):
+        for name, column in memo._columns.items():
+            feature_names.setdefault(name, len(feature_names))
+            valid = memo._valid[:, column]
+            for pair_index in np.flatnonzero(valid):
+                pairs.append(int(pair_index))
+                feature_ids.append(feature_names[name])
+                values.append(float(memo._values[pair_index, column]))
+    elif isinstance(memo, HashMemo):
+        for (pair_index, name), value in memo._store.items():
+            feature_names.setdefault(name, len(feature_names))
+            pairs.append(pair_index)
+            feature_ids.append(feature_names[name])
+            values.append(value)
+    else:
+        raise StateError(f"cannot serialize memo type {type(memo).__name__}")
+    ordered_names = [None] * len(feature_names)
+    for name, index in feature_names.items():
+        ordered_names[index] = name
+    return {
+        "memo_pairs": np.asarray(pairs, dtype=np.int64),
+        "memo_features": np.asarray(feature_ids, dtype=np.int32),
+        "memo_values": np.asarray(values, dtype=np.float64),
+        "memo_feature_names": np.asarray(ordered_names, dtype=object),
+    }
+
+
+def save_state(state: MatchState, directory: str | Path) -> Path:
+    """Serialize ``state`` into ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    (directory / "function.rules").write_text(
+        format_function(state.function), encoding="utf-8"
+    )
+
+    arrays: Dict[str, np.ndarray] = {
+        "labels": state.labels,
+        "attribution": state.attribution,
+    }
+    arrays.update(_memo_arrays(state.memo, len(state.candidates)))
+
+    rule_names = sorted(state._rule_matched)
+    arrays["rule_bitmap_names"] = np.asarray(rule_names, dtype=object)
+    for index, name in enumerate(rule_names):
+        arrays[f"rule_bitmap_{index}"] = state._rule_matched[name]
+
+    slot_keys = sorted(state._predicate_false)
+    arrays["slot_bitmap_keys"] = np.asarray(
+        ["\x1f".join(key) for key in slot_keys], dtype=object
+    )
+    for index, key in enumerate(slot_keys):
+        arrays[f"slot_bitmap_{index}"] = state._predicate_false[key]
+
+    np.savez_compressed(directory / "state.npz", **arrays)
+
+    meta = {
+        "version": FORMAT_VERSION,
+        "fingerprint": candidate_fingerprint(state.candidates),
+        "memo_backend": "hash" if isinstance(state.memo, HashMemo) else "array",
+        "check_cache_first": state.check_cache_first,
+        "n_pairs": len(state.candidates),
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    return directory
+
+
+def load_state(
+    directory: str | Path,
+    candidates: CandidateSet,
+    resolver: Optional[FeatureResolver] = None,
+) -> MatchState:
+    """Restore a state saved by :func:`save_state` onto ``candidates``.
+
+    ``resolver`` should be the feature resolver that built the original
+    function (e.g. ``workload.space.resolver()``) so corpus-bound
+    similarity instances are reattached; the default registry resolver
+    rebuilds corpus-free equivalents.
+    """
+    directory = Path(directory)
+    meta_path = directory / "meta.json"
+    if not meta_path.exists():
+        raise StateError(f"{directory} does not contain a saved state")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("version") != FORMAT_VERSION:
+        raise StateError(
+            f"state format version {meta.get('version')} not supported "
+            f"(expected {FORMAT_VERSION})"
+        )
+    fingerprint = candidate_fingerprint(candidates)
+    if meta["fingerprint"] != fingerprint:
+        raise StateError(
+            "saved state belongs to a different candidate set "
+            f"(saved {meta['fingerprint']}, current {fingerprint}); "
+            "re-block with the same dataset, blocker, and seed"
+        )
+
+    function = parse_function(
+        (directory / "function.rules").read_text(encoding="utf-8"), resolver
+    )
+    with np.load(directory / "state.npz", allow_pickle=True) as arrays:
+        n_pairs = len(candidates)
+        feature_names = list(arrays["memo_feature_names"])
+        if meta["memo_backend"] == "hash":
+            memo: FeatureMemo = HashMemo(n_pairs, feature_names)
+        else:
+            memo = ArrayMemo(n_pairs, feature_names)
+        for pair_index, feature_index, value in zip(
+            arrays["memo_pairs"], arrays["memo_features"], arrays["memo_values"]
+        ):
+            memo.put(int(pair_index), feature_names[int(feature_index)], float(value))
+
+        state = MatchState(
+            function,
+            candidates,
+            memo,
+            check_cache_first=bool(meta["check_cache_first"]),
+        )
+        state.labels = arrays["labels"].astype(bool)
+        state.attribution = arrays["attribution"].astype(np.int32)
+        for index, name in enumerate(arrays["rule_bitmap_names"]):
+            state._rule_matched[str(name)] = arrays[f"rule_bitmap_{index}"].astype(bool)
+        for index, joined in enumerate(arrays["slot_bitmap_keys"]):
+            rule_name, slot = str(joined).split("\x1f", 1)
+            state._predicate_false[(rule_name, slot)] = arrays[
+                f"slot_bitmap_{index}"
+            ].astype(bool)
+    return state

@@ -1,0 +1,304 @@
+"""The interactive debugging session — the paper's Figure 1 loop as an API.
+
+A :class:`DebugSession` owns one matching task end to end:
+
+1. ``run()`` — estimate costs on a sample, order the rules (Algorithm 5/6),
+   run DM+EE once, and materialize the incremental state.
+2. ``apply(change)`` — incremental re-matching via Algorithms 7-10; the
+   memo and bitmaps persist, so edits take milliseconds, not another full
+   run.  This is the "Run EM" box the paper wants under one second.
+3. ``metrics()`` — precision/recall against the session's gold labels
+   after every edit (the "Examine results" box).
+4. ``explain(a_id, b_id)`` — per-rule, per-predicate breakdown of why a
+   pair matches or not: the thing an analyst actually stares at before
+   deciding which threshold to move.
+
+``rerun_full()`` re-runs the whole matcher against the persistent memo —
+the paper's "precomputation variation" of incremental matching, kept as a
+comparison point for the Figure 5C experiment and as a safety valve.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..data.pairs import CandidateSet, PairId
+from ..errors import MatchingError, StateError
+from ..evaluation.metrics import Confusion, confusion
+from .changes import Change
+from .cost_model import CostEstimator, Estimates
+from .incremental import IncrementalResult, apply_change
+from .matchers import DynamicMemoMatcher, MatchResult
+from .ordering import order_function
+from .parser import parse_function
+from .rules import MatchingFunction
+from .state import MatchState
+
+
+@dataclass
+class PredicateTrace:
+    """One predicate's outcome for one pair (for :meth:`DebugSession.explain`)."""
+
+    pid: str
+    value: float
+    passed: bool
+
+
+@dataclass
+class RuleTrace:
+    """One rule's outcome for one pair."""
+
+    rule_name: str
+    matched: bool
+    predicates: List[PredicateTrace]
+
+    def first_failure(self) -> Optional[PredicateTrace]:
+        for trace in self.predicates:
+            if not trace.passed:
+                return trace
+        return None
+
+
+@dataclass
+class PairExplanation:
+    """Full evaluation trace of one candidate pair."""
+
+    pair_id: PairId
+    matched: bool
+    rules: List[RuleTrace]
+
+    def matching_rules(self) -> List[str]:
+        return [trace.rule_name for trace in self.rules if trace.matched]
+
+    def render(self) -> str:
+        """Human-readable multi-line explanation."""
+        lines = [
+            f"pair {self.pair_id}: {'MATCH' if self.matched else 'NO MATCH'}"
+        ]
+        for rule in self.rules:
+            mark = "+" if rule.matched else "-"
+            lines.append(f"  [{mark}] {rule.rule_name}")
+            for predicate in rule.predicates:
+                ok = "ok " if predicate.passed else "FAIL"
+                lines.append(
+                    f"        {ok} {predicate.pid}  (value={predicate.value:.4f})"
+                )
+        return "\n".join(lines)
+
+
+class DebugSession:
+    """Stateful analyst session over one candidate set."""
+
+    def __init__(
+        self,
+        candidates: CandidateSet,
+        function: Union[MatchingFunction, str],
+        gold: Optional[Set[PairId]] = None,
+        ordering: str = "algorithm6",
+        estimator: Optional[CostEstimator] = None,
+        memo_backend: str = "array",
+        check_cache_first: bool = True,
+        paranoid: bool = False,
+    ):
+        """``paranoid=True`` re-validates the incremental state against a
+        from-scratch run after every change — O(full run) per edit, test
+        use only."""
+        if isinstance(function, str):
+            function = parse_function(function)
+        self.candidates = candidates
+        self.initial_function = function
+        self.gold = gold
+        self.ordering_strategy = ordering
+        self.estimator = estimator or CostEstimator()
+        self.memo_backend = memo_backend
+        self.check_cache_first = check_cache_first
+        self.paranoid = paranoid
+        self.estimates: Optional[Estimates] = None
+        self.state: Optional[MatchState] = None
+        self.history: List[IncrementalResult] = []
+        self.last_run: Optional[MatchResult] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def run(self) -> MatchResult:
+        """Initial full matching run: estimate → order → match → materialize."""
+        function = self.initial_function
+        if self.ordering_strategy not in ("original", "random"):
+            self.estimates = self.estimator.estimate(function, self.candidates)
+        function = order_function(
+            function, self.estimates, self.ordering_strategy
+        )
+        self.state, result = MatchState.from_initial_run(
+            function,
+            self.candidates,
+            memo_backend=self.memo_backend,
+            check_cache_first=self.check_cache_first,
+        )
+        self.last_run = result
+        return result
+
+    def apply(self, change: Change) -> IncrementalResult:
+        """Apply one edit incrementally (Algorithms 7-10)."""
+        state = self._require_state()
+        result = apply_change(state, change)
+        self.history.append(result)
+        if self.paranoid:
+            scratch = DynamicMemoMatcher().run(state.function, self.candidates)
+            state.validate_against(scratch.labels)
+        return result
+
+    def apply_many(self, changes: Sequence[Change]) -> List[IncrementalResult]:
+        """Apply a batch of edits in order, returning each outcome.
+
+        Stops at the first failing change (its exception propagates);
+        earlier changes stay applied — matching state is always
+        consistent with ``self.function`` even on partial failure.
+        """
+        return [self.apply(change) for change in changes]
+
+    def reorder(self, strategy: Optional[str] = None) -> MatchResult:
+        """Re-optimize the rule order of the *current* (edited) function.
+
+        After a burst of edits, the order chosen for the initial rule set
+        may be stale: selectivities shifted, rules came and went.  This
+        re-estimates on a fresh sample, re-orders with ``strategy``
+        (default: the session's configured one), and rebuilds the
+        materialized state with a full re-run — which is cheap now, since
+        the memo is warm.  A reorder is mandatory before relying on
+        position-based reasoning because the incremental bitmaps'
+        attribution invariant is tied to rule positions; hence the state
+        rebuild rather than an in-place permutation.
+        """
+        state = self._require_state()
+        strategy = strategy or self.ordering_strategy
+        function = state.function
+        if strategy not in ("original", "random"):
+            self.estimates = self.estimator.estimate(function, self.candidates)
+        function = order_function(function, self.estimates, strategy)
+        fresh = MatchState(
+            function,
+            self.candidates,
+            state.memo,
+            check_cache_first=self.check_cache_first,
+        )
+        matcher = DynamicMemoMatcher(
+            memo=state.memo,
+            check_cache_first=self.check_cache_first,
+            recorder=fresh,
+        )
+        result = matcher.run(function, self.candidates)
+        fresh.labels = result.labels.copy()
+        self.state = fresh
+        self.last_run = result
+        return result
+
+    def rerun_full(self) -> MatchResult:
+        """Full re-run against the persistent memo (the paper's
+        "precomputation variation"); rebuilds state from scratch."""
+        state = self._require_state()
+        fresh = MatchState(
+            state.function,
+            self.candidates,
+            state.memo,
+            check_cache_first=self.check_cache_first,
+        )
+        matcher = DynamicMemoMatcher(
+            memo=state.memo,
+            check_cache_first=self.check_cache_first,
+            recorder=fresh,
+        )
+        result = matcher.run(state.function, self.candidates)
+        fresh.labels = result.labels.copy()
+        self.state = fresh
+        self.last_run = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def function(self) -> MatchingFunction:
+        """The current (possibly edited, possibly reordered) function."""
+        return self._require_state().function
+
+    def labels(self):
+        return self._require_state().labels
+
+    def matched_ids(self) -> List[PairId]:
+        state = self._require_state()
+        return [
+            self.candidates[index].pair_id for index in state.matched_indices()
+        ]
+
+    def metrics(
+        self, evaluated_indices: Optional[Sequence[int]] = None
+    ) -> Confusion:
+        """Quality against the session's gold labels (MatchingError if the
+        session was built without gold)."""
+        if self.gold is None:
+            raise MatchingError("session has no gold labels to score against")
+        state = self._require_state()
+        return confusion(state.labels, self.candidates, self.gold, evaluated_indices)
+
+    def explain(self, a_id: str, b_id: str) -> PairExplanation:
+        """Evaluate every rule and predicate for one pair, via the memo.
+
+        Unlike matching, explanation evaluates *everything* (no early
+        exit): the analyst needs to see all the near-miss predicates, not
+        just the first failing one.  Computed values are memoized, so
+        explaining is cheap after the first look.
+        """
+        state = self._require_state()
+        index = self.candidates.index_of(a_id, b_id)
+        pair = self.candidates[index]
+        rule_traces: List[RuleTrace] = []
+        for rule in state.function.rules:
+            predicate_traces: List[PredicateTrace] = []
+            rule_matched = True
+            for predicate in rule.predicates:
+                cached = state.memo.get(index, predicate.feature.name)
+                if cached is None:
+                    cached = predicate.feature.compute(pair.record_a, pair.record_b)
+                    state.memo.put(index, predicate.feature.name, cached)
+                passed = predicate.evaluate(cached)
+                rule_matched = rule_matched and passed
+                predicate_traces.append(
+                    PredicateTrace(pid=predicate.pid, value=cached, passed=passed)
+                )
+            rule_traces.append(
+                RuleTrace(
+                    rule_name=rule.name,
+                    matched=rule_matched,
+                    predicates=predicate_traces,
+                )
+            )
+        return PairExplanation(
+            pair_id=(a_id, b_id),
+            matched=bool(state.labels[index]),
+            rules=rule_traces,
+        )
+
+    def memory_report(self) -> Dict[str, int]:
+        """§7.4-style byte accounting of the materialized state."""
+        return self._require_state().nbytes()
+
+    def total_incremental_seconds(self) -> float:
+        return sum(result.elapsed_seconds for result in self.history)
+
+    def _require_state(self) -> MatchState:
+        if self.state is None:
+            raise StateError("session not started; call run() first")
+        return self.state
+
+    def __repr__(self) -> str:
+        started = self.state is not None
+        return (
+            f"DebugSession({len(self.candidates)} pairs, "
+            f"{'started' if started else 'not started'}, "
+            f"{len(self.history)} edits applied)"
+        )

@@ -1,0 +1,303 @@
+"""Materialized matching state — what incremental matching remembers.
+
+§6.1 of the paper lists exactly three artifacts to materialize between
+debugging iterations, and :class:`MatchState` stores exactly those:
+
+* **the feature memo** — every similarity value computed so far (lazy, so
+  only what some rule actually needed);
+* **per rule**: a bitmap of the pairs the rule matched;
+* **per predicate**: a bitmap of the pairs on which it evaluated false.
+
+Plus the current match labels.  The bitmaps are *observational*: early
+exit means many (pair, rule/predicate) outcomes are simply never computed,
+so a clear bit means "not observed false/matched", never "observed
+true/unmatched".  Every incremental algorithm in
+:mod:`repro.core.incremental` relies only on set bits, which is what makes
+them sound.
+
+Attribution detail: with inter-rule early exit, a matched pair's bitmap
+bit is set on the *first* true rule only — which is exactly the invariant
+Algorithm 7's fall-through uses (all earlier rules were observed false,
+all later rules unobserved).
+
+``MatchState`` implements the matcher's ``TraceRecorder`` protocol, so the
+initial full run and all incremental re-evaluations feed the same bitmaps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.pairs import CandidateSet
+from ..errors import StateError
+from .matchers import DynamicMemoMatcher, MatchResult
+from .memo import ArrayMemo, FeatureMemo, HashMemo
+from .rules import MatchingFunction
+from .stats import MatchStats
+
+#: Key of a predicate bitmap: (rule name, predicate slot).
+SlotKey = Tuple[str, str]
+
+
+class MatchState:
+    """Matching state for one (function, candidate set) debugging session."""
+
+    def __init__(
+        self,
+        function: MatchingFunction,
+        candidates: CandidateSet,
+        memo: FeatureMemo,
+        check_cache_first: bool = False,
+    ):
+        self.function = function
+        self.candidates = candidates
+        self.memo = memo
+        self.check_cache_first = check_cache_first
+        self.labels = np.zeros(len(candidates), dtype=bool)
+        self._rule_matched: Dict[str, np.ndarray] = {}
+        self._predicate_false: Dict[SlotKey, np.ndarray] = {}
+        # Rule-position attribution per pair (-1 = unmatched).  Maintains
+        # the invariant every "only rules after r" optimization rests on:
+        # all rules strictly before a pair's attributed rule are currently
+        # false for that pair.  See repro.core.incremental's module
+        # docstring for why relax edits must actively preserve this.
+        self.attribution = np.full(len(candidates), -1, dtype=np.int32)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_initial_run(
+        cls,
+        function: MatchingFunction,
+        candidates: CandidateSet,
+        memo_backend: str = "array",
+        memo: Optional[FeatureMemo] = None,
+        check_cache_first: bool = False,
+    ) -> Tuple["MatchState", MatchResult]:
+        """Run DM+EE once, materializing state as a side effect.
+
+        This is the "first iteration is slow" of the paper's Figure 5C —
+        the memo is cold and every bitmap is built from scratch.
+        """
+        if memo is None:
+            names = [feature.name for feature in function.features()]
+            memo = (
+                ArrayMemo(len(candidates), names)
+                if memo_backend == "array"
+                else HashMemo(len(candidates), names)
+            )
+        state = cls(function, candidates, memo, check_cache_first)
+        matcher = DynamicMemoMatcher(
+            memo=memo, check_cache_first=check_cache_first, recorder=state
+        )
+        result = matcher.run(function, candidates)
+        state.labels = result.labels.copy()
+        return state, result
+
+    # ------------------------------------------------------------------
+    # TraceRecorder protocol (fed by matchers and incremental updates)
+    # ------------------------------------------------------------------
+
+    def record_rule_match(self, pair_index: int, rule_name: str) -> None:
+        self._rule_bitmap(rule_name)[pair_index] = True
+        self.attribution[pair_index] = self.function.rule_index(rule_name)
+
+    def record_predicate_false(
+        self, pair_index: int, rule_name: str, slot: str
+    ) -> None:
+        self._slot_bitmap((rule_name, slot))[pair_index] = True
+
+    # ------------------------------------------------------------------
+    # Bitmap access
+    # ------------------------------------------------------------------
+
+    def _rule_bitmap(self, rule_name: str) -> np.ndarray:
+        bitmap = self._rule_matched.get(rule_name)
+        if bitmap is None:
+            bitmap = np.zeros(len(self.candidates), dtype=bool)
+            self._rule_matched[rule_name] = bitmap
+        return bitmap
+
+    def _slot_bitmap(self, key: SlotKey) -> np.ndarray:
+        bitmap = self._predicate_false.get(key)
+        if bitmap is None:
+            bitmap = np.zeros(len(self.candidates), dtype=bool)
+            self._predicate_false[key] = bitmap
+        return bitmap
+
+    def matched_by_rule(self, rule_name: str) -> List[int]:
+        """M(r): indices of pairs attributed to ``rule_name``."""
+        bitmap = self._rule_matched.get(rule_name)
+        if bitmap is None:
+            return []
+        return [int(index) for index in np.flatnonzero(bitmap)]
+
+    def failed_predicate(self, rule_name: str, slot: str) -> List[int]:
+        """U(p): indices of pairs on which the predicate was observed false."""
+        bitmap = self._predicate_false.get((rule_name, slot))
+        if bitmap is None:
+            return []
+        return [int(index) for index in np.flatnonzero(bitmap)]
+
+    def clear_rule_match(self, pair_index: int, rule_name: str) -> None:
+        bitmap = self._rule_matched.get(rule_name)
+        if bitmap is not None:
+            bitmap[pair_index] = False
+        self.attribution[pair_index] = -1
+
+    def clear_predicate_false(
+        self, pair_index: int, rule_name: str, slot: str
+    ) -> None:
+        bitmap = self._predicate_false.get((rule_name, slot))
+        if bitmap is not None:
+            bitmap[pair_index] = False
+
+    def drop_rule(self, rule_name: str, old_index: int) -> None:
+        """Forget all bitmaps of a removed rule and shift attributions.
+
+        ``old_index`` is the rule's position in the *pre-removal* function;
+        attributions above it slide down by one so they keep pointing at
+        the same rules in the post-removal function.
+        """
+        self._rule_matched.pop(rule_name, None)
+        for key in [key for key in self._predicate_false if key[0] == rule_name]:
+            del self._predicate_false[key]
+        above = self.attribution > old_index
+        self.attribution[above] -= 1
+
+    def drop_predicate(self, rule_name: str, slot: str) -> None:
+        """Forget a removed predicate's bitmap."""
+        self._predicate_false.pop((rule_name, slot), None)
+
+    def reset_predicate_false(self, rule_name: str, slot: str) -> None:
+        """Zero a predicate's bitmap (used when a relax makes it stale)."""
+        bitmap = self._predicate_false.get((rule_name, slot))
+        if bitmap is not None:
+            bitmap[:] = False
+
+    # ------------------------------------------------------------------
+    # Introspection / accounting
+    # ------------------------------------------------------------------
+
+    def matched_indices(self) -> List[int]:
+        return [int(index) for index in np.flatnonzero(self.labels)]
+
+    def unmatched_indices(self) -> List[int]:
+        return [int(index) for index in np.flatnonzero(~self.labels)]
+
+    def match_count(self) -> int:
+        return int(self.labels.sum())
+
+    def bitmap_count(self) -> Tuple[int, int]:
+        """(rule bitmaps, predicate bitmaps) currently allocated."""
+        return len(self._rule_matched), len(self._predicate_false)
+
+    def nbytes(self) -> Dict[str, int]:
+        """Memory accounting for the §7.4 experiment, by component."""
+        rule_bytes = sum(bitmap.nbytes for bitmap in self._rule_matched.values())
+        predicate_bytes = sum(
+            bitmap.nbytes for bitmap in self._predicate_false.values()
+        )
+        return {
+            "memo": self.memo.nbytes(),
+            "rule_bitmaps": rule_bytes,
+            "predicate_bitmaps": predicate_bytes,
+            "labels": int(self.labels.nbytes),
+            "total": self.memo.nbytes()
+            + rule_bytes
+            + predicate_bytes
+            + int(self.labels.nbytes),
+        }
+
+    def check_soundness(self) -> None:
+        """Exhaustively verify every materialized fact (test/debug aid).
+
+        Recomputes features from scratch and checks that (a) every set
+        rule-bitmap bit marks a pair the rule is truly true for, (b) every
+        set predicate-false bit marks a truly false predicate, (c) every
+        matched pair's attributed rule is true and all earlier rules are
+        false, and (d) labels agree with the attribution array.  O(|C| ·
+        |rules| · |predicates|) — never call this outside tests.
+        """
+        scores_cache: Dict[int, Dict[str, float]] = {}
+
+        def score(pair_index: int, feature) -> float:
+            pair_scores = scores_cache.setdefault(pair_index, {})
+            value = pair_scores.get(feature.name)
+            if value is None:
+                pair = self.candidates[pair_index]
+                value = feature.compute(pair.record_a, pair.record_b)
+                pair_scores[feature.name] = value
+            return value
+
+        def rule_is_true(pair_index: int, rule) -> bool:
+            return all(
+                predicate.evaluate(score(pair_index, predicate.feature))
+                for predicate in rule.predicates
+            )
+
+        for rule_name, bitmap in self._rule_matched.items():
+            rule = self.function.rule(rule_name)
+            for pair_index in np.flatnonzero(bitmap):
+                if not rule_is_true(int(pair_index), rule):
+                    raise StateError(
+                        f"unsound rule bitmap: {rule_name} marked true for "
+                        f"pair {pair_index} but evaluates false"
+                    )
+        for (rule_name, slot), bitmap in self._predicate_false.items():
+            if rule_name not in self.function:
+                raise StateError(f"stale predicate bitmap for removed rule {rule_name!r}")
+            predicate = self.function.rule(rule_name).predicate_by_slot(slot)
+            for pair_index in np.flatnonzero(bitmap):
+                if predicate.evaluate(score(int(pair_index), predicate.feature)):
+                    raise StateError(
+                        f"unsound predicate bitmap: {rule_name}:{slot} marked "
+                        f"false for pair {pair_index} but evaluates true"
+                    )
+        for pair_index in range(len(self.candidates)):
+            attributed = int(self.attribution[pair_index])
+            if (attributed >= 0) != bool(self.labels[pair_index]):
+                raise StateError(
+                    f"label/attribution disagreement on pair {pair_index}"
+                )
+            if attributed < 0:
+                continue
+            if not rule_is_true(pair_index, self.function.rules[attributed]):
+                raise StateError(
+                    f"pair {pair_index} attributed to false rule "
+                    f"{self.function.rules[attributed].name}"
+                )
+            for earlier in range(attributed):
+                if rule_is_true(pair_index, self.function.rules[earlier]):
+                    raise StateError(
+                        f"attribution invariant broken: pair {pair_index} "
+                        f"attributed to rule #{attributed} but rule "
+                        f"#{earlier} is true"
+                    )
+
+    def validate_against(self, reference_labels: np.ndarray) -> None:
+        """Raise StateError unless labels equal a from-scratch run's.
+
+        Used by tests and (optionally) by paranoid sessions after a burst
+        of incremental edits.
+        """
+        if len(reference_labels) != len(self.labels):
+            raise StateError("reference labels have wrong length")
+        disagreements = np.flatnonzero(self.labels != reference_labels)
+        if len(disagreements):
+            raise StateError(
+                f"incremental state diverged from scratch run on "
+                f"{len(disagreements)} pairs (first: {disagreements[:5].tolist()})"
+            )
+
+    def __repr__(self) -> str:
+        rules, predicates = self.bitmap_count()
+        return (
+            f"MatchState({self.match_count()}/{len(self.candidates)} matched, "
+            f"{rules} rule bitmaps, {predicates} predicate bitmaps, "
+            f"memo={len(self.memo)} entries)"
+        )

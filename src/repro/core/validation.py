@@ -1,0 +1,205 @@
+"""Rule-set linting — catch analyst mistakes before a matching run.
+
+The debugging loop's worst time sink is a *silently wrong* rule: a
+conjunction that can never fire, a threshold outside the measure's range,
+a rule that duplicates another.  These produce no errors — just a rule
+that quietly contributes nothing (or everything).  :func:`lint_function`
+runs a battery of static checks and returns structured findings the
+session/workbench can surface.
+
+Checks
+------
+* ``unsatisfiable``  — a feature's lower bound exceeds its upper bound
+  (``f >= 0.8 AND f <= 0.5``), or a bound lies outside ``[0, 1]`` in the
+  impossible direction (``f > 1``, ``f < 0``) for a score-valued feature.
+* ``vacuous-predicate`` — a predicate that can never fail
+  (``f >= 0``, ``f <= 1``): dead weight that still costs a fetch.
+* ``duplicate-rule`` — two rules with identical predicate sets.
+* ``subsumed-rule`` — a rule provably implied by another
+  (via :func:`repro.learning.simplify.rule_subsumes`).
+* ``constant-on-sample`` — with estimates: a predicate that is true (or
+  false) for *every* sampled pair; likely a no-op (or a rule killer) on
+  the full data too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .cost_model import Estimates
+from .rules import MatchingFunction, Predicate, Rule
+
+#: severity levels, mildest first.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    check: str
+    severity: str
+    rule_name: str
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.severity}] {self.rule_name}: {self.message} ({self.check})"
+
+
+def _score_valued(predicate: Predicate) -> bool:
+    """Similarity scores live in [0, 1]; all built-in measures qualify."""
+    return True
+
+
+def _lint_rule_bounds(rule: Rule) -> List[Finding]:
+    findings: List[Finding] = []
+    lower: Dict[str, Predicate] = {}
+    upper: Dict[str, Predicate] = {}
+    for predicate in rule.predicates:
+        if predicate.op in (">=", ">"):
+            lower[predicate.feature.name] = predicate
+        elif predicate.op in ("<=", "<"):
+            upper[predicate.feature.name] = predicate
+
+    for name, low in lower.items():
+        high = upper.get(name)
+        if high is not None:
+            impossible = (
+                low.threshold > high.threshold
+                or (
+                    low.threshold == high.threshold
+                    and (low.op == ">" or high.op == "<")
+                )
+            )
+            if impossible:
+                findings.append(
+                    Finding(
+                        "unsatisfiable",
+                        "error",
+                        rule.name,
+                        f"{low.pid} contradicts {high.pid}; the rule can "
+                        f"never fire",
+                    )
+                )
+    for predicate in rule.predicates:
+        if not _score_valued(predicate):
+            continue
+        if (predicate.op == ">" and predicate.threshold >= 1.0) or (
+            predicate.op == ">=" and predicate.threshold > 1.0
+        ):
+            findings.append(
+                Finding(
+                    "unsatisfiable",
+                    "error",
+                    rule.name,
+                    f"{predicate.pid} can never hold for a [0,1]-valued "
+                    f"similarity",
+                )
+            )
+        if (predicate.op == "<" and predicate.threshold <= 0.0) or (
+            predicate.op == "<=" and predicate.threshold < 0.0
+        ):
+            findings.append(
+                Finding(
+                    "unsatisfiable",
+                    "error",
+                    rule.name,
+                    f"{predicate.pid} can never hold for a [0,1]-valued "
+                    f"similarity",
+                )
+            )
+        if (predicate.op == ">=" and predicate.threshold <= 0.0) or (
+            predicate.op == "<=" and predicate.threshold >= 1.0
+        ):
+            findings.append(
+                Finding(
+                    "vacuous-predicate",
+                    "warning",
+                    rule.name,
+                    f"{predicate.pid} can never fail; it only costs a fetch",
+                )
+            )
+    return findings
+
+
+def lint_function(
+    function: MatchingFunction, estimates: Optional[Estimates] = None
+) -> List[Finding]:
+    """Run every check; findings sorted by severity (errors first)."""
+    from ..learning.simplify import rule_subsumes
+
+    findings: List[Finding] = []
+    for rule in function.rules:
+        findings.extend(_lint_rule_bounds(rule))
+
+    bodies: Dict[frozenset, str] = {}
+    for rule in function.rules:
+        body = frozenset(predicate.pid for predicate in rule.predicates)
+        earlier = bodies.get(body)
+        if earlier is not None:
+            findings.append(
+                Finding(
+                    "duplicate-rule",
+                    "warning",
+                    rule.name,
+                    f"identical to rule {earlier!r}",
+                )
+            )
+        else:
+            bodies[body] = rule.name
+
+    reported_duplicates = {
+        finding.rule_name for finding in findings if finding.check == "duplicate-rule"
+    }
+    for specific in function.rules:
+        if specific.name in reported_duplicates:
+            continue
+        for general in function.rules:
+            if general.name == specific.name:
+                continue
+            if rule_subsumes(general, specific) and not rule_subsumes(
+                specific, general
+            ):
+                findings.append(
+                    Finding(
+                        "subsumed-rule",
+                        "info",
+                        specific.name,
+                        f"implied by the looser rule {general.name!r}; "
+                        f"removing it cannot change any result",
+                    )
+                )
+                break
+
+    if estimates is not None:
+        for rule in function.rules:
+            for predicate in rule.predicates:
+                if not estimates.has_feature(predicate.feature):
+                    continue
+                selectivity = estimates.selectivity(predicate)
+                if selectivity == 0.0:
+                    findings.append(
+                        Finding(
+                            "constant-on-sample",
+                            "warning",
+                            rule.name,
+                            f"{predicate.pid} rejected every sampled pair; "
+                            f"this rule may never fire",
+                        )
+                    )
+                elif selectivity == 1.0:
+                    findings.append(
+                        Finding(
+                            "constant-on-sample",
+                            "info",
+                            rule.name,
+                            f"{predicate.pid} passed every sampled pair; "
+                            f"it may filter nothing",
+                        )
+                    )
+    severity_rank = {severity: index for index, severity in enumerate(SEVERITIES)}
+    findings.sort(
+        key=lambda finding: (-severity_rank[finding.severity], finding.rule_name)
+    )
+    return findings

@@ -1,0 +1,25 @@
+"""Data substrate: tables, candidate pairs, CSV IO, and the six synthetic datasets."""
+
+from .csv_io import load_gold, load_pairs, load_table, save_pairs, save_table
+from .datasets import GENERATORS, dataset_names, load_dataset
+from .generators.base import Dataset, DomainGenerator
+from .pairs import CandidatePair, CandidateSet, PairId
+from .table import Record, Table
+
+__all__ = [
+    "Record",
+    "Table",
+    "CandidatePair",
+    "CandidateSet",
+    "PairId",
+    "Dataset",
+    "DomainGenerator",
+    "GENERATORS",
+    "dataset_names",
+    "load_dataset",
+    "load_table",
+    "save_table",
+    "load_pairs",
+    "save_pairs",
+    "load_gold",
+]

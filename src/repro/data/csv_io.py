@@ -1,0 +1,103 @@
+"""CSV persistence for tables, candidate sets, and gold labels.
+
+The interactive debugging workflow is long-lived: analysts snapshot a
+dataset once and iterate on rules for hours.  These helpers let examples
+and benchmarks persist generated datasets so repeated runs skip the
+generation step, and let users bring their own data.
+
+File formats
+------------
+* **Tables** — plain CSV with a header; the id column is configurable
+  (default ``"id"``).  Empty cells load as ``None``.
+* **Pairs / gold** — two-column CSV ``a_id,b_id`` with a header.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence, Set, Tuple
+
+from ..errors import SchemaError
+from .table import Record, Table
+
+
+def save_table(table: Table, path: str | Path, id_column: str = "id") -> None:
+    """Write ``table`` to CSV with the record id in ``id_column``."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([id_column, *table.attributes])
+        for record in table:
+            row = [record.record_id]
+            for attribute in table.attributes:
+                value = record.get(attribute)
+                row.append("" if value is None else str(value))
+            writer.writerow(row)
+
+
+def load_table(path: str | Path, name: str | None = None, id_column: str = "id") -> Table:
+    """Load a table from CSV; empty cells become ``None``."""
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty; expected a CSV header") from None
+        if id_column not in header:
+            raise SchemaError(
+                f"{path} has no {id_column!r} column (header: {header})"
+            )
+        id_index = header.index(id_column)
+        attributes = [column for column in header if column != id_column]
+        table = Table(name or path.stem, attributes)
+        for row_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"{path}:{row_number}: expected {len(header)} cells, got {len(row)}"
+                )
+            values = {}
+            for position, column in enumerate(header):
+                if position == id_index:
+                    continue
+                values[column] = row[position] if row[position] != "" else None
+            table.add(Record(row[id_index], values))
+    return table
+
+
+def save_pairs(pairs: Sequence[Tuple[str, str]], path: str | Path) -> None:
+    """Write id pairs (candidate set or gold labels) to a two-column CSV."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["a_id", "b_id"])
+        for a_id, b_id in pairs:
+            writer.writerow([a_id, b_id])
+
+
+def load_pairs(path: str | Path) -> List[Tuple[str, str]]:
+    """Load id pairs from a two-column CSV written by :func:`save_pairs`."""
+    path = Path(path)
+    result: List[Tuple[str, str]] = []
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise SchemaError(f"{path} is empty; expected a CSV header")
+        for row_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 2:
+                raise SchemaError(
+                    f"{path}:{row_number}: expected 2 cells, got {len(row)}"
+                )
+            result.append((row[0], row[1]))
+    return result
+
+
+def load_gold(path: str | Path) -> Set[Tuple[str, str]]:
+    """Load gold labels as a set (order-free membership checks)."""
+    return set(load_pairs(path))

@@ -1,0 +1,24 @@
+"""Synthetic dataset generators — twins of the paper's six crawled datasets."""
+
+from .base import Dataset, DomainGenerator
+from .books import BooksGenerator
+from .breakfast import BreakfastGenerator
+from .movies import MoviesGenerator
+from .people import PeopleGenerator
+from .products import ProductsGenerator
+from .restaurants import RestaurantsGenerator
+from .text import Perturber
+from .videogames import VideoGamesGenerator
+
+__all__ = [
+    "Dataset",
+    "DomainGenerator",
+    "Perturber",
+    "ProductsGenerator",
+    "PeopleGenerator",
+    "RestaurantsGenerator",
+    "BooksGenerator",
+    "BreakfastGenerator",
+    "MoviesGenerator",
+    "VideoGamesGenerator",
+]

@@ -1,0 +1,201 @@
+"""Generator framework producing two-source datasets with gold labels.
+
+Every domain generator follows the same recipe, factored into
+:class:`DomainGenerator`:
+
+1. Synthesize ``shared`` canonical *entities* (the real-world objects).
+2. Render each shared entity through two source-specific *views* — table A
+   gets one rendering, table B another, each with independent noise
+   (typos, abbreviation, token drops, format drift, missing values).
+   These cross-source pairs are the gold matches.
+3. Add ``a_only`` / ``b_only`` entities that exist in just one source.
+4. For a fraction of shared entities, add a *distractor* to table B: a
+   sibling product (same brand/line, different model) whose strings are
+   similar but which must NOT match.  Distractors are what make blocking
+   output realistic near-miss candidates — without them every candidate
+   pair would be either a trivial match or trivially unrelated, and
+   predicate selectivities would collapse to 0/1.
+
+Sizes are parameters, so benchmarks can sweep them; defaults are scaled
+(~1/8 of the paper's Table 2) to keep pure-Python runs interactive.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..pairs import PairId
+from ..table import Record, Table
+from .text import Perturber
+
+
+@dataclass
+class Dataset:
+    """A two-source matching task: tables A and B plus gold match labels.
+
+    ``attribute_types`` classifies each schema attribute for the feature
+    space builder (:mod:`repro.learning.feature_space`):
+
+    * ``"short"``  — identifier-like (model numbers, phone, isbn, zip);
+      gets the cheap character measures.
+    * ``"text"``   — titles/names/addresses; gets token + corpus measures.
+    * ``"numeric"``— prices, years, counts; gets numeric measures.
+    * ``"category"`` — small closed vocabulary; exact measures only.
+    """
+
+    name: str
+    table_a: Table
+    table_b: Table
+    gold: Set[PairId]
+    attribute_types: Dict[str, str]
+    description: str = ""
+
+    def gold_for(self, a_id: str) -> List[str]:
+        """All B-side ids gold-matched to ``a_id``."""
+        return [b for (a, b) in self.gold if a == a_id]
+
+    def summary(self) -> str:
+        """One-line Table 2-style description."""
+        return (
+            f"{self.name}: |A|={len(self.table_a)} |B|={len(self.table_b)} "
+            f"gold={len(self.gold)}"
+        )
+
+
+class DomainGenerator(ABC):
+    """Base class for the six per-domain synthetic dataset generators."""
+
+    #: dataset name, e.g. ``"products"``.
+    name: str = "generic"
+    #: human-readable source names mirroring the paper's Table 2.
+    source_a: str = "source1"
+    source_b: str = "source2"
+    description: str = ""
+
+    #: schema shared by both tables.
+    attributes: Tuple[str, ...] = ()
+    #: attribute -> type tag (see :class:`Dataset`).
+    attribute_types: Dict[str, str] = {}
+
+    # Default sizes; subclasses override to echo Table 2 proportions.
+    default_shared: int = 250
+    default_a_only: int = 50
+    default_b_only: int = 600
+    default_distractor_rate: float = 0.4
+    default_duplicate_rate: float = 0.05
+
+    def generate(
+        self,
+        shared: Optional[int] = None,
+        a_only: Optional[int] = None,
+        b_only: Optional[int] = None,
+        distractor_rate: Optional[float] = None,
+        duplicate_rate: Optional[float] = None,
+        seed: int = 7,
+    ) -> Dataset:
+        """Produce a :class:`Dataset` deterministically from ``seed``.
+
+        ``shared`` entities appear in both tables (the gold matches);
+        ``a_only``/``b_only`` appear in one table; ``distractor_rate`` of
+        shared entities additionally spawn a near-miss sibling in B; and
+        ``duplicate_rate`` of shared entities are listed *twice* in B
+        (marketplace duplicates), both listings gold-matching the same A
+        record.
+        """
+        shared = self.default_shared if shared is None else shared
+        a_only = self.default_a_only if a_only is None else a_only
+        b_only = self.default_b_only if b_only is None else b_only
+        distractor_rate = (
+            self.default_distractor_rate if distractor_rate is None else distractor_rate
+        )
+        duplicate_rate = (
+            self.default_duplicate_rate if duplicate_rate is None else duplicate_rate
+        )
+        if min(shared, a_only, b_only) < 0:
+            raise ValueError("entity counts must be non-negative")
+
+        rng = random.Random(seed)
+        perturber = Perturber(rng)
+        table_a = Table(self.source_a, self.attributes)
+        table_b = Table(self.source_b, self.attributes)
+        gold: Set[PairId] = set()
+
+        next_entity = 0
+
+        def fresh_entity() -> Dict[str, object]:
+            nonlocal next_entity
+            entity = self.make_entity(rng, perturber, next_entity)
+            next_entity += 1
+            return entity
+
+        b_counter = 0
+
+        def add_b(entity: Dict[str, object]) -> str:
+            nonlocal b_counter
+            b_id = f"b{b_counter}"
+            b_counter += 1
+            table_b.add(Record(b_id, self.view_b(entity, perturber)))
+            return b_id
+
+        for a_counter in range(shared):
+            entity = fresh_entity()
+            a_id = f"a{a_counter}"
+            table_a.add(Record(a_id, self.view_a(entity, perturber)))
+            b_id = add_b(entity)
+            gold.add((a_id, b_id))
+            if rng.random() < duplicate_rate:
+                gold.add((a_id, add_b(entity)))
+            if rng.random() < distractor_rate:
+                add_b(self.make_distractor(entity, rng, perturber))
+
+        for offset in range(a_only):
+            entity = fresh_entity()
+            table_a.add(Record(f"a{shared + offset}", self.view_a(entity, perturber)))
+
+        for _ in range(b_only):
+            add_b(fresh_entity())
+
+        return Dataset(
+            name=self.name,
+            table_a=table_a,
+            table_b=table_b,
+            gold=gold,
+            attribute_types=dict(self.attribute_types),
+            description=self.description,
+        )
+
+    # ------------------------------------------------------------------
+    # Domain hooks
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def make_entity(
+        self, rng: random.Random, perturber: Perturber, index: int
+    ) -> Dict[str, object]:
+        """Synthesize the canonical attribute values of one entity."""
+
+    @abstractmethod
+    def view_a(self, entity: Dict[str, object], perturber: Perturber) -> Dict[str, object]:
+        """Render the entity as a source-A record (noisy)."""
+
+    @abstractmethod
+    def view_b(self, entity: Dict[str, object], perturber: Perturber) -> Dict[str, object]:
+        """Render the entity as a source-B record (independently noisy)."""
+
+    def make_distractor(
+        self, entity: Dict[str, object], rng: random.Random, perturber: Perturber
+    ) -> Dict[str, object]:
+        """A near-miss sibling of ``entity`` (same family, different item).
+
+        The default implementation perturbs the entity heavily; domains
+        override to change model numbers / volumes / years in a targeted
+        way.
+        """
+        sibling = dict(entity)
+        for key, value in sibling.items():
+            if isinstance(value, str):
+                sibling[key] = perturber.typos(value, 3)
+        return sibling

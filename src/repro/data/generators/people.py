@@ -1,0 +1,112 @@
+"""People — the paper's *introduction* domain, as a seventh dataset.
+
+Not one of the six evaluation datasets: the paper's running example
+(its Figure 2, and the (Matthew Richardson, 206-453-1978) pair of the
+first paragraph) is person records with name/phone/zip/street.  This
+generator makes that example executable at scale, so the B1 → B2 rule
+evolution of the introduction can be demonstrated on data with the same
+shape: phones as a format-drifting near-key, names with nicknames and
+typos, street addresses with abbreviation noise.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from .base import DomainGenerator
+from .text import Perturber
+from . import vocab
+
+#: Common nickname pairs — the name noise that defeats exact matching.
+NICKNAMES: Dict[str, str] = {
+    "james": "jim", "robert": "bob", "william": "bill", "richard": "dick",
+    "michael": "mike", "elizabeth": "liz", "jennifer": "jen",
+    "patricia": "pat", "thomas": "tom", "joseph": "joe", "david": "dave",
+    "susan": "sue", "barbara": "barb", "jessica": "jess",
+}
+
+
+class PeopleGenerator(DomainGenerator):
+    """Synthetic person records, two directory-style sources."""
+
+    name = "people"
+    source_a = "directory1"
+    source_b = "directory2"
+    description = "Person records (the paper's Figure 2 introduction domain)"
+
+    attributes = ("name", "phone", "zip", "street")
+    attribute_types = {
+        "name": "text",
+        "phone": "short",
+        "zip": "short",
+        "street": "text",
+    }
+
+    default_shared = 250
+    default_a_only = 50
+    default_b_only = 400
+    default_distractor_rate = 0.3
+
+    def make_entity(
+        self, rng: random.Random, perturber: Perturber, index: int
+    ) -> Dict[str, object]:
+        first = perturber.pick(vocab.FIRST_NAMES)
+        last = perturber.pick(vocab.LAST_NAMES)
+        number = rng.randrange(10, 9900)
+        street = perturber.pick(vocab.STREET_NAMES)
+        street_type = perturber.pick(vocab.STREET_TYPES)
+        return {
+            "first": first,
+            "last": last,
+            "phone": perturber.phone_digits(),
+            "zip": f"{rng.randrange(10000, 99999)}",
+            "street": f"{number} {street} {street_type}",
+        }
+
+    def view_a(self, entity: Dict[str, object], perturber: Perturber) -> Dict[str, object]:
+        name = f"{entity['first']} {entity['last']}"
+        name = perturber.maybe_typo(name, 0.10)
+        return {
+            "name": name,
+            "phone": perturber.reformat_phone(str(entity["phone"])),
+            "zip": str(entity["zip"]),
+            "street": perturber.abbreviate(str(entity["street"]), 0.4),
+        }
+
+    def view_b(self, entity: Dict[str, object], perturber: Perturber) -> Dict[str, object]:
+        first = str(entity["first"])
+        # Directory 2 uses nicknames and middle initials.
+        if first in NICKNAMES and perturber.rng.random() < 0.5:
+            first = NICKNAMES[first]
+        name = f"{first} {entity['last']}"
+        if perturber.rng.random() < 0.25:
+            middle = perturber.pick("abcdefghjklmnprstw")
+            name = f"{first} {middle}. {entity['last']}"
+        name = perturber.maybe_typo(name, 0.15)
+        name = perturber.case_noise(name, 0.3)
+        # Phones sometimes listed without area code — the paper's
+        # "(206-453-1978)" vs "(453 1978)" example.
+        phone = str(entity["phone"])
+        if perturber.rng.random() < 0.2:
+            phone = phone[3:]
+        else:
+            phone = perturber.reformat_phone(phone)
+        return {
+            "name": name,
+            "phone": phone,
+            "zip": perturber.maybe_missing(str(entity["zip"]), 0.10),
+            "street": perturber.maybe_typo(
+                perturber.abbreviate(str(entity["street"]), 0.2), 0.15
+            ),
+        }
+
+    def make_distractor(
+        self, entity: Dict[str, object], rng: random.Random, perturber: Perturber
+    ) -> Dict[str, object]:
+        # A relative at the same address: same last name and street,
+        # different first name and phone — the classic household trap.
+        sibling = dict(entity)
+        sibling["first"] = perturber.pick(vocab.FIRST_NAMES)
+        sibling["phone"] = perturber.phone_digits()
+        return sibling

@@ -1,0 +1,120 @@
+"""Products (electronics) — the paper's primary Walmart/Amazon dataset.
+
+This is the workload every figure in the paper is drawn from: |A| = 2,554
+Walmart items, |B| = 22,074 Amazon items, 291,649 candidate pairs, 255
+rules over 33 features on ``title`` and ``modelno``.  Our synthetic twin
+keeps the same schema emphasis — a verbose, noisy ``title`` and a terse,
+discriminative ``modelno`` — because the paper's sample rules (its Figure
+4) live entirely on those two attributes, mixing cheap model-number
+measures with expensive title measures.
+
+Source-style asymmetries baked in:
+
+* Walmart-style view (A): clean title casing, model number usually intact,
+  price without decoration.
+* Amazon-style view (B): marketing suffixes appended to titles, more
+  abbreviation and token noise, model numbers reformatted (separators
+  dropped/changed) and occasionally missing, price jittered a few percent.
+
+Distractors are same-brand siblings with a different model number and one
+changed spec token — the near-misses that force rules to rely on more than
+brand/title overlap.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from .base import DomainGenerator
+from .text import Perturber
+from . import vocab
+
+
+class ProductsGenerator(DomainGenerator):
+    """Synthetic twin of the Walmart/Amazon electronics dataset."""
+
+    name = "products"
+    source_a = "walmart"
+    source_b = "amazon"
+    description = "Electronics products, Walmart vs Amazon (paper's primary dataset)"
+
+    attributes = ("title", "modelno", "brand", "price", "category")
+    attribute_types = {
+        "title": "text",
+        "modelno": "short",
+        "brand": "category",
+        "price": "numeric",
+        "category": "category",
+    }
+
+    default_shared = 280
+    default_a_only = 40
+    default_b_only = 2200
+    default_distractor_rate = 0.5
+
+    def make_entity(
+        self, rng: random.Random, perturber: Perturber, index: int
+    ) -> Dict[str, object]:
+        brand = perturber.pick(vocab.ELECTRONICS_BRANDS)
+        noun = perturber.pick(vocab.ELECTRONICS_NOUNS)
+        adjective = perturber.pick(vocab.ADJECTIVES)
+        spec = perturber.pick(vocab.ELECTRONICS_SPECS)
+        color = perturber.pick(vocab.COLORS)
+        modelno = perturber.model_number(vocab.MODEL_PREFIXES)
+        title = f"{brand} {adjective} {noun} {spec} {color}"
+        price = round(rng.uniform(9.0, 900.0), 2)
+        return {
+            "title": title,
+            "modelno": modelno,
+            "brand": brand,
+            "price": price,
+            "category": noun,
+        }
+
+    def view_a(self, entity: Dict[str, object], perturber: Perturber) -> Dict[str, object]:
+        title = str(entity["title"])
+        title = perturber.maybe_typo(title, 0.15)
+        title = perturber.abbreviate(title, 0.10)
+        modelno = perturber.maybe_typo(str(entity["modelno"]), 0.05)
+        return {
+            "title": title,
+            "modelno": modelno,
+            "brand": entity["brand"],
+            "price": f"{entity['price']:.2f}",
+            "category": entity["category"],
+        }
+
+    def view_b(self, entity: Dict[str, object], perturber: Perturber) -> Dict[str, object]:
+        title = str(entity["title"]) + f" {entity['modelno']}"
+        title = perturber.append_noise_tokens(title, vocab.MARKETING, 0.45)
+        title = perturber.drop_tokens(title, 0.08)
+        title = perturber.shuffle_tokens(title, 0.25)
+        title = perturber.abbreviate(title, 0.30)
+        title = perturber.maybe_typo(title, 0.25)
+        title = perturber.case_noise(title, 0.3)
+        modelno = str(entity["modelno"]).replace("-", perturber.pick(["", "-", " "]))
+        modelno = perturber.maybe_typo(modelno, 0.08)
+        price = perturber.jitter_number(float(entity["price"]), relative=0.04)
+        return {
+            "title": title,
+            "modelno": perturber.maybe_missing(modelno, 0.12),
+            "brand": perturber.maybe_missing(str(entity["brand"]), 0.05),
+            "price": f"{max(0.99, price):.2f}",
+            "category": entity["category"],
+        }
+
+    def make_distractor(
+        self, entity: Dict[str, object], rng: random.Random, perturber: Perturber
+    ) -> Dict[str, object]:
+        sibling = dict(entity)
+        # Same brand and product line, different unit: new model number,
+        # one spec swapped, price moved meaningfully.
+        sibling["modelno"] = perturber.model_number(vocab.MODEL_PREFIXES)
+        tokens = str(entity["title"]).split()
+        tokens[-1] = perturber.pick(vocab.COLORS)
+        if len(tokens) > 3:
+            tokens[-2] = perturber.pick(vocab.ELECTRONICS_SPECS)
+        sibling["title"] = " ".join(tokens)
+        sibling["price"] = round(float(entity["price"]) * rng.uniform(0.6, 1.6), 2)
+        return sibling

@@ -1,0 +1,107 @@
+"""Restaurants — synthetic twin of the paper's Yelp/Foursquare dataset.
+
+Restaurants are the classic EM benchmark domain (Fodors/Zagat lineage):
+the discriminative attributes are ``phone`` (a near-key marred by format
+drift) and ``name`` + ``address`` (noisy text).  The paper's introduction
+example — matching on name similarity OR phone equality AND name
+similarity — is exactly this shape, so the example applications use this
+dataset to recreate it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from .base import DomainGenerator
+from .text import Perturber
+from . import vocab
+
+
+class RestaurantsGenerator(DomainGenerator):
+    """Synthetic twin of the Yelp/Foursquare restaurants dataset."""
+
+    name = "restaurants"
+    source_a = "yelp"
+    source_b = "foursquare"
+    description = "Restaurants, Yelp vs Foursquare"
+
+    attributes = ("name", "address", "city", "phone", "cuisine", "zipcode")
+    attribute_types = {
+        "name": "text",
+        "address": "text",
+        "city": "category",
+        "phone": "short",
+        "cuisine": "category",
+        "zipcode": "short",
+    }
+
+    default_shared = 300
+    default_a_only = 30
+    default_b_only = 2200
+    default_distractor_rate = 0.35
+
+    def make_entity(
+        self, rng: random.Random, perturber: Perturber, index: int
+    ) -> Dict[str, object]:
+        head = perturber.pick(vocab.RESTAURANT_HEADS)
+        tail = perturber.pick(vocab.RESTAURANT_TAILS)
+        name = f"{head} {tail}"
+        number = rng.randrange(10, 9900)
+        street = perturber.pick(vocab.STREET_NAMES)
+        street_type = perturber.pick(vocab.STREET_TYPES)
+        return {
+            "name": name,
+            "address": f"{number} {street} {street_type}",
+            "city": perturber.pick(vocab.CITIES),
+            "phone": perturber.phone_digits(),
+            "cuisine": perturber.pick(vocab.CUISINES),
+            "zipcode": f"{rng.randrange(10000, 99999)}",
+        }
+
+    def view_a(self, entity: Dict[str, object], perturber: Perturber) -> Dict[str, object]:
+        name = perturber.maybe_typo(str(entity["name"]), 0.12)
+        address = perturber.abbreviate(str(entity["address"]), 0.5)
+        return {
+            "name": name,
+            "address": address,
+            "city": entity["city"],
+            "phone": perturber.reformat_phone(str(entity["phone"])),
+            "cuisine": entity["cuisine"],
+            "zipcode": entity["zipcode"],
+        }
+
+    def view_b(self, entity: Dict[str, object], perturber: Perturber) -> Dict[str, object]:
+        # Foursquare-style: "restaurant"-type suffixes, heavier typo rate,
+        # different phone format, cuisine sometimes missing.
+        name = str(entity["name"])
+        name = perturber.append_noise_tokens(
+            name, ["restaurant", str(entity["cuisine"]), "bar & grill"], 0.35
+        )
+        name = perturber.maybe_typo(name, 0.22)
+        name = perturber.case_noise(name, 0.3)
+        address = perturber.abbreviate(str(entity["address"]), 0.3)
+        address = perturber.maybe_typo(address, 0.15)
+        return {
+            "name": name,
+            "address": address,
+            "city": entity["city"],
+            "phone": perturber.reformat_phone(str(entity["phone"])),
+            "cuisine": perturber.maybe_missing(str(entity["cuisine"]), 0.20),
+            "zipcode": perturber.maybe_missing(str(entity["zipcode"]), 0.10),
+        }
+
+    def make_distractor(
+        self, entity: Dict[str, object], rng: random.Random, perturber: Perturber
+    ) -> Dict[str, object]:
+        # Another branch of the "same" restaurant: same name, different
+        # address/phone — the classic franchise trap for name-only rules.
+        sibling = dict(entity)
+        number = rng.randrange(10, 9900)
+        street = perturber.pick(vocab.STREET_NAMES)
+        street_type = perturber.pick(vocab.STREET_TYPES)
+        sibling["address"] = f"{number} {street} {street_type}"
+        sibling["phone"] = perturber.phone_digits()
+        sibling["zipcode"] = f"{rng.randrange(10000, 99999)}"
+        sibling["city"] = perturber.pick(vocab.CITIES)
+        return sibling

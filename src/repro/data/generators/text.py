@@ -1,0 +1,207 @@
+"""Text perturbation engine for the synthetic dataset generators.
+
+The paper evaluates on six crawled datasets we cannot redistribute.  What
+its algorithms actually depend on is the *shape* of the string noise between
+two sources describing the same entity: typos, dropped/reordered tokens,
+abbreviations, format drift, and missing values.  :class:`Perturber`
+produces exactly that noise, deterministically from a seeded RNG, so the
+synthetic twins exercise the same similarity-score distributions (and hence
+predicate selectivities) the real data would.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Callable, Dict, List, Optional, Sequence
+
+_KEYBOARD_NEIGHBORS: Dict[str, str] = {
+    "q": "wa", "w": "qes", "e": "wrd", "r": "etf", "t": "ryg", "y": "tuh",
+    "u": "yij", "i": "uok", "o": "ipl", "p": "ol",
+    "a": "qsz", "s": "awdx", "d": "sefc", "f": "drgv", "g": "fthb",
+    "h": "gyjn", "j": "hukm", "k": "jil", "l": "kop",
+    "z": "asx", "x": "zsdc", "c": "xdfv", "v": "cfgb", "b": "vghn",
+    "n": "bhjm", "m": "njk",
+}
+
+#: Common retail-title abbreviations, applied token-wise in both directions.
+ABBREVIATIONS: Dict[str, str] = {
+    "black": "blk", "white": "wht", "silver": "slv", "inch": "in",
+    "gigabyte": "gb", "terabyte": "tb", "megapixel": "mp", "wireless": "wl",
+    "bluetooth": "bt", "edition": "ed", "generation": "gen",
+    "professional": "pro", "ultimate": "ult", "standard": "std",
+    "deluxe": "dlx", "limited": "ltd", "collection": "coll",
+    "volume": "vol", "street": "st", "avenue": "ave", "boulevard": "blvd",
+    "restaurant": "rest", "original": "orig", "chocolate": "choc",
+    "organic": "org", "ounce": "oz", "pound": "lb", "count": "ct",
+    "package": "pkg", "assorted": "asst",
+}
+
+
+class Perturber:
+    """Deterministic string/record noise generator.
+
+    All randomness flows through the injected ``random.Random`` so that a
+    generator seeded once reproduces its dataset byte-for-byte — a property
+    the benchmark suite relies on when comparing strategies on "the same"
+    workload.
+    """
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    # Character-level noise
+    # ------------------------------------------------------------------
+
+    def typo(self, text: str) -> str:
+        """Apply one random character edit (substitute/insert/delete/swap).
+
+        Substitutions prefer keyboard-adjacent characters, matching how
+        real data-entry typos distribute.
+        """
+        if len(text) < 2:
+            return text
+        position = self.rng.randrange(len(text))
+        operation = self.rng.randrange(4)
+        if operation == 0:  # substitute with a keyboard neighbour
+            original = text[position].lower()
+            neighbours = _KEYBOARD_NEIGHBORS.get(original, string.ascii_lowercase)
+            replacement = self.rng.choice(neighbours)
+            return text[:position] + replacement + text[position + 1 :]
+        if operation == 1:  # insert
+            inserted = self.rng.choice(string.ascii_lowercase)
+            return text[:position] + inserted + text[position:]
+        if operation == 2:  # delete
+            return text[:position] + text[position + 1 :]
+        # transpose with the next character
+        if position == len(text) - 1:
+            position -= 1
+        return (
+            text[:position]
+            + text[position + 1]
+            + text[position]
+            + text[position + 2 :]
+        )
+
+    def typos(self, text: str, count: int) -> str:
+        """Apply ``count`` independent typos."""
+        for _ in range(count):
+            text = self.typo(text)
+        return text
+
+    def maybe_typo(self, text: str, probability: float) -> str:
+        """Apply one typo with the given probability."""
+        if self.rng.random() < probability:
+            return self.typo(text)
+        return text
+
+    # ------------------------------------------------------------------
+    # Token-level noise
+    # ------------------------------------------------------------------
+
+    def drop_tokens(self, text: str, probability: float) -> str:
+        """Drop each token independently with ``probability`` (keeps >= 1)."""
+        tokens = text.split()
+        if len(tokens) <= 1:
+            return text
+        kept = [token for token in tokens if self.rng.random() >= probability]
+        if not kept:
+            kept = [self.rng.choice(tokens)]
+        return " ".join(kept)
+
+    def shuffle_tokens(self, text: str, probability: float) -> str:
+        """With ``probability``, swap one random adjacent token pair."""
+        tokens = text.split()
+        if len(tokens) < 2 or self.rng.random() >= probability:
+            return text
+        position = self.rng.randrange(len(tokens) - 1)
+        tokens[position], tokens[position + 1] = tokens[position + 1], tokens[position]
+        return " ".join(tokens)
+
+    def abbreviate(self, text: str, probability: float) -> str:
+        """Token-wise abbreviation using the retail abbreviation table."""
+        tokens = text.split()
+        changed = []
+        for token in tokens:
+            lowered = token.lower()
+            if lowered in ABBREVIATIONS and self.rng.random() < probability:
+                changed.append(ABBREVIATIONS[lowered])
+            else:
+                changed.append(token)
+        return " ".join(changed)
+
+    def append_noise_tokens(self, text: str, pool: Sequence[str], probability: float) -> str:
+        """With ``probability``, append one marketing-style filler token."""
+        if pool and self.rng.random() < probability:
+            return text + " " + self.rng.choice(pool)
+        return text
+
+    def case_noise(self, text: str, probability: float) -> str:
+        """With ``probability``, change the casing style of the whole value."""
+        if self.rng.random() >= probability:
+            return text
+        style = self.rng.randrange(3)
+        if style == 0:
+            return text.upper()
+        if style == 1:
+            return text.lower()
+        return text.title()
+
+    # ------------------------------------------------------------------
+    # Value-level noise
+    # ------------------------------------------------------------------
+
+    def maybe_missing(self, value: Optional[str], probability: float) -> Optional[str]:
+        """Replace the value with ``None`` with the given probability."""
+        if value is not None and self.rng.random() < probability:
+            return None
+        return value
+
+    def jitter_number(self, value: float, relative: float = 0.0, absolute: float = 0.0) -> float:
+        """Add bounded uniform noise to a numeric value."""
+        jittered = value
+        if relative:
+            jittered *= 1.0 + self.rng.uniform(-relative, relative)
+        if absolute:
+            jittered += self.rng.uniform(-absolute, absolute)
+        return jittered
+
+    def reformat_phone(self, digits: str) -> str:
+        """Render a 10-digit phone number in one of several styles."""
+        if len(digits) != 10:
+            return digits
+        style = self.rng.randrange(4)
+        if style == 0:
+            return f"({digits[:3]}) {digits[3:6]}-{digits[6:]}"
+        if style == 1:
+            return f"{digits[:3]}-{digits[3:6]}-{digits[6:]}"
+        if style == 2:
+            return f"{digits[:3]}.{digits[3:6]}.{digits[6:]}"
+        return digits
+
+    # ------------------------------------------------------------------
+    # Identifier synthesis
+    # ------------------------------------------------------------------
+
+    def model_number(self, prefix_pool: Sequence[str]) -> str:
+        """Synthesize a model number like ``"SG-4821B"``."""
+        prefix = self.rng.choice(prefix_pool)
+        digits = "".join(self.rng.choice(string.digits) for _ in range(4))
+        suffix = self.rng.choice(string.ascii_uppercase) if self.rng.random() < 0.5 else ""
+        separator = self.rng.choice(["-", "", " "])
+        return f"{prefix}{separator}{digits}{suffix}"
+
+    def phone_digits(self) -> str:
+        """Ten random digits with a plausible area code (no leading 0/1)."""
+        first = self.rng.choice("23456789")
+        rest = "".join(self.rng.choice(string.digits) for _ in range(9))
+        return first + rest
+
+    def words(self, pool: Sequence[str], count: int) -> List[str]:
+        """``count`` words sampled with replacement from ``pool``."""
+        return [self.rng.choice(pool) for _ in range(count)]
+
+    def pick(self, pool: Sequence[str]) -> str:
+        """One uniform choice from ``pool``."""
+        return self.rng.choice(pool)

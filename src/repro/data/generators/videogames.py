@@ -1,0 +1,99 @@
+"""Video games — synthetic twin of the paper's TheGamesDB/MobyGames dataset.
+
+Game catalogs cross-list the same title on many platforms, so ``platform``
+plays the disambiguating role that ``size`` plays for groceries: "Star
+Quest (PC)" and "Star Quest (Switch)" are different catalog entities.
+Community-maintained sources also disagree on edition suffixes ("Game of
+the Year Edition", "Remastered"), which the generator injects as B-side
+title noise.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from .base import DomainGenerator
+from .text import Perturber
+from . import vocab
+
+
+class VideoGamesGenerator(DomainGenerator):
+    """Synthetic twin of the TheGamesDB/MobyGames video-games dataset."""
+
+    name = "videogames"
+    source_a = "thegamesdb"
+    source_b = "mobygames"
+    description = "Video games, TheGamesDB vs MobyGames"
+
+    attributes = ("title", "platform", "developer", "genre", "year")
+    attribute_types = {
+        "title": "text",
+        "platform": "category",
+        "developer": "text",
+        "genre": "category",
+        "year": "numeric",
+    }
+
+    # Table 2: 3,742 x 6,739.
+    default_shared = 260
+    default_a_only = 80
+    default_b_only = 360
+    default_distractor_rate = 0.5
+
+    def make_entity(
+        self, rng: random.Random, perturber: Perturber, index: int
+    ) -> Dict[str, object]:
+        title = f"{perturber.pick(vocab.GAME_TITLE_HEADS)} {perturber.pick(vocab.GAME_TITLE_TAILS)}"
+        if rng.random() < 0.3:
+            title += f" {rng.randrange(2, 6)}"  # franchises have numbers
+        return {
+            "title": title,
+            "platform": perturber.pick(vocab.PLATFORMS),
+            "developer": perturber.pick(vocab.DEVELOPERS),
+            "genre": perturber.pick(vocab.GAME_GENRES),
+            "year": rng.randrange(1995, 2017),
+        }
+
+    def view_a(self, entity: Dict[str, object], perturber: Perturber) -> Dict[str, object]:
+        title = perturber.maybe_typo(str(entity["title"]), 0.08)
+        return {
+            "title": title,
+            "platform": entity["platform"],
+            "developer": entity["developer"],
+            "genre": entity["genre"],
+            "year": str(entity["year"]),
+        }
+
+    def view_b(self, entity: Dict[str, object], perturber: Perturber) -> Dict[str, object]:
+        title = str(entity["title"])
+        title = perturber.append_noise_tokens(
+            title,
+            ["remastered", "goty edition", "definitive edition", "hd"],
+            0.3,
+        )
+        title = perturber.maybe_typo(title, 0.18)
+        title = perturber.case_noise(title, 0.4)
+        developer = perturber.maybe_typo(str(entity["developer"]), 0.15)
+        return {
+            "title": title,
+            "platform": entity["platform"],
+            "developer": perturber.maybe_missing(developer, 0.15),
+            "genre": perturber.maybe_missing(str(entity["genre"]), 0.10),
+            "year": str(entity["year"]),
+        }
+
+    def make_distractor(
+        self, entity: Dict[str, object], rng: random.Random, perturber: Perturber
+    ) -> Dict[str, object]:
+        sibling = dict(entity)
+        # The same game on another platform, sometimes a year later (ports),
+        # or the next numbered entry in the franchise.
+        if rng.random() < 0.6:
+            others = [p for p in vocab.PLATFORMS if p != entity["platform"]]
+            sibling["platform"] = perturber.pick(others)
+            sibling["year"] = int(entity["year"]) + rng.randrange(0, 2)
+        else:
+            sibling["title"] = f"{entity['title']} {rng.randrange(2, 6)}"
+            sibling["year"] = int(entity["year"]) + rng.randrange(2, 5)
+        return sibling

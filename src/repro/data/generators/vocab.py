@@ -1,0 +1,211 @@
+"""Word pools for the six synthetic domains.
+
+All names are invented or generic; the pools only need to be large enough
+that token-level similarity scores spread over ``[0, 1]`` the way the real
+crawled data's do.  Pool sizes control vocabulary overlap between unrelated
+entities, which in turn controls how many near-miss candidate pairs
+blocking produces.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Shared
+# ---------------------------------------------------------------------------
+
+ADJECTIVES = [
+    "ultra", "super", "compact", "portable", "premium", "classic", "digital",
+    "smart", "advanced", "slim", "mini", "mega", "turbo", "essential",
+    "modern", "vintage", "deluxe", "universal", "dynamic", "active",
+]
+
+COLORS = [
+    "black", "white", "silver", "red", "blue", "green", "gray", "gold",
+    "purple", "pink", "orange", "charcoal", "ivory", "teal",
+]
+
+MARKETING = [
+    "new", "sealed", "bundle", "refurbished", "sale", "genuine", "official",
+    "bestseller", "exclusive", "imported", "(renewed)", "w/warranty",
+]
+
+FIRST_NAMES = [
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "carlos", "maria", "wei", "yuki",
+    "ahmed", "fatima", "ivan", "olga", "pierre", "claire", "marco", "lucia",
+]
+
+LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+]
+
+CITIES = [
+    "madison", "austin", "portland", "denver", "seattle", "boston",
+    "chicago", "nashville", "phoenix", "atlanta", "oakland", "tucson",
+]
+
+STREET_NAMES = [
+    "main", "oak", "maple", "cedar", "pine", "washington", "lake", "hill",
+    "park", "river", "sunset", "college", "church", "spring", "mill",
+    "union", "prospect", "highland", "jefferson", "franklin",
+]
+
+STREET_TYPES = ["street", "avenue", "boulevard", "road", "lane", "drive"]
+
+# ---------------------------------------------------------------------------
+# Products (electronics) — Walmart vs Amazon
+# ---------------------------------------------------------------------------
+
+ELECTRONICS_BRANDS = [
+    "sonavox", "technira", "lumicore", "veltron", "quantix", "aerophon",
+    "nexar", "cirrustech", "pixelon", "omnivolt", "zentra", "helixon",
+    "braventa", "clarivox", "duratek", "fluxart", "gigaline", "hypernix",
+]
+
+ELECTRONICS_NOUNS = [
+    "headphones", "speaker", "camera", "laptop", "tablet", "monitor",
+    "keyboard", "mouse", "router", "charger", "earbuds", "soundbar",
+    "projector", "webcam", "microphone", "printer", "scanner", "drive",
+    "adapter", "dock",
+]
+
+MODEL_PREFIXES = [
+    "SX", "TR", "LM", "VX", "QN", "AP", "NX", "CT", "PX", "OV", "ZN", "HX",
+]
+
+ELECTRONICS_SPECS = [
+    "1080p", "4k", "wireless", "bluetooth", "usb-c", "noise cancelling",
+    "16gb", "32gb", "64gb", "dual band", "rechargeable", "hd",
+]
+
+# ---------------------------------------------------------------------------
+# Restaurants — Yelp vs Foursquare
+# ---------------------------------------------------------------------------
+
+RESTAURANT_HEADS = [
+    "golden", "blue", "red", "silver", "happy", "royal", "little", "grand",
+    "old", "new", "corner", "garden", "sunny", "lucky", "crystal", "cozy",
+]
+
+RESTAURANT_TAILS = [
+    "dragon", "lotus", "olive", "fork", "spoon", "table", "kitchen",
+    "bistro", "grill", "diner", "cafe", "tavern", "cantina", "trattoria",
+    "brasserie", "smokehouse", "noodle house", "pizzeria", "taqueria",
+]
+
+CUISINES = [
+    "italian", "mexican", "chinese", "thai", "indian", "japanese",
+    "american", "french", "mediterranean", "korean", "vietnamese",
+    "greek", "spanish", "ethiopian",
+]
+
+# ---------------------------------------------------------------------------
+# Books — Amazon vs Barnes & Noble
+# ---------------------------------------------------------------------------
+
+BOOK_TITLE_HEADS = [
+    "the secret", "a brief history", "shadows", "the art", "chronicles",
+    "the last", "whispers", "the garden", "echoes", "the house", "a theory",
+    "the silent", "dreams", "the burning", "fragments", "the lost",
+]
+
+BOOK_TITLE_TAILS = [
+    "of time", "of the north", "of memory", "of glass", "of the river",
+    "of winter", "of small things", "of the mountain", "of light",
+    "of forgotten roads", "of the harvest", "of iron", "of salt",
+    "of the deep", "of tomorrow", "of stone",
+]
+
+PUBLISHERS = [
+    "harbor press", "lantern books", "foxglove publishing", "meridian house",
+    "bluestem press", "gilded page", "northlight editions", "quillword",
+]
+
+BOOK_GENRES = [
+    "fiction", "mystery", "biography", "history", "science", "fantasy",
+    "romance", "thriller", "poetry", "self-help",
+]
+
+# ---------------------------------------------------------------------------
+# Breakfast foods — Walmart vs Amazon
+# ---------------------------------------------------------------------------
+
+BREAKFAST_BRANDS = [
+    "morningfield", "sunharvest", "goldengrain", "oakmills", "crispvale",
+    "honeybrook", "meadowfare", "nutrapex", "wholeoat", "berryland",
+]
+
+BREAKFAST_NOUNS = [
+    "granola", "oatmeal", "cereal", "pancake mix", "syrup", "muesli",
+    "breakfast bars", "instant porridge", "waffle mix", "toaster pastries",
+]
+
+FLAVORS = [
+    "honey almond", "maple brown sugar", "cinnamon", "blueberry",
+    "strawberry", "vanilla", "chocolate", "peanut butter", "apple",
+    "mixed berry", "coconut", "banana nut",
+]
+
+PACK_SIZES = ["12 oz", "16 oz", "18 oz", "24 oz", "32 oz", "6 ct", "8 ct", "12 ct"]
+
+# ---------------------------------------------------------------------------
+# Movies — Amazon vs BestBuy
+# ---------------------------------------------------------------------------
+
+MOVIE_TITLE_HEADS = [
+    "midnight", "crimson", "the hollow", "iron", "silent", "the glass",
+    "broken", "the seventh", "wild", "the paper", "frozen", "the velvet",
+    "savage", "the amber", "electric", "the marble",
+]
+
+MOVIE_TITLE_TAILS = [
+    "horizon", "protocol", "kingdom", "valley", "crossing", "covenant",
+    "harvest", "directive", "labyrinth", "reckoning", "sanctuary",
+    "paradox", "vendetta", "odyssey", "equation", "frontier",
+]
+
+STUDIOS = [
+    "parallax pictures", "northgate films", "silverline studios",
+    "cobalt entertainment", "redwood media", "atlas features",
+]
+
+MPAA_RATINGS = ["G", "PG", "PG-13", "R"]
+
+MOVIE_FORMATS = ["dvd", "blu-ray", "blu-ray + dvd", "4k ultra hd"]
+
+# ---------------------------------------------------------------------------
+# Video games — TheGamesDB vs MobyGames
+# ---------------------------------------------------------------------------
+
+GAME_TITLE_HEADS = [
+    "legend", "shadow", "star", "dragon", "cyber", "mystic", "turbo",
+    "phantom", "crystal", "rogue", "astro", "neon", "storm", "pixel",
+    "iron", "solar",
+]
+
+GAME_TITLE_TAILS = [
+    "quest", "racer", "warrior", "saga", "commander", "chronicles",
+    "arena", "tactics", "odyssey", "rebellion", "frontier", "legacy",
+    "uprising", "dungeon", "galaxy", "empire",
+]
+
+PLATFORMS = [
+    "pc", "playstation 4", "playstation 5", "xbox one", "xbox series x",
+    "nintendo switch", "wii u", "playstation 3", "xbox 360",
+]
+
+GAME_GENRES = [
+    "action", "adventure", "rpg", "strategy", "simulation", "sports",
+    "racing", "puzzle", "platformer", "shooter", "fighting",
+]
+
+DEVELOPERS = [
+    "ironpixel studios", "novaforge", "bitholm games", "cedarlight",
+    "polyhedral works", "glasscannon interactive", "farpoint labs",
+    "quietriver games",
+]

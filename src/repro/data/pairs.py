@@ -1,0 +1,119 @@
+"""Candidate pairs — the unit of work for every matcher.
+
+Blocking (paper §3) turns the ``|A| × |B|`` cross product into a much
+smaller *candidate set*; matching then evaluates the Boolean matching
+function once per candidate pair.  :class:`CandidateSet` is that set,
+with the two properties every downstream component relies on:
+
+* **Stable indexing.** Each pair has a dense integer index (its position),
+  which the memo (``|C| × |F|`` array) and the incremental bitmaps key on.
+* **Record access.** Iteration yields :class:`CandidatePair` objects that
+  carry both records, so matchers never re-resolve ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import BlockingError
+from .table import Record, Table
+
+PairId = Tuple[str, str]
+
+
+class CandidatePair:
+    """One candidate (a, b) record pair with its dense index."""
+
+    __slots__ = ("index", "record_a", "record_b")
+
+    def __init__(self, index: int, record_a: Record, record_b: Record):
+        self.index = index
+        self.record_a = record_a
+        self.record_b = record_b
+
+    @property
+    def pair_id(self) -> PairId:
+        return (self.record_a.record_id, self.record_b.record_id)
+
+    def __repr__(self) -> str:
+        return f"CandidatePair({self.index}, {self.pair_id})"
+
+
+class CandidateSet:
+    """An ordered, indexable set of candidate record pairs.
+
+    Construct via a blocker (:mod:`repro.blocking`) or directly from id
+    pairs with :meth:`from_id_pairs`.  Duplicate id pairs are rejected —
+    a duplicate would double-count in every cost model and bitmap.
+    """
+
+    def __init__(self, table_a: Table, table_b: Table):
+        self.table_a = table_a
+        self.table_b = table_b
+        self._pairs: List[CandidatePair] = []
+        self._index_by_id: Dict[PairId, int] = {}
+
+    @classmethod
+    def from_id_pairs(
+        cls, table_a: Table, table_b: Table, id_pairs: Sequence[PairId]
+    ) -> "CandidateSet":
+        candidates = cls(table_a, table_b)
+        for a_id, b_id in id_pairs:
+            candidates.add(a_id, b_id)
+        return candidates
+
+    def add(self, a_id: str, b_id: str) -> CandidatePair:
+        """Append the pair ``(a_id, b_id)``; both ids must resolve."""
+        pair_id = (a_id, b_id)
+        if pair_id in self._index_by_id:
+            raise BlockingError(f"duplicate candidate pair {pair_id}")
+        record_a = self.table_a.get(a_id)
+        record_b = self.table_b.get(b_id)
+        pair = CandidatePair(len(self._pairs), record_a, record_b)
+        self._pairs.append(pair)
+        self._index_by_id[pair_id] = pair.index
+        return pair
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[CandidatePair]:
+        return iter(self._pairs)
+
+    def __getitem__(self, index: int) -> CandidatePair:
+        return self._pairs[index]
+
+    def index_of(self, a_id: str, b_id: str) -> int:
+        """Dense index of the pair, or KeyError if not a candidate."""
+        return self._index_by_id[(a_id, b_id)]
+
+    def __contains__(self, pair_id: PairId) -> bool:
+        return pair_id in self._index_by_id
+
+    def id_pairs(self) -> List[PairId]:
+        """All pair ids in index order."""
+        return [pair.pair_id for pair in self._pairs]
+
+    def subset(self, indices: Sequence[int]) -> "CandidateSet":
+        """A new candidate set containing only ``indices`` (re-indexed densely).
+
+        Used to build estimation samples and the pair-count sweeps of
+        Figure 5B without re-running blocking.
+        """
+        result = CandidateSet(self.table_a, self.table_b)
+        for index in indices:
+            pair = self._pairs[index]
+            result.add(pair.record_a.record_id, pair.record_b.record_id)
+        return result
+
+    def gold_indices(self, gold: Set[PairId]) -> List[int]:
+        """Indices of pairs whose ids appear in a gold match set."""
+        return [
+            pair.index for pair in self._pairs if pair.pair_id in gold
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidateSet({len(self)} pairs from "
+            f"{self.table_a.name!r} x {self.table_b.name!r})"
+        )

@@ -1,0 +1,29 @@
+"""Matching-quality evaluation: metrics, samples, and error listings."""
+
+from .metrics import (
+    Confusion,
+    confusion,
+    false_negatives,
+    false_positives,
+    precision_recall_f1,
+)
+from .sampling import stratified_sample, uniform_sample
+from .debug_report import DebugReport, RuleQuality, build_report, render_report
+from .suggest import Suggestion, suggest_relaxations, suggest_tightenings
+
+__all__ = [
+    "Confusion",
+    "confusion",
+    "precision_recall_f1",
+    "false_positives",
+    "false_negatives",
+    "uniform_sample",
+    "stratified_sample",
+    "Suggestion",
+    "suggest_tightenings",
+    "suggest_relaxations",
+    "DebugReport",
+    "RuleQuality",
+    "build_report",
+    "render_report",
+]

@@ -1,0 +1,112 @@
+"""Aggregate debugging reports: per-rule quality from attribution bitmaps.
+
+After a run, the materialized state already knows which rule claimed each
+matched pair.  Joining that with gold labels yields the analyst's most
+actionable table — *which rules earn their keep*:
+
+    rule   matched  gold  precision
+    r12    34       28    0.82
+    r7     19       2     0.11   <- tighten or drop this one
+
+All of it comes from bitmaps and the gold set; no re-matching, no feature
+computation.  :func:`render_report` is what the Figure-1 "examine
+results" box looks like when the system, not the analyst, does the
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..core.state import MatchState
+from ..data.pairs import PairId
+
+
+@dataclass(frozen=True)
+class RuleQuality:
+    """One rule's contribution to the current result."""
+
+    rule_name: str
+    matched: int          # pairs attributed to this rule
+    gold_matched: int     # of those, how many are gold
+
+    @property
+    def precision(self) -> float:
+        return self.gold_matched / self.matched if self.matched else 1.0
+
+    @property
+    def false_positives(self) -> int:
+        return self.matched - self.gold_matched
+
+
+@dataclass
+class DebugReport:
+    """Per-rule quality plus overall error counts."""
+
+    rules: List[RuleQuality]
+    unmatched_gold: int       # false negatives (recall misses)
+    total_matched: int
+    total_gold_in_candidates: int
+
+    def worst_rules(self, limit: int = 5) -> List[RuleQuality]:
+        """Rules ranked by false positives contributed (desc)."""
+        active = [quality for quality in self.rules if quality.matched]
+        active.sort(key=lambda q: (-q.false_positives, q.precision, q.rule_name))
+        return active[:limit]
+
+    def idle_rules(self) -> List[str]:
+        """Rules that matched nothing — candidates for deletion.
+
+        (Attribution-based: a rule may be "shadowed" by earlier rules
+        rather than truly dead; reordering can revive it.  Either way it
+        currently contributes nothing.)
+        """
+        return [quality.rule_name for quality in self.rules if not quality.matched]
+
+
+def build_report(state: MatchState, gold: Set[PairId]) -> DebugReport:
+    """Assemble the per-rule report from the state's attribution."""
+    counts: Dict[str, List[int]] = {
+        rule.name: [0, 0] for rule in state.function.rules
+    }
+    for pair_index in state.matched_indices():
+        rule_name = state.function.rules[int(state.attribution[pair_index])].name
+        entry = counts[rule_name]
+        entry[0] += 1
+        if state.candidates[pair_index].pair_id in gold:
+            entry[1] += 1
+
+    gold_in_candidates = sum(
+        1 for pair in state.candidates if pair.pair_id in gold
+    )
+    matched_gold = sum(entry[1] for entry in counts.values())
+    return DebugReport(
+        rules=[
+            RuleQuality(rule_name, matched, gold_matched)
+            for rule_name, (matched, gold_matched) in counts.items()
+        ],
+        unmatched_gold=gold_in_candidates - matched_gold,
+        total_matched=state.match_count(),
+        total_gold_in_candidates=gold_in_candidates,
+    )
+
+
+def render_report(report: DebugReport, limit: int = 10) -> str:
+    """Human-readable report text (workbench ``report`` command)."""
+    lines = [
+        f"matched {report.total_matched} pairs; "
+        f"{report.unmatched_gold} gold matches still missed",
+        "",
+        f"{'rule':14s} {'matched':>8s} {'gold':>6s} {'precision':>10s}",
+    ]
+    for quality in report.worst_rules(limit):
+        lines.append(
+            f"{quality.rule_name:14s} {quality.matched:8d} "
+            f"{quality.gold_matched:6d} {quality.precision:10.3f}"
+        )
+    idle = report.idle_rules()
+    if idle:
+        preview = ", ".join(idle[:8]) + ("..." if len(idle) > 8 else "")
+        lines.append(f"\n{len(idle)} rules matched nothing: {preview}")
+    return "\n".join(lines)

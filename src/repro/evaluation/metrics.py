@@ -1,0 +1,128 @@
+"""Matching quality metrics (paper §3: precision/recall on a labeled sample).
+
+The debugging loop's inner signal: after every rule edit the analyst looks
+at precision and recall against whatever labeled pairs exist.  These
+helpers compute them from a :class:`~repro.core.matchers.MatchResult` (or
+raw labels) and a gold set, optionally restricted to a labeled subset of
+the candidates — analysts rarely have full gold labels, only a sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..data.pairs import CandidateSet, PairId
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """Confusion counts over the evaluated pair population."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    @property
+    def accuracy(self) -> float:
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+        return (self.true_positives + self.true_negatives) / total if total else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"(tp={self.true_positives} fp={self.false_positives} "
+            f"fn={self.false_negatives})"
+        )
+
+
+def confusion(
+    labels: np.ndarray,
+    candidates: CandidateSet,
+    gold: Set[PairId],
+    evaluated_indices: Optional[Sequence[int]] = None,
+) -> Confusion:
+    """Confusion counts of predicted ``labels`` against ``gold``.
+
+    ``evaluated_indices`` restricts scoring to a labeled subset (paper §3:
+    quality is estimated on a manually labeled sample); default is every
+    candidate pair.  Gold matches that did not survive blocking are outside
+    the candidate set and thus invisible here — report blocking recall
+    separately via :func:`repro.blocking.blocking_recall`.
+    """
+    indices: Iterable[int] = (
+        range(len(candidates)) if evaluated_indices is None else evaluated_indices
+    )
+    tp = fp = fn = tn = 0
+    for index in indices:
+        predicted = bool(labels[index])
+        actual = candidates[index].pair_id in gold
+        if predicted and actual:
+            tp += 1
+        elif predicted:
+            fp += 1
+        elif actual:
+            fn += 1
+        else:
+            tn += 1
+    return Confusion(tp, fp, fn, tn)
+
+
+def precision_recall_f1(
+    labels: np.ndarray,
+    candidates: CandidateSet,
+    gold: Set[PairId],
+    evaluated_indices: Optional[Sequence[int]] = None,
+) -> Tuple[float, float, float]:
+    """(precision, recall, F1) convenience wrapper around :func:`confusion`."""
+    result = confusion(labels, candidates, gold, evaluated_indices)
+    return result.precision, result.recall, result.f1
+
+
+def false_positives(
+    labels: np.ndarray, candidates: CandidateSet, gold: Set[PairId]
+) -> list:
+    """Indices of pairs predicted matched but not in gold — the pairs an
+    analyst inspects before making a rule stricter (§6.2.1)."""
+    return [
+        pair.index
+        for pair in candidates
+        if labels[pair.index] and pair.pair_id not in gold
+    ]
+
+
+def false_negatives(
+    labels: np.ndarray, candidates: CandidateSet, gold: Set[PairId]
+) -> list:
+    """Indices of gold pairs predicted unmatched — the pairs an analyst
+    inspects before relaxing a predicate or adding a rule (§6.2.2/6.2.4)."""
+    return [
+        pair.index
+        for pair in candidates
+        if not labels[pair.index] and pair.pair_id in gold
+    ]

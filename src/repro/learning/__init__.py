@@ -1,0 +1,32 @@
+"""Rule learning substrate: feature spaces, CART forest, rule extraction,
+and the end-to-end workload builder reproducing the paper's setup."""
+
+from .decision_tree import DecisionTree, TreeNode
+from .feature_space import CROSS_SIMILARITIES, TYPE_SIMILARITIES, FeatureSpace
+from .random_forest import RandomForest
+from .rule_extraction import canonicalize_path, extract_rules, path_to_rule
+from .simplify import redundancy_report, remove_subsumed, rule_subsumes
+from .vectorize import LabeledSample, build_labeled_sample, compute_matrix
+from .workload import BLOCKING_ATTRIBUTES, Workload, build_workload, default_blocker
+
+__all__ = [
+    "FeatureSpace",
+    "TYPE_SIMILARITIES",
+    "CROSS_SIMILARITIES",
+    "DecisionTree",
+    "TreeNode",
+    "RandomForest",
+    "extract_rules",
+    "canonicalize_path",
+    "path_to_rule",
+    "rule_subsumes",
+    "remove_subsumed",
+    "redundancy_report",
+    "LabeledSample",
+    "compute_matrix",
+    "build_labeled_sample",
+    "Workload",
+    "build_workload",
+    "default_blocker",
+    "BLOCKING_ATTRIBUTES",
+]

@@ -1,0 +1,262 @@
+"""CART-style decision tree over similarity feature vectors.
+
+A minimal but correct binary classification tree: Gini impurity, midpoint
+thresholds, optional per-node feature subsampling (for forests), depth and
+leaf-size stopping.  Splits are ``value <= threshold`` (left) versus
+``value > threshold`` (right) — the convention the rule extractor converts
+into ``<=`` / ``>`` predicates, so tree semantics and extracted-rule
+semantics coincide exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass
+class TreeNode:
+    """A node of the fitted tree.
+
+    Internal nodes carry ``feature_index``/``threshold`` and two children;
+    leaves carry a prediction with its support and purity.
+    """
+
+    feature_index: int = -1
+    threshold: float = 0.0
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    prediction: bool = False
+    n_samples: int = 0
+    purity: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+@dataclass(frozen=True)
+class PositivePath:
+    """One positive root-to-leaf path with its leaf's quality signals."""
+
+    conditions: Tuple[Tuple[int, str, float], ...]
+    n_samples: int
+    purity: float
+
+
+def _gini(positives: int, total: int) -> float:
+    if total == 0:
+        return 0.0
+    p = positives / total
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTree:
+    """Binary CART classifier.
+
+    ``max_features`` per split: ``None`` = all, ``"sqrt"`` = √d (the
+    random-forest default), or an int.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 3,
+        min_samples_split: int = 6,
+        max_features: Optional[object] = None,
+        seed: int = 0,
+    ):
+        if max_depth < 1:
+            raise ReproError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self.root: Optional[TreeNode] = None
+        self._n_features = 0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, matrix: np.ndarray, labels: np.ndarray) -> "DecisionTree":
+        if matrix.ndim != 2:
+            raise ReproError(f"matrix must be 2-D, got shape {matrix.shape}")
+        if len(matrix) != len(labels):
+            raise ReproError(
+                f"matrix rows {len(matrix)} != labels {len(labels)}"
+            )
+        if len(matrix) == 0:
+            raise ReproError("cannot fit a tree on zero samples")
+        self._n_features = matrix.shape[1]
+        rng = random.Random(self.seed)
+        self.root = self._grow(matrix, labels.astype(bool), depth=0, rng=rng)
+        return self
+
+    def _feature_candidates(self, rng: random.Random) -> Sequence[int]:
+        if self.max_features is None:
+            return range(self._n_features)
+        if self.max_features == "sqrt":
+            k = max(1, int(math.sqrt(self._n_features)))
+        else:
+            k = max(1, min(int(self.max_features), self._n_features))
+        return rng.sample(range(self._n_features), k)
+
+    def _grow(
+        self, matrix: np.ndarray, labels: np.ndarray, depth: int, rng: random.Random
+    ) -> TreeNode:
+        total = len(labels)
+        positives = int(labels.sum())
+        purity = max(positives, total - positives) / total
+        leaf = TreeNode(
+            prediction=positives * 2 >= total and positives > 0,
+            n_samples=total,
+            purity=purity,
+        )
+        if (
+            depth >= self.max_depth
+            or total < self.min_samples_split
+            or positives == 0
+            or positives == total
+        ):
+            return leaf
+
+        split = self._best_split(matrix, labels, rng)
+        if split is None:
+            return leaf
+        feature_index, threshold = split
+        left_mask = matrix[:, feature_index] <= threshold
+        node = TreeNode(
+            feature_index=feature_index,
+            threshold=threshold,
+            n_samples=total,
+            purity=purity,
+        )
+        node.left = self._grow(matrix[left_mask], labels[left_mask], depth + 1, rng)
+        node.right = self._grow(matrix[~left_mask], labels[~left_mask], depth + 1, rng)
+        return node
+
+    def _best_split(
+        self, matrix: np.ndarray, labels: np.ndarray, rng: random.Random
+    ) -> Optional[Tuple[int, float]]:
+        total = len(labels)
+        parent_impurity = _gini(int(labels.sum()), total)
+        best_gain = 1e-12
+        best: Optional[Tuple[int, float]] = None
+        for feature_index in self._feature_candidates(rng):
+            column = matrix[:, feature_index]
+            order = np.argsort(column, kind="stable")
+            sorted_values = column[order]
+            sorted_labels = labels[order]
+            positives_left = 0
+            # Scan split positions between distinct adjacent values.
+            cumulative_positives = np.cumsum(sorted_labels)
+            total_positives = int(cumulative_positives[-1])
+            for position in range(self.min_samples_leaf, total - self.min_samples_leaf + 1):
+                if position == 0 or position == total:
+                    continue
+                if sorted_values[position - 1] == sorted_values[position]:
+                    continue
+                left_total = position
+                left_positives = int(cumulative_positives[position - 1])
+                right_total = total - left_total
+                right_positives = total_positives - left_positives
+                weighted = (
+                    left_total * _gini(left_positives, left_total)
+                    + right_total * _gini(right_positives, right_total)
+                ) / total
+                gain = parent_impurity - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = (
+                        sorted_values[position - 1] + sorted_values[position]
+                    ) / 2.0
+                    # The midpoint of two nearly-equal floats can round up
+                    # to the larger value, which would send the whole right
+                    # side left and produce an empty child; pin the
+                    # threshold strictly below the upper value.
+                    if threshold >= sorted_values[position]:
+                        threshold = sorted_values[position - 1]
+                    best = (feature_index, float(threshold))
+        return best
+
+    # ------------------------------------------------------------------
+    # Prediction / introspection
+    # ------------------------------------------------------------------
+
+    def predict_one(self, vector: np.ndarray) -> bool:
+        node = self._require_fitted()
+        while not node.is_leaf:
+            node = node.left if vector[node.feature_index] <= node.threshold else node.right
+        return node.prediction
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        return np.fromiter(
+            (self.predict_one(row) for row in matrix), dtype=bool, count=len(matrix)
+        )
+
+    def positive_paths(self) -> List["PositivePath"]:
+        """All root-to-leaf paths ending in a positive leaf.
+
+        Each path carries ``(feature_index, op, threshold)`` conditions
+        with op in ``{"<=", ">"}`` plus the leaf's support and purity —
+        the raw material (and quality signals) for rule extraction.
+        """
+        root = self._require_fitted()
+        paths: List[PositivePath] = []
+
+        def walk(node: TreeNode, conditions: List[Tuple[int, str, float]]) -> None:
+            if node.is_leaf:
+                if node.prediction:
+                    paths.append(
+                        PositivePath(
+                            conditions=tuple(conditions),
+                            n_samples=node.n_samples,
+                            purity=node.purity,
+                        )
+                    )
+                return
+            conditions.append((node.feature_index, "<=", node.threshold))
+            walk(node.left, conditions)
+            conditions.pop()
+            conditions.append((node.feature_index, ">", node.threshold))
+            walk(node.right, conditions)
+            conditions.pop()
+
+        walk(root, [])
+        return paths
+
+    def leaf_count(self) -> int:
+        root = self._require_fitted()
+
+        def count(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+
+        return count(root)
+
+    def _require_fitted(self) -> TreeNode:
+        if self.root is None:
+            raise ReproError("tree is not fitted; call fit() first")
+        return self.root
+
+    def __repr__(self) -> str:
+        if self.root is None:
+            return "DecisionTree(unfitted)"
+        return (
+            f"DecisionTree(depth={self.root.depth()}, "
+            f"leaves={self.leaf_count()})"
+        )

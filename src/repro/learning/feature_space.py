@@ -1,0 +1,198 @@
+"""Feature-space enumeration — the analyst's palette of candidate features.
+
+The paper's feature sets (Table 2's "total features") come from Magellan's
+convention: enumerate (similarity function × attribute pair) combinations
+appropriate to each attribute's type.  :func:`FeatureSpace.build` does the
+same using the dataset's declared ``attribute_types``:
+
+* ``short``   — identifier-like: equality + character measures + trigram.
+* ``text``    — titles/names: token, corpus (TF-IDF family), and edit
+  measures.
+* ``numeric`` — numeric measures plus exact equality.
+* ``category``— closed vocabulary: equality (and Jaro-Winkler for typo'd
+  category labels).
+
+Cross-attribute features (``cosine(modelno, title)`` — a modelno often
+appears inside the other source's title) are added for every
+(short × text) attribute pair, mirroring the paper's Table 3 rows like
+"Cosine modelno/title".
+
+Every feature gets its **own similarity instance** so that corpus-backed
+measures can hold per-attribute-pair corpora; :meth:`bind_corpora` builds
+those corpora from both tables' values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..core.rules import Feature
+from ..data.generators.base import Dataset
+from ..errors import ReproError, UnknownFeatureError
+from ..similarity.corpus import Corpus
+from ..similarity.registry import make_similarity
+
+#: Similarity names enumerated per attribute type.  Order matters only for
+#: reproducibility of feature indices.
+TYPE_SIMILARITIES: Dict[str, List[str]] = {
+    "short": [
+        "exact_match",
+        "norm_exact_match",
+        "jaro",
+        "jaro_winkler",
+        "levenshtein",
+        "trigram",
+        "prefix",
+    ],
+    "text": [
+        "jaccard_ws",
+        "cosine_ws",
+        "overlap_ws",
+        "dice_ws",
+        "jaccard_qg3",
+        "levenshtein",
+        "monge_elkan",
+        "tfidf_ws",
+        "soft_tfidf_ws",
+        "soundex",
+    ],
+    "numeric": [
+        "exact_match",
+        "numeric_exact",
+        "rel_diff",
+        "abs_diff_5",
+    ],
+    "category": [
+        "exact_match",
+        "jaro_winkler",
+    ],
+}
+
+#: Similarities used for (short x text) cross-attribute features.
+CROSS_SIMILARITIES: List[str] = ["cosine_ws", "jaccard_ws", "tfidf_ws"]
+
+
+class FeatureSpace:
+    """An ordered collection of features with name lookup and corpus binding."""
+
+    def __init__(self, features: Sequence[Feature]):
+        self._features: List[Feature] = list(features)
+        self._by_name: Dict[str, Feature] = {}
+        for feature in self._features:
+            if feature.name in self._by_name:
+                raise ReproError(f"duplicate feature name {feature.name!r}")
+            self._by_name[feature.name] = feature
+
+    @classmethod
+    def build(cls, dataset: Dataset, include_cross: bool = True) -> "FeatureSpace":
+        """Enumerate the feature space for a dataset from its attribute types."""
+        features: List[Feature] = []
+        for attribute in dataset.table_a.attributes:
+            attribute_type = dataset.attribute_types.get(attribute, "text")
+            sim_names = TYPE_SIMILARITIES.get(attribute_type)
+            if sim_names is None:
+                raise ReproError(
+                    f"attribute {attribute!r} has unknown type "
+                    f"{attribute_type!r}; expected one of "
+                    f"{sorted(TYPE_SIMILARITIES)}"
+                )
+            for sim_name in sim_names:
+                features.append(
+                    Feature(make_similarity(sim_name), attribute, attribute)
+                )
+        if include_cross:
+            shorts = [
+                attribute
+                for attribute in dataset.table_a.attributes
+                if dataset.attribute_types.get(attribute) == "short"
+            ]
+            texts = [
+                attribute
+                for attribute in dataset.table_a.attributes
+                if dataset.attribute_types.get(attribute) == "text"
+            ]
+            for short_attribute in shorts:
+                for text_attribute in texts:
+                    for sim_name in CROSS_SIMILARITIES:
+                        features.append(
+                            Feature(
+                                make_similarity(sim_name),
+                                short_attribute,
+                                text_attribute,
+                            )
+                        )
+        space = cls(features)
+        space.bind_corpora(dataset)
+        return space
+
+    def bind_corpora(self, dataset: Dataset) -> None:
+        """Build and attach corpora for corpus-backed features.
+
+        Each feature's corpus covers the values of ``attr_a`` in table A
+        plus ``attr_b`` in table B — the document population its IDF should
+        reflect.  Corpora are shared between features with the same
+        attribute pair and tokenizer to avoid redundant construction.
+        """
+        cache: Dict[tuple, Corpus] = {}
+        for feature in self._features:
+            if not feature.sim.needs_corpus:
+                continue
+            tokenizer = feature.sim.tokenizer
+            key = (feature.attr_a, feature.attr_b, tokenizer.name)
+            corpus = cache.get(key)
+            if corpus is None:
+                corpus = Corpus(tokenizer)
+                corpus.add_values(dataset.table_a.values(feature.attr_a))
+                corpus.add_values(dataset.table_b.values(feature.attr_b))
+                cache[key] = corpus
+            feature.sim.bind_corpus(corpus)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> Feature:
+        feature = self._by_name.get(name)
+        if feature is None:
+            raise UnknownFeatureError(f"no feature named {name!r}")
+        return feature
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> List[str]:
+        return [feature.name for feature in self._features]
+
+    def resolver(self):
+        """A parser resolver that reuses this space's (corpus-bound) features.
+
+        Unknown (sim, attr, attr) combinations fall back to fresh registry
+        instances, so hand-written rules may exceed the enumerated space.
+        """
+        from ..core.parser import registry_resolver
+
+        fallback = registry_resolver()
+
+        def resolve(sim_name: str, attr_a: str, attr_b: str) -> Feature:
+            for feature in self._features:
+                if (
+                    feature.sim.name == sim_name
+                    and feature.attr_a == attr_a
+                    and feature.attr_b == attr_b
+                ):
+                    return feature
+            return fallback(sim_name, attr_a, attr_b)
+
+        return resolve
+
+    def __iter__(self) -> Iterator[Feature]:
+        return iter(self._features)
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def __getitem__(self, index: int) -> Feature:
+        return self._features[index]
+
+    def __repr__(self) -> str:
+        return f"FeatureSpace({len(self)} features)"

@@ -1,0 +1,90 @@
+"""Random forest of CART trees — the paper's rule source.
+
+The paper's 255 products rules were "extracted from the random forest"
+Magellan learned on the labeled Walmart/Amazon data (its Figure 4 shows two
+of them).  We reproduce the pipeline: bootstrap-bagged CART trees with
+√d feature subsampling, then positive root-to-leaf paths become CNF rules
+(:mod:`repro.learning.rule_extraction`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from .decision_tree import DecisionTree
+
+
+class RandomForest:
+    """Bagged ensemble of :class:`DecisionTree` classifiers."""
+
+    def __init__(
+        self,
+        n_trees: int = 32,
+        max_depth: int = 6,
+        min_samples_leaf: int = 3,
+        max_features: object = "sqrt",
+        bootstrap: bool = True,
+        seed: int = 0,
+    ):
+        if n_trees < 1:
+            raise ReproError(f"n_trees must be >= 1, got {n_trees}")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.seed = seed
+        self.trees: List[DecisionTree] = []
+
+    def fit(self, matrix: np.ndarray, labels: np.ndarray) -> "RandomForest":
+        if len(matrix) == 0:
+            raise ReproError("cannot fit a forest on zero samples")
+        rng = random.Random(self.seed)
+        labels = labels.astype(bool)
+        self.trees = []
+        n = len(matrix)
+        for tree_index in range(self.n_trees):
+            if self.bootstrap:
+                rows = [rng.randrange(n) for _ in range(n)]
+                sample_matrix = matrix[rows]
+                sample_labels = labels[rows]
+                # A bootstrap that lost every positive (or negative) teaches
+                # nothing; resample until both classes are present.
+                attempts = 0
+                while (
+                    sample_labels.all() or not sample_labels.any()
+                ) and attempts < 10:
+                    rows = [rng.randrange(n) for _ in range(n)]
+                    sample_matrix = matrix[rows]
+                    sample_labels = labels[rows]
+                    attempts += 1
+            else:
+                sample_matrix, sample_labels = matrix, labels
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=rng.randrange(2**31),
+            )
+            tree.fit(sample_matrix, sample_labels)
+            self.trees.append(tree)
+        return self
+
+    def predict_one(self, vector: np.ndarray) -> bool:
+        if not self.trees:
+            raise ReproError("forest is not fitted; call fit() first")
+        votes = sum(1 for tree in self.trees if tree.predict_one(vector))
+        return votes * 2 > len(self.trees)
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        return np.fromiter(
+            (self.predict_one(row) for row in matrix), dtype=bool, count=len(matrix)
+        )
+
+    def __repr__(self) -> str:
+        fitted = f"{len(self.trees)} trees" if self.trees else "unfitted"
+        return f"RandomForest({fitted}, max_depth={self.max_depth})"

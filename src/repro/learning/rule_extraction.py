@@ -1,0 +1,144 @@
+"""Extract CNF rules from decision trees / forests (paper §7.1).
+
+A positive root-to-leaf path is a conjunction of threshold conditions —
+exactly a CNF rule with one predicate per clause.  The extractor:
+
+1. collects each tree's positive paths,
+2. canonicalizes per feature: the binding lower bound is the **max** of
+   the path's ``>`` thresholds, the binding upper bound the **min** of its
+   ``<=`` thresholds (a path may test one feature several times; only the
+   tightest bounds matter),
+3. drops vacuous bounds (``> t`` with t < 0, ``<= t`` with t >= 1 can
+   never fail for similarity scores in [0, 1]),
+4. deduplicates rules with identical predicate sets across trees,
+5. names rules ``r1, r2, ...`` in extraction order.
+
+The result has precisely the statistical shape the paper's experiments
+need: many rules, ~3-7 predicates each, mixed ``>``/``<=`` operators, and
+heavy feature sharing across rules (its Figure 4 samples show both
+directions of threshold in one rule).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.rules import Feature, MatchingFunction, Predicate, Rule
+from ..errors import ReproError
+from .decision_tree import DecisionTree
+from .feature_space import FeatureSpace
+from .random_forest import RandomForest
+
+#: Conditions on a path: (feature_index, "<=" or ">", threshold).
+PathCondition = Tuple[int, str, float]
+
+
+def canonicalize_path(
+    conditions: Sequence[PathCondition],
+) -> List[Tuple[int, str, float]]:
+    """Collapse repeated per-feature conditions to their binding bounds.
+
+    Returns one or two conditions per feature, in first-appearance order
+    of the features (lower bound before upper bound for each feature).
+    """
+    lower: dict = {}
+    upper: dict = {}
+    order: List[int] = []
+    for feature_index, op, threshold in conditions:
+        if feature_index not in lower and feature_index not in upper:
+            order.append(feature_index)
+        if op == ">":
+            if feature_index not in lower or threshold > lower[feature_index]:
+                lower[feature_index] = threshold
+        elif op == "<=":
+            if feature_index not in upper or threshold < upper[feature_index]:
+                upper[feature_index] = threshold
+        else:
+            raise ReproError(f"unexpected path operator {op!r}")
+    result: List[Tuple[int, str, float]] = []
+    for feature_index in order:
+        if feature_index in lower and lower[feature_index] >= 0.0:
+            result.append((feature_index, ">", lower[feature_index]))
+        if feature_index in upper and upper[feature_index] < 1.0:
+            result.append((feature_index, "<=", upper[feature_index]))
+    return result
+
+
+def path_to_rule(
+    conditions: Sequence[PathCondition],
+    features: Sequence[Feature],
+    name: str,
+    round_digits: Optional[int] = 3,
+) -> Optional[Rule]:
+    """Convert one canonicalized path into a rule (``None`` if vacuous)."""
+    canonical = canonicalize_path(conditions)
+    if not canonical:
+        return None
+    predicates = []
+    for feature_index, op, threshold in canonical:
+        if round_digits is not None:
+            threshold = round(threshold, round_digits)
+        predicates.append(Predicate(features[feature_index], op, threshold))
+    return Rule(name, predicates)
+
+
+def extract_rules(
+    model: object,
+    space: FeatureSpace,
+    max_rules: Optional[int] = None,
+    round_digits: Optional[int] = 3,
+    min_purity: float = 0.9,
+    min_support: int = 3,
+    min_predicates: int = 2,
+) -> MatchingFunction:
+    """Extract the positive-path rule set of a tree or forest.
+
+    ``model`` is a fitted :class:`DecisionTree` or :class:`RandomForest`.
+    Duplicate rules (same predicate multiset) are merged; ``max_rules``
+    caps the result (first-extracted wins, matching the determinism of the
+    fitted model).
+
+    Quality filters keep the DNF of per-tree paths from being far looser
+    than the forest's majority vote: a path must end in a leaf of purity
+    >= ``min_purity`` with >= ``min_support`` training pairs, and yield at
+    least ``min_predicates`` non-vacuous predicates (single-predicate
+    rules from noisy bootstrap leaves are the main precision killers).
+    """
+    if isinstance(model, RandomForest):
+        trees: Iterable[DecisionTree] = model.trees
+        if not model.trees:
+            raise ReproError("forest is not fitted; call fit() first")
+    elif isinstance(model, DecisionTree):
+        trees = [model]
+    else:
+        raise ReproError(
+            f"expected DecisionTree or RandomForest, got {type(model).__name__}"
+        )
+
+    features = list(space)
+    rules: List[Rule] = []
+    seen_bodies: set = set()
+    counter = 0
+    for tree in trees:
+        for path in tree.positive_paths():
+            counter += 1
+            if path.purity < min_purity or path.n_samples < min_support:
+                continue
+            rule = path_to_rule(
+                path.conditions, features, f"r{len(rules) + 1}", round_digits
+            )
+            if rule is None or len(rule) < min_predicates:
+                continue
+            body = frozenset(predicate.pid for predicate in rule.predicates)
+            if body in seen_bodies:
+                continue
+            seen_bodies.add(body)
+            rules.append(rule)
+            if max_rules is not None and len(rules) >= max_rules:
+                return MatchingFunction(rules)
+    if not rules:
+        raise ReproError(
+            "no positive paths found — the model predicts no matches; "
+            "check training labels"
+        )
+    return MatchingFunction(rules)

@@ -1,0 +1,96 @@
+"""Rule-set simplification: remove semantically redundant rules.
+
+Forest-extracted DNFs are redundant by construction — different trees
+rediscover the same region of feature space with slightly different
+thresholds.  Redundant rules never change the matching result (DNF is a
+union), but they cost evaluation time on every *unmatched* pair (early
+exit must falsify every rule) and they clutter the analyst's view.
+
+The core relation is **subsumption**: rule ``general`` subsumes rule
+``specific`` iff every pair matched by ``specific`` is also matched by
+``general`` — then ``specific`` contributes nothing and can be dropped.
+
+A sufficient (sound, incomplete) syntactic test: for every predicate of
+``general`` there is a predicate of ``specific`` on the same slot that is
+at least as strict.  (``specific`` may also carry extra predicates —
+extra conjuncts only shrink its true-set further.)  The test is
+incomplete in the face of cross-feature correlations, which is exactly
+what makes it *safe*: we only remove rules that are provably redundant
+for every possible dataset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.rules import MatchingFunction, Predicate, Rule
+
+
+def predicate_at_least_as_strict(candidate: Predicate, reference: Predicate) -> bool:
+    """True iff ``candidate``'s true-set is a subset of ``reference``'s.
+
+    Defined only for same-slot predicates (same feature, same bound
+    direction); returns False otherwise.
+    """
+    if candidate.slot != reference.slot:
+        return False
+    if candidate.pid == reference.pid:
+        return True
+    return candidate.is_stricter_than(reference)
+
+
+def rule_subsumes(general: Rule, specific: Rule) -> bool:
+    """True iff ``general``'s true-set provably contains ``specific``'s.
+
+    Every predicate of ``general`` must be matched by an equally-or-more
+    strict same-slot predicate in ``specific``.
+    """
+    by_slot = {predicate.slot: predicate for predicate in specific.predicates}
+    for predicate in general.predicates:
+        counterpart = by_slot.get(predicate.slot)
+        if counterpart is None:
+            return False
+        if not predicate_at_least_as_strict(counterpart, predicate):
+            return False
+    return True
+
+
+def remove_subsumed(function: MatchingFunction) -> Tuple[MatchingFunction, List[str]]:
+    """Drop every rule subsumed by another rule of the function.
+
+    Returns the simplified function and the names of removed rules, in
+    removal order.  When two rules subsume each other (identical
+    true-sets), the one appearing *later* is removed, so the evaluation
+    order of survivors is preserved.
+    """
+    rules = list(function.rules)
+    removed: List[str] = []
+    survivors: List[Rule] = []
+    for index, rule in enumerate(rules):
+        subsumed = False
+        for other_index, other in enumerate(rules):
+            if other_index == index or other.name in removed:
+                continue
+            if rule_subsumes(other, rule):
+                # Mutual subsumption: keep the earlier one.
+                if rule_subsumes(rule, other) and other_index > index:
+                    continue
+                subsumed = True
+                break
+        if subsumed:
+            removed.append(rule.name)
+        else:
+            survivors.append(rule)
+    if not removed:
+        return function, []
+    return MatchingFunction(survivors), removed
+
+
+def redundancy_report(function: MatchingFunction) -> List[Tuple[str, str]]:
+    """All (general, specific) subsumption pairs, for diagnostics."""
+    report: List[Tuple[str, str]] = []
+    for general in function.rules:
+        for specific in function.rules:
+            if general.name != specific.name and rule_subsumes(general, specific):
+                report.append((general.name, specific.name))
+    return report

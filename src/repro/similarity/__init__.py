@@ -1,0 +1,95 @@
+"""String/numeric similarity substrate (py_stringmatching equivalent).
+
+This subpackage is a from-scratch implementation of every similarity measure
+the paper's feature space draws on (its Table 3), plus tokenizers, corpus
+statistics for the TF-IDF family, and a name-based registry used by the rule
+DSL and the feature-space builder.
+"""
+
+from .alignment import NeedlemanWunsch, SmithWaterman
+from .base import SimilarityFunction
+from .corpus import Corpus
+from .editex import Editex, editex_distance
+from .exact import ExactMatch, NormalizedExactMatch, PrefixMatch, SuffixMatch
+from .extra import BagCosine, BagJaccard, Hamming, Tversky
+from .jaro import Jaro, JaroWinkler, jaro_similarity, jaro_winkler_similarity
+from .levenshtein import (
+    DamerauLevenshtein,
+    Levenshtein,
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+)
+from .numeric import AbsoluteDifference, NumericExact, RelativeDifference
+from .phonetic import Nysiis, nysiis_code
+from .registry import (
+    default_instances,
+    make_similarity,
+    register,
+    registered_names,
+)
+from .soundex import Soundex, soundex_code
+from .tfidf import SoftTfIdf, TfIdf
+from .token_based import (
+    Cosine,
+    Dice,
+    Jaccard,
+    MongeElkan,
+    OverlapCoefficient,
+    Trigram,
+)
+from .tokenizers import (
+    AlphanumericTokenizer,
+    DelimiterTokenizer,
+    QgramTokenizer,
+    Tokenizer,
+    WhitespaceTokenizer,
+)
+
+__all__ = [
+    "SimilarityFunction",
+    "Corpus",
+    "ExactMatch",
+    "NormalizedExactMatch",
+    "PrefixMatch",
+    "SuffixMatch",
+    "Hamming",
+    "Tversky",
+    "BagJaccard",
+    "BagCosine",
+    "Jaro",
+    "JaroWinkler",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "Levenshtein",
+    "DamerauLevenshtein",
+    "levenshtein_distance",
+    "damerau_levenshtein_distance",
+    "Soundex",
+    "soundex_code",
+    "Nysiis",
+    "nysiis_code",
+    "Editex",
+    "editex_distance",
+    "Jaccard",
+    "Dice",
+    "OverlapCoefficient",
+    "Cosine",
+    "Trigram",
+    "MongeElkan",
+    "TfIdf",
+    "SoftTfIdf",
+    "NeedlemanWunsch",
+    "SmithWaterman",
+    "NumericExact",
+    "RelativeDifference",
+    "AbsoluteDifference",
+    "Tokenizer",
+    "WhitespaceTokenizer",
+    "AlphanumericTokenizer",
+    "DelimiterTokenizer",
+    "QgramTokenizer",
+    "make_similarity",
+    "register",
+    "registered_names",
+    "default_instances",
+]

@@ -1,0 +1,82 @@
+"""Sequence-alignment similarity: Needleman-Wunsch and Smith-Waterman.
+
+The paper's "full precomputation" baseline (FPR, Figure 3A/B) precomputes a
+*superset* of features the analyst might draw from — in Magellan that
+superset includes alignment measures even when no final rule uses them.
+These implementations exist so our FPR experiments pay realistic costs for
+never-used expensive features.
+
+Both use unit match/mismatch/gap scores and normalize to ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from .base import SimilarityFunction
+
+
+def needleman_wunsch_score(
+    x: str, y: str, match: float = 1.0, mismatch: float = -1.0, gap: float = -1.0
+) -> float:
+    """Raw global-alignment score via the Needleman-Wunsch DP recurrence."""
+    rows, cols = len(x) + 1, len(y) + 1
+    previous = [j * gap for j in range(cols)]
+    for i in range(1, rows):
+        current = [i * gap]
+        for j in range(1, cols):
+            diag = previous[j - 1] + (match if x[i - 1] == y[j - 1] else mismatch)
+            current.append(max(diag, previous[j] + gap, current[j - 1] + gap))
+        previous = current
+    return previous[-1]
+
+
+def smith_waterman_score(
+    x: str, y: str, match: float = 1.0, mismatch: float = -1.0, gap: float = -1.0
+) -> float:
+    """Raw local-alignment score (best-scoring substring alignment)."""
+    cols = len(y) + 1
+    previous = [0.0] * cols
+    best = 0.0
+    for i in range(1, len(x) + 1):
+        current = [0.0]
+        for j in range(1, cols):
+            diag = previous[j - 1] + (match if x[i - 1] == y[j - 1] else mismatch)
+            score = max(0.0, diag, previous[j] + gap, current[j - 1] + gap)
+            current.append(score)
+            if score > best:
+                best = score
+        previous = current
+    return best
+
+
+class NeedlemanWunsch(SimilarityFunction):
+    """Global alignment score normalized by the longer string's length.
+
+    Negative alignment scores clip to 0.0; identical strings score 1.0.
+    """
+
+    name = "needleman_wunsch"
+    cost_tier = 7
+
+    def compare(self, x: str, y: str) -> float:
+        x, y = x.lower(), y.lower()
+        longest = max(len(x), len(y))
+        if longest == 0:
+            return 1.0
+        return max(0.0, needleman_wunsch_score(x, y) / longest)
+
+
+class SmithWaterman(SimilarityFunction):
+    """Local alignment score normalized by the shorter string's length.
+
+    1.0 whenever the shorter string aligns perfectly inside the longer one.
+    """
+
+    name = "smith_waterman"
+    cost_tier = 7
+
+    def compare(self, x: str, y: str) -> float:
+        x, y = x.lower(), y.lower()
+        shortest = min(len(x), len(y))
+        if shortest == 0:
+            return 1.0 if len(x) == len(y) else 0.0
+        return max(0.0, min(1.0, smith_waterman_score(x, y) / shortest))

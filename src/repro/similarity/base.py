@@ -1,0 +1,85 @@
+"""Base class and conventions for similarity functions.
+
+Every measure in :mod:`repro.similarity` is a callable object mapping a pair
+of attribute values to a score in ``[0, 1]`` (1 = identical).  The paper's
+*features* are exactly such measures bound to an attribute pair; see
+:class:`repro.core.rules.Feature`.
+
+Conventions shared by all measures
+----------------------------------
+
+* **Missing values.** If either input is ``None`` the score is ``0.0``.
+  Rule predicates of the form ``sim < t`` therefore treat missing data as
+  maximally dissimilar, which matches how Magellan-extracted rule sets
+  behave on records with absent attributes.
+* **Non-string input.** Values are coerced with ``str()`` so numeric model
+  numbers, prices and years can participate in string measures.
+* **Symmetry.** ``sim(x, y) == sim(y, x)`` for every measure (required by
+  the paper's commutativity assumption on the matching function, §3).
+* **Relative cost.** Each class carries a ``cost_tier`` integer giving its
+  rough position in the paper's Table 3 cost ladder (0 = exact match,
+  9 = Soft TF-IDF).  The cost model *measures* real costs at runtime; the
+  tier exists for documentation, deterministic tests, and the calibrated
+  estimation mode.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+
+def coerce(value: object) -> Optional[str]:
+    """Normalize an attribute value for string comparison.
+
+    Returns ``None`` for missing values and the ``str()`` form otherwise.
+    Centralized here so every measure treats ``None``/numeric input the
+    same way.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return value
+    return str(value)
+
+
+class SimilarityFunction(ABC):
+    """A symmetric similarity measure with scores in ``[0, 1]``.
+
+    Instances are immutable and hashable on their :attr:`name`, which makes
+    them usable as dictionary keys in feature registries and memo tables.
+    """
+
+    #: Registry/display name, e.g. ``"jaro_winkler"``.  Must be unique among
+    #: instances that coexist in one :class:`~repro.learning.feature_space.FeatureSpace`.
+    name: str = "similarity"
+
+    #: Rough relative cost rank mirroring the paper's Table 3 (0 cheapest).
+    cost_tier: int = 5
+
+    #: True for corpus-backed measures (TF-IDF family) that must be bound to
+    #: document statistics via :meth:`bind_corpus` before use.
+    needs_corpus: bool = False
+
+    def __call__(self, x: object, y: object) -> float:
+        """Return the similarity of ``x`` and ``y`` in ``[0, 1]``."""
+        sx, sy = coerce(x), coerce(y)
+        if sx is None or sy is None:
+            return 0.0
+        return self.compare(sx, sy)
+
+    @abstractmethod
+    def compare(self, x: str, y: str) -> float:
+        """Compare two non-``None`` normalized strings."""
+
+    def bind_corpus(self, corpus) -> None:
+        """Attach corpus statistics (no-op for corpus-free measures)."""
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.name))
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.name == getattr(other, "name", None)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,88 @@
+"""Corpus statistics for TF-IDF-weighted measures.
+
+The TF-IDF and Soft TF-IDF features of the paper weight tokens by inverse
+document frequency computed over the *values of the compared attributes in
+both input tables*.  :class:`Corpus` holds those statistics; it is built
+once per (dataset, tokenizer) by :func:`Corpus.from_values` and then bound
+to the measures via :meth:`SimilarityFunction.bind_corpus`.
+
+IDF uses the smoothed form ``log((1 + N) / (1 + df)) + 1`` so unseen tokens
+(df = 0) still receive a finite, maximal weight — necessary because during
+interactive debugging an analyst may probe pairs whose values were not part
+of the corpus snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List
+
+from .tokenizers import Tokenizer, WhitespaceTokenizer
+
+
+class Corpus:
+    """Document-frequency statistics over a collection of attribute values.
+
+    Each attribute value is one "document"; its token *set* (not multiset)
+    contributes to document frequencies, per the standard definition.
+    """
+
+    def __init__(self, tokenizer: Tokenizer | None = None):
+        self.tokenizer = tokenizer or WhitespaceTokenizer()
+        self.document_count = 0
+        self.document_frequency: Counter = Counter()
+        self._idf_cache: Dict[str, float] = {}
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[object], tokenizer: Tokenizer | None = None
+    ) -> "Corpus":
+        """Build a corpus from an iterable of attribute values."""
+        corpus = cls(tokenizer)
+        corpus.add_values(values)
+        return corpus
+
+    def add_values(self, values: Iterable[object]) -> None:
+        """Fold more documents into the statistics (invalidates the cache)."""
+        for value in values:
+            tokens = self.tokenizer.tokenize_set(value)
+            if not tokens and value is None:
+                continue
+            self.document_count += 1
+            self.document_frequency.update(tokens)
+        self._idf_cache.clear()
+
+    def idf(self, token: str) -> float:
+        """Smoothed inverse document frequency of ``token``."""
+        cached = self._idf_cache.get(token)
+        if cached is not None:
+            return cached
+        df = self.document_frequency.get(token, 0)
+        value = math.log((1 + self.document_count) / (1 + df)) + 1.0
+        self._idf_cache[token] = value
+        return value
+
+    def tfidf_vector(self, tokens: List[str]) -> Dict[str, float]:
+        """L2-normalized TF-IDF weight vector for a token multiset.
+
+        Term frequency is the raw in-document count.  Returns an empty dict
+        for an empty token list.
+        """
+        if not tokens:
+            return {}
+        counts = Counter(tokens)
+        weights = {token: count * self.idf(token) for token, count in counts.items()}
+        norm = math.sqrt(sum(weight * weight for weight in weights.values()))
+        if norm == 0.0:
+            return {}
+        return {token: weight / norm for token, weight in weights.items()}
+
+    def __len__(self) -> int:
+        return self.document_count
+
+    def __repr__(self) -> str:
+        return (
+            f"Corpus(documents={self.document_count}, "
+            f"vocabulary={len(self.document_frequency)})"
+        )

@@ -1,0 +1,96 @@
+"""Exact and near-exact equality measures.
+
+These sit at the bottom of the paper's Table 3 cost ladder (0.2 µs for an
+exact match on ``modelno``) and at the top of the selectivity ladder: an
+exact-match predicate is the cheapest, most selective filter a rule can
+open with, which is exactly why the ordering algorithms of Section 5 tend
+to schedule them first.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .base import SimilarityFunction
+
+
+class ExactMatch(SimilarityFunction):
+    """1.0 iff the two values are equal as strings, else 0.0.
+
+    With ``case_sensitive=False`` (default) comparison is done on
+    lowercased strings, matching common EM practice.
+    """
+
+    cost_tier = 0
+
+    def __init__(self, case_sensitive: bool = False):
+        self.case_sensitive = case_sensitive
+        self.name = "exact_match" if not case_sensitive else "exact_match_cs"
+
+    def compare(self, x: str, y: str) -> float:
+        if not self.case_sensitive:
+            x, y = x.lower(), y.lower()
+        return 1.0 if x == y else 0.0
+
+
+class NormalizedExactMatch(SimilarityFunction):
+    """Equality after stripping all non-alphanumeric characters.
+
+    ``"MN-12 345"`` equals ``"mn12345"``.  Useful for model numbers and
+    phone numbers, where formatting noise is the dominant difference
+    between sources.
+    """
+
+    name = "norm_exact_match"
+    cost_tier = 1
+    _strip = re.compile(r"[^a-z0-9]+")
+
+    def compare(self, x: str, y: str) -> float:
+        nx = self._strip.sub("", x.lower())
+        ny = self._strip.sub("", y.lower())
+        if not nx and not ny:
+            # Two values made entirely of punctuation carry no signal.
+            return 0.0
+        return 1.0 if nx == ny else 0.0
+
+
+class PrefixMatch(SimilarityFunction):
+    """Length of the common (case-folded) prefix over the shorter length.
+
+    A cheap O(min(len)) measure that correlates well with equality for
+    identifiers that share a leading product-line code.
+    """
+
+    name = "prefix"
+    cost_tier = 1
+
+    def compare(self, x: str, y: str) -> float:
+        x, y = x.lower(), y.lower()
+        limit = min(len(x), len(y))
+        if limit == 0:
+            return 1.0 if len(x) == len(y) else 0.0
+        common = 0
+        for cx, cy in zip(x, y):
+            if cx != cy:
+                break
+            common += 1
+        return common / limit
+
+
+class SuffixMatch(SimilarityFunction):
+    """Length of the common (case-folded) suffix over the shorter length."""
+
+    name = "suffix"
+    cost_tier = 1
+
+    def compare(self, x: str, y: str) -> float:
+        x, y = x.lower(), y.lower()
+        limit = min(len(x), len(y))
+        if limit == 0:
+            return 1.0 if len(x) == len(y) else 0.0
+        common = 0
+        for cx, cy in zip(reversed(x), reversed(y)):
+            if cx != cy:
+                break
+            common += 1
+        return common / limit

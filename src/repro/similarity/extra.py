@@ -1,0 +1,117 @@
+"""Additional measures rounding out the feature-space superset.
+
+These are not in the paper's Table 3 but are standard members of the
+Magellan/py_stringmatching catalog the paper's "total features" column
+draws from — the features a full-precomputation baseline pays for even
+when no rule uses them.
+
+* :class:`Hamming` — positional character agreement (same-length codes).
+* :class:`Tversky` — asymmetric-set-overlap family generalizing Jaccard
+  and Dice (symmetrized here with α = β to keep the package contract).
+* :class:`BagJaccard` / :class:`BagCosine` — multiset (bag) variants that
+  count token multiplicities, distinguishing ``"2 x 2"`` from ``"2"``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from .base import SimilarityFunction
+from .tokenizers import Tokenizer, WhitespaceTokenizer
+
+
+class Hamming(SimilarityFunction):
+    """``1 - hamming_distance / max_len``; shorter string padded virtually.
+
+    Cheap and surprisingly effective on fixed-format identifiers (zip
+    codes, ISBN tails) where edits are substitutions, not indels.
+    """
+
+    name = "hamming"
+    cost_tier = 1
+
+    def compare(self, x: str, y: str) -> float:
+        x, y = x.lower(), y.lower()
+        longest = max(len(x), len(y))
+        if longest == 0:
+            return 1.0
+        agreements = sum(1 for cx, cy in zip(x, y) if cx == cy)
+        return agreements / longest
+
+
+class Tversky(SimilarityFunction):
+    """Symmetric Tversky index over token sets.
+
+    ``|X∩Y| / (|X∩Y| + α·|X\\Y| + α·|Y\\X|)`` — α = 0.5 reproduces Dice,
+    α = 1 reproduces Jaccard; intermediate values soften the penalty for
+    unmatched tokens (useful when one source pads titles with noise).
+    """
+
+    cost_tier = 6
+
+    def __init__(self, alpha: float = 0.75, tokenizer: Tokenizer | None = None):
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+        self.tokenizer = tokenizer or WhitespaceTokenizer()
+        self.name = f"tversky{alpha:g}_{self.tokenizer.name}"
+
+    def compare(self, x: str, y: str) -> float:
+        set_x = self.tokenizer.tokenize_set(x)
+        set_y = self.tokenizer.tokenize_set(y)
+        if not set_x and not set_y:
+            return 1.0
+        if not set_x or not set_y:
+            return 0.0
+        common = len(set_x & set_y)
+        only_x = len(set_x - set_y)
+        only_y = len(set_y - set_x)
+        denominator = common + self.alpha * (only_x + only_y)
+        return common / denominator if denominator else 0.0
+
+
+class BagJaccard(SimilarityFunction):
+    """Jaccard over token *multisets*: min-counts over max-counts."""
+
+    cost_tier = 6
+
+    def __init__(self, tokenizer: Tokenizer | None = None):
+        self.tokenizer = tokenizer or WhitespaceTokenizer()
+        self.name = f"bag_jaccard_{self.tokenizer.name}"
+
+    def compare(self, x: str, y: str) -> float:
+        bag_x = Counter(self.tokenizer.tokenize(x))
+        bag_y = Counter(self.tokenizer.tokenize(y))
+        if not bag_x and not bag_y:
+            return 1.0
+        if not bag_x or not bag_y:
+            return 0.0
+        tokens = set(bag_x) | set(bag_y)
+        intersection = sum(min(bag_x[t], bag_y[t]) for t in tokens)
+        union = sum(max(bag_x[t], bag_y[t]) for t in tokens)
+        return intersection / union if union else 0.0
+
+
+class BagCosine(SimilarityFunction):
+    """Cosine between raw token-count vectors (no IDF weighting)."""
+
+    cost_tier = 6
+
+    def __init__(self, tokenizer: Tokenizer | None = None):
+        self.tokenizer = tokenizer or WhitespaceTokenizer()
+        self.name = f"bag_cosine_{self.tokenizer.name}"
+
+    def compare(self, x: str, y: str) -> float:
+        bag_x = Counter(self.tokenizer.tokenize(x))
+        bag_y = Counter(self.tokenizer.tokenize(y))
+        if not bag_x and not bag_y:
+            return 1.0
+        if not bag_x or not bag_y:
+            return 0.0
+        if len(bag_y) < len(bag_x):
+            bag_x, bag_y = bag_y, bag_x
+        dot = sum(count * bag_y.get(token, 0) for token, count in bag_x.items())
+        norm_x = math.sqrt(sum(count * count for count in bag_x.values()))
+        norm_y = math.sqrt(sum(count * count for count in bag_y.values()))
+        return min(1.0, dot / (norm_x * norm_y))

@@ -1,0 +1,106 @@
+"""Edit-distance based measures: Levenshtein and Damerau-Levenshtein.
+
+The paper's Table 3 lists Levenshtein on ``modelno`` at 1.22 µs — mid-pack
+between the character measures (Jaro family) and the token/corpus measures.
+Scores are normalized to ``[0, 1]`` as ``1 - dist / max(len)`` so they can be
+thresholded by rule predicates like any other feature.
+"""
+
+from __future__ import annotations
+
+from .base import SimilarityFunction
+
+
+def levenshtein_distance(x: str, y: str) -> int:
+    """Classic dynamic-programming edit distance (insert/delete/substitute).
+
+    Runs in ``O(len(x) * len(y))`` time and ``O(min(len))`` space by keeping
+    only the previous DP row and iterating over the longer string.
+    """
+    if x == y:
+        return 0
+    if len(x) < len(y):
+        x, y = y, x  # iterate over the longer string; row size = shorter
+    if not y:
+        return len(x)
+    previous = list(range(len(y) + 1))
+    for i, cx in enumerate(x, start=1):
+        current = [i]
+        for j, cy in enumerate(y, start=1):
+            substitute = previous[j - 1] + (cx != cy)
+            insert = current[j - 1] + 1
+            delete = previous[j] + 1
+            current.append(min(substitute, insert, delete))
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein_distance(x: str, y: str) -> int:
+    """Edit distance that additionally allows adjacent transpositions.
+
+    This is the *restricted* (optimal string alignment) variant: a
+    transposed pair may not be edited again afterwards.  It matches the
+    typo model used by the synthetic data generators, where swapped
+    neighbouring characters are a single error.
+    """
+    if x == y:
+        return 0
+    if not x:
+        return len(y)
+    if not y:
+        return len(x)
+    rows = len(x) + 1
+    cols = len(y) + 1
+    dist = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        dist[i][0] = i
+    for j in range(cols):
+        dist[0][j] = j
+    for i in range(1, rows):
+        for j in range(1, cols):
+            cost = 0 if x[i - 1] == y[j - 1] else 1
+            best = min(
+                dist[i - 1][j] + 1,
+                dist[i][j - 1] + 1,
+                dist[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and x[i - 1] == y[j - 2]
+                and x[i - 2] == y[j - 1]
+            ):
+                best = min(best, dist[i - 2][j - 2] + 1)
+            dist[i][j] = best
+    return dist[-1][-1]
+
+
+class Levenshtein(SimilarityFunction):
+    """Normalized Levenshtein similarity: ``1 - dist / max(len(x), len(y))``.
+
+    Two empty strings are defined to have similarity 1.0.
+    """
+
+    name = "levenshtein"
+    cost_tier = 3
+
+    def compare(self, x: str, y: str) -> float:
+        x, y = x.lower(), y.lower()
+        longest = max(len(x), len(y))
+        if longest == 0:
+            return 1.0
+        return 1.0 - levenshtein_distance(x, y) / longest
+
+
+class DamerauLevenshtein(SimilarityFunction):
+    """Normalized Damerau-Levenshtein similarity (transposition-aware)."""
+
+    name = "damerau_levenshtein"
+    cost_tier = 4
+
+    def compare(self, x: str, y: str) -> float:
+        x, y = x.lower(), y.lower()
+        longest = max(len(x), len(y))
+        if longest == 0:
+            return 1.0
+        return 1.0 - damerau_levenshtein_distance(x, y) / longest

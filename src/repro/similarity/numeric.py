@@ -1,0 +1,83 @@
+"""Similarity measures for numeric attributes (price, year, page count).
+
+String measures behave badly on numbers ("19.99" vs "20.00" shares almost no
+characters), so the feature spaces for domains with numeric attributes use
+these instead.  Values that fail to parse as floats score 0.0, consistent
+with the package-wide missing-value convention.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .base import SimilarityFunction
+
+_NUMBER = re.compile(r"-?\d+(?:\.\d+)?")
+
+
+def parse_number(value: str) -> Optional[float]:
+    """Extract the first numeric literal from a string, or ``None``.
+
+    Handles currency/unit decoration: ``"$19.99"`` and ``"19.99 USD"`` both
+    parse to ``19.99``.
+    """
+    match = _NUMBER.search(value.replace(",", ""))
+    if match is None:
+        return None
+    return float(match.group())
+
+
+class NumericExact(SimilarityFunction):
+    """1.0 iff the two values parse to the same number (within 1e-9)."""
+
+    name = "numeric_exact"
+    cost_tier = 1
+
+    def compare(self, x: str, y: str) -> float:
+        nx, ny = parse_number(x), parse_number(y)
+        if nx is None or ny is None:
+            return 0.0
+        return 1.0 if abs(nx - ny) <= 1e-9 else 0.0
+
+
+class RelativeDifference(SimilarityFunction):
+    """``1 - |x - y| / max(|x|, |y|)``, clipped to ``[0, 1]``.
+
+    Two zeros score 1.0.  Good for prices, where a 5 % delta should score
+    ~0.95 regardless of magnitude.
+    """
+
+    name = "rel_diff"
+    cost_tier = 1
+
+    def compare(self, x: str, y: str) -> float:
+        nx, ny = parse_number(x), parse_number(y)
+        if nx is None or ny is None:
+            return 0.0
+        denominator = max(abs(nx), abs(ny))
+        if denominator == 0.0:
+            return 1.0
+        return max(0.0, 1.0 - abs(nx - ny) / denominator)
+
+
+class AbsoluteDifference(SimilarityFunction):
+    """``max(0, 1 - |x - y| / scale)`` — linear decay over a fixed scale.
+
+    ``scale`` is the difference at which similarity reaches zero; e.g.
+    ``AbsoluteDifference(scale=5)`` scores publication years 3 apart at 0.4.
+    """
+
+    cost_tier = 1
+
+    def __init__(self, scale: float = 10.0):
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        self.name = f"abs_diff_{scale:g}"
+
+    def compare(self, x: str, y: str) -> float:
+        nx, ny = parse_number(x), parse_number(y)
+        if nx is None or ny is None:
+            return 0.0
+        return max(0.0, 1.0 - abs(nx - ny) / self.scale)

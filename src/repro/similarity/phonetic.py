@@ -1,0 +1,117 @@
+"""Additional phonetic encodings: NYSIIS.
+
+Soundex (``repro.similarity.soundex``) is the paper's Table 3 entry; NYSIIS
+(New York State Identification and Intelligence System, 1970) is its more
+accurate successor and a standard member of the feature superset for
+person/venue names.  Like :class:`~repro.similarity.soundex.Soundex`, the
+similarity is Jaccard overlap of per-token codes.
+"""
+
+from __future__ import annotations
+
+from .base import SimilarityFunction
+from .tokenizers import WhitespaceTokenizer
+
+_VOWELS = set("aeiou")
+
+
+def nysiis_code(word: str, max_length: int = 8) -> str:
+    """NYSIIS phonetic code of a single word (classic 1970 rule set).
+
+    Empty/non-alphabetic words encode to the empty string.  ``max_length``
+    truncates the result (the original system used 6; 8 keeps more signal
+    for long product-era names).
+    """
+    letters = [ch for ch in word.lower() if ch.isalpha()]
+    if not letters:
+        return ""
+    word = "".join(letters)
+
+    # 1. Prefix transformations.
+    for prefix, replacement in (
+        ("mac", "mcc"), ("kn", "nn"), ("k", "c"), ("ph", "ff"),
+        ("pf", "ff"), ("sch", "sss"),
+    ):
+        if word.startswith(prefix):
+            word = replacement + word[len(prefix):]
+            break
+
+    # 2. Suffix transformations.
+    for suffix, replacement in (
+        ("ee", "y"), ("ie", "y"), ("dt", "d"), ("rt", "d"), ("rd", "d"),
+        ("nt", "d"), ("nd", "d"),
+    ):
+        if word.endswith(suffix):
+            word = word[: -len(suffix)] + replacement
+            break
+
+    first = word[0]
+    code = [first]
+    previous = first
+    position = 1
+    while position < len(word):
+        ch = word[position]
+        replacement = ch
+        if word[position : position + 2] == "ev":
+            replacement = "af"
+            position += 1
+        elif ch in _VOWELS:
+            replacement = "a"
+        elif ch == "q":
+            replacement = "g"
+        elif ch == "z":
+            replacement = "s"
+        elif ch == "m":
+            replacement = "n"
+        elif ch == "k":
+            replacement = "n" if position + 1 < len(word) and word[position + 1] == "n" else "c"
+        elif word[position : position + 3] == "sch":
+            replacement = "sss"
+            position += 2
+        elif word[position : position + 2] == "ph":
+            replacement = "ff"
+            position += 1
+        elif (
+            ch == "h"
+            and (
+                word[position - 1] not in _VOWELS
+                or (position + 1 < len(word) and word[position + 1] not in _VOWELS)
+            )
+        ):
+            replacement = previous
+        elif ch == "w" and word[position - 1] in _VOWELS:
+            replacement = previous
+        for out in replacement:
+            if out != code[-1]:
+                code.append(out)
+        previous = replacement[-1] if replacement else previous
+        position += 1
+
+    # 3. Terminal cleanup.
+    result = "".join(code)
+    if result.endswith("s") and len(result) > 1:
+        result = result[:-1]
+    if result.endswith("ay"):
+        result = result[:-2] + "y"
+    if result.endswith("a") and len(result) > 1:
+        result = result[:-1]
+    return result[:max_length]
+
+
+class Nysiis(SimilarityFunction):
+    """Jaccard overlap of per-token NYSIIS codes."""
+
+    name = "nysiis"
+    cost_tier = 5
+
+    def __init__(self):
+        self._tokenizer = WhitespaceTokenizer()
+
+    def compare(self, x: str, y: str) -> float:
+        codes_x = {nysiis_code(t) for t in self._tokenizer.tokenize(x)} - {""}
+        codes_y = {nysiis_code(t) for t in self._tokenizer.tokenize(y)} - {""}
+        if not codes_x and not codes_y:
+            return 1.0
+        if not codes_x or not codes_y:
+            return 0.0
+        return len(codes_x & codes_y) / len(codes_x | codes_y)

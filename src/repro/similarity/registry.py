@@ -1,0 +1,133 @@
+"""Name-based registry of similarity functions.
+
+The rule DSL (:mod:`repro.core.parser`) and the dataset feature spaces refer
+to measures by name — ``"jaccard_ws"``, ``"soft_tfidf_ws"`` and so on.  This
+module maps those names to factories.  Factories (rather than singletons)
+are registered because corpus-backed measures must not share corpora across
+datasets.
+
+Use :func:`make_similarity` to construct a fresh instance, or
+:func:`default_instances` to get one instance of every registered measure
+(the "total features" superset underlying the paper's FPR baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import UnknownSimilarityError
+from .alignment import NeedlemanWunsch, SmithWaterman
+from .base import SimilarityFunction
+from .editex import Editex
+from .exact import ExactMatch, NormalizedExactMatch, PrefixMatch, SuffixMatch
+from .extra import BagCosine, BagJaccard, Hamming, Tversky
+from .jaro import Jaro, JaroWinkler
+from .levenshtein import DamerauLevenshtein, Levenshtein
+from .numeric import AbsoluteDifference, NumericExact, RelativeDifference
+from .phonetic import Nysiis
+from .soundex import Soundex
+from .tfidf import SoftTfIdf, TfIdf
+from .token_based import (
+    Cosine,
+    Dice,
+    Jaccard,
+    MongeElkan,
+    OverlapCoefficient,
+    Trigram,
+)
+from .tokenizers import QgramTokenizer, WhitespaceTokenizer
+
+SimilarityFactory = Callable[[], SimilarityFunction]
+
+_REGISTRY: Dict[str, SimilarityFactory] = {}
+
+
+def register(name: str, factory: SimilarityFactory, replace: bool = False) -> None:
+    """Register ``factory`` under ``name``.
+
+    Raises ``ValueError`` on duplicate registration unless ``replace=True``
+    — silent replacement has bitten every plugin registry ever written.
+    """
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"similarity {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def make_similarity(name: str) -> SimilarityFunction:
+    """Construct a fresh instance of the measure registered under ``name``.
+
+    ``name`` may be either a registry key (``"monge_elkan"``) or an
+    instance's self-reported name (``"monge_elkan_jaro_winkler"``,
+    ``"tversky0.75_ws"``) — the latter is what the rule DSL formatter
+    emits, so parsing formatted or persisted rules must resolve it too.
+    """
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        factory = _instance_name_index().get(name)
+    if factory is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownSimilarityError(
+            f"unknown similarity {name!r}; registered: {known}"
+        )
+    return factory()
+
+
+_INSTANCE_NAME_INDEX: Dict[str, SimilarityFactory] = {}
+
+
+def _instance_name_index() -> Dict[str, SimilarityFactory]:
+    """Lazy reverse map: instance.name -> factory, rebuilt when the
+    registry grows (instances may report a more specific name than
+    their registry key)."""
+    if len(_INSTANCE_NAME_INDEX) < len(_REGISTRY):
+        _INSTANCE_NAME_INDEX.clear()
+        for factory in _REGISTRY.values():
+            _INSTANCE_NAME_INDEX[factory().name] = factory
+    return _INSTANCE_NAME_INDEX
+
+
+def registered_names() -> List[str]:
+    """Sorted list of all registered measure names."""
+    return sorted(_REGISTRY)
+
+
+def default_instances() -> List[SimilarityFunction]:
+    """One fresh instance of every registered measure, sorted by name."""
+    return [make_similarity(name) for name in registered_names()]
+
+
+def _register_defaults() -> None:
+    register("exact_match", ExactMatch)
+    register("norm_exact_match", NormalizedExactMatch)
+    register("prefix", PrefixMatch)
+    register("suffix", SuffixMatch)
+    register("jaro", Jaro)
+    register("jaro_winkler", JaroWinkler)
+    register("levenshtein", Levenshtein)
+    register("damerau_levenshtein", DamerauLevenshtein)
+    register("soundex", Soundex)
+    register("jaccard_ws", lambda: Jaccard(WhitespaceTokenizer()))
+    register("jaccard_qg3", lambda: Jaccard(QgramTokenizer(q=3)))
+    register("dice_ws", lambda: Dice(WhitespaceTokenizer()))
+    register("dice_qg3", lambda: Dice(QgramTokenizer(q=3)))
+    register("overlap_ws", lambda: OverlapCoefficient(WhitespaceTokenizer()))
+    register("cosine_ws", lambda: Cosine(WhitespaceTokenizer()))
+    register("cosine_qg3", lambda: Cosine(QgramTokenizer(q=3)))
+    register("trigram", Trigram)
+    register("monge_elkan", MongeElkan)
+    register("tfidf_ws", lambda: TfIdf(WhitespaceTokenizer()))
+    register("soft_tfidf_ws", lambda: SoftTfIdf(WhitespaceTokenizer()))
+    register("needleman_wunsch", NeedlemanWunsch)
+    register("smith_waterman", SmithWaterman)
+    register("numeric_exact", NumericExact)
+    register("rel_diff", RelativeDifference)
+    register("abs_diff_5", lambda: AbsoluteDifference(scale=5.0))
+    register("hamming", Hamming)
+    register("nysiis", Nysiis)
+    register("editex", Editex)
+    register("tversky_ws", lambda: Tversky(alpha=0.75, tokenizer=WhitespaceTokenizer()))
+    register("bag_jaccard_ws", lambda: BagJaccard(WhitespaceTokenizer()))
+    register("bag_cosine_ws", lambda: BagCosine(WhitespaceTokenizer()))
+
+
+_register_defaults()

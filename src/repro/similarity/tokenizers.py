@@ -1,0 +1,149 @@
+"""Tokenizers used by token-based similarity measures.
+
+The paper's features are similarity functions over attribute values; several
+of them (Jaccard, cosine, TF-IDF, Soft TF-IDF, trigram) operate on token
+multisets rather than raw strings.  This module provides the tokenizers those
+measures are built from, mirroring the py_stringmatching tokenizer family the
+original Magellan-based implementation would have used:
+
+* :class:`WhitespaceTokenizer` — split on runs of whitespace.
+* :class:`AlphanumericTokenizer` — maximal runs of ``[a-z0-9]``.
+* :class:`DelimiterTokenizer` — split on a configurable delimiter set.
+* :class:`QgramTokenizer` — sliding window of q characters, optionally with
+  ``#``/``$`` padding (the paper's footnote 1 computes Jaccard over 3-gram
+  sets of names).
+
+All tokenizers lowercase by default (entity matching is almost always
+case-insensitive) and may be configured to return either a list (multiset
+semantics, order preserved) or to be used via :meth:`Tokenizer.tokenize_set`
+for set semantics.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from typing import FrozenSet, List
+
+
+class Tokenizer(ABC):
+    """Abstract base class for all tokenizers.
+
+    Subclasses implement :meth:`_split`, receiving a lowercased (unless
+    ``lowercase=False``) string; the public entry points handle ``None``
+    and non-string input uniformly by coercing to ``str``.
+    """
+
+    #: short identifier used in feature names, e.g. ``"ws"`` or ``"qg3"``.
+    name: str = "tok"
+
+    def __init__(self, lowercase: bool = True):
+        self.lowercase = lowercase
+
+    def tokenize(self, value: object) -> List[str]:
+        """Return the token list (multiset semantics) for ``value``.
+
+        ``None`` tokenizes to the empty list; any other non-string value is
+        first converted with ``str()`` so numeric attributes can flow through
+        token-based measures without special-casing at call sites.
+        """
+        if value is None:
+            return []
+        text = value if isinstance(value, str) else str(value)
+        if self.lowercase:
+            text = text.lower()
+        return self._split(text)
+
+    def tokenize_set(self, value: object) -> FrozenSet[str]:
+        """Return the token *set* for ``value`` (duplicates collapsed)."""
+        return frozenset(self.tokenize(value))
+
+    @abstractmethod
+    def _split(self, text: str) -> List[str]:
+        """Split an already-normalized string into tokens."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class WhitespaceTokenizer(Tokenizer):
+    """Split on runs of whitespace; empty strings produce no tokens."""
+
+    name = "ws"
+
+    def _split(self, text: str) -> List[str]:
+        return text.split()
+
+
+class AlphanumericTokenizer(Tokenizer):
+    """Return maximal alphanumeric runs, dropping punctuation entirely.
+
+    ``"mp3-player (new!)"`` tokenizes to ``["mp3", "player", "new"]``.
+    This is the most robust word tokenizer for product titles, which are
+    full of stray punctuation that whitespace splitting would glue onto
+    tokens.
+    """
+
+    name = "alnum"
+    _pattern = re.compile(r"[a-z0-9]+")
+
+    def _split(self, text: str) -> List[str]:
+        return self._pattern.findall(text)
+
+
+class DelimiterTokenizer(Tokenizer):
+    """Split on any of a set of single-character delimiters.
+
+    Useful for structured attributes such as ``"action|adventure|sci-fi"``
+    genre lists, where whitespace tokenization would be wrong.
+    """
+
+    name = "delim"
+
+    def __init__(self, delimiters: str = ",;|/", lowercase: bool = True):
+        super().__init__(lowercase=lowercase)
+        if not delimiters:
+            raise ValueError("DelimiterTokenizer requires at least one delimiter")
+        self.delimiters = delimiters
+        self._pattern = re.compile("[" + re.escape(delimiters) + "]+")
+
+    def _split(self, text: str) -> List[str]:
+        return [token.strip() for token in self._pattern.split(text) if token.strip()]
+
+
+class QgramTokenizer(Tokenizer):
+    """Sliding-window q-gram tokenizer.
+
+    With ``padded=True`` (the py_stringmatching default) the string is
+    wrapped in ``q - 1`` leading ``#`` and trailing ``$`` characters so that
+    prefixes/suffixes are represented, e.g. ``qgrams("ab", q=3)`` yields
+    ``['##a', '#ab', 'ab$', 'b$$']``.  With ``padded=False`` a string shorter
+    than ``q`` produces a single truncated token (the whole string), which
+    keeps very short values comparable instead of collapsing to no tokens.
+    """
+
+    def __init__(self, q: int = 3, padded: bool = True, lowercase: bool = True):
+        super().__init__(lowercase=lowercase)
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        self.q = q
+        self.padded = padded
+        self.name = f"qg{q}"
+
+    def _split(self, text: str) -> List[str]:
+        if not text:
+            return []
+        q = self.q
+        if self.padded:
+            text = "#" * (q - 1) + text + "$" * (q - 1)
+        if len(text) < q:
+            return [text]
+        return [text[i : i + q] for i in range(len(text) - q + 1)]
+
+
+#: Shared default instances.  Tokenizers are stateless, so similarity
+#: functions may safely share these rather than constructing their own.
+WHITESPACE = WhitespaceTokenizer()
+ALNUM = AlphanumericTokenizer()
+TRIGRAM = QgramTokenizer(q=3)
+BIGRAM = QgramTokenizer(q=2)

@@ -1,0 +1,431 @@
+"""Interactive command-line workbench — the Figure 1 loop at a prompt.
+
+``python -m repro.workbench`` starts a small REPL where an analyst can
+load a dataset, run matching, inspect quality and individual pairs, apply
+rule edits (incrementally), ask for suggested edits, and save/restore the
+session state:
+
+.. code-block:: text
+
+    repro> load products --scale 0.4
+    repro> run
+    repro> metrics
+    repro> suggest tighten
+    repro> apply 1
+    repro> explain a3 b17
+    repro> save /tmp/session1
+
+The engine is :class:`Workbench`, a plain object mapping command strings
+to actions — fully testable without a TTY (``tests/test_workbench.py``).
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .core.changes import (
+    AddRule,
+    Change,
+    RelaxPredicate,
+    RemovePredicate,
+    RemoveRule,
+    TightenPredicate,
+)
+from .core.parser import format_rule, parse_rule
+from .core.persistence import load_state, save_state
+from .core.session import DebugSession
+from .errors import ReproError
+from .evaluation.suggest import Suggestion, suggest_relaxations, suggest_tightenings
+from .learning import build_workload
+
+
+class WorkbenchError(ReproError):
+    """User-facing command error (bad syntax, wrong session phase)."""
+
+
+class Workbench:
+    """Stateful command interpreter over one debugging session."""
+
+    def __init__(self):
+        self.workload = None
+        self.session: Optional[DebugSession] = None
+        self.suggestions: List[Suggestion] = []
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "help": self.cmd_help,
+            "load": self.cmd_load,
+            "load-csv": self.cmd_load_csv,
+            "rules": self.cmd_rules,
+            "run": self.cmd_run,
+            "metrics": self.cmd_metrics,
+            "explain": self.cmd_explain,
+            "tighten": self.cmd_tighten,
+            "relax": self.cmd_relax,
+            "drop-rule": self.cmd_drop_rule,
+            "drop-predicate": self.cmd_drop_predicate,
+            "add-rule": self.cmd_add_rule,
+            "suggest": self.cmd_suggest,
+            "apply": self.cmd_apply,
+            "history": self.cmd_history,
+            "memory": self.cmd_memory,
+            "stats": self.cmd_stats,
+            "simplify": self.cmd_simplify,
+            "lint": self.cmd_lint,
+            "report": self.cmd_report,
+            "save": self.cmd_save,
+            "restore": self.cmd_restore,
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns the output text (never prints)."""
+        parts = shlex.split(line)
+        if not parts:
+            return ""
+        command, *arguments = parts
+        handler = self._commands.get(command)
+        if handler is None:
+            raise WorkbenchError(
+                f"unknown command {command!r}; try 'help'"
+            )
+        return handler(arguments)
+
+    def _require_session(self) -> DebugSession:
+        if self.session is None or self.session.state is None:
+            raise WorkbenchError("no active run; use 'load <dataset>' then 'run'")
+        return self.session
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def cmd_help(self, arguments: List[str]) -> str:
+        return "\n".join(
+            [
+                "commands:",
+                "  load <dataset> [--scale S] [--rules N] [--seed K]",
+                "  load-csv <a.csv> <b.csv> --block <attr> --rules '<DSL>'",
+                "  run                          full matching run (orders rules first)",
+                "  rules                        list current rules",
+                "  metrics                      P/R/F1 against gold",
+                "  explain <a_id> <b_id>        per-rule, per-predicate trace",
+                "  tighten <rule> <slot> <thr>  stricter threshold (Alg 7)",
+                "  relax <rule> <slot> <thr>    looser threshold (Alg 8)",
+                "  drop-predicate <rule> <slot> remove a predicate (Alg 8)",
+                "  drop-rule <rule>             remove a rule (Alg 9)",
+                "  add-rule <dsl text>          add a rule (Alg 10)",
+                "  suggest [tighten|relax]      ranked edit proposals",
+                "  apply <n>                    apply the n-th suggestion",
+                "  history                      applied edits with timings",
+                "  memory                       materialized-state bytes",
+                "  stats                        rule-set structure report",
+                "  simplify                     list subsumed (redundant) rules",
+                "  lint                         static checks on the rule set",
+                "  report                       per-rule precision table",
+                "  save <dir> / restore <dir>   persist / reload the session state",
+            ]
+        )
+
+    def cmd_load(self, arguments: List[str]) -> str:
+        if not arguments:
+            raise WorkbenchError("usage: load <dataset> [--scale S] [--rules N] [--seed K]")
+        name = arguments[0]
+        scale, max_rules, seed = 0.5, 80, 7
+        iterator = iter(arguments[1:])
+        for flag in iterator:
+            try:
+                if flag == "--scale":
+                    scale = float(next(iterator))
+                elif flag == "--rules":
+                    max_rules = int(next(iterator))
+                elif flag == "--seed":
+                    seed = int(next(iterator))
+                else:
+                    raise WorkbenchError(f"unknown flag {flag!r}")
+            except StopIteration:
+                raise WorkbenchError(f"flag {flag!r} needs a value") from None
+        self.workload = build_workload(
+            name, seed=seed, scale=scale, max_rules=max_rules
+        )
+        self.session = DebugSession(
+            self.workload.candidates,
+            self.workload.function,
+            gold=self.workload.gold,
+            ordering="algorithm6",
+        )
+        self.suggestions = []
+        return f"loaded {self.workload.summary()}"
+
+    def cmd_load_csv(self, arguments: List[str]) -> str:
+        """Bring-your-own-data entry point.
+
+        ``load-csv A.csv B.csv --block title [--overlap 1] [--gold g.csv]
+        --rules 'R1: jaccard_ws(title, title) >= 0.7'``
+
+        Loads two CSV tables (id column ``id``), blocks on the given
+        attribute, and starts a session with the supplied DSL rules.
+        """
+        if len(arguments) < 2:
+            raise WorkbenchError(
+                "usage: load-csv <a.csv> <b.csv> --block <attr> "
+                "[--overlap N] [--gold gold.csv] --rules '<DSL>'"
+            )
+        from .blocking import OverlapBlocker
+        from .core.parser import parse_function
+        from .data import load_gold, load_table
+
+        path_a, path_b, *rest = arguments
+        block_attribute = None
+        overlap = 1
+        gold_path = None
+        rules_text = None
+        iterator = iter(rest)
+        for flag in iterator:
+            try:
+                if flag == "--block":
+                    block_attribute = next(iterator)
+                elif flag == "--overlap":
+                    overlap = int(next(iterator))
+                elif flag == "--gold":
+                    gold_path = next(iterator)
+                elif flag == "--rules":
+                    rules_text = next(iterator)
+                else:
+                    raise WorkbenchError(f"unknown flag {flag!r}")
+            except StopIteration:
+                raise WorkbenchError(f"flag {flag!r} needs a value") from None
+        if block_attribute is None or rules_text is None:
+            raise WorkbenchError("--block and --rules are required")
+
+        table_a = load_table(path_a)
+        table_b = load_table(path_b)
+        blocker = OverlapBlocker(block_attribute, min_overlap=overlap)
+        candidates = blocker.block(table_a, table_b)
+        gold = load_gold(gold_path) if gold_path else None
+        self.workload = None  # no feature space; DSL resolves via registry
+        self.session = DebugSession(
+            candidates,
+            parse_function(rules_text),
+            gold=gold,
+            ordering="algorithm5",
+        )
+        self.suggestions = []
+        return (
+            f"loaded {table_a.name} ({len(table_a)}) x {table_b.name} "
+            f"({len(table_b)}): {len(candidates)} candidate pairs"
+            + (f", {len(gold)} gold labels" if gold else "")
+        )
+
+    def cmd_run(self, arguments: List[str]) -> str:
+        if self.session is None:
+            raise WorkbenchError("load a dataset first")
+        result = self.session.run()
+        return f"ran: {result.stats.summary()}"
+
+    def cmd_rules(self, arguments: List[str]) -> str:
+        session = self._require_session()
+        return "\n".join(format_rule(rule) for rule in session.function.rules)
+
+    def cmd_metrics(self, arguments: List[str]) -> str:
+        session = self._require_session()
+        return session.metrics().summary()
+
+    def cmd_explain(self, arguments: List[str]) -> str:
+        if len(arguments) != 2:
+            raise WorkbenchError("usage: explain <a_id> <b_id>")
+        session = self._require_session()
+        try:
+            return session.explain(arguments[0], arguments[1]).render()
+        except KeyError:
+            raise WorkbenchError(
+                f"({arguments[0]}, {arguments[1]}) is not a candidate pair"
+            ) from None
+
+    def _threshold_change(self, arguments: List[str], change_class) -> str:
+        if len(arguments) != 3:
+            raise WorkbenchError(
+                f"usage: {change_class.__name__.lower()} <rule> <slot> <threshold>"
+            )
+        session = self._require_session()
+        rule_name, slot, threshold_text = arguments
+        try:
+            threshold = float(threshold_text)
+        except ValueError:
+            raise WorkbenchError(f"{threshold_text!r} is not a number") from None
+        change = change_class(rule_name, slot, threshold)
+        change.validate(session.function)
+        outcome = session.apply(change)
+        return outcome.summary()
+
+    def cmd_tighten(self, arguments: List[str]) -> str:
+        return self._threshold_change(arguments, TightenPredicate)
+
+    def cmd_relax(self, arguments: List[str]) -> str:
+        return self._threshold_change(arguments, RelaxPredicate)
+
+    def cmd_drop_rule(self, arguments: List[str]) -> str:
+        if len(arguments) != 1:
+            raise WorkbenchError("usage: drop-rule <rule>")
+        session = self._require_session()
+        change = RemoveRule(arguments[0])
+        change.validate(session.function)
+        return session.apply(change).summary()
+
+    def cmd_drop_predicate(self, arguments: List[str]) -> str:
+        if len(arguments) != 2:
+            raise WorkbenchError("usage: drop-predicate <rule> <slot>")
+        session = self._require_session()
+        change = RemovePredicate(arguments[0], arguments[1])
+        change.validate(session.function)
+        return session.apply(change).summary()
+
+    def cmd_add_rule(self, arguments: List[str]) -> str:
+        if not arguments:
+            raise WorkbenchError("usage: add-rule <rule DSL text>")
+        session = self._require_session()
+        resolver = self.workload.space.resolver() if self.workload else None
+        rule = parse_rule(" ".join(arguments), resolver)
+        change = AddRule(rule)
+        change.validate(session.function)
+        return session.apply(change).summary()
+
+    def cmd_suggest(self, arguments: List[str]) -> str:
+        session = self._require_session()
+        if session.gold is None:
+            raise WorkbenchError("suggestions need gold labels")
+        kind = arguments[0] if arguments else "tighten"
+        if kind == "tighten":
+            self.suggestions = suggest_tightenings(session.state, session.gold)
+        elif kind == "relax":
+            self.suggestions = suggest_relaxations(session.state, session.gold)
+        else:
+            raise WorkbenchError("usage: suggest [tighten|relax]")
+        if not self.suggestions:
+            return "no suggestions (nothing to fix in this direction)"
+        return "\n".join(
+            f"{index + 1}. {suggestion.describe()}"
+            for index, suggestion in enumerate(self.suggestions)
+        )
+
+    def cmd_apply(self, arguments: List[str]) -> str:
+        if len(arguments) != 1 or not arguments[0].isdigit():
+            raise WorkbenchError("usage: apply <suggestion number>")
+        position = int(arguments[0]) - 1
+        if not 0 <= position < len(self.suggestions):
+            raise WorkbenchError(
+                f"no suggestion #{arguments[0]}; run 'suggest' first"
+            )
+        session = self._require_session()
+        suggestion = self.suggestions.pop(position)
+        outcome = session.apply(suggestion.change)
+        return outcome.summary()
+
+    def cmd_history(self, arguments: List[str]) -> str:
+        session = self._require_session()
+        if not session.history:
+            return "no edits applied yet"
+        return "\n".join(
+            f"{index + 1}. {result.summary()}"
+            for index, result in enumerate(session.history)
+        )
+
+    def cmd_memory(self, arguments: List[str]) -> str:
+        session = self._require_session()
+        report = session.memory_report()
+        return (
+            f"memo {report['memo'] / 1e6:.2f}MB, "
+            f"rule bitmaps {report['rule_bitmaps'] / 1e6:.2f}MB, "
+            f"predicate bitmaps {report['predicate_bitmaps'] / 1e6:.2f}MB, "
+            f"total {report['total'] / 1e6:.2f}MB"
+        )
+
+    def cmd_stats(self, arguments: List[str]) -> str:
+        from .core.analysis import describe_function
+
+        session = self._require_session()
+        return describe_function(session.function)
+
+    def cmd_simplify(self, arguments: List[str]) -> str:
+        """Report (not apply) subsumption redundancy in the current rules.
+
+        Applying removals mid-session would need one RemoveRule change per
+        redundant rule; the command prints the exact commands to run.
+        """
+        from .learning.simplify import redundancy_report
+
+        session = self._require_session()
+        pairs = redundancy_report(session.function)
+        if not pairs:
+            return "no subsumed rules"
+        lines = [
+            f"{specific} is subsumed by {general}  ->  drop-rule {specific}"
+            for general, specific in pairs
+        ]
+        return "\n".join(lines)
+
+    def cmd_lint(self, arguments: List[str]) -> str:
+        from .core.validation import lint_function
+
+        session = self._require_session()
+        findings = lint_function(session.function, session.estimates)
+        if not findings:
+            return "no findings — the rule set is clean"
+        return "\n".join(finding.render() for finding in findings)
+
+    def cmd_report(self, arguments: List[str]) -> str:
+        from .evaluation.debug_report import build_report, render_report
+
+        session = self._require_session()
+        if session.gold is None:
+            raise WorkbenchError("the report needs gold labels")
+        return render_report(build_report(session.state, session.gold))
+
+    def cmd_save(self, arguments: List[str]) -> str:
+        if len(arguments) != 1:
+            raise WorkbenchError("usage: save <directory>")
+        session = self._require_session()
+        path = save_state(session.state, arguments[0])
+        return f"state saved to {path}"
+
+    def cmd_restore(self, arguments: List[str]) -> str:
+        if len(arguments) != 1:
+            raise WorkbenchError("usage: restore <directory>")
+        if self.session is None:
+            raise WorkbenchError("load the same dataset first, then restore")
+        resolver = self.workload.space.resolver() if self.workload else None
+        state = load_state(arguments[0], self.session.candidates, resolver)
+        self.session.state = state
+        return (
+            f"state restored: {state.match_count()} matches, "
+            f"{len(state.memo)} memoized values"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """REPL entry point for ``python -m repro.workbench``."""
+    bench = Workbench()
+    print("repro workbench — 'help' for commands, 'quit' to exit")
+    while True:
+        try:
+            line = input("repro> ")
+        except EOFError:
+            print()
+            return 0
+        if line.strip() in ("quit", "exit"):
+            return 0
+        try:
+            output = bench.execute(line)
+        except ReproError as error:
+            output = f"error: {error}"
+        except Exception as error:  # surface, don't crash the loop
+            output = f"internal error: {error!r}"
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""Tests for repro.core.analysis and repro.reporting."""
+
+import pytest
+
+from repro.core import DynamicMemoMatcher, parse_function
+from repro.core.analysis import (
+    describe_function,
+    feature_frequencies,
+    feature_sharing_graph,
+    following_cost,
+    predicate_histogram,
+    sharing_summary,
+    tsp_ordering,
+)
+from repro.core.cost_model import function_cost_with_memo
+from repro.reporting import (
+    Series,
+    run_add_rule_sweep,
+    run_change_type_study,
+    run_cost_model_sweep,
+    run_ordering_sweep,
+    run_pair_scaling,
+    run_strategy_sweep,
+)
+
+
+@pytest.fixture()
+def shared_function():
+    return parse_function(
+        """
+        r1: jaccard_ws(t, t) >= 0.7 AND jaro(m, m) >= 0.9
+        r2: jaccard_ws(t, t) >= 0.4 AND exact_match(z, z) >= 1
+        r3: exact_match(z, z) >= 1
+        r4: levenshtein(m, m) >= 0.8
+        """
+    )
+
+
+class TestStructuralAnalytics:
+    def test_feature_frequencies(self, shared_function):
+        frequencies = feature_frequencies(shared_function)
+        assert frequencies["jaccard_ws(t,t)"] == 2
+        assert frequencies["exact_match(z,z)"] == 2
+        assert frequencies["jaro(m,m)"] == 1
+
+    def test_predicate_histogram(self, shared_function):
+        histogram = predicate_histogram(shared_function)
+        assert histogram[2] == 2  # r1 and r2
+        assert histogram[1] == 2  # r3 and r4
+
+    def test_sharing_graph_edges(self, shared_function):
+        graph = feature_sharing_graph(shared_function)
+        assert graph.has_edge("r1", "r2")      # share jaccard
+        assert graph.has_edge("r2", "r3")      # share exact_match
+        assert not graph.has_edge("r1", "r4")  # nothing shared
+        assert graph["r1"]["r2"]["weight"] == 1
+
+    def test_sharing_summary(self, shared_function):
+        summary = sharing_summary(shared_function)
+        assert summary["rules"] == 4
+        assert summary["sharing_edges"] == 2
+        # r4 is isolated; r1-r2-r3 form one component.
+        assert summary["components"] == 2
+        assert summary["largest_component"] == 3
+
+    def test_describe_function_text(self, shared_function):
+        text = describe_function(shared_function)
+        assert "4 rules" in text
+        assert "jaccard_ws(t,t)" in text
+
+
+class TestTspOrdering:
+    def test_semantics_preserved(self, small_workload, small_estimates):
+        candidates = small_workload.candidates.subset(range(300))
+        reference = DynamicMemoMatcher().run(small_workload.function, candidates)
+        ordered = tsp_ordering(small_workload.function, small_estimates)
+        result = DynamicMemoMatcher().run(ordered, candidates)
+        assert (result.labels == reference.labels).all()
+        assert sorted(r.name for r in ordered) == sorted(
+            r.name for r in small_workload.function
+        )
+
+    def test_beats_random_in_model_cost(self, small_workload, small_estimates):
+        from repro.core import random_ordering
+
+        ordered = tsp_ordering(small_workload.function, small_estimates)
+        random = random_ordering(small_workload.function, seed=8)
+        assert function_cost_with_memo(ordered, small_estimates) <= (
+            function_cost_with_memo(random, small_estimates) * 1.05
+        )
+
+    def test_following_cost_warm_cheaper(self, small_workload, small_estimates):
+        """A rule following one it shares features with must cost less
+        than cold, never more."""
+        function = small_workload.function
+        for rule in function.rules[:10]:
+            cold = following_cost(rule, None, small_estimates)
+            for other in function.rules[:10]:
+                if other.name == rule.name:
+                    continue
+                warm = following_cost(rule, other, small_estimates)
+                assert warm <= cold + 1e-12
+
+    def test_single_rule(self, small_workload, small_estimates):
+        single = small_workload.function.subset(
+            [small_workload.function.rules[0].name]
+        )
+        assert len(tsp_ordering(single, small_estimates)) == 1
+
+
+class TestSeries:
+    def test_add_and_column(self):
+        series = Series("s", ["x", "y"])
+        series.add(1, 2)
+        series.add(3, 4)
+        assert series.column("y") == [2, 4]
+
+    def test_row_width_checked(self):
+        series = Series("s", ["x", "y"])
+        with pytest.raises(ValueError):
+            series.add(1)
+
+    def test_csv_round_trip(self, tmp_path):
+        series = Series("s", ["x", "y"])
+        series.add(1, "a")
+        path = series.to_csv(tmp_path / "sub" / "s.csv")
+        text = path.read_text()
+        assert "x,y" in text
+        assert "1,a" in text
+
+    def test_render(self):
+        series = Series("s", ["name", "value"])
+        series.add("alpha", 10)
+        text = series.render()
+        assert "alpha" in text and "value" in text
+
+
+class TestRunners:
+    @pytest.fixture(scope="class")
+    def workload(self, request):
+        from repro.learning import build_workload
+
+        return build_workload(
+            "products", seed=13, scale=0.25, n_trees=10, max_depth=5, max_rules=24
+        )
+
+    def test_strategy_sweep(self, workload):
+        series = run_strategy_sweep(
+            workload, rule_counts=(4, 8), strategies=("EE", "DM+EE"),
+            pair_budget=200, draws=1,
+        )
+        assert len(series.rows) == 4
+        assert all(seconds >= 0 for seconds in series.column("seconds"))
+
+    def test_ordering_sweep(self, workload):
+        series = run_ordering_sweep(workload, rule_counts=(8,), pair_budget=200)
+        orderings = set(series.column("ordering"))
+        assert orderings == {"random", "algorithm5", "algorithm6"}
+
+    def test_cost_model_sweep(self, workload):
+        series = run_cost_model_sweep(workload, rule_counts=(8,), pair_budget=200)
+        assert len(series.rows) == 2
+        for predicted, actual in zip(
+            series.column("predicted_s"), series.column("counters_model_s")
+        ):
+            assert predicted >= 0 and actual >= 0
+
+    def test_pair_scaling(self, workload):
+        series = run_pair_scaling(workload, pair_counts=(50, 100))
+        pairs = series.column("pairs")
+        assert pairs == [50, 100]
+
+    def test_add_rule_sweep(self, workload):
+        series = run_add_rule_sweep(workload, n_rules=6, pair_budget=150)
+        assert len(series.rows) == 6
+        # From the second iteration, incremental <= rerun (on average).
+        incremental = series.column("incremental_ms")[1:]
+        rerun = series.column("rerun_ms")[1:]
+        assert sum(incremental) <= sum(rerun) * 1.5
+
+    def test_change_type_study(self, workload):
+        series = run_change_type_study(workload, edits_per_type=4, pair_budget=150)
+        kinds = set(series.column("change"))
+        assert "tighten" in kinds and "add_rule" in kinds
+        assert all(applied >= 1 for applied in series.column("edits_applied"))

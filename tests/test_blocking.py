@@ -1,0 +1,159 @@
+"""Unit tests for the blocking subpackage."""
+
+import pytest
+
+from repro.blocking import (
+    AttributeEquivalenceBlocker,
+    CartesianBlocker,
+    IntersectBlocker,
+    OverlapBlocker,
+    RuleBasedBlocker,
+    UnionBlocker,
+    blocking_recall,
+)
+from repro.data import Table
+from repro.errors import BlockingError
+
+
+@pytest.fixture()
+def tables():
+    table_a = Table("A", ["title", "cat"])
+    table_a.add_row("a0", title="red apple pie", cat="food")
+    table_a.add_row("a1", title="blue bicycle", cat="sport")
+    table_a.add_row("a2", title="apple tart", cat=None)
+    table_b = Table("B", ["title", "cat"])
+    table_b.add_row("b0", title="red apple cake", cat="food")
+    table_b.add_row("b1", title="green bicycle", cat="sport")
+    table_b.add_row("b2", title="yellow submarine", cat=None)
+    return table_a, table_b
+
+
+class TestCartesian:
+    def test_full_cross_product(self, tables):
+        candidates = CartesianBlocker().block(*tables)
+        assert len(candidates) == 9
+
+    def test_limit(self, tables):
+        candidates = CartesianBlocker(limit=4).block(*tables)
+        assert len(candidates) == 4
+
+
+class TestAttributeEquivalence:
+    def test_same_value_pairs(self, tables):
+        blocker = AttributeEquivalenceBlocker("cat", keep_missing=False)
+        candidates = blocker.block(*tables)
+        assert set(candidates.id_pairs()) == {("a0", "b0"), ("a1", "b1")}
+
+    def test_keep_missing_pairs_with_everything(self, tables):
+        blocker = AttributeEquivalenceBlocker("cat", keep_missing=True)
+        candidates = blocker.block(*tables)
+        pairs = set(candidates.id_pairs())
+        # a2 (missing cat) pairs with all of B; every a pairs with b2.
+        assert {("a2", "b0"), ("a2", "b1"), ("a2", "b2")} <= pairs
+        assert {("a0", "b2"), ("a1", "b2")} <= pairs
+
+    def test_case_insensitive_by_default(self):
+        table_a = Table("A", ["c"])
+        table_a.add_row("a0", c="Food")
+        table_b = Table("B", ["c"])
+        table_b.add_row("b0", c="FOOD")
+        candidates = AttributeEquivalenceBlocker("c").block(table_a, table_b)
+        assert len(candidates) == 1
+
+    def test_unknown_attribute(self, tables):
+        with pytest.raises(BlockingError, match="not in table"):
+            AttributeEquivalenceBlocker("nope").block(*tables)
+
+
+class TestOverlap:
+    def test_min_overlap_one(self, tables):
+        candidates = OverlapBlocker("title", min_overlap=1).block(*tables)
+        pairs = set(candidates.id_pairs())
+        assert ("a0", "b0") in pairs  # share red + apple
+        assert ("a2", "b0") in pairs  # share apple
+        assert ("a1", "b1") in pairs  # share bicycle
+        assert ("a1", "b2") not in pairs
+
+    def test_min_overlap_two_is_stricter(self, tables):
+        loose = OverlapBlocker("title", min_overlap=1).block(*tables)
+        strict = OverlapBlocker("title", min_overlap=2).block(*tables)
+        assert set(strict.id_pairs()) <= set(loose.id_pairs())
+        assert ("a2", "b0") not in strict  # only one shared token
+
+    def test_stop_tokens_remove_ubiquitous_words(self):
+        table_a = Table("A", ["t"])
+        table_a.add_row("a0", t="the apple")
+        table_b = Table("B", ["t"])
+        for index in range(10):
+            table_b.add_row(f"b{index}", t=f"the item{index}")
+        unfiltered = OverlapBlocker("t", min_overlap=1).block(table_a, table_b)
+        filtered = OverlapBlocker("t", min_overlap=1, stop_fraction=0.5).block(
+            table_a, table_b
+        )
+        assert len(unfiltered) == 10  # "the" connects everything
+        assert len(filtered) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(BlockingError):
+            OverlapBlocker("t", min_overlap=0)
+        with pytest.raises(BlockingError):
+            OverlapBlocker("t", stop_fraction=1.5)
+
+    def test_deterministic_order(self, tables):
+        first = OverlapBlocker("title").block(*tables)
+        second = OverlapBlocker("title").block(*tables)
+        assert first.id_pairs() == second.id_pairs()
+
+
+class TestCombinators:
+    def test_union(self, tables):
+        union = UnionBlocker(
+            [
+                AttributeEquivalenceBlocker("cat", keep_missing=False),
+                OverlapBlocker("title", min_overlap=2),
+            ]
+        )
+        candidates = union.block(*tables)
+        pairs = set(candidates.id_pairs())
+        assert ("a1", "b1") in pairs  # from both — deduped
+        assert len(candidates) == len(pairs)
+
+    def test_intersect(self, tables):
+        intersect = IntersectBlocker(
+            [
+                OverlapBlocker("title", min_overlap=1),
+                AttributeEquivalenceBlocker("cat", keep_missing=False),
+            ]
+        )
+        pairs = set(intersect.block(*tables).id_pairs())
+        assert pairs == {("a0", "b0"), ("a1", "b1")}
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(BlockingError):
+            UnionBlocker([])
+        with pytest.raises(BlockingError):
+            IntersectBlocker([])
+
+    def test_rule_based_filters(self, tables):
+        blocker = RuleBasedBlocker(
+            lambda record_a, record_b: record_a.get("cat") == record_b.get("cat"),
+            base=CartesianBlocker(),
+        )
+        pairs = set(blocker.block(*tables).id_pairs())
+        assert ("a0", "b0") in pairs
+        assert ("a0", "b1") not in pairs
+
+
+class TestBlockingRecall:
+    def test_full_recall(self, tables):
+        candidates = CartesianBlocker().block(*tables)
+        assert blocking_recall(candidates, {("a0", "b0")}) == 1.0
+
+    def test_partial_recall(self, tables):
+        candidates = OverlapBlocker("title", min_overlap=2).block(*tables)
+        gold = {("a0", "b0"), ("a2", "b2")}  # second is lost by blocking
+        assert blocking_recall(candidates, gold) == 0.5
+
+    def test_empty_gold(self, tables):
+        candidates = CartesianBlocker().block(*tables)
+        assert blocking_recall(candidates, set()) == 1.0

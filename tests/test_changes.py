@@ -1,0 +1,148 @@
+"""Unit tests for the Change objects (validation and function editing)."""
+
+import pytest
+
+from repro.core import (
+    AddPredicate,
+    AddRule,
+    Feature,
+    MatchingFunction,
+    Predicate,
+    RelaxPredicate,
+    RemovePredicate,
+    RemoveRule,
+    Rule,
+    TightenPredicate,
+    parse_function,
+    parse_rule,
+)
+from repro.errors import ChangeError
+from repro.similarity import ExactMatch, Jaccard
+
+
+@pytest.fixture()
+def function():
+    return parse_function(
+        """
+        R1: jaccard_ws(title, title) >= 0.7 AND exact_match(brand, brand) >= 1
+        R2: jaro_winkler(modelno, modelno) >= 0.95
+        """
+    )
+
+
+class TestAddPredicate:
+    def test_appends(self, function):
+        feature = Feature(Jaccard(), "category", "category")
+        change = AddPredicate("R1", Predicate(feature, ">=", 0.5))
+        edited = change.apply_to(function)
+        assert len(edited.rule("R1")) == 3
+        assert len(function.rule("R1")) == 2  # original untouched
+
+    def test_slot_collision_rejected(self, function):
+        existing = function.rule("R1").predicates[0]
+        change = AddPredicate("R1", existing.with_threshold(0.9))
+        with pytest.raises(ChangeError, match="already has a predicate"):
+            change.validate(function)
+
+    def test_unknown_rule(self, function):
+        feature = Feature(ExactMatch(), "x", "x")
+        change = AddPredicate("R9", Predicate(feature, ">=", 1))
+        with pytest.raises(ChangeError, match="no rule"):
+            change.validate(function)
+
+    def test_algorithm_number(self, function):
+        feature = Feature(ExactMatch(), "x", "x")
+        assert AddPredicate("R1", Predicate(feature, ">=", 1)).algorithm == 7
+
+
+class TestRemovePredicate:
+    def test_removes(self, function):
+        slot = function.rule("R1").predicates[1].slot
+        change = RemovePredicate("R1", slot)
+        change.validate(function)
+        edited = change.apply_to(function)
+        assert len(edited.rule("R1")) == 1
+
+    def test_last_predicate_rejected(self, function):
+        slot = function.rule("R2").predicates[0].slot
+        change = RemovePredicate("R2", slot)
+        with pytest.raises(ChangeError, match="only predicate"):
+            change.validate(function)
+
+    def test_unknown_slot(self, function):
+        change = RemovePredicate("R1", "ghost#lb")
+        with pytest.raises(ChangeError, match="no predicate in slot"):
+            change.validate(function)
+
+
+class TestThresholdChanges:
+    def test_tighten_lower_bound(self, function):
+        slot = function.rule("R1").predicates[0].slot
+        change = TightenPredicate("R1", slot, 0.85)
+        change.validate(function)
+        edited = change.apply_to(function)
+        assert edited.rule("R1").predicate_by_slot(slot).threshold == 0.85
+
+    def test_tighten_wrong_direction_rejected(self, function):
+        slot = function.rule("R1").predicates[0].slot
+        change = TightenPredicate("R1", slot, 0.5)  # looser for >=
+        with pytest.raises(ChangeError, match="does not tighten"):
+            change.validate(function)
+
+    def test_relax_lower_bound(self, function):
+        slot = function.rule("R1").predicates[0].slot
+        change = RelaxPredicate("R1", slot, 0.5)
+        change.validate(function)
+        edited = change.apply_to(function)
+        assert edited.rule("R1").predicate_by_slot(slot).threshold == 0.5
+
+    def test_relax_wrong_direction_rejected(self, function):
+        slot = function.rule("R1").predicates[0].slot
+        change = RelaxPredicate("R1", slot, 0.9)
+        with pytest.raises(ChangeError, match="does not relax"):
+            change.validate(function)
+
+    def test_upper_bound_directions(self):
+        function = parse_function("R1: jaccard_ws(t, t) <= 0.5 AND jaro(n, n) >= 0.1")
+        slot = function.rule("R1").predicates[0].slot
+        TightenPredicate("R1", slot, 0.4).validate(function)   # lower = stricter
+        RelaxPredicate("R1", slot, 0.6).validate(function)     # higher = looser
+        with pytest.raises(ChangeError):
+            TightenPredicate("R1", slot, 0.6).validate(function)
+
+    def test_same_threshold_rejected_both_ways(self, function):
+        slot = function.rule("R1").predicates[0].slot
+        with pytest.raises(ChangeError):
+            TightenPredicate("R1", slot, 0.7).validate(function)
+        with pytest.raises(ChangeError):
+            RelaxPredicate("R1", slot, 0.7).validate(function)
+
+
+class TestRuleChanges:
+    def test_add_rule(self, function):
+        rule = parse_rule("R3: trigram(modelno, modelno) >= 0.8")
+        edited = AddRule(rule).apply_to(function)
+        assert [r.name for r in edited] == ["R1", "R2", "R3"]
+
+    def test_add_duplicate_name_rejected(self, function):
+        rule = parse_rule("R1: trigram(modelno, modelno) >= 0.8")
+        with pytest.raises(ChangeError, match="already exists"):
+            AddRule(rule).validate(function)
+
+    def test_remove_rule(self, function):
+        edited = RemoveRule("R1").apply_to(function)
+        assert [r.name for r in edited] == ["R2"]
+
+    def test_remove_unknown_rule(self, function):
+        with pytest.raises(ChangeError, match="no rule"):
+            RemoveRule("R9").validate(function)
+
+    def test_remove_last_rule_rejected(self):
+        function = parse_function("R1: jaro(n, n) >= 0.5")
+        with pytest.raises(ChangeError, match="last rule"):
+            RemoveRule("R1").validate(function)
+
+    def test_describe_strings(self, function):
+        assert "R1" in RemoveRule("R1").describe()
+        rule = parse_rule("R3: trigram(m, m) >= 0.8")
+        assert "R3" in AddRule(rule).describe()

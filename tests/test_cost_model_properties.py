@@ -1,0 +1,172 @@
+"""Property-based tests for the cost model and ordering invariants.
+
+Uses randomly generated rule sets over synthetic sample values, checking
+the mathematical properties §4.4/§5 rely on rather than specific numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Feature,
+    MatchingFunction,
+    Predicate,
+    Rule,
+    function_cost_no_memo,
+    function_cost_with_memo,
+    rudimentary_cost,
+    rule_cost,
+    update_alpha,
+)
+from repro.core.analysis import tsp_ordering
+from repro.core.cost_model import Estimates
+from repro.core.ordering import (
+    greedy_cost_ordering,
+    greedy_reduction_ordering,
+    lemma3_predicate_order,
+)
+from repro.core.parser import format_function, parse_function
+from repro.similarity import ExactMatch
+
+# Default-named features over distinct attributes, so that the DSL
+# round-trip test is meaningful (custom feature names are not expressible
+# in the DSL — it always writes ``sim(attr_a, attr_b)``).
+FEATURES = {
+    feature.name: feature
+    for feature in (
+        Feature(ExactMatch(), "a", "a"),
+        Feature(ExactMatch(), "b", "b"),
+        Feature(ExactMatch(), "c", "c"),
+        Feature(ExactMatch(), "d", "d"),
+    )
+}
+FEATURE_NAMES = list(FEATURES)
+
+
+@st.composite
+def estimates_strategy(draw):
+    size = draw(st.integers(min_value=4, max_value=20))
+    sample_values = {}
+    feature_costs = {}
+    for name in FEATURE_NAMES:
+        values = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=16),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        sample_values[name] = np.asarray(values)
+        feature_costs[name] = draw(
+            st.floats(min_value=1e-7, max_value=1e-4, allow_nan=False)
+        )
+    lookup = draw(st.floats(min_value=1e-9, max_value=5e-8, allow_nan=False))
+    return Estimates(
+        feature_costs=feature_costs,
+        lookup_cost=lookup,
+        sample_values=sample_values,
+        sample_size=size,
+        mode="calibrated",
+    )
+
+
+@st.composite
+def function_strategy(draw):
+    n_rules = draw(st.integers(min_value=1, max_value=4))
+    rules = []
+    for rule_index in range(n_rules):
+        slots = draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(FEATURE_NAMES),
+                    st.sampled_from([">=", "<="]),
+                ),
+                min_size=1,
+                max_size=4,
+                unique_by=lambda item: item,
+            )
+        )
+        predicates = [
+            Predicate(
+                FEATURES[name],
+                op,
+                draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=16)),
+            )
+            for name, op in slots
+        ]
+        rules.append(Rule(f"r{rule_index}", predicates))
+    return MatchingFunction(rules)
+
+
+@given(estimates=estimates_strategy(), function=function_strategy())
+@settings(max_examples=60, deadline=None)
+def test_alpha_stays_in_unit_interval(estimates, function):
+    alpha = {}
+    for rule in function.rules:
+        update_alpha(rule, estimates, alpha)
+        for name, value in alpha.items():
+            assert -1e-12 <= value <= 1.0 + 1e-12, (name, value)
+
+
+@given(estimates=estimates_strategy(), function=function_strategy())
+@settings(max_examples=60, deadline=None)
+def test_alpha_monotone_per_feature(estimates, function):
+    """Memo presence can only grow as more rules execute."""
+    alpha = {}
+    previous = {}
+    for rule in function.rules:
+        update_alpha(rule, estimates, alpha)
+        for name, value in alpha.items():
+            assert value >= previous.get(name, 0.0) - 1e-12
+        previous = dict(alpha)
+
+
+@given(estimates=estimates_strategy(), function=function_strategy())
+@settings(max_examples=60, deadline=None)
+def test_cost_hierarchy(estimates, function):
+    """C4 <= C3 <= C1 whenever δ <= min cost(f) (true by construction)."""
+    c1 = rudimentary_cost(function, estimates)
+    c3 = function_cost_no_memo(function, estimates)
+    c4 = function_cost_with_memo(function, estimates)
+    assert c3 <= c1 + 1e-15
+    assert c4 <= c3 + 1e-15
+    assert c4 >= 0.0
+
+
+@given(estimates=estimates_strategy(), function=function_strategy())
+@settings(max_examples=40, deadline=None)
+def test_lemma3_never_increases_rule_cost(estimates, function):
+    for rule in function.rules:
+        ordered = lemma3_predicate_order(rule, estimates)
+        assert rule_cost(ordered, estimates) <= rule_cost(rule, estimates) + 1e-15
+
+
+@given(estimates=estimates_strategy(), function=function_strategy())
+@settings(max_examples=30, deadline=None)
+def test_orderings_are_permutations(estimates, function):
+    for optimizer in (greedy_cost_ordering, greedy_reduction_ordering, tsp_ordering):
+        ordered = optimizer(function, estimates)
+        assert sorted(rule.name for rule in ordered) == sorted(
+            rule.name for rule in function
+        )
+        for rule in ordered:
+            original = function.rule(rule.name)
+            assert sorted(p.pid for p in rule.predicates) == sorted(
+                p.pid for p in original.predicates
+            )
+
+
+@given(function=function_strategy())
+@settings(max_examples=60, deadline=None)
+def test_parser_format_round_trip(function):
+    """format -> parse reproduces names, predicates, and order exactly."""
+    reparsed = parse_function(format_function(function))
+    assert [rule.name for rule in reparsed] == [rule.name for rule in function]
+    for original, copy in zip(function.rules, reparsed.rules):
+        assert [p.pid for p in original.predicates] == [
+            p.pid for p in copy.predicates
+        ]

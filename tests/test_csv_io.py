@@ -1,0 +1,91 @@
+"""Unit tests for CSV persistence."""
+
+import pytest
+
+from repro.data import (
+    Table,
+    load_gold,
+    load_pairs,
+    load_table,
+    save_pairs,
+    save_table,
+)
+from repro.errors import SchemaError
+
+
+@pytest.fixture()
+def sample_table():
+    table = Table("sample", ["name", "price"])
+    table.add_row("x1", name="apple, red", price="1.50")
+    table.add_row("x2", name='say "hi"', price=None)
+    table.add_row("x3", name=None, price="2.00")
+    return table
+
+
+class TestTableRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path, sample_table):
+        path = tmp_path / "t.csv"
+        save_table(sample_table, path)
+        loaded = load_table(path, name="sample")
+        assert loaded.name == "sample"
+        assert loaded.attributes == sample_table.attributes
+        assert len(loaded) == len(sample_table)
+        for original in sample_table:
+            copy = loaded.get(original.record_id)
+            for attribute in sample_table.attributes:
+                assert copy.get(attribute) == original.get(attribute)
+
+    def test_none_round_trips_as_none(self, tmp_path, sample_table):
+        path = tmp_path / "t.csv"
+        save_table(sample_table, path)
+        loaded = load_table(path)
+        assert loaded.get("x2").get("price") is None
+        assert loaded.get("x3").get("name") is None
+
+    def test_custom_id_column(self, tmp_path, sample_table):
+        path = tmp_path / "t.csv"
+        save_table(sample_table, path, id_column="rid")
+        loaded = load_table(path, id_column="rid")
+        assert "x1" in loaded
+
+    def test_default_name_is_stem(self, tmp_path, sample_table):
+        path = tmp_path / "walmart.csv"
+        save_table(sample_table, path)
+        assert load_table(path).name == "walmart"
+
+    def test_missing_id_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("name,price\na,1\n")
+        with pytest.raises(SchemaError, match="no 'id' column"):
+            load_table(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            load_table(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("id,name\nx1,a,EXTRA\n")
+        with pytest.raises(SchemaError, match="expected 2 cells"):
+            load_table(path)
+
+
+class TestPairsRoundTrip:
+    def test_round_trip(self, tmp_path):
+        pairs = [("a1", "b2"), ("a3", "b4")]
+        path = tmp_path / "pairs.csv"
+        save_pairs(pairs, path)
+        assert load_pairs(path) == pairs
+
+    def test_load_gold_is_a_set(self, tmp_path):
+        path = tmp_path / "gold.csv"
+        save_pairs([("a1", "b1"), ("a1", "b1")], path)
+        assert load_gold(path) == {("a1", "b1")}
+
+    def test_bad_width_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a_id,b_id\nx\n")
+        with pytest.raises(SchemaError, match="expected 2 cells"):
+            load_pairs(path)

@@ -1,0 +1,172 @@
+"""Distributional checks on the synthetic dataset generators.
+
+The generators stand in for the paper's private crawls; what must hold is
+not any specific record but the *statistics* the algorithms feed on:
+noise rates, near-miss distractors, duplicate listings, and a graded
+similarity distribution (not a 0/1 cliff).  These tests pin those knobs
+so refactors can't silently flatten the data.
+"""
+
+import pytest
+
+from repro.data import load_dataset
+from repro.data.generators.products import ProductsGenerator
+from repro.similarity import Jaccard, JaroWinkler
+
+
+class TestNoiseChannels:
+    @pytest.fixture(scope="class")
+    def products(self):
+        return load_dataset("products", shared=150, a_only=20, b_only=300, seed=5)
+
+    def test_missing_values_present_but_bounded(self, products):
+        missing = sum(
+            1 for record in products.table_b if record.get("modelno") is None
+        )
+        rate = missing / len(products.table_b)
+        assert 0.02 < rate < 0.35  # the generator's 12% +- sampling noise
+
+    def test_gold_pairs_not_all_identical(self, products):
+        """String noise must actually perturb: most matched pairs differ
+        textually (else memoing/selectivity experiments are trivial)."""
+        identical = 0
+        for a_id, b_id in products.gold:
+            record_a = products.table_a.get(a_id)
+            record_b = products.table_b.get(b_id)
+            if record_a.get("title") == record_b.get("title"):
+                identical += 1
+        assert identical / len(products.gold) < 0.2
+
+    def test_graded_similarity_distribution(self, products):
+        """Title similarities of gold pairs must spread over a range, not
+        cluster at one value — predicates at different thresholds need
+        different selectivities."""
+        jaccard = Jaccard()
+        scores = sorted(
+            jaccard(
+                products.table_a.get(a_id).get("title"),
+                products.table_b.get(b_id).get("title"),
+            )
+            for a_id, b_id in products.gold
+        )
+        spread = scores[int(len(scores) * 0.9)] - scores[int(len(scores) * 0.1)]
+        assert spread > 0.2
+
+    def test_duplicate_listings_create_multi_matches(self, products):
+        """duplicate_rate gives some A records two gold partners in B."""
+        partners = {}
+        for a_id, b_id in products.gold:
+            partners.setdefault(a_id, []).append(b_id)
+        assert any(len(b_ids) > 1 for b_ids in partners.values())
+
+    def test_model_numbers_discriminate(self, products):
+        """modelno must be a near-key: gold pairs similar, random pairs
+        dissimilar (this is what makes cheap predicates selective)."""
+        jaro_winkler = JaroWinkler()
+        gold_scores = []
+        for a_id, b_id in list(products.gold)[:50]:
+            value_a = products.table_a.get(a_id).get("modelno")
+            value_b = products.table_b.get(b_id).get("modelno")
+            if value_a is not None and value_b is not None:
+                gold_scores.append(jaro_winkler(value_a, value_b))
+        random_scores = []
+        records_b = list(products.table_b)
+        for index, record_a in enumerate(list(products.table_a)[:50]):
+            record_b = records_b[(index * 37 + 11) % len(records_b)]
+            value_a, value_b = record_a.get("modelno"), record_b.get("modelno")
+            if value_a is not None and value_b is not None:
+                random_scores.append(jaro_winkler(value_a, value_b))
+        assert sum(gold_scores) / len(gold_scores) > 0.85
+        assert sum(random_scores) / len(random_scores) < 0.75
+
+
+class TestDistractors:
+    def test_distractor_rate_grows_table_b(self):
+        generator = ProductsGenerator()
+        without = generator.generate(
+            shared=100, a_only=0, b_only=0, distractor_rate=0.0,
+            duplicate_rate=0.0, seed=3,
+        )
+        with_distractors = generator.generate(
+            shared=100, a_only=0, b_only=0, distractor_rate=1.0,
+            duplicate_rate=0.0, seed=3,
+        )
+        assert len(without.table_b) == 100
+        assert len(with_distractors.table_b) == 200
+        assert len(with_distractors.gold) == len(without.gold) == 100
+
+    def test_distractors_share_brand_but_not_model(self):
+        generator = ProductsGenerator()
+        dataset = generator.generate(
+            shared=60, a_only=0, b_only=0, distractor_rate=1.0,
+            duplicate_rate=0.0, seed=4,
+        )
+        gold_b = {b_id for _a, b_id in dataset.gold}
+        distractor_count = 0
+        confusable = 0
+        jaccard = Jaccard()
+        for record_b in dataset.table_b:
+            if record_b.record_id in gold_b:
+                continue
+            distractor_count += 1
+            # A near-miss should share title vocabulary with SOME A record.
+            best = max(
+                jaccard(record_a.get("title"), record_b.get("title"))
+                for record_a in dataset.table_a
+            )
+            if best >= 0.3:
+                confusable += 1
+        assert distractor_count == 60
+        # B-side noise (abbreviation, case, marketing suffixes) degrades
+        # word-level Jaccard; a majority of distractors staying confusable
+        # is what the blocking experiments need.
+        assert confusable / distractor_count > 0.5
+
+    def test_duplicate_rate_zero_means_one_to_one(self):
+        generator = ProductsGenerator()
+        dataset = generator.generate(
+            shared=80, a_only=0, b_only=0, distractor_rate=0.0,
+            duplicate_rate=0.0, seed=5,
+        )
+        a_sides = [a_id for a_id, _b in dataset.gold]
+        assert len(set(a_sides)) == len(a_sides)
+
+
+class TestPeopleDataset:
+    def test_phone_formats_drift(self):
+        dataset = load_dataset("people", shared=100, a_only=0, b_only=0, seed=6)
+        formats = set()
+        for record in dataset.table_a:
+            phone = str(record.get("phone") or "")
+            formats.add(("(" in phone, "-" in phone, "." in phone))
+        assert len(formats) > 1  # multiple rendering styles in one table
+
+    def test_some_phones_lose_area_code(self):
+        dataset = load_dataset("people", shared=150, a_only=0, b_only=0, seed=6)
+        short = sum(
+            1
+            for record in dataset.table_b
+            if len("".join(ch for ch in str(record.get("phone") or "") if ch.isdigit())) == 7
+        )
+        assert short > 0  # the paper's "(453 1978)" phenomenon
+
+    def test_household_distractors_share_address(self):
+        from repro.data.generators.people import PeopleGenerator
+
+        generator = PeopleGenerator()
+        dataset = generator.generate(
+            shared=50, a_only=0, b_only=0, distractor_rate=1.0,
+            duplicate_rate=0.0, seed=7,
+        )
+        gold_b = {b_id for _a, b_id in dataset.gold}
+        zips_a = {str(record.get("zip")) for record in dataset.table_a}
+        shared_zip = 0
+        total = 0
+        for record in dataset.table_b:
+            if record.record_id in gold_b:
+                continue
+            total += 1
+            if str(record.get("zip")) in zips_a:
+                shared_zip += 1
+        assert total == 50
+        assert shared_zip / total > 0.8

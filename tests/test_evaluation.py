@@ -1,0 +1,127 @@
+"""Unit tests for the evaluation subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.data import CandidateSet, Record, Table
+from repro.errors import ReproError
+from repro.evaluation import (
+    Confusion,
+    confusion,
+    false_negatives,
+    false_positives,
+    precision_recall_f1,
+    stratified_sample,
+    uniform_sample,
+)
+
+
+@pytest.fixture()
+def scored():
+    table_a = Table("A", ("v",))
+    table_b = Table("B", ("v",))
+    for index in range(4):
+        table_a.add(Record(f"a{index}", {"v": str(index)}))
+        table_b.add(Record(f"b{index}", {"v": str(index)}))
+    candidates = CandidateSet.from_id_pairs(
+        table_a, table_b, [(f"a{i}", f"b{j}") for i in range(4) for j in range(4)]
+    )
+    gold = {("a0", "b0"), ("a1", "b1"), ("a2", "b2")}
+    labels = np.zeros(16, dtype=bool)
+    labels[candidates.index_of("a0", "b0")] = True  # tp
+    labels[candidates.index_of("a1", "b1")] = True  # tp
+    labels[candidates.index_of("a0", "b1")] = True  # fp
+    # a2b2 is a fn
+    return candidates, gold, labels
+
+
+class TestConfusion:
+    def test_counts(self, scored):
+        candidates, gold, labels = scored
+        result = confusion(labels, candidates, gold)
+        assert result.true_positives == 2
+        assert result.false_positives == 1
+        assert result.false_negatives == 1
+        assert result.true_negatives == 12
+
+    def test_metrics(self, scored):
+        candidates, gold, labels = scored
+        result = confusion(labels, candidates, gold)
+        assert result.precision == pytest.approx(2 / 3)
+        assert result.recall == pytest.approx(2 / 3)
+        assert result.f1 == pytest.approx(2 / 3)
+        assert result.accuracy == pytest.approx(14 / 16)
+
+    def test_restricted_to_sample(self, scored):
+        candidates, gold, labels = scored
+        sample = [candidates.index_of("a0", "b0"), candidates.index_of("a2", "b2")]
+        result = confusion(labels, candidates, gold, evaluated_indices=sample)
+        assert result.true_positives == 1
+        assert result.false_negatives == 1
+        assert result.false_positives == 0
+
+    def test_degenerate_cases(self):
+        empty = Confusion(0, 0, 0, 10)
+        assert empty.precision == 1.0
+        assert empty.recall == 1.0
+        assert empty.f1 == 0.0 or empty.f1 == pytest.approx(1.0)
+
+    def test_wrapper(self, scored):
+        candidates, gold, labels = scored
+        precision, recall, f1 = precision_recall_f1(labels, candidates, gold)
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+
+    def test_summary_format(self, scored):
+        candidates, gold, labels = scored
+        text = confusion(labels, candidates, gold).summary()
+        assert "P=" in text and "R=" in text and "F1=" in text
+
+
+class TestErrorListings:
+    def test_false_positives(self, scored):
+        candidates, gold, labels = scored
+        indices = false_positives(labels, candidates, gold)
+        assert indices == [candidates.index_of("a0", "b1")]
+
+    def test_false_negatives(self, scored):
+        candidates, gold, labels = scored
+        indices = false_negatives(labels, candidates, gold)
+        assert indices == [candidates.index_of("a2", "b2")]
+
+
+class TestSampling:
+    def test_uniform_deterministic(self, scored):
+        candidates, _, _ = scored
+        assert uniform_sample(candidates, 0.5, seed=1, minimum=2) == uniform_sample(
+            candidates, 0.5, seed=1, minimum=2
+        )
+
+    def test_uniform_respects_minimum(self, scored):
+        candidates, _, _ = scored
+        assert len(uniform_sample(candidates, 0.01, minimum=5)) == 5
+
+    def test_uniform_bad_fraction(self, scored):
+        candidates, _, _ = scored
+        with pytest.raises(ReproError):
+            uniform_sample(candidates, 0.0)
+
+    def test_stratified_contains_positives(self, scored):
+        candidates, gold, _ = scored
+        sample = stratified_sample(candidates, gold, positives=2, seed=0)
+        gold_indices = set(candidates.gold_indices(gold))
+        assert len(set(sample) & gold_indices) == 2
+
+    def test_stratified_negative_ratio(self, scored):
+        candidates, gold, _ = scored
+        sample = stratified_sample(
+            candidates, gold, positives=2, negatives_per_positive=2.0, seed=0
+        )
+        gold_indices = set(candidates.gold_indices(gold))
+        negatives = [index for index in sample if index not in gold_indices]
+        assert len(negatives) == 4
+
+    def test_stratified_requires_gold_in_candidates(self, scored):
+        candidates, _, _ = scored
+        with pytest.raises(ReproError, match="no gold"):
+            stratified_sample(candidates, {("zz", "qq")})

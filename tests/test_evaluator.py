@@ -1,0 +1,180 @@
+"""Direct unit tests for the PairEvaluator kernel.
+
+Matcher-level tests check end results; these pin the kernel's contract —
+recording semantics, memo interaction, and the check-cache-first
+partition — which the incremental algorithms depend on directly.
+"""
+
+import pytest
+
+from repro.core import (
+    ArrayMemo,
+    Feature,
+    MatchingFunction,
+    MatchStats,
+    PairEvaluator,
+    Predicate,
+    Rule,
+)
+from repro.data import CandidateSet, Record, Table
+from repro.errors import MatchingError
+from repro.similarity import ExactMatch, Levenshtein
+
+
+class Recorder:
+    """Minimal TraceRecorder that logs every call."""
+
+    def __init__(self):
+        self.matches = []
+        self.falses = []
+
+    def record_rule_match(self, pair_index, rule_name):
+        self.matches.append((pair_index, rule_name))
+
+    def record_predicate_false(self, pair_index, rule_name, slot):
+        self.falses.append((pair_index, rule_name, slot))
+
+
+@pytest.fixture()
+def setup():
+    table_a = Table("A", ["name", "code"])
+    table_a.add_row("a0", name="alpha", code="k1")
+    table_b = Table("B", ["name", "code"])
+    table_b.add_row("b0", name="alpha", code="k2")
+    candidates = CandidateSet.from_id_pairs(table_a, table_b, [("a0", "b0")])
+    name_feature = Feature(ExactMatch(), "name", "name")
+    code_feature = Feature(Levenshtein(), "code", "code")
+    return candidates, name_feature, code_feature
+
+
+class TestFeatureValue:
+    def test_no_memo_recomputes(self, setup):
+        candidates, name_feature, _ = setup
+        stats = MatchStats()
+        evaluator = PairEvaluator(stats)
+        pair = candidates[0]
+        evaluator.feature_value(pair, name_feature)
+        evaluator.feature_value(pair, name_feature)
+        assert stats.feature_computations == 2
+        assert stats.memo_hits == 0
+
+    def test_memo_computes_once(self, setup):
+        candidates, name_feature, _ = setup
+        stats = MatchStats()
+        memo = ArrayMemo(1, [name_feature.name])
+        evaluator = PairEvaluator(stats, memo=memo)
+        pair = candidates[0]
+        first = evaluator.feature_value(pair, name_feature)
+        second = evaluator.feature_value(pair, name_feature)
+        assert first == second == 1.0
+        assert stats.feature_computations == 1
+        assert stats.memo_hits == 1
+        assert memo.get(0, name_feature.name) == 1.0
+
+    def test_prewarmed_memo_only_hits(self, setup):
+        candidates, name_feature, _ = setup
+        stats = MatchStats()
+        memo = ArrayMemo(1, [name_feature.name])
+        memo.put(0, name_feature.name, 0.42)
+        evaluator = PairEvaluator(stats, memo=memo)
+        value = evaluator.feature_value(candidates[0], name_feature)
+        assert value == 0.42  # memo wins over recomputation
+        assert stats.feature_computations == 0
+
+    def test_check_cache_first_requires_memo(self):
+        with pytest.raises(MatchingError):
+            PairEvaluator(MatchStats(), memo=None, check_cache_first=True)
+
+
+class TestRecording:
+    def test_false_predicate_recorded_with_slot(self, setup):
+        candidates, name_feature, code_feature = setup
+        recorder = Recorder()
+        evaluator = PairEvaluator(
+            MatchStats(), memo=ArrayMemo(1), recorder=recorder
+        )
+        failing = Predicate(code_feature, ">=", 0.99)  # k1 vs k2 -> 0.5
+        rule = Rule("r", [failing])
+        assert not evaluator.rule_true(candidates[0], rule)
+        assert recorder.falses == [(0, "r", failing.slot)]
+        assert recorder.matches == []
+
+    def test_true_predicates_not_recorded(self, setup):
+        candidates, name_feature, _ = setup
+        recorder = Recorder()
+        evaluator = PairEvaluator(
+            MatchStats(), memo=ArrayMemo(1), recorder=recorder
+        )
+        rule = Rule("r", [Predicate(name_feature, ">=", 1.0)])
+        assert evaluator.rule_true(candidates[0], rule)
+        assert recorder.falses == []
+
+    def test_first_matching_rule_attribution(self, setup):
+        candidates, name_feature, code_feature = setup
+        recorder = Recorder()
+        evaluator = PairEvaluator(
+            MatchStats(), memo=ArrayMemo(1), recorder=recorder
+        )
+        miss = Rule("miss", [Predicate(code_feature, ">=", 0.99)])
+        hit = Rule("hit", [Predicate(name_feature, ">=", 1.0)])
+        also_hit = Rule("also_hit", [Predicate(name_feature, ">=", 0.5)])
+        winner = evaluator.first_matching_rule(
+            candidates[0], (miss, hit, also_hit)
+        )
+        assert winner == "hit"
+        # early exit: the later true rule is never attributed
+        assert recorder.matches == [(0, "hit")]
+
+    def test_intra_rule_early_exit_stops_evaluation(self, setup):
+        candidates, name_feature, code_feature = setup
+        stats = MatchStats()
+        evaluator = PairEvaluator(stats, memo=ArrayMemo(1))
+        rule = Rule(
+            "r",
+            [
+                Predicate(code_feature, ">=", 0.99),  # false -> exit
+                Predicate(name_feature, ">=", 1.0),   # never evaluated
+            ],
+        )
+        assert not evaluator.rule_true(candidates[0], rule)
+        assert stats.predicate_evaluations == 1
+        assert name_feature.name not in stats.computations_by_feature
+
+
+class TestCheckCacheFirst:
+    def test_cached_predicates_evaluated_first(self, setup):
+        candidates, name_feature, code_feature = setup
+        stats = MatchStats()
+        memo = ArrayMemo(1)
+        # Pre-warm only the *second* predicate's feature; with
+        # check-cache-first it must be tried first, and since it fails,
+        # the expensive uncached feature is never computed.
+        memo.put(0, code_feature.name, 0.5)
+        evaluator = PairEvaluator(stats, memo=memo, check_cache_first=True)
+        rule = Rule(
+            "r",
+            [
+                Predicate(name_feature, ">=", 1.0),   # uncached
+                Predicate(code_feature, ">=", 0.99),  # cached, false
+            ],
+        )
+        assert not evaluator.rule_true(candidates[0], rule)
+        assert stats.feature_computations == 0
+        assert stats.memo_hits == 1
+
+    def test_static_order_without_flag(self, setup):
+        candidates, name_feature, code_feature = setup
+        stats = MatchStats()
+        memo = ArrayMemo(1)
+        memo.put(0, code_feature.name, 0.5)
+        evaluator = PairEvaluator(stats, memo=memo, check_cache_first=False)
+        rule = Rule(
+            "r",
+            [
+                Predicate(name_feature, ">=", 1.0),
+                Predicate(code_feature, ">=", 0.99),
+            ],
+        )
+        evaluator.rule_true(candidates[0], rule)
+        # Static order evaluates the uncached predicate first: one compute.
+        assert stats.feature_computations == 1

@@ -1,0 +1,48 @@
+"""Smoke tests for the example scripts.
+
+Importing each module catches syntax errors and broken imports without
+paying the scripts' multi-second runtimes; one fast example (quickstart
+at reduced scale) actually executes end to end.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports(path):
+    module = _load_module(path)
+    assert hasattr(module, "main"), f"{path.name} lacks a main() entry point"
+    assert callable(module.main)
+
+
+def test_examples_inventory():
+    """The README promises at least these examples; keep them present."""
+    names = {path.stem for path in EXAMPLE_FILES}
+    assert {
+        "quickstart",
+        "products_debugging",
+        "restaurants_incremental",
+        "ordering_explorer",
+    } <= names
+    assert len(names) >= 3
+
+
+def test_examples_have_docstrings():
+    for path in EXAMPLE_FILES:
+        module = _load_module(path)
+        assert module.__doc__, f"{path.name} lacks a module docstring"
+        assert "Run:" in module.__doc__, f"{path.name} docstring lacks run hint"

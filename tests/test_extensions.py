@@ -1,0 +1,223 @@
+"""Tests for the extension modules: dynamic rule reordering, state
+persistence, extra similarity measures, and the sorted-neighborhood
+blocker."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import SortedNeighborhoodBlocker, default_key
+from repro.core import (
+    DynamicMemoMatcher,
+    DynamicRuleReorderMatcher,
+    MatchState,
+    RemoveRule,
+    TightenPredicate,
+    apply_change,
+    candidate_fingerprint,
+    load_state,
+    save_state,
+)
+from repro.data import CandidateSet, Record, Table
+from repro.errors import BlockingError, MatchingError, StateError
+from repro.similarity import BagCosine, BagJaccard, Hamming, Tversky
+
+
+class TestDynamicRuleReorder:
+    def test_labels_identical_to_plain_dm(self, small_workload):
+        candidates = small_workload.candidates.subset(range(500))
+        plain = DynamicMemoMatcher().run(small_workload.function, candidates)
+        reordered = DynamicRuleReorderMatcher().run(
+            small_workload.function, candidates
+        )
+        assert (plain.labels == reordered.labels).all()
+
+    def test_never_computes_more_with_warm_memo(self, small_workload):
+        """With a memo warmed by a prior run, reordering to cached rules
+        first must not increase computations."""
+        candidates = small_workload.candidates.subset(range(400))
+        matcher = DynamicRuleReorderMatcher()
+        first = matcher.run(small_workload.function, candidates)
+        warm = DynamicRuleReorderMatcher(memo=matcher.last_memo)
+        second = warm.run(small_workload.function, candidates)
+        assert second.stats.feature_computations == 0
+
+    def test_invalid_backend(self):
+        with pytest.raises(MatchingError):
+            DynamicRuleReorderMatcher(memo_backend="tape")
+
+    def test_hash_backend(self, people_candidates, b1_function):
+        result = DynamicRuleReorderMatcher(memo_backend="hash").run(
+            b1_function, people_candidates
+        )
+        reference = DynamicMemoMatcher().run(b1_function, people_candidates)
+        assert (result.labels == reference.labels).all()
+
+
+class TestPersistence:
+    @pytest.fixture()
+    def state(self, small_workload):
+        candidates = small_workload.candidates.subset(range(300))
+        state, _ = MatchState.from_initial_run(small_workload.function, candidates)
+        return state
+
+    def test_round_trip_preserves_everything(self, tmp_path, state, small_workload):
+        save_state(state, tmp_path / "session")
+        restored = load_state(
+            tmp_path / "session",
+            state.candidates,
+            small_workload.space.resolver(),
+        )
+        assert (restored.labels == state.labels).all()
+        assert (restored.attribution == state.attribution).all()
+        assert len(restored.memo) == len(state.memo)
+        assert restored.bitmap_count() == state.bitmap_count()
+        # The restored function must be semantically identical.
+        scratch = DynamicMemoMatcher().run(restored.function, state.candidates)
+        restored.validate_against(scratch.labels)
+        restored.check_soundness()
+
+    def test_restored_state_supports_incremental_edits(
+        self, tmp_path, state, small_workload
+    ):
+        save_state(state, tmp_path / "session")
+        restored = load_state(
+            tmp_path / "session",
+            state.candidates,
+            small_workload.space.resolver(),
+        )
+        rule = restored.function.rules[0]
+        apply_change(restored, RemoveRule(rule.name))
+        scratch = DynamicMemoMatcher().run(restored.function, state.candidates)
+        restored.validate_against(scratch.labels)
+
+    def test_restored_edits_reuse_the_memo(self, tmp_path, state, small_workload):
+        entries = len(state.memo)
+        save_state(state, tmp_path / "session")
+        restored = load_state(
+            tmp_path / "session",
+            state.candidates,
+            small_workload.space.resolver(),
+        )
+        rule = restored.function.rules[0]
+        predicate = rule.predicates[0]
+        threshold = (
+            min(1.0, predicate.threshold + 0.1)
+            if predicate.op in (">=", ">")
+            else max(0.0, predicate.threshold - 0.1)
+        )
+        outcome = apply_change(
+            restored, TightenPredicate(rule.name, predicate.slot, threshold)
+        )
+        # The edit should be (mostly) lookups against the restored memo.
+        assert outcome.stats.memo_hits >= outcome.stats.feature_computations
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path, state, small_workload):
+        save_state(state, tmp_path / "session")
+        other = small_workload.candidates.subset(range(299))
+        with pytest.raises(StateError, match="different candidate set"):
+            load_state(tmp_path / "session", other)
+
+    def test_missing_directory_rejected(self, tmp_path, state):
+        with pytest.raises(StateError, match="does not contain"):
+            load_state(tmp_path / "nowhere", state.candidates)
+
+    def test_fingerprint_depends_on_order(self, small_workload):
+        forward = small_workload.candidates.subset([0, 1, 2])
+        backward = small_workload.candidates.subset([2, 1, 0])
+        assert candidate_fingerprint(forward) != candidate_fingerprint(backward)
+
+    def test_hash_backend_round_trip(self, tmp_path, small_workload):
+        candidates = small_workload.candidates.subset(range(150))
+        state, _ = MatchState.from_initial_run(
+            small_workload.function, candidates, memo_backend="hash"
+        )
+        save_state(state, tmp_path / "hash_session")
+        restored = load_state(
+            tmp_path / "hash_session",
+            candidates,
+            small_workload.space.resolver(),
+        )
+        assert (restored.labels == state.labels).all()
+        assert len(restored.memo) == len(state.memo)
+
+
+class TestExtraMeasures:
+    def test_hamming(self):
+        assert Hamming()("abcd", "abxd") == pytest.approx(0.75)
+        assert Hamming()("ab", "abcd") == pytest.approx(0.5)
+        assert Hamming()("", "") == 1.0
+
+    def test_tversky_generalizes_jaccard_and_dice(self):
+        from repro.similarity import Dice, Jaccard
+
+        x, y = "a b c", "b c d"
+        assert Tversky(alpha=1.0)(x, y) == pytest.approx(Jaccard()(x, y))
+        assert Tversky(alpha=0.5)(x, y) == pytest.approx(Dice()(x, y))
+
+    def test_tversky_alpha_validation(self):
+        with pytest.raises(ValueError):
+            Tversky(alpha=0)
+
+    def test_bag_jaccard_counts_multiplicity(self):
+        from repro.similarity import Jaccard
+
+        assert BagJaccard()("a a b", "a b") == pytest.approx(2 / 3)
+        assert Jaccard()("a a b", "a b") == 1.0  # sets can't tell
+
+    def test_bag_cosine_known(self):
+        # vectors (2,1) and (1,1): dot 3, norms sqrt5 * sqrt2
+        assert BagCosine()("a a b", "a b") == pytest.approx(3 / (5**0.5 * 2**0.5))
+
+
+class TestSortedNeighborhood:
+    @pytest.fixture()
+    def tables(self):
+        table_a = Table("A", ["code"])
+        table_b = Table("B", ["code"])
+        codes = ["alpha", "beta", "gamma", "delta", "epsilon"]
+        for index, code in enumerate(codes):
+            table_a.add_row(f"a{index}", code=code)
+            table_b.add_row(f"b{index}", code=code.upper())  # same keys
+        return table_a, table_b
+
+    def test_same_key_records_are_candidates(self, tables):
+        candidates = SortedNeighborhoodBlocker("code", window=2).block(*tables)
+        pairs = set(candidates.id_pairs())
+        # Identical (case-folded) keys are adjacent after sorting.
+        for index in range(5):
+            assert (f"a{index}", f"b{index}") in pairs
+
+    def test_window_grows_candidates(self, tables):
+        small = SortedNeighborhoodBlocker("code", window=2).block(*tables)
+        large = SortedNeighborhoodBlocker("code", window=4).block(*tables)
+        assert set(small.id_pairs()) <= set(large.id_pairs())
+        assert len(large) > len(small)
+
+    def test_catches_typo_in_every_token(self):
+        """Overlap blocking fails when every token is typo'd; sorted
+        neighborhood survives because the sort key prefix still agrees."""
+        table_a = Table("A", ["name"])
+        table_a.add_row("a0", name="sonavox speaker")
+        table_b = Table("B", ["name"])
+        table_b.add_row("b0", name="sonavx spaeker")  # both tokens typo'd
+        table_b.add_row("b1", name="zzz unrelated")
+        from repro.blocking import OverlapBlocker
+
+        overlap = OverlapBlocker("name", min_overlap=1).block(table_a, table_b)
+        sorted_nbhd = SortedNeighborhoodBlocker("name", window=2).block(
+            table_a, table_b
+        )
+        assert ("a0", "b0") not in overlap
+        assert ("a0", "b0") in sorted_nbhd
+
+    def test_default_key_squeezes(self):
+        assert default_key("MN-12 345") == "mn12345"
+        assert default_key(None) == ""
+
+    def test_window_validation(self):
+        with pytest.raises(BlockingError):
+            SortedNeighborhoodBlocker("code", window=1)
+
+    def test_unknown_attribute(self, tables):
+        with pytest.raises(BlockingError):
+            SortedNeighborhoodBlocker("nope").block(*tables)

@@ -1,0 +1,247 @@
+"""Unit tests for the incremental matching algorithms (7-10) and MatchState.
+
+The master check for every scenario: after any incremental update, labels
+must equal a from-scratch run of the edited function, and the state's
+bitmaps must stay sound (``check_soundness``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AddPredicate,
+    AddRule,
+    DynamicMemoMatcher,
+    Feature,
+    MatchState,
+    Predicate,
+    RelaxPredicate,
+    RemovePredicate,
+    RemoveRule,
+    TightenPredicate,
+    apply_change,
+    parse_function,
+    parse_rule,
+)
+from repro.errors import ChangeError, StateError
+from repro.similarity import Jaccard
+
+
+def assert_consistent(state):
+    """Labels == scratch run of the current function; bitmaps sound."""
+    scratch = DynamicMemoMatcher().run(state.function, state.candidates)
+    state.validate_against(scratch.labels)
+    state.check_soundness()
+
+
+@pytest.fixture()
+def started(small_workload):
+    candidates = small_workload.candidates.subset(range(600))
+    state, result = MatchState.from_initial_run(
+        small_workload.function, candidates
+    )
+    return state, result
+
+
+class TestInitialRun:
+    def test_state_matches_result(self, started):
+        state, result = started
+        assert (state.labels == result.labels).all()
+        assert state.match_count() == result.match_count()
+
+    def test_initial_state_consistent(self, started):
+        state, _ = started
+        assert_consistent(state)
+
+    def test_attribution_is_first_true_rule(self, started):
+        state, _ = started
+        for pair_index in state.matched_indices()[:10]:
+            attributed = int(state.attribution[pair_index])
+            assert attributed >= 0
+            assert state._rule_matched[
+                state.function.rules[attributed].name
+            ][pair_index]
+
+    def test_memory_report_keys(self, started):
+        state, _ = started
+        report = state.nbytes()
+        assert set(report) == {
+            "memo",
+            "rule_bitmaps",
+            "predicate_bitmaps",
+            "labels",
+            "total",
+        }
+        assert report["total"] >= report["memo"]
+
+
+class TestAlgorithm7:
+    def test_tighten_only_shrinks_matches(self, started):
+        state, result = started
+        before = state.match_count()
+        rule = state.function.rules[0]
+        predicate = rule.predicates[0]
+        threshold = (
+            min(1.0, predicate.threshold + 0.15)
+            if predicate.op in (">=", ">")
+            else max(0.0, predicate.threshold - 0.15)
+        )
+        outcome = apply_change(
+            state, TightenPredicate(rule.name, predicate.slot, threshold)
+        )
+        assert state.match_count() <= before
+        assert outcome.newly_matched == 0
+        assert_consistent(state)
+
+    def test_add_predicate(self, started):
+        state, _ = started
+        feature = Feature(Jaccard(), "category", "category")
+        rule = state.function.rules[1]
+        predicate = Predicate(feature, ">=", 0.99)
+        outcome = apply_change(state, AddPredicate(rule.name, predicate))
+        assert outcome.newly_matched == 0
+        assert_consistent(state)
+
+    def test_affected_limited_to_rule_matches(self, started):
+        state, _ = started
+        rule = state.function.rules[0]
+        m_r = len(state.matched_by_rule(rule.name))
+        predicate = rule.predicates[0]
+        threshold = (
+            min(1.0, predicate.threshold + 0.1)
+            if predicate.op in (">=", ">")
+            else max(0.0, predicate.threshold - 0.1)
+        )
+        outcome = apply_change(
+            state, TightenPredicate(rule.name, predicate.slot, threshold)
+        )
+        assert outcome.affected_pairs == m_r
+
+
+class TestAlgorithm8:
+    def test_relax_only_grows_matches(self, started):
+        state, _ = started
+        before = state.match_count()
+        rule = state.function.rules[2]
+        predicate = rule.predicates[0]
+        threshold = (
+            max(-0.001, predicate.threshold - 0.2)
+            if predicate.op in (">=", ">")
+            else min(1.001, predicate.threshold + 0.2)
+        )
+        outcome = apply_change(
+            state, RelaxPredicate(rule.name, predicate.slot, threshold)
+        )
+        assert state.match_count() >= before
+        assert outcome.newly_unmatched == 0
+        assert_consistent(state)
+
+    def test_remove_predicate(self, started):
+        state, _ = started
+        rule = next(r for r in state.function.rules if len(r) > 1)
+        before = state.match_count()
+        outcome = apply_change(
+            state, RemovePredicate(rule.name, rule.predicates[0].slot)
+        )
+        assert state.match_count() >= before
+        assert_consistent(state)
+
+    def test_removed_predicate_bitmap_dropped(self, started):
+        state, _ = started
+        rule = next(r for r in state.function.rules if len(r) > 1)
+        slot = rule.predicates[0].slot
+        apply_change(state, RemovePredicate(rule.name, slot))
+        assert state.failed_predicate(rule.name, slot) == []
+
+
+class TestAlgorithm9:
+    def test_remove_rule(self, started):
+        state, _ = started
+        rule = state.function.rules[0]
+        before = state.match_count()
+        outcome = apply_change(state, RemoveRule(rule.name))
+        assert rule.name not in state.function
+        assert state.match_count() <= before
+        assert_consistent(state)
+
+    def test_bitmaps_dropped(self, started):
+        state, _ = started
+        rule = state.function.rules[0]
+        apply_change(state, RemoveRule(rule.name))
+        assert state.matched_by_rule(rule.name) == []
+        assert all(key[0] != rule.name for key in state._predicate_false)
+
+    def test_affected_equals_rule_matches(self, started):
+        state, _ = started
+        rule = state.function.rules[1]
+        expected = len(state.matched_by_rule(rule.name))
+        outcome = apply_change(state, RemoveRule(rule.name))
+        assert outcome.affected_pairs == expected
+
+
+class TestAlgorithm10:
+    def test_add_matching_rule(self, started):
+        state, _ = started
+        before = state.match_count()
+        rule = parse_rule("catch_all: norm_exact_match(modelno, modelno) >= 1")
+        outcome = apply_change(state, AddRule(rule))
+        assert state.match_count() >= before
+        assert outcome.newly_unmatched == 0
+        assert_consistent(state)
+
+    def test_affected_is_unmatched_count(self, started):
+        state, _ = started
+        unmatched = len(state.unmatched_indices())
+        rule = parse_rule("never: exact_match(title, title) == -1")
+        outcome = apply_change(state, AddRule(rule))
+        assert outcome.affected_pairs == unmatched
+        assert outcome.newly_matched == 0
+
+    def test_new_rule_appended_last(self, started):
+        state, _ = started
+        rule = parse_rule("zlast: jaccard_ws(title, title) >= 0.999")
+        apply_change(state, AddRule(rule))
+        assert state.function.rules[-1].name == "zlast"
+
+
+class TestIncrementalIsCheaper:
+    def test_incremental_computes_less_than_scratch(self, started):
+        """The §6 claim in counter form: applying one change must compute
+        far fewer features than a from-scratch run."""
+        state, initial = started
+        rule = state.function.rules[0]
+        predicate = rule.predicates[0]
+        threshold = (
+            min(1.0, predicate.threshold + 0.05)
+            if predicate.op in (">=", ">")
+            else max(0.0, predicate.threshold - 0.05)
+        )
+        outcome = apply_change(
+            state, TightenPredicate(rule.name, predicate.slot, threshold)
+        )
+        assert outcome.stats.feature_computations <= (
+            initial.stats.feature_computations / 10
+        )
+
+
+class TestStateErrors:
+    def test_validate_against_detects_divergence(self, started):
+        state, _ = started
+        wrong = state.labels.copy()
+        wrong[0] = not wrong[0]
+        with pytest.raises(StateError, match="diverged"):
+            state.validate_against(wrong)
+
+    def test_validate_against_length_mismatch(self, started):
+        state, _ = started
+        with pytest.raises(StateError):
+            state.validate_against(np.zeros(3, dtype=bool))
+
+    def test_dispatch_rejects_unknown_change(self, started):
+        state, _ = started
+
+        class Mystery:
+            pass
+
+        with pytest.raises(ChangeError):
+            apply_change(state, Mystery())

@@ -1,0 +1,204 @@
+"""Property-based tests: arbitrary edit sequences keep incremental state
+exactly equal to from-scratch matching.
+
+This exercises the §6 algorithms under adversarial interleavings —
+including the relax-then-tighten interaction that breaks the paper's
+Algorithm 8 as literally written (see repro.core.incremental's module
+docstring).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AddPredicate,
+    AddRule,
+    DynamicMemoMatcher,
+    Feature,
+    MatchingFunction,
+    MatchState,
+    Predicate,
+    RelaxPredicate,
+    RemovePredicate,
+    RemoveRule,
+    Rule,
+    TightenPredicate,
+    apply_change,
+)
+from repro.data import CandidateSet, Record, Table
+from repro.errors import ChangeError
+from repro.similarity import ExactMatch, Jaccard, JaroWinkler, Levenshtein
+
+FEATURE_POOL = [
+    Feature(ExactMatch(), "name", "name"),
+    Feature(JaroWinkler(), "name", "name"),
+    Feature(Jaccard(), "name", "name"),
+    Feature(Levenshtein(), "code", "code"),
+    Feature(ExactMatch(), "code", "code"),
+]
+
+value_strategy = st.one_of(
+    st.none(), st.text(alphabet="abc 12", min_size=0, max_size=6)
+)
+
+
+@st.composite
+def scenario_strategy(draw):
+    """Tables + function + an abstract edit script.
+
+    Edits are drawn as abstract intents (kind + indices + deltas) and
+    resolved against the *current* function at apply time, because earlier
+    edits change what later edits can refer to.
+    """
+    table_a = Table("A", ("name", "code"))
+    table_b = Table("B", ("name", "code"))
+    for index in range(draw(st.integers(min_value=2, max_value=5))):
+        table_a.add(
+            Record(f"a{index}", {"name": draw(value_strategy), "code": draw(value_strategy)})
+        )
+    for index in range(draw(st.integers(min_value=2, max_value=5))):
+        table_b.add(
+            Record(f"b{index}", {"name": draw(value_strategy), "code": draw(value_strategy)})
+        )
+
+    def draw_rule(name):
+        slots = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=len(FEATURE_POOL) - 1),
+                    st.sampled_from([">=", "<="]),
+                ),
+                min_size=1,
+                max_size=3,
+                unique_by=lambda item: item,
+            )
+        )
+        return Rule(
+            name,
+            [
+                Predicate(
+                    FEATURE_POOL[feature_index],
+                    op,
+                    draw(st.sampled_from([0.1, 0.3, 0.5, 0.7, 0.9])),
+                )
+                for feature_index, op in slots
+            ],
+        )
+
+    n_rules = draw(st.integers(min_value=2, max_value=4))
+    function = MatchingFunction([draw_rule(f"r{i}") for i in range(n_rules)])
+
+    script = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["tighten", "relax", "add_pred", "remove_pred", "add_rule", "remove_rule"]
+                ),
+                st.integers(min_value=0, max_value=99),  # rule selector
+                st.integers(min_value=0, max_value=99),  # predicate selector
+                st.sampled_from([0.05, 0.15, 0.25, 0.4]),  # threshold delta
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    extra_rules = [draw_rule(f"x{i}") for i in range(6)]
+    return table_a, table_b, function, script, extra_rules
+
+
+def resolve_change(state, intent, extra_rules, step):
+    """Turn an abstract intent into a concrete valid Change, or None."""
+    kind, rule_selector, predicate_selector, delta = intent
+    function = state.function
+    rules = function.rules
+    rule = rules[rule_selector % len(rules)]
+    predicate = rule.predicates[predicate_selector % len(rule.predicates)]
+    lower_bound = predicate.op in (">=", ">")
+    if kind == "tighten":
+        threshold = (
+            predicate.threshold + delta if lower_bound else predicate.threshold - delta
+        )
+        return TightenPredicate(rule.name, predicate.slot, threshold)
+    if kind == "relax":
+        threshold = (
+            predicate.threshold - delta if lower_bound else predicate.threshold + delta
+        )
+        return RelaxPredicate(rule.name, predicate.slot, threshold)
+    if kind == "remove_pred":
+        if len(rule.predicates) < 2:
+            return None
+        return RemovePredicate(rule.name, predicate.slot)
+    if kind == "add_pred":
+        taken = {p.slot for p in rule.predicates}
+        for feature in FEATURE_POOL:
+            candidate = Predicate(feature, ">=", 0.2 + delta)
+            if candidate.slot not in taken:
+                return AddPredicate(rule.name, candidate)
+        return None
+    if kind == "remove_rule":
+        if len(function) < 2:
+            return None
+        return RemoveRule(rule.name)
+    if kind == "add_rule":
+        for rule_candidate in extra_rules:
+            if rule_candidate.name not in function:
+                return AddRule(rule_candidate)
+        return None
+    raise AssertionError(kind)
+
+
+@given(scenario=scenario_strategy())
+@settings(max_examples=60, deadline=None)
+def test_edit_sequences_match_scratch_runs(scenario):
+    table_a, table_b, function, script, extra_rules = scenario
+    candidates = CandidateSet.from_id_pairs(
+        table_a,
+        table_b,
+        [(a.record_id, b.record_id) for a in table_a for b in table_b],
+    )
+    state, _ = MatchState.from_initial_run(function, candidates)
+    for step, intent in enumerate(script):
+        change = resolve_change(state, intent, extra_rules, step)
+        if change is None:
+            continue
+        try:
+            change.validate(state.function)
+        except ChangeError:
+            continue  # abstract intent resolved to an invalid edit; skip
+        apply_change(state, change)
+        scratch = DynamicMemoMatcher().run(state.function, candidates)
+        assert (state.labels == scratch.labels).all(), (
+            f"diverged after step {step}: {change.describe()}"
+        )
+        state.check_soundness()
+
+
+@given(scenario=scenario_strategy())
+@settings(max_examples=25, deadline=None)
+def test_check_cache_first_state_is_equivalent(scenario):
+    """The §5.4.3 runtime reordering must not perturb incremental results."""
+    table_a, table_b, function, script, extra_rules = scenario
+    candidates = CandidateSet.from_id_pairs(
+        table_a,
+        table_b,
+        [(a.record_id, b.record_id) for a in table_a for b in table_b],
+    )
+    state, _ = MatchState.from_initial_run(
+        function, candidates, check_cache_first=True
+    )
+    for intent in script:
+        change = resolve_change(state, intent, extra_rules, 0)
+        if change is None:
+            continue
+        try:
+            change.validate(state.function)
+        except ChangeError:
+            continue
+        apply_change(state, change)
+    scratch = DynamicMemoMatcher().run(state.function, candidates)
+    assert (state.labels == scratch.labels).all()
+    state.check_soundness()

@@ -1,0 +1,98 @@
+"""End-to-end integration tests: the full pipeline on every dataset, and a
+complete scripted debugging session mirroring the paper's Figure 1 loop.
+"""
+
+import pytest
+
+from repro import (
+    DebugSession,
+    DynamicMemoMatcher,
+    RelaxPredicate,
+    RemoveRule,
+    TightenPredicate,
+    blocking_recall,
+    build_workload,
+    dataset_names,
+)
+from repro.core import AddRule, parse_rule
+from repro.evaluation import confusion, false_positives
+from repro.learning import default_blocker
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_full_pipeline_every_dataset(name):
+    """Generate → block → learn → match → score, for all six datasets."""
+    workload = build_workload(
+        name, seed=5, scale=0.2, n_trees=8, max_depth=5, max_rules=25
+    )
+    assert len(workload.candidates) > 0
+    assert len(workload.function) >= 1
+    assert workload.used_feature_count() <= len(workload.space)
+
+    recall = blocking_recall(workload.candidates, workload.gold)
+    assert recall > 0.8, f"{name}: blocking lost too many matches"
+
+    result = DynamicMemoMatcher().run(workload.function, workload.candidates)
+    quality = confusion(result.labels, workload.candidates, workload.gold)
+    assert quality.recall > 0.7, f"{name}: {quality.summary()}"
+    assert quality.precision > 0.1, f"{name}: {quality.summary()}"
+
+
+def test_scripted_debugging_session(small_workload):
+    """An analyst storyline: run, inspect a false positive, tighten, check
+    quality moved in the right direction; then recover a lost match."""
+    candidates = small_workload.candidates.subset(range(800))
+    session = DebugSession(
+        candidates,
+        small_workload.function,
+        gold=small_workload.gold,
+        ordering="algorithm5",
+    )
+    initial = session.run()
+    baseline = session.metrics()
+
+    fps = false_positives(session.labels(), candidates, small_workload.gold)
+    if fps:
+        # Inspect the first false positive and tighten the rule that
+        # matched it, exactly as §6.2.1 prescribes.
+        pair = candidates[fps[0]]
+        explanation = session.explain(*pair.pair_id)
+        guilty = explanation.matching_rules()
+        assert guilty, "a false positive must have a matching rule"
+        rule = session.function.rule(guilty[0])
+        predicate = rule.predicates[0]
+        threshold = (
+            min(1.0, predicate.threshold + 0.1)
+            if predicate.op in (">=", ">")
+            else max(0.0, predicate.threshold - 0.1)
+        )
+        outcome = session.apply(
+            TightenPredicate(rule.name, predicate.slot, threshold)
+        )
+        tightened = session.metrics()
+        assert tightened.false_positives <= baseline.false_positives
+        assert outcome.elapsed_seconds < initial.stats.elapsed_seconds
+
+    # Recall repair: add a catch-all rule for exact model numbers.
+    session.apply(
+        AddRule(parse_rule("recover: norm_exact_match(modelno, modelno) >= 1"))
+    )
+    final = session.metrics()
+    assert final.recall >= baseline.recall - 1e-9
+
+    # The incremental state never diverged from the truth.
+    scratch = DynamicMemoMatcher().run(session.function, candidates)
+    session.state.validate_against(scratch.labels)
+
+
+def test_workload_default_blockers_cover_all_datasets():
+    for name in dataset_names():
+        assert default_blocker(name) is not None
+
+
+def test_public_api_surface():
+    """Everything advertised in repro.__all__ must resolve."""
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name

@@ -1,0 +1,238 @@
+"""Unit tests for the learning substrate: tree, forest, feature space,
+vectorization, and rule extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicMemoMatcher
+from repro.data import load_dataset
+from repro.errors import ReproError
+from repro.learning import (
+    DecisionTree,
+    FeatureSpace,
+    RandomForest,
+    build_labeled_sample,
+    build_workload,
+    canonicalize_path,
+    compute_matrix,
+    extract_rules,
+    path_to_rule,
+)
+
+
+@pytest.fixture()
+def xor_free_data():
+    """A linearly-splittable toy problem: positive iff f0 > 0.5 and f1 > 0.5."""
+    rng = np.random.RandomState(0)
+    matrix = rng.rand(200, 3)
+    labels = (matrix[:, 0] > 0.5) & (matrix[:, 1] > 0.5)
+    return matrix, labels
+
+
+class TestDecisionTree:
+    def test_fits_and_predicts(self, xor_free_data):
+        matrix, labels = xor_free_data
+        tree = DecisionTree(max_depth=4, min_samples_leaf=2).fit(matrix, labels)
+        accuracy = (tree.predict(matrix) == labels).mean()
+        assert accuracy > 0.95
+
+    def test_depth_respected(self, xor_free_data):
+        matrix, labels = xor_free_data
+        tree = DecisionTree(max_depth=2).fit(matrix, labels)
+        assert tree.root.depth() <= 2
+
+    def test_pure_node_is_leaf(self):
+        matrix = np.array([[0.1], [0.2], [0.3]])
+        labels = np.array([True, True, True])
+        tree = DecisionTree().fit(matrix, labels)
+        assert tree.root.is_leaf
+        assert tree.root.prediction
+
+    def test_deterministic_in_seed(self, xor_free_data):
+        matrix, labels = xor_free_data
+        tree_1 = DecisionTree(max_features="sqrt", seed=5).fit(matrix, labels)
+        tree_2 = DecisionTree(max_features="sqrt", seed=5).fit(matrix, labels)
+        assert tree_1.predict(matrix).tolist() == tree_2.predict(matrix).tolist()
+
+    def test_positive_paths_reach_positive_leaves(self, xor_free_data):
+        matrix, labels = xor_free_data
+        tree = DecisionTree(max_depth=4).fit(matrix, labels)
+        paths = tree.positive_paths()
+        assert paths
+        for path in paths:
+            assert path.purity > 0.5
+            assert path.n_samples >= 1
+            for _feature, op, _threshold in path.conditions:
+                assert op in ("<=", ">")
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ReproError, match="not fitted"):
+            DecisionTree().predict_one(np.zeros(3))
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ReproError):
+            DecisionTree().fit(np.zeros((0, 2)), np.zeros(0, dtype=bool))
+
+    def test_invalid_depth(self):
+        with pytest.raises(ReproError):
+            DecisionTree(max_depth=0)
+
+
+class TestRandomForest:
+    def test_fits_and_predicts(self, xor_free_data):
+        matrix, labels = xor_free_data
+        forest = RandomForest(n_trees=10, max_depth=4, seed=1).fit(matrix, labels)
+        accuracy = (forest.predict(matrix) == labels).mean()
+        assert accuracy > 0.95
+
+    def test_deterministic(self, xor_free_data):
+        matrix, labels = xor_free_data
+        forest_1 = RandomForest(n_trees=5, seed=2).fit(matrix, labels)
+        forest_2 = RandomForest(n_trees=5, seed=2).fit(matrix, labels)
+        assert forest_1.predict(matrix).tolist() == forest_2.predict(matrix).tolist()
+
+    def test_invalid_size(self):
+        with pytest.raises(ReproError):
+            RandomForest(n_trees=0)
+
+    def test_unfitted_rejected(self, xor_free_data):
+        with pytest.raises(ReproError, match="not fitted"):
+            RandomForest().predict_one(np.zeros(3))
+
+
+class TestCanonicalizePath:
+    def test_binding_bounds(self):
+        path = [(0, ">", 0.3), (0, ">", 0.5), (0, "<=", 0.9), (0, "<=", 0.8)]
+        assert canonicalize_path(path) == [(0, ">", 0.5), (0, "<=", 0.8)]
+
+    def test_vacuous_bounds_dropped(self):
+        # <= 1.0 can never fail for scores in [0,1]; > -0.1 likewise.
+        path = [(0, "<=", 1.0), (1, ">", -0.1), (2, ">", 0.4)]
+        assert canonicalize_path(path) == [(2, ">", 0.4)]
+
+    def test_feature_order_preserved(self):
+        path = [(2, ">", 0.1), (0, "<=", 0.5), (2, "<=", 0.9)]
+        features = [item[0] for item in canonicalize_path(path)]
+        assert features == [2, 2, 0]
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ReproError):
+            canonicalize_path([(0, ">=", 0.5)])
+
+
+class TestFeatureSpace:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("products", shared=20, a_only=5, b_only=30, seed=2)
+
+    @pytest.fixture(scope="class")
+    def space(self, dataset):
+        return FeatureSpace.build(dataset)
+
+    def test_enumerates_by_type(self, space):
+        names = space.names()
+        assert "jaro_winkler(modelno,modelno)" in names      # short
+        assert "soft_tfidf_ws(title,title)" in names         # text
+        assert "rel_diff(price,price)" in names              # numeric
+        assert "exact_match(brand,brand)" in names           # category
+
+    def test_cross_features_present(self, space):
+        assert "cosine_ws(modelno,title)" in space.names()
+
+    def test_corpus_bound(self, space):
+        tfidf = space.get("tfidf_ws(title,title)")
+        assert len(tfidf.sim.corpus) > 0
+
+    def test_cross_and_same_corpora_differ(self, space):
+        same = space.get("tfidf_ws(title,title)").sim.corpus
+        cross = space.get("tfidf_ws(modelno,title)").sim.corpus
+        assert same is not cross
+
+    def test_lookup_and_membership(self, space):
+        name = space.names()[0]
+        assert space.get(name).name == name
+        assert name in space
+        from repro.errors import UnknownFeatureError
+
+        with pytest.raises(UnknownFeatureError):
+            space.get("nope")
+
+    def test_resolver_reuses_instances(self, space):
+        resolve = space.resolver()
+        feature = resolve("tfidf_ws", "title", "title")
+        assert feature is space.get("tfidf_ws(title,title)")
+
+    def test_resolver_falls_back_to_registry(self, space):
+        resolve = space.resolver()
+        feature = resolve("soundex", "brand", "brand")
+        assert feature.name == "soundex(brand,brand)"
+
+
+class TestVectorizeAndExtract:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        workload = build_workload(
+            "products", seed=21, scale=0.25, n_trees=8, max_depth=5, max_rules=30
+        )
+        return workload
+
+    def test_labeled_sample_shape(self, setup):
+        sample = build_labeled_sample(
+            setup.space, setup.candidates, setup.gold, seed=1
+        )
+        assert sample.matrix.shape == (len(sample.indices), len(setup.space))
+        assert sample.positives > 0
+        assert sample.negatives > 0
+        assert sample.negatives >= sample.positives  # ratio 3 default
+
+    def test_matrix_values_in_range(self, setup):
+        sample = build_labeled_sample(
+            setup.space, setup.candidates, setup.gold, seed=1
+        )
+        assert np.all(sample.matrix >= 0.0)
+        assert np.all(sample.matrix <= 1.0)
+
+    def test_extracted_rules_canonical(self, setup):
+        for rule in setup.function.rules:
+            slots = [predicate.slot for predicate in rule.predicates]
+            assert len(set(slots)) == len(slots)
+
+    def test_extracted_rules_use_space_features(self, setup):
+        space_names = set(setup.space.names())
+        for feature in setup.function.features():
+            assert feature.name in space_names
+
+    def test_extraction_deduplicates(self, setup):
+        bodies = [
+            frozenset(predicate.pid for predicate in rule.predicates)
+            for rule in setup.function.rules
+        ]
+        assert len(set(bodies)) == len(bodies)
+
+    def test_max_rules_cap(self, setup):
+        assert len(setup.function) <= 30
+
+    def test_workload_quality(self, setup):
+        """The learned DNF must be a usable starting point: perfect or
+        near-perfect recall, non-trivial precision."""
+        from repro.evaluation import confusion
+
+        result = DynamicMemoMatcher().run(setup.function, setup.candidates)
+        quality = confusion(result.labels, setup.candidates, setup.gold)
+        assert quality.recall > 0.9
+        assert quality.precision > 0.2
+
+    def test_workload_summary_mentions_counts(self, setup):
+        summary = setup.summary()
+        assert "rules=" in summary
+        assert "pairs=" in summary
+
+
+class TestExtractErrors:
+    def test_wrong_model_type(self, small_workload):
+        with pytest.raises(ReproError, match="expected DecisionTree"):
+            extract_rules("not a model", small_workload.space)
+
+    def test_unknown_dataset_workload(self):
+        with pytest.raises(ReproError):
+            build_workload("imaginary")

@@ -1,0 +1,181 @@
+"""Property-based tests: all matching strategies and all orderings compute
+the same labels on randomly generated tables and rule sets.
+
+This is the repository's master invariant — every optimization in the
+paper (early exit, memoing, ordering, check-cache-first) is purely a
+performance transformation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CostEstimator,
+    DynamicMemoMatcher,
+    EarlyExitMatcher,
+    Feature,
+    MatchingFunction,
+    PrecomputeMatcher,
+    Predicate,
+    Rule,
+    RudimentaryMatcher,
+    greedy_cost_ordering,
+    greedy_reduction_ordering,
+    independent_ordering,
+    random_ordering,
+)
+from repro.data import CandidateSet, Record, Table
+from repro.similarity import ExactMatch, Jaccard, JaroWinkler, Levenshtein, Trigram
+
+ATTRIBUTES = ("name", "code")
+
+#: fixed feature pool — four measures x two attributes, mixed costs.
+FEATURE_POOL = [
+    Feature(ExactMatch(), "name", "name"),
+    Feature(JaroWinkler(), "name", "name"),
+    Feature(Jaccard(), "name", "name"),
+    Feature(ExactMatch(), "code", "code"),
+    Feature(Levenshtein(), "code", "code"),
+    Feature(Trigram(), "code", "code"),
+]
+
+value_strategy = st.text(alphabet="abcd 12", min_size=0, max_size=8)
+maybe_value = st.one_of(st.none(), value_strategy)
+
+
+@st.composite
+def tables_strategy(draw):
+    size_a = draw(st.integers(min_value=1, max_value=5))
+    size_b = draw(st.integers(min_value=1, max_value=5))
+    table_a = Table("A", ATTRIBUTES)
+    table_b = Table("B", ATTRIBUTES)
+    for index in range(size_a):
+        table_a.add(
+            Record(
+                f"a{index}",
+                {"name": draw(maybe_value), "code": draw(maybe_value)},
+            )
+        )
+    for index in range(size_b):
+        table_b.add(
+            Record(
+                f"b{index}",
+                {"name": draw(maybe_value), "code": draw(maybe_value)},
+            )
+        )
+    return table_a, table_b
+
+
+@st.composite
+def function_strategy(draw):
+    n_rules = draw(st.integers(min_value=1, max_value=4))
+    rules = []
+    for rule_index in range(n_rules):
+        # Sample (feature, direction) pairs without replacement so each
+        # rule is in canonical form.
+        slots = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=len(FEATURE_POOL) - 1),
+                    st.sampled_from([">=", ">", "<=", "<"]),
+                ),
+                min_size=1,
+                max_size=4,
+                unique_by=lambda item: (
+                    item[0],
+                    item[1] in (">=", ">"),
+                ),
+            )
+        )
+        predicates = [
+            Predicate(
+                FEATURE_POOL[feature_index],
+                op,
+                draw(
+                    st.floats(
+                        min_value=0.0, max_value=1.0, allow_nan=False, width=16
+                    )
+                ),
+            )
+            for feature_index, op in slots
+        ]
+        rules.append(Rule(f"r{rule_index}", predicates))
+    return MatchingFunction(rules)
+
+
+def cross_product(table_a: Table, table_b: Table) -> CandidateSet:
+    return CandidateSet.from_id_pairs(
+        table_a,
+        table_b,
+        [(a.record_id, b.record_id) for a in table_a for b in table_b],
+    )
+
+
+@given(tables=tables_strategy(), function=function_strategy())
+@settings(max_examples=60, deadline=None)
+def test_all_strategies_agree(tables, function):
+    candidates = cross_product(*tables)
+    reference = RudimentaryMatcher().run(function, candidates)
+    for matcher in (
+        EarlyExitMatcher(),
+        PrecomputeMatcher(),
+        PrecomputeMatcher(use_value_cache=True),
+        DynamicMemoMatcher(),
+        DynamicMemoMatcher(memo_backend="hash"),
+        DynamicMemoMatcher(check_cache_first=True),
+    ):
+        result = matcher.run(function, candidates)
+        assert (result.labels == reference.labels).all(), (
+            f"{matcher} disagrees with rudimentary baseline"
+        )
+
+
+@given(
+    tables=tables_strategy(),
+    function=function_strategy(),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_orderings_preserve_semantics(tables, function, seed):
+    candidates = cross_product(*tables)
+    reference = DynamicMemoMatcher().run(function, candidates)
+    estimator = CostEstimator(sample_fraction=1.0, min_sample=1, mode="calibrated")
+    estimates = estimator.estimate(function, candidates)
+    for ordered in (
+        random_ordering(function, seed),
+        independent_ordering(function, estimates),
+        greedy_cost_ordering(function, estimates),
+        greedy_reduction_ordering(function, estimates),
+    ):
+        # Structural sanity: a permutation, not a rewrite.
+        assert sorted(rule.name for rule in ordered) == sorted(
+            rule.name for rule in function
+        )
+        for rule in ordered:
+            original = function.rule(rule.name)
+            assert sorted(p.pid for p in rule.predicates) == sorted(
+                p.pid for p in original.predicates
+            )
+        result = DynamicMemoMatcher().run(ordered, candidates)
+        assert (result.labels == reference.labels).all()
+
+
+@given(tables=tables_strategy(), function=function_strategy())
+@settings(max_examples=40, deadline=None)
+def test_stats_conservation(tables, function):
+    """Counter invariants that hold for every strategy on every input."""
+    candidates = cross_product(*tables)
+    for matcher in (EarlyExitMatcher(), DynamicMemoMatcher()):
+        result = matcher.run(function, candidates)
+        stats = result.stats
+        # Every predicate evaluation consumed exactly one feature access.
+        assert stats.predicate_evaluations == stats.feature_accesses
+        assert stats.pairs_matched == int(result.labels.sum())
+        assert stats.pairs_evaluated == len(candidates)
+        assert sum(stats.computations_by_feature.values()) == (
+            stats.feature_computations
+        )

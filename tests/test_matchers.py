@@ -1,0 +1,201 @@
+"""Unit tests for the five matching strategies (Algorithms 1-4).
+
+The Figure 2 running example from the paper is checked predicate-by-
+predicate; the learned workload fixture checks the strategies against each
+other at a realistic scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArrayMemo,
+    DynamicMemoMatcher,
+    EarlyExitMatcher,
+    Feature,
+    HashMemo,
+    MatchingFunction,
+    PrecomputeMatcher,
+    Predicate,
+    Rule,
+    RudimentaryMatcher,
+    parse_function,
+)
+from repro.errors import MatchingError
+from repro.similarity import ExactMatch, Jaccard, JaroWinkler
+
+
+class TestOnPaperExample:
+    """Figure 2: a1b1 matches (same person), the rest do not."""
+
+    def test_labels(self, people_candidates, b1_function):
+        result = DynamicMemoMatcher().run(b1_function, people_candidates)
+        assert result.label_of("a1", "b1") is True
+        assert result.label_of("a2", "b1") is False
+        assert result.label_of("a2", "b2") is False
+
+    def test_all_strategies_agree(self, people_candidates, b1_function):
+        reference = RudimentaryMatcher().run(b1_function, people_candidates)
+        for matcher in (
+            EarlyExitMatcher(),
+            PrecomputeMatcher(),
+            PrecomputeMatcher(early_exit=False),
+            PrecomputeMatcher(use_value_cache=True),
+            DynamicMemoMatcher(),
+            DynamicMemoMatcher(memo_backend="hash"),
+            DynamicMemoMatcher(check_cache_first=True),
+        ):
+            result = matcher.run(b1_function, people_candidates)
+            assert (result.labels == reference.labels).all(), matcher
+
+    def test_early_exit_reduces_predicate_evaluations(
+        self, people_candidates, b1_function
+    ):
+        rudimentary = RudimentaryMatcher().run(b1_function, people_candidates)
+        early_exit = EarlyExitMatcher().run(b1_function, people_candidates)
+        assert (
+            early_exit.stats.predicate_evaluations
+            < rudimentary.stats.predicate_evaluations
+        )
+
+    def test_rudimentary_evaluates_everything(self, people_candidates, b1_function):
+        result = RudimentaryMatcher().run(b1_function, people_candidates)
+        expected = len(people_candidates) * b1_function.predicate_count()
+        assert result.stats.predicate_evaluations == expected
+        assert result.stats.feature_computations == expected
+        assert result.stats.memo_hits == 0
+
+    def test_memoing_shares_repeated_features(self, people_candidates):
+        """The same feature in both rules: DM computes once per pair."""
+        function = parse_function(
+            """
+            R1: jaro_winkler(name, name) >= 0.99 AND exact_match(zip, zip) >= 1
+            R2: jaro_winkler(name, name) >= 0.7
+            """
+        )
+        result = DynamicMemoMatcher().run(function, people_candidates)
+        # jaro_winkler(name,name) must be computed at most once per pair.
+        assert result.stats.computations_by_feature[
+            "jaro_winkler(name,name)"
+        ] <= len(people_candidates)
+        assert result.stats.memo_hits > 0
+
+    def test_stats_pairs_accounting(self, people_candidates, b1_function):
+        result = DynamicMemoMatcher().run(b1_function, people_candidates)
+        assert result.stats.pairs_evaluated == len(people_candidates)
+        assert result.stats.pairs_matched == result.match_count()
+        assert result.stats.elapsed_seconds > 0
+
+
+class TestPrecompute:
+    def test_production_precompute_counts(self, people_candidates, b1_function):
+        result = PrecomputeMatcher().run(b1_function, people_candidates)
+        features = len(b1_function.features())
+        assert result.stats.feature_computations == features * len(people_candidates)
+
+    def test_full_precompute_pays_for_unused_features(
+        self, people_candidates, b1_function
+    ):
+        superset = list(b1_function.features()) + [
+            Feature(Jaccard(), "street", "street"),
+            Feature(ExactMatch(), "street", "street"),
+        ]
+        ppr = PrecomputeMatcher().run(b1_function, people_candidates)
+        fpr = PrecomputeMatcher(features=superset).run(b1_function, people_candidates)
+        assert fpr.stats.feature_computations > ppr.stats.feature_computations
+        assert (fpr.labels == ppr.labels).all()
+
+    def test_superset_must_cover_function(self, people_candidates, b1_function):
+        incomplete = [b1_function.features()[0]]
+        with pytest.raises(MatchingError, match="lacks features"):
+            PrecomputeMatcher(features=incomplete).run(
+                b1_function, people_candidates
+            )
+
+    def test_value_cache_reduces_computations(self, people_candidates, b1_function):
+        without = PrecomputeMatcher(use_value_cache=False).run(
+            b1_function, people_candidates
+        )
+        with_cache = PrecomputeMatcher(use_value_cache=True).run(
+            b1_function, people_candidates
+        )
+        # a1/b1 share 'John' etc., so value-level sharing must kick in.
+        assert (
+            with_cache.stats.feature_computations
+            < without.stats.feature_computations
+        )
+
+
+class TestDynamicMemo:
+    def test_memo_persists_across_runs(self, people_candidates, b1_function):
+        memo = ArrayMemo(
+            len(people_candidates),
+            [feature.name for feature in b1_function.features()],
+        )
+        matcher = DynamicMemoMatcher(memo=memo)
+        first = matcher.run(b1_function, people_candidates)
+        second = matcher.run(b1_function, people_candidates)
+        assert second.stats.feature_computations == 0
+        assert second.stats.memo_hits == first.stats.feature_accesses
+        assert (first.labels == second.labels).all()
+
+    def test_hash_backend(self, people_candidates, b1_function):
+        matcher = DynamicMemoMatcher(memo_backend="hash")
+        result = matcher.run(b1_function, people_candidates)
+        assert isinstance(matcher.last_memo, HashMemo)
+        assert result.match_count() >= 1
+
+    def test_invalid_backend(self):
+        with pytest.raises(MatchingError):
+            DynamicMemoMatcher(memo_backend="disk")
+
+    def test_check_cache_first_preserves_labels(self, small_workload):
+        candidates = small_workload.candidates.subset(range(400))
+        plain = DynamicMemoMatcher().run(small_workload.function, candidates)
+        reordered = DynamicMemoMatcher(check_cache_first=True).run(
+            small_workload.function, candidates
+        )
+        assert (plain.labels == reordered.labels).all()
+
+
+class TestOnLearnedWorkload:
+    def test_all_strategies_agree_at_scale(self, small_workload):
+        candidates = small_workload.candidates.subset(range(500))
+        function = small_workload.function
+        reference = DynamicMemoMatcher().run(function, candidates)
+        for matcher in (
+            EarlyExitMatcher(),
+            PrecomputeMatcher(),
+            DynamicMemoMatcher(memo_backend="hash"),
+            DynamicMemoMatcher(check_cache_first=True),
+        ):
+            result = matcher.run(function, candidates)
+            assert (result.labels == reference.labels).all(), matcher
+
+    def test_memoing_beats_no_memoing_on_computations(self, small_workload):
+        candidates = small_workload.candidates.subset(range(500))
+        early_exit = EarlyExitMatcher().run(small_workload.function, candidates)
+        memoized = DynamicMemoMatcher().run(small_workload.function, candidates)
+        assert (
+            memoized.stats.feature_computations
+            < early_exit.stats.feature_computations
+        )
+
+    def test_dm_computes_at_most_features_times_pairs(self, small_workload):
+        candidates = small_workload.candidates.subset(range(500))
+        result = DynamicMemoMatcher().run(small_workload.function, candidates)
+        ceiling = len(small_workload.function.features()) * len(candidates)
+        assert result.stats.feature_computations <= ceiling
+
+
+class TestMatchResult:
+    def test_matched_ids(self, people_candidates, b1_function):
+        result = DynamicMemoMatcher().run(b1_function, people_candidates)
+        assert ("a1", "b1") in result.matched_ids()
+
+    def test_length_mismatch_rejected(self, people_candidates):
+        from repro.core.matchers import MatchResult
+        from repro.core.stats import MatchStats
+
+        with pytest.raises(MatchingError):
+            MatchResult(people_candidates, np.zeros(2, dtype=bool), MatchStats())

@@ -1,0 +1,252 @@
+"""Unit tests for the §5 ordering optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DynamicMemoMatcher,
+    Feature,
+    MatchingFunction,
+    Predicate,
+    Rule,
+    brute_force_ordering,
+    function_cost_with_memo,
+    greedy_cost_ordering,
+    greedy_reduction_ordering,
+    independent_ordering,
+    lemma3_predicate_order,
+    order_function,
+    random_ordering,
+)
+from repro.core.cost_model import Estimates
+from repro.errors import EstimationError, ReproError
+from repro.similarity import ExactMatch, JaroWinkler, Levenshtein
+
+
+def make_estimates(sample_values, feature_costs, lookup_cost=0.01):
+    arrays = {
+        name: np.asarray(values, dtype=float)
+        for name, values in sample_values.items()
+    }
+    return Estimates(
+        feature_costs=feature_costs,
+        lookup_cost=lookup_cost,
+        sample_values=arrays,
+        sample_size=len(next(iter(arrays.values()))),
+        mode="calibrated",
+    )
+
+
+@pytest.fixture()
+def features():
+    return {
+        "cheap": Feature(ExactMatch(), "c", "c", name="cheap"),
+        "mid": Feature(JaroWinkler(), "n", "n", name="mid"),
+        "dear": Feature(Levenshtein(), "t", "t", name="dear"),
+    }
+
+
+@pytest.fixture()
+def handmade_estimates(features):
+    return make_estimates(
+        {
+            "cheap": [0, 0, 0, 1],      # selective
+            "mid": [0.2, 0.5, 0.7, 0.9],
+            "dear": [0.3, 0.3, 0.8, 0.8],
+        },
+        {"cheap": 1.0, "mid": 5.0, "dear": 50.0},
+    )
+
+
+class TestLemma3:
+    def test_selective_cheap_group_first(self, features, handmade_estimates):
+        rule = Rule(
+            "r",
+            [
+                Predicate(features["dear"], ">=", 0.5),   # sel 0.5, cost 50
+                Predicate(features["cheap"], ">=", 1),    # sel 0.25, cost 1
+            ],
+        )
+        ordered = lemma3_predicate_order(rule, handmade_estimates)
+        assert ordered.predicates[0].feature.name == "cheap"
+
+    def test_is_permutation(self, features, handmade_estimates):
+        rule = Rule(
+            "r",
+            [
+                Predicate(features["mid"], ">=", 0.6),
+                Predicate(features["dear"], "<", 0.5),
+                Predicate(features["cheap"], ">=", 1),
+            ],
+        )
+        ordered = lemma3_predicate_order(rule, handmade_estimates)
+        assert sorted(p.pid for p in ordered.predicates) == sorted(
+            p.pid for p in rule.predicates
+        )
+
+    def test_group_stays_adjacent(self, features, handmade_estimates):
+        rule = Rule(
+            "r",
+            [
+                Predicate(features["mid"], ">=", 0.4),
+                Predicate(features["cheap"], ">=", 1),
+                Predicate(features["mid"], "<=", 0.8),
+            ],
+        )
+        ordered = lemma3_predicate_order(rule, handmade_estimates)
+        positions = [
+            index
+            for index, predicate in enumerate(ordered.predicates)
+            if predicate.feature.name == "mid"
+        ]
+        assert positions == [positions[0], positions[0] + 1]
+
+    def test_lemma3_reduces_or_keeps_expected_cost(
+        self, features, handmade_estimates
+    ):
+        from repro.core.cost_model import rule_cost
+
+        rule = Rule(
+            "r",
+            [
+                Predicate(features["dear"], ">=", 0.5),
+                Predicate(features["mid"], ">=", 0.6),
+                Predicate(features["cheap"], ">=", 1),
+            ],
+        )
+        ordered = lemma3_predicate_order(rule, handmade_estimates)
+        assert rule_cost(ordered, handmade_estimates) <= rule_cost(
+            rule, handmade_estimates
+        )
+
+
+class TestRandomOrdering:
+    def test_deterministic_in_seed(self, small_workload):
+        first = random_ordering(small_workload.function, seed=5)
+        second = random_ordering(small_workload.function, seed=5)
+        assert [rule.name for rule in first] == [rule.name for rule in second]
+
+    def test_different_seeds_differ(self, small_workload):
+        first = random_ordering(small_workload.function, seed=5)
+        second = random_ordering(small_workload.function, seed=6)
+        assert [rule.name for rule in first] != [rule.name for rule in second]
+
+
+class TestTheorem1:
+    def test_unselective_cheap_rule_first(self, features, handmade_estimates):
+        # fires often and cheap -> should go first under Theorem 1.
+        frequent_cheap = Rule("fc", [Predicate(features["mid"], ">=", 0.1)])
+        rare_dear = Rule("rd", [Predicate(features["dear"], ">=", 0.9)])
+        function = MatchingFunction([rare_dear, frequent_cheap])
+        ordered = independent_ordering(function, handmade_estimates)
+        assert ordered.rules[0].name == "fc"
+
+
+class TestGreedyOrderings:
+    def test_greedy_costs_not_worse_than_random(
+        self, small_workload, small_estimates
+    ):
+        function = small_workload.function
+        random_cost = min(
+            function_cost_with_memo(
+                random_ordering(function, seed), small_estimates
+            )
+            for seed in range(3)
+        )
+        for optimizer in (greedy_cost_ordering, greedy_reduction_ordering):
+            optimized = optimizer(function, small_estimates)
+            assert function_cost_with_memo(optimized, small_estimates) <= (
+                random_cost * 1.05
+            )
+
+    def test_algorithm5_prefers_cheap_rule_first(self, features, handmade_estimates):
+        cheap_rule = Rule("cheap_rule", [Predicate(features["cheap"], ">=", 1)])
+        dear_rule = Rule("dear_rule", [Predicate(features["dear"], ">=", 0.9)])
+        function = MatchingFunction([dear_rule, cheap_rule])
+        ordered = greedy_cost_ordering(function, handmade_estimates)
+        assert ordered.rules[0].name == "cheap_rule"
+
+    def test_algorithm6_prefers_shared_feature_rule(self, features, handmade_estimates):
+        """A rule whose (expensive) feature is reused downstream should be
+        scheduled early by Algorithm 6 even if it is not the cheapest."""
+        shared_a = Rule("shared_a", [Predicate(features["dear"], ">=", 0.5)])
+        shared_b = Rule("shared_b", [Predicate(features["dear"], ">=", 0.7)])
+        loner = Rule("loner", [Predicate(features["mid"], ">=", 0.4)])
+        function = MatchingFunction([loner, shared_a, shared_b])
+        ordered = greedy_reduction_ordering(function, handmade_estimates)
+        assert ordered.rules[0].name in ("shared_a", "shared_b")
+
+    def test_greedy_handles_single_rule(self, features, handmade_estimates):
+        function = MatchingFunction(
+            [Rule("only", [Predicate(features["mid"], ">=", 0.5)])]
+        )
+        for optimizer in (greedy_cost_ordering, greedy_reduction_ordering):
+            assert len(optimizer(function, handmade_estimates)) == 1
+
+
+class TestBruteForce:
+    def test_optimal_on_small_instance(self, features, handmade_estimates):
+        rules = [
+            Rule("r1", [Predicate(features["dear"], ">=", 0.5)]),
+            Rule("r2", [Predicate(features["dear"], "<", 0.9),
+                        Predicate(features["cheap"], ">=", 1)]),
+            Rule("r3", [Predicate(features["mid"], ">=", 0.6)]),
+            Rule("r4", [Predicate(features["cheap"], ">=", 1),
+                        Predicate(features["mid"], "<", 0.8)]),
+        ]
+        function = MatchingFunction(rules)
+        best = brute_force_ordering(function, handmade_estimates)
+        optimum = function_cost_with_memo(best, handmade_estimates)
+        # No greedy may beat the brute-force optimum.
+        for optimizer in (greedy_cost_ordering, greedy_reduction_ordering,
+                          independent_ordering):
+            cost = function_cost_with_memo(
+                optimizer(function, handmade_estimates), handmade_estimates
+            )
+            assert cost >= optimum - 1e-12
+
+    def test_refuses_large_instances(self, small_workload, small_estimates):
+        with pytest.raises(ReproError, match="permutations"):
+            brute_force_ordering(small_workload.function, small_estimates)
+
+
+class TestOrderFunctionDispatch:
+    def test_named_strategies(self, small_workload, small_estimates):
+        function = small_workload.function
+        for strategy in ("original", "random", "independent", "algorithm5",
+                         "algorithm6"):
+            ordered = order_function(function, small_estimates, strategy)
+            assert sorted(r.name for r in ordered) == sorted(
+                r.name for r in function
+            )
+
+    def test_original_is_identity(self, small_workload):
+        assert order_function(small_workload.function, None, "original") is (
+            small_workload.function
+        )
+
+    def test_unknown_strategy(self, small_workload, small_estimates):
+        with pytest.raises(ReproError, match="unknown ordering"):
+            order_function(small_workload.function, small_estimates, "magic")
+
+    def test_estimates_required(self, small_workload):
+        with pytest.raises(EstimationError):
+            order_function(small_workload.function, None, "algorithm5")
+
+
+class TestOrderingEffectiveness:
+    """Figure 3C at test scale: greedy orderings beat random on real counters."""
+
+    def test_greedy_beats_random_on_model_cost(self, small_workload, small_estimates):
+        function = small_workload.function
+        random_cost = function_cost_with_memo(
+            random_ordering(function, seed=1), small_estimates
+        )
+        algorithm5 = function_cost_with_memo(
+            greedy_cost_ordering(function, small_estimates), small_estimates
+        )
+        algorithm6 = function_cost_with_memo(
+            greedy_reduction_ordering(function, small_estimates), small_estimates
+        )
+        assert algorithm5 <= random_cost
+        assert algorithm6 <= random_cost

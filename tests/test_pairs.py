@@ -1,0 +1,74 @@
+"""Unit tests for CandidateSet / CandidatePair."""
+
+import pytest
+
+from repro.data import CandidateSet, Table
+from repro.errors import BlockingError
+
+
+@pytest.fixture()
+def tables():
+    table_a = Table("A", ["v"])
+    table_b = Table("B", ["v"])
+    for index in range(3):
+        table_a.add_row(f"a{index}", v=str(index))
+        table_b.add_row(f"b{index}", v=str(index))
+    return table_a, table_b
+
+
+class TestCandidateSet:
+    def test_add_assigns_dense_indices(self, tables):
+        candidates = CandidateSet(*tables)
+        candidates.add("a0", "b1")
+        candidates.add("a1", "b2")
+        assert candidates[0].index == 0
+        assert candidates[1].index == 1
+        assert len(candidates) == 2
+
+    def test_pair_carries_records(self, tables):
+        candidates = CandidateSet(*tables)
+        pair = candidates.add("a0", "b1")
+        assert pair.record_a.get("v") == "0"
+        assert pair.record_b.get("v") == "1"
+        assert pair.pair_id == ("a0", "b1")
+
+    def test_duplicate_pair_rejected(self, tables):
+        candidates = CandidateSet(*tables)
+        candidates.add("a0", "b0")
+        with pytest.raises(BlockingError, match="duplicate"):
+            candidates.add("a0", "b0")
+
+    def test_unknown_id_rejected(self, tables):
+        candidates = CandidateSet(*tables)
+        with pytest.raises(KeyError):
+            candidates.add("a9", "b0")
+
+    def test_index_of_and_contains(self, tables):
+        candidates = CandidateSet.from_id_pairs(
+            *tables, [("a0", "b0"), ("a1", "b1")]
+        )
+        assert candidates.index_of("a1", "b1") == 1
+        assert ("a0", "b0") in candidates
+        assert ("a2", "b2") not in candidates
+
+    def test_id_pairs_round_trip(self, tables):
+        id_pairs = [("a0", "b2"), ("a2", "b0")]
+        candidates = CandidateSet.from_id_pairs(*tables, id_pairs)
+        assert candidates.id_pairs() == id_pairs
+
+    def test_subset_reindexes(self, tables):
+        candidates = CandidateSet.from_id_pairs(
+            *tables, [("a0", "b0"), ("a1", "b1"), ("a2", "b2")]
+        )
+        subset = candidates.subset([2, 0])
+        assert len(subset) == 2
+        assert subset[0].pair_id == ("a2", "b2")
+        assert subset[0].index == 0
+        assert subset[1].pair_id == ("a0", "b0")
+
+    def test_gold_indices(self, tables):
+        candidates = CandidateSet.from_id_pairs(
+            *tables, [("a0", "b0"), ("a0", "b1"), ("a1", "b1")]
+        )
+        gold = {("a0", "b0"), ("a1", "b1"), ("a2", "b0")}
+        assert candidates.gold_indices(gold) == [0, 2]

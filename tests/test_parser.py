@@ -1,0 +1,150 @@
+"""Unit tests for the rule DSL parser and formatter."""
+
+import pytest
+
+from repro.core import format_function, parse_function, parse_rule
+from repro.errors import RuleParseError
+
+
+class TestParseFunction:
+    def test_single_rule(self):
+        function = parse_function("jaccard_ws(title, title) >= 0.7")
+        assert len(function) == 1
+        predicate = function.rules[0].predicates[0]
+        assert predicate.op == ">="
+        assert predicate.threshold == 0.7
+        assert predicate.feature.attr_a == "title"
+
+    def test_named_rules(self):
+        function = parse_function(
+            "R1: exact_match(zip, zip) >= 1\nR2: jaro(name, name) > 0.8"
+        )
+        assert [rule.name for rule in function] == ["R1", "R2"]
+
+    def test_auto_names(self):
+        function = parse_function(
+            "exact_match(zip, zip) >= 1 OR jaro(name, name) > 0.8"
+        )
+        assert [rule.name for rule in function] == ["rule1", "rule2"]
+
+    def test_and_chains_predicates(self):
+        function = parse_function(
+            "jaccard_ws(t, t) >= 0.5 AND exact_match(z, z) >= 1 AND jaro(n, n) < 0.9"
+        )
+        assert len(function.rules[0]) == 3
+
+    def test_keywords_case_insensitive(self):
+        function = parse_function(
+            "jaccard_ws(t, t) >= 0.5 and exact_match(z, z) >= 1 or jaro(n, n) > 0.1"
+        )
+        assert len(function) == 2
+
+    def test_separators_newline_semicolon_or(self):
+        text = (
+            "exact_match(a, a) >= 1\n"
+            "exact_match(b, b) >= 1;"
+            "exact_match(c, c) >= 1 OR exact_match(d, d) >= 1"
+        )
+        assert len(parse_function(text)) == 4
+
+    def test_shared_feature_objects(self):
+        function = parse_function(
+            "R1: jaccard_ws(t, t) >= 0.7\nR2: jaccard_ws(t, t) >= 0.3"
+        )
+        feature_1 = function.rules[0].predicates[0].feature
+        feature_2 = function.rules[1].predicates[0].feature
+        assert feature_1 is feature_2  # one memo column, not two
+
+    @pytest.mark.parametrize("op", [">=", ">", "<=", "<", "=="])
+    def test_all_operators(self, op):
+        function = parse_function(f"jaro(n, n) {op} 0.5")
+        assert function.rules[0].predicates[0].op == op
+
+    def test_negative_and_integer_thresholds(self):
+        function = parse_function("jaro(n, n) > -0.5 AND exact_match(z, z) == 1")
+        assert function.rules[0].predicates[0].threshold == -0.5
+        assert function.rules[0].predicates[1].threshold == 1.0
+
+
+class TestParseErrors:
+    def test_empty_input(self):
+        with pytest.raises(RuleParseError, match="no rules"):
+            parse_function("   \n  ")
+
+    def test_unknown_similarity(self):
+        from repro.errors import UnknownSimilarityError
+
+        with pytest.raises(UnknownSimilarityError):
+            parse_function("not_a_sim(a, b) >= 0.5")
+
+    def test_missing_threshold(self):
+        with pytest.raises(RuleParseError, match="numeric threshold"):
+            parse_function("jaro(a, b) >=")
+
+    def test_missing_operator(self):
+        with pytest.raises(RuleParseError, match="comparison operator"):
+            parse_function("jaro(a, b) 0.5")
+
+    def test_missing_paren(self):
+        with pytest.raises(RuleParseError):
+            parse_function("jaro(a, b >= 0.5")
+
+    def test_garbage_character(self):
+        with pytest.raises(RuleParseError, match="unexpected character"):
+            parse_function("jaro(a, b) >= 0.5 @")
+
+    def test_error_reports_position(self):
+        with pytest.raises(RuleParseError) as excinfo:
+            parse_function("jaro(a b) >= 0.5")
+        assert excinfo.value.position >= 0
+
+
+class TestParseRule:
+    def test_single_rule(self):
+        rule = parse_rule("mine: jaro(n, n) >= 0.5 AND exact_match(z, z) >= 1")
+        assert rule.name == "mine"
+        assert len(rule) == 2
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(RuleParseError, match="trailing"):
+            parse_rule("jaro(n, n) >= 0.5 OR jaro(m, m) >= 0.5")
+
+
+class TestFormatRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "R1: jaccard_ws(title, title) >= 0.7",
+            "R1: jaro_winkler(modelno, modelno) >= 0.97 AND cosine_ws(title, title) < 0.69",
+            "A: exact_match(zip, zip) == 1\nB: trigram(name, name) > 0.25 AND jaro(name, name) <= 0.9",
+        ],
+    )
+    def test_round_trip(self, text):
+        function = parse_function(text)
+        reparsed = parse_function(format_function(function))
+        assert len(reparsed) == len(function)
+        for original, copy in zip(function.rules, reparsed.rules):
+            assert original.name == copy.name
+            assert [p.pid for p in original.predicates] == [
+                p.pid for p in copy.predicates
+            ]
+
+
+class TestScientificNotation:
+    """Regression: format_predicate emits %g (e.g. '3.5e-06'); the parser
+    must read exponents or format->parse round trips break."""
+
+    @pytest.mark.parametrize("text_threshold, value", [
+        ("3.5e-06", 3.5e-06),
+        ("1E3", 1000.0),
+        ("-2.5e-2", -0.025),
+        ("7e+2", 700.0),
+    ])
+    def test_exponent_thresholds(self, text_threshold, value):
+        function = parse_function(f"jaro(n, n) >= {text_threshold}")
+        assert function.rules[0].predicates[0].threshold == pytest.approx(value)
+
+    def test_tiny_threshold_round_trip(self):
+        function = parse_function("jaro(n, n) >= 0.0000035")
+        again = parse_function(format_function(function))
+        assert again.rules[0].predicates[0].threshold == pytest.approx(3.5e-06)

@@ -1,0 +1,108 @@
+"""Tests for the NYSIIS encoder and the canopy blocker."""
+
+import pytest
+
+from repro.blocking import CanopyBlocker
+from repro.data import Table
+from repro.errors import BlockingError
+from repro.similarity import Nysiis, nysiis_code
+
+
+class TestNysiisCode:
+    @pytest.mark.parametrize(
+        "word, code",
+        [
+            # Reference values cross-checked against jellyfish's NYSIIS.
+            ("MACINTOSH", "mcant"),
+            ("KNUTH", "nat"),
+            ("PHILLIPSON", "falapsan"),
+            ("SCHMIDT", "snad"),
+            ("bertucci", "bartac"),
+        ],
+    )
+    def test_reference_codes(self, word, code):
+        assert nysiis_code(word) == code
+
+    def test_sound_alike_names_share_code(self):
+        assert nysiis_code("smith") == nysiis_code("smith")
+        assert nysiis_code("johnson") == nysiis_code("jonson")
+
+    def test_non_alpha_is_empty(self):
+        assert nysiis_code("12345") == ""
+        assert nysiis_code("") == ""
+
+    def test_max_length_truncates(self):
+        assert len(nysiis_code("phillipson", max_length=4)) == 4
+
+    def test_deterministic(self):
+        assert nysiis_code("washington") == nysiis_code("washington")
+
+
+class TestNysiisMeasure:
+    def test_identity(self):
+        assert Nysiis()("golden dragon", "golden dragon") == 1.0
+
+    def test_sound_alike(self):
+        assert Nysiis()("jonson", "johnson") == 1.0
+
+    def test_disjoint(self):
+        assert Nysiis()("alpha", "zulu") == 0.0
+
+    def test_bounds_and_none(self):
+        assert Nysiis()(None, "abc") == 0.0
+        assert 0.0 <= Nysiis()("red apple", "red pear") <= 1.0
+
+
+class TestCanopyBlocker:
+    @pytest.fixture()
+    def tables(self):
+        table_a = Table("A", ["title"])
+        table_b = Table("B", ["title"])
+        table_a.add_row("a0", title="sonavox ultra speaker black")
+        table_a.add_row("a1", title="technira compact camera red")
+        table_b.add_row("b0", title="sonavox ultra speaker blk new")
+        table_b.add_row("b1", title="technira compact camera")
+        table_b.add_row("b2", title="unrelated kitchen blender")
+        return table_a, table_b
+
+    def test_similar_records_share_canopy(self, tables):
+        candidates = CanopyBlocker("title", loose=0.4, tight=0.9).block(*tables)
+        pairs = set(candidates.id_pairs())
+        assert ("a0", "b0") in pairs
+        assert ("a1", "b1") in pairs
+
+    def test_dissimilar_records_excluded(self, tables):
+        candidates = CanopyBlocker("title", loose=0.4, tight=0.9).block(*tables)
+        pairs = set(candidates.id_pairs())
+        assert ("a0", "b2") not in pairs
+        assert ("a1", "b0") not in pairs
+
+    def test_loose_threshold_widens_canopies(self, tables):
+        narrow = CanopyBlocker("title", loose=0.6, tight=0.9).block(*tables)
+        wide = CanopyBlocker("title", loose=0.1, tight=0.9).block(*tables)
+        assert set(narrow.id_pairs()) <= set(wide.id_pairs())
+
+    def test_threshold_validation(self):
+        with pytest.raises(BlockingError):
+            CanopyBlocker("title", loose=0.9, tight=0.3)
+        with pytest.raises(BlockingError):
+            CanopyBlocker("title", loose=0.0)
+
+    def test_unknown_attribute(self, tables):
+        with pytest.raises(BlockingError):
+            CanopyBlocker("nope").block(*tables)
+
+    def test_deterministic(self, tables):
+        first = CanopyBlocker("title", loose=0.4).block(*tables)
+        second = CanopyBlocker("title", loose=0.4).block(*tables)
+        assert first.id_pairs() == second.id_pairs()
+
+    def test_recall_on_generated_dataset(self):
+        from repro.blocking import blocking_recall
+        from repro.data import load_dataset
+
+        dataset = load_dataset("products", shared=40, a_only=5, b_only=80, seed=3)
+        candidates = CanopyBlocker("title", loose=0.3, tight=0.85).block(
+            dataset.table_a, dataset.table_b
+        )
+        assert blocking_recall(candidates, dataset.gold) > 0.85

@@ -1,0 +1,256 @@
+"""Unit tests for the rule language (Feature/Predicate/Rule/MatchingFunction)."""
+
+import pytest
+
+from repro.core import Feature, MatchingFunction, Predicate, Rule
+from repro.data import Record
+from repro.errors import ChangeError, ReproError
+from repro.similarity import ExactMatch, Jaccard, JaroWinkler
+
+
+@pytest.fixture()
+def name_feature():
+    return Feature(JaroWinkler(), "name", "name")
+
+
+@pytest.fixture()
+def title_feature():
+    return Feature(Jaccard(), "title", "title")
+
+
+class TestFeature:
+    def test_default_name(self, name_feature):
+        assert name_feature.name == "jaro_winkler(name,name)"
+
+    def test_custom_name(self):
+        feature = Feature(ExactMatch(), "a", "b", name="custom")
+        assert feature.name == "custom"
+
+    def test_compute_reads_both_sides(self, name_feature):
+        record_a = Record("a", {"name": "john"})
+        record_b = Record("b", {"name": "john"})
+        assert name_feature.compute(record_a, record_b) == 1.0
+
+    def test_compute_missing_value(self, name_feature):
+        record_a = Record("a", {})
+        record_b = Record("b", {"name": "john"})
+        assert name_feature.compute(record_a, record_b) == 0.0
+
+    def test_equality_by_name(self, name_feature):
+        other = Feature(JaroWinkler(), "name", "name")
+        assert name_feature == other
+        assert hash(name_feature) == hash(other)
+
+    def test_cost_tier_delegates(self, name_feature):
+        assert name_feature.cost_tier == JaroWinkler().cost_tier
+
+
+class TestPredicate:
+    @pytest.mark.parametrize(
+        "op, threshold, value, expected",
+        [
+            (">=", 0.7, 0.7, True),
+            (">=", 0.7, 0.69, False),
+            (">", 0.7, 0.7, False),
+            (">", 0.7, 0.71, True),
+            ("<=", 0.3, 0.3, True),
+            ("<=", 0.3, 0.31, False),
+            ("<", 0.3, 0.3, False),
+            ("==", 1.0, 1.0, True),
+            ("==", 1.0, 0.99, False),
+        ],
+    )
+    def test_evaluate(self, name_feature, op, threshold, value, expected):
+        assert Predicate(name_feature, op, threshold).evaluate(value) is expected
+
+    def test_unknown_operator(self, name_feature):
+        with pytest.raises(ReproError, match="unknown operator"):
+            Predicate(name_feature, "!=", 0.5)
+
+    def test_pid_includes_threshold(self, name_feature):
+        assert Predicate(name_feature, ">=", 0.7).pid == "jaro_winkler(name,name)>=0.7"
+
+    def test_slot_ignores_threshold(self, name_feature):
+        lower1 = Predicate(name_feature, ">=", 0.7)
+        lower2 = Predicate(name_feature, ">=", 0.9)
+        assert lower1.slot == lower2.slot
+
+    def test_slot_distinguishes_direction(self, name_feature):
+        assert (
+            Predicate(name_feature, ">=", 0.7).slot
+            != Predicate(name_feature, "<=", 0.7).slot
+        )
+
+    def test_strict_and_nonstrict_share_slot(self, name_feature):
+        assert (
+            Predicate(name_feature, ">", 0.7).slot
+            == Predicate(name_feature, ">=", 0.7).slot
+        )
+
+    def test_is_stricter_lower_bound(self, name_feature):
+        loose = Predicate(name_feature, ">=", 0.7)
+        tight = Predicate(name_feature, ">=", 0.8)
+        assert tight.is_stricter_than(loose)
+        assert not loose.is_stricter_than(tight)
+
+    def test_is_stricter_upper_bound(self, name_feature):
+        loose = Predicate(name_feature, "<=", 0.5)
+        tight = Predicate(name_feature, "<=", 0.4)
+        assert tight.is_stricter_than(loose)
+        assert not loose.is_stricter_than(tight)
+
+    def test_is_stricter_same_threshold_strictness(self, name_feature):
+        assert Predicate(name_feature, ">", 0.7).is_stricter_than(
+            Predicate(name_feature, ">=", 0.7)
+        )
+
+    def test_is_stricter_cross_slot_rejected(self, name_feature, title_feature):
+        with pytest.raises(ChangeError):
+            Predicate(name_feature, ">=", 0.7).is_stricter_than(
+                Predicate(title_feature, ">=", 0.7)
+            )
+
+    def test_with_threshold(self, name_feature):
+        original = Predicate(name_feature, ">=", 0.7)
+        changed = original.with_threshold(0.9)
+        assert changed.threshold == 0.9
+        assert changed.op == original.op
+        assert original.threshold == 0.7  # immutable
+
+
+class TestRule:
+    def test_requires_predicates(self):
+        with pytest.raises(ReproError, match="no predicates"):
+            Rule("r", [])
+
+    def test_canonical_form_enforced(self, name_feature):
+        with pytest.raises(ReproError, match="canonical form"):
+            Rule(
+                "r",
+                [
+                    Predicate(name_feature, ">=", 0.5),
+                    Predicate(name_feature, ">", 0.7),  # same slot
+                ],
+            )
+
+    def test_lower_and_upper_bound_allowed(self, name_feature):
+        rule = Rule(
+            "r",
+            [
+                Predicate(name_feature, ">=", 0.5),
+                Predicate(name_feature, "<=", 0.9),
+            ],
+        )
+        assert len(rule) == 2
+
+    def test_features_deduped_in_order(self, name_feature, title_feature):
+        rule = Rule(
+            "r",
+            [
+                Predicate(title_feature, ">=", 0.3),
+                Predicate(name_feature, ">=", 0.5),
+                Predicate(title_feature, "<=", 0.9),
+            ],
+        )
+        assert [feature.name for feature in rule.features()] == [
+            title_feature.name,
+            name_feature.name,
+        ]
+
+    def test_predicate_by_slot(self, name_feature):
+        predicate = Predicate(name_feature, ">=", 0.5)
+        rule = Rule("r", [predicate])
+        assert rule.predicate_by_slot(predicate.slot) is predicate
+        with pytest.raises(ChangeError):
+            rule.predicate_by_slot("nope#lb")
+
+    def test_evaluate_with(self, name_feature, title_feature):
+        rule = Rule(
+            "r",
+            [
+                Predicate(name_feature, ">=", 0.5),
+                Predicate(title_feature, "<", 0.3),
+            ],
+        )
+        assert rule.evaluate_with(
+            {name_feature.name: 0.9, title_feature.name: 0.1}
+        )
+        assert not rule.evaluate_with(
+            {name_feature.name: 0.9, title_feature.name: 0.5}
+        )
+
+
+class TestMatchingFunction:
+    @pytest.fixture()
+    def function(self, name_feature, title_feature):
+        return MatchingFunction(
+            [
+                Rule("r1", [Predicate(name_feature, ">=", 0.9)]),
+                Rule(
+                    "r2",
+                    [
+                        Predicate(title_feature, ">=", 0.5),
+                        Predicate(name_feature, ">=", 0.5),
+                    ],
+                ),
+            ]
+        )
+
+    def test_duplicate_rule_names_rejected(self, name_feature):
+        rule = Rule("r", [Predicate(name_feature, ">=", 0.5)])
+        with pytest.raises(ReproError, match="duplicate rule names"):
+            MatchingFunction([rule, rule])
+
+    def test_rule_lookup(self, function):
+        assert function.rule("r2").name == "r2"
+        assert function.rule_index("r2") == 1
+        with pytest.raises(ChangeError):
+            function.rule("r9")
+
+    def test_features_across_rules(self, function, name_feature, title_feature):
+        names = [feature.name for feature in function.features()]
+        assert names == [name_feature.name, title_feature.name]
+
+    def test_predicate_count(self, function):
+        assert function.predicate_count() == 3
+
+    def test_evaluate_with_dnf(self, function, name_feature, title_feature):
+        scores = {name_feature.name: 0.95, title_feature.name: 0.0}
+        assert function.evaluate_with(scores)  # r1 fires
+        scores = {name_feature.name: 0.6, title_feature.name: 0.6}
+        assert function.evaluate_with(scores)  # r2 fires
+        scores = {name_feature.name: 0.1, title_feature.name: 0.9}
+        assert not function.evaluate_with(scores)
+
+    def test_with_rule_added_and_removed(self, function, title_feature):
+        extra = Rule("r3", [Predicate(title_feature, ">=", 0.99)])
+        grown = function.with_rule_added(extra)
+        assert len(grown) == 3
+        assert len(function) == 2  # original untouched
+        shrunk = grown.with_rule_removed("r1")
+        assert [rule.name for rule in shrunk] == ["r2", "r3"]
+
+    def test_add_duplicate_rejected(self, function, title_feature):
+        with pytest.raises(ChangeError):
+            function.with_rule_added(
+                Rule("r1", [Predicate(title_feature, ">=", 0.5)])
+            )
+
+    def test_remove_last_rule_rejected(self, name_feature):
+        single = MatchingFunction(
+            [Rule("only", [Predicate(name_feature, ">=", 0.5)])]
+        )
+        with pytest.raises(ChangeError, match="last rule"):
+            single.with_rule_removed("only")
+
+    def test_with_rule_replaced(self, function, name_feature):
+        replacement = Rule("r1", [Predicate(name_feature, ">=", 0.99)])
+        replaced = function.with_rule_replaced(replacement)
+        assert replaced.rule("r1").predicates[0].threshold == 0.99
+        assert function.rule("r1").predicates[0].threshold == 0.9
+
+    def test_subset(self, function):
+        subset = function.subset(["r2"])
+        assert [rule.name for rule in subset] == ["r2"]
+        with pytest.raises(ChangeError, match="no such rules"):
+            function.subset(["r2", "r9"])

@@ -1,0 +1,80 @@
+"""Property-based tests on the package-wide similarity contracts.
+
+Every registered measure must satisfy (module docstring of
+``repro.similarity.base``):
+
+* scores in ``[0, 1]``,
+* symmetry,
+* ``None`` handling (0.0 on any missing side),
+* identity (``sim(x, x) == 1``) on inputs the measure is defined for.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import default_instances, registered_names
+
+ALL_MEASURES = {name: instance for name, instance in
+                zip(registered_names(), default_instances())}
+
+#: measures whose identity requires numerically parseable input.
+NUMERIC_MEASURES = {"numeric_exact", "rel_diff", "abs_diff_5"}
+
+#: short realistic attribute-value alphabet: letters, digits, space, and
+#: the punctuation the generators emit.
+VALUE_TEXT = st.text(
+    alphabet="abcdefghij0123456789 -.,()/",
+    min_size=0,
+    max_size=24,
+)
+NONEMPTY_TEXT = st.text(
+    alphabet="abcdefghij0123456789",
+    min_size=1,
+    max_size=24,
+)
+NUMERIC_TEXT = st.integers(min_value=-10_000, max_value=10_000).map(str)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_MEASURES))
+@given(x=VALUE_TEXT, y=VALUE_TEXT)
+@settings(max_examples=40, deadline=None)
+def test_bounds(name, x, y):
+    score = ALL_MEASURES[name](x, y)
+    assert 0.0 <= score <= 1.0, f"{name}({x!r}, {y!r}) = {score}"
+
+
+@pytest.mark.parametrize("name", sorted(ALL_MEASURES))
+@given(x=VALUE_TEXT, y=VALUE_TEXT)
+@settings(max_examples=40, deadline=None)
+def test_symmetry(name, x, y):
+    measure = ALL_MEASURES[name]
+    assert measure(x, y) == pytest.approx(measure(y, x), abs=1e-9), (
+        f"{name} is asymmetric on ({x!r}, {y!r})"
+    )
+
+
+@pytest.mark.parametrize(
+    "name", sorted(set(ALL_MEASURES) - NUMERIC_MEASURES)
+)
+@given(x=NONEMPTY_TEXT)
+@settings(max_examples=40, deadline=None)
+def test_identity_string_measures(name, x):
+    assert ALL_MEASURES[name](x, x) == pytest.approx(1.0), (
+        f"{name}({x!r}, {x!r}) != 1"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(NUMERIC_MEASURES))
+@given(x=NUMERIC_TEXT)
+@settings(max_examples=40, deadline=None)
+def test_identity_numeric_measures(name, x):
+    assert ALL_MEASURES[name](x, x) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_MEASURES))
+def test_none_handling(name):
+    measure = ALL_MEASURES[name]
+    assert measure(None, "abc") == 0.0
+    assert measure("abc", None) == 0.0
+    assert measure(None, None) == 0.0

@@ -1,0 +1,100 @@
+"""Unit tests for the similarity registry."""
+
+import pytest
+
+from repro.errors import UnknownSimilarityError
+from repro.similarity import (
+    SimilarityFunction,
+    default_instances,
+    make_similarity,
+    register,
+    registered_names,
+)
+from repro.similarity.registry import _REGISTRY
+
+
+class TestRegistry:
+    def test_known_names_present(self):
+        names = registered_names()
+        for expected in (
+            "exact_match",
+            "jaro",
+            "jaro_winkler",
+            "levenshtein",
+            "cosine_ws",
+            "trigram",
+            "jaccard_ws",
+            "soundex",
+            "tfidf_ws",
+            "soft_tfidf_ws",
+        ):
+            assert expected in names
+
+    def test_make_similarity_returns_fresh_instances(self):
+        first = make_similarity("tfidf_ws")
+        second = make_similarity("tfidf_ws")
+        assert first is not second  # corpus-backed measures must not share
+
+    def test_unknown_name_raises_with_catalog(self):
+        with pytest.raises(UnknownSimilarityError) as excinfo:
+            make_similarity("no_such_measure")
+        assert "no_such_measure" in str(excinfo.value)
+        assert "jaro" in str(excinfo.value)  # lists what IS registered
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register("jaro", lambda: None)
+
+    def test_replace_flag_allows_override(self):
+        original = _REGISTRY["jaro"]
+        try:
+            register("jaro", original, replace=True)
+        finally:
+            _REGISTRY["jaro"] = original
+
+    def test_default_instances_cover_registry(self):
+        instances = default_instances()
+        assert len(instances) == len(registered_names())
+        assert all(isinstance(instance, SimilarityFunction) for instance in instances)
+
+    def test_instance_names_match_registration(self):
+        # Registry key and instance self-report may differ only for
+        # parameterized aliases; instance names must at least be unique.
+        instances = default_instances()
+        names = [instance.name for instance in instances]
+        assert len(set(names)) == len(names)
+
+    def test_cost_tiers_span_the_table3_ladder(self):
+        tiers = {instance.cost_tier for instance in default_instances()}
+        assert min(tiers) == 0
+        assert max(tiers) == 9
+
+
+class TestInstanceNameResolution:
+    """Formatted DSL emits instance names (e.g. 'monge_elkan_jaro_winkler');
+    make_similarity must resolve those as well as registry keys."""
+
+    def test_instance_name_resolves(self):
+        measure = make_similarity("monge_elkan_jaro_winkler")
+        assert measure.name == "monge_elkan_jaro_winkler"
+
+    def test_parameterized_instance_name(self):
+        measure = make_similarity("tversky0.75_ws")
+        assert measure.name == "tversky0.75_ws"
+
+    def test_registry_key_still_works(self):
+        assert make_similarity("monge_elkan").name == "monge_elkan_jaro_winkler"
+
+    def test_full_function_format_parse_round_trip(self):
+        """Every registered measure's feature must survive format->parse."""
+        from repro.core import format_function, parse_function
+        from repro.similarity import default_instances
+
+        lines = []
+        for index, instance in enumerate(default_instances()):
+            lines.append(f"r{index}: {instance.name}(a, b) >= 0.5")
+        function = parse_function("\n".join(lines))
+        reparsed = parse_function(format_function(function))
+        assert [p.pid for r in reparsed for p in r.predicates] == [
+            p.pid for r in function for p in r.predicates
+        ]

@@ -1,0 +1,227 @@
+"""Unit tests for the token/corpus measures: Jaccard, Dice, overlap, cosine,
+trigram, Monge-Elkan, TF-IDF, Soft TF-IDF, and the numeric measures."""
+
+import math
+
+import pytest
+
+from repro.similarity import (
+    AbsoluteDifference,
+    Corpus,
+    Cosine,
+    Dice,
+    Jaccard,
+    MongeElkan,
+    NumericExact,
+    OverlapCoefficient,
+    QgramTokenizer,
+    RelativeDifference,
+    SoftTfIdf,
+    TfIdf,
+    Trigram,
+    WhitespaceTokenizer,
+)
+from repro.similarity.numeric import parse_number
+
+
+class TestJaccard:
+    def test_known_overlap(self):
+        # {a,b,c} vs {b,c,d}: 2 / 4
+        assert Jaccard()("a b c", "b c d") == pytest.approx(0.5)
+
+    def test_identity(self):
+        assert Jaccard()("red apple", "red apple") == 1.0
+
+    def test_disjoint(self):
+        assert Jaccard()("a b", "c d") == 0.0
+
+    def test_both_empty(self):
+        assert Jaccard()("", "") == 1.0
+
+    def test_one_empty(self):
+        assert Jaccard()("", "abc") == 0.0
+
+    def test_duplicates_collapse(self):
+        assert Jaccard()("a a b", "a b b") == 1.0
+
+    def test_qgram_variant(self):
+        jaccard_qg = Jaccard(QgramTokenizer(q=3))
+        assert 0.0 < jaccard_qg("night", "nacht") < 1.0
+
+    def test_name_includes_tokenizer(self):
+        assert Jaccard().name == "jaccard_ws"
+        assert Jaccard(QgramTokenizer(3)).name == "jaccard_qg3"
+
+
+class TestDiceOverlapCosine:
+    def test_dice_known(self):
+        # 2*2 / (3+3)
+        assert Dice()("a b c", "b c d") == pytest.approx(2 / 3)
+
+    def test_overlap_containment(self):
+        assert OverlapCoefficient()("ipad 2", "apple ipad 2 tablet") == 1.0
+
+    def test_cosine_known(self):
+        # 2 / sqrt(3*3)
+        assert Cosine()("a b c", "b c d") == pytest.approx(2 / 3)
+
+    def test_cosine_bounds(self):
+        assert 0.0 <= Cosine()("x y", "y z w") <= 1.0
+
+    def test_trigram_is_padded_qgram_jaccard(self):
+        assert Trigram()("night", "night") == 1.0
+        assert Trigram().name == "trigram"
+
+
+class TestMongeElkan:
+    def test_identity(self):
+        assert MongeElkan()("john smith", "john smith") == 1.0
+
+    def test_tolerates_token_typos(self):
+        assert MongeElkan()("jon smith", "john smith") > 0.85
+
+    def test_symmetrized(self):
+        me = MongeElkan()
+        assert me("a b c", "a b") == pytest.approx(me("a b", "a b c"))
+
+    def test_one_empty(self):
+        assert MongeElkan()("", "abc") == 0.0
+
+
+class TestCorpus:
+    def test_document_count(self):
+        corpus = Corpus.from_values(["a b", "b c", None, "c d"])
+        assert len(corpus) == 3
+
+    def test_idf_monotone_in_rarity(self):
+        corpus = Corpus.from_values(["common rare1", "common rare2", "common rare3"])
+        assert corpus.idf("rare1") > corpus.idf("common")
+
+    def test_unseen_token_max_idf(self):
+        corpus = Corpus.from_values(["a b", "a c"])
+        assert corpus.idf("zzz") >= corpus.idf("b")
+
+    def test_tfidf_vector_normalized(self):
+        corpus = Corpus.from_values(["a b c", "a d", "b d"])
+        vector = corpus.tfidf_vector(["a", "b", "a"])
+        norm = math.sqrt(sum(weight**2 for weight in vector.values()))
+        assert norm == pytest.approx(1.0)
+
+    def test_empty_tokens_empty_vector(self):
+        corpus = Corpus.from_values(["a"])
+        assert corpus.tfidf_vector([]) == {}
+
+    def test_add_values_accumulates(self):
+        corpus = Corpus.from_values(["a"])
+        corpus.add_values(["a b"])
+        assert len(corpus) == 2
+        assert corpus.document_frequency["a"] == 2
+
+
+class TestTfIdf:
+    @pytest.fixture()
+    def corpus(self):
+        return Corpus.from_values(
+            ["red apple", "green apple", "blue pear", "red pear", "yellow banana"]
+        )
+
+    def test_identity(self, corpus):
+        measure = TfIdf()
+        measure.bind_corpus(corpus)
+        assert measure("red apple", "red apple") == pytest.approx(1.0)
+
+    def test_rare_token_overlap_beats_common(self, corpus):
+        measure = TfIdf()
+        measure.bind_corpus(corpus)
+        # "banana" (df=1) is rarer than "apple" (df=2); sharing the rarer
+        # token should weigh more against the same-sized non-shared rest.
+        rare = measure("yellow banana", "green banana")
+        common = measure("red apple", "green apple")
+        assert rare > common
+
+    def test_disjoint(self, corpus):
+        measure = TfIdf()
+        measure.bind_corpus(corpus)
+        assert measure("red apple", "yellow banana") < 0.5
+
+    def test_unbound_corpus_still_works(self):
+        assert 0.0 <= TfIdf()("red apple", "green apple") <= 1.0
+
+    def test_both_empty(self, corpus):
+        measure = TfIdf()
+        measure.bind_corpus(corpus)
+        assert measure("", "") == 1.0
+
+
+class TestSoftTfIdf:
+    @pytest.fixture()
+    def measure(self):
+        corpus = Corpus.from_values(
+            ["sonavox ultra speaker", "sonavox compact speaker", "technira speaker"]
+        )
+        soft = SoftTfIdf(threshold=0.85)
+        soft.bind_corpus(corpus)
+        return soft
+
+    def test_identity(self, measure):
+        assert measure("sonavox ultra speaker", "sonavox ultra speaker") == pytest.approx(
+            1.0
+        )
+
+    def test_tolerates_typos_where_tfidf_does_not(self, measure):
+        hard = TfIdf()
+        hard.bind_corpus(measure.corpus)
+        soft_score = measure("sonavox ultr speaker", "sonavox ultra speaker")
+        hard_score = hard("sonavox ultr speaker", "sonavox ultra speaker")
+        assert soft_score > hard_score
+
+    def test_bounds(self, measure):
+        assert 0.0 <= measure("sonavox speaker", "technira speaker") <= 1.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SoftTfIdf(threshold=0.0)
+        with pytest.raises(ValueError):
+            SoftTfIdf(threshold=1.5)
+
+
+class TestNumeric:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("19.99", 19.99),
+            ("$19.99", 19.99),
+            ("19.99 USD", 19.99),
+            ("1,299.50", 1299.5),
+            ("-5", -5.0),
+            ("no digits", None),
+            ("", None),
+        ],
+    )
+    def test_parse_number(self, text, expected):
+        assert parse_number(text) == expected
+
+    def test_numeric_exact(self):
+        assert NumericExact()("$20.00", "20") == 1.0
+        assert NumericExact()("20", "20.01") == 0.0
+        assert NumericExact()("abc", "20") == 0.0
+
+    def test_rel_diff_scale_free(self):
+        small = RelativeDifference()("100", "105")
+        large = RelativeDifference()("1000", "1050")
+        assert small == pytest.approx(large)
+
+    def test_rel_diff_identity(self):
+        assert RelativeDifference()("42", "42") == 1.0
+
+    def test_rel_diff_zero_pair(self):
+        assert RelativeDifference()("0", "0") == 1.0
+
+    def test_abs_diff_linear_decay(self):
+        measure = AbsoluteDifference(scale=5)
+        assert measure("2000", "2003") == pytest.approx(0.4)
+        assert measure("2000", "2010") == 0.0
+
+    def test_abs_diff_invalid_scale(self):
+        with pytest.raises(ValueError):
+            AbsoluteDifference(scale=0)

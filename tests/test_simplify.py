@@ -1,0 +1,127 @@
+"""Tests for rule-set simplification (subsumption removal)."""
+
+import pytest
+
+from repro.core import DynamicMemoMatcher, parse_function
+from repro.learning import redundancy_report, remove_subsumed, rule_subsumes
+
+
+class TestRuleSubsumes:
+    def test_looser_rule_subsumes_stricter(self):
+        function = parse_function(
+            """
+            general:  jaccard_ws(t, t) >= 0.5
+            specific: jaccard_ws(t, t) >= 0.8
+            """
+        )
+        general, specific = function.rules
+        assert rule_subsumes(general, specific)
+        assert not rule_subsumes(specific, general)
+
+    def test_extra_predicates_make_specific(self):
+        function = parse_function(
+            """
+            general:  jaccard_ws(t, t) >= 0.5
+            specific: jaccard_ws(t, t) >= 0.5 AND exact_match(z, z) >= 1
+            """
+        )
+        general, specific = function.rules
+        assert rule_subsumes(general, specific)
+        assert not rule_subsumes(specific, general)
+
+    def test_identical_rules_mutually_subsume(self):
+        function = parse_function(
+            """
+            first:  jaccard_ws(t, t) >= 0.5
+            second: jaccard_ws(t, t) >= 0.5
+            """
+        )
+        first, second = function.rules
+        assert rule_subsumes(first, second)
+        assert rule_subsumes(second, first)
+
+    def test_different_features_incomparable(self):
+        function = parse_function(
+            """
+            first:  jaccard_ws(t, t) >= 0.5
+            second: jaro(n, n) >= 0.5
+            """
+        )
+        first, second = function.rules
+        assert not rule_subsumes(first, second)
+        assert not rule_subsumes(second, first)
+
+    def test_upper_bound_direction(self):
+        function = parse_function(
+            """
+            general:  jaccard_ws(t, t) <= 0.8
+            specific: jaccard_ws(t, t) <= 0.5
+            """
+        )
+        general, specific = function.rules
+        assert rule_subsumes(general, specific)
+        assert not rule_subsumes(specific, general)
+
+    def test_missing_slot_blocks_subsumption(self):
+        function = parse_function(
+            """
+            general:  jaccard_ws(t, t) >= 0.5 AND jaro(n, n) >= 0.5
+            specific: jaccard_ws(t, t) >= 0.9
+            """
+        )
+        general, specific = function.rules
+        # general requires jaro evidence that specific doesn't constrain.
+        assert not rule_subsumes(general, specific)
+
+
+class TestRemoveSubsumed:
+    def test_removes_redundant_rule(self):
+        function = parse_function(
+            """
+            keep:   jaccard_ws(t, t) >= 0.5
+            redundant: jaccard_ws(t, t) >= 0.8 AND exact_match(z, z) >= 1
+            other:  jaro(n, n) >= 0.9
+            """
+        )
+        simplified, removed = remove_subsumed(function)
+        assert removed == ["redundant"]
+        assert [rule.name for rule in simplified] == ["keep", "other"]
+
+    def test_mutual_subsumption_keeps_earlier(self):
+        function = parse_function(
+            """
+            first:  jaccard_ws(t, t) >= 0.5
+            second: jaccard_ws(t, t) >= 0.5
+            """
+        )
+        simplified, removed = remove_subsumed(function)
+        assert removed == ["second"]
+        assert [rule.name for rule in simplified] == ["first"]
+
+    def test_no_redundancy_is_identity(self):
+        function = parse_function(
+            """
+            first:  jaccard_ws(t, t) >= 0.5
+            second: jaro(n, n) >= 0.5
+            """
+        )
+        simplified, removed = remove_subsumed(function)
+        assert removed == []
+        assert simplified is function
+
+    def test_semantics_preserved_on_learned_workload(self, small_workload):
+        """The master check: simplification never changes match labels."""
+        candidates = small_workload.candidates.subset(range(400))
+        simplified, removed = remove_subsumed(small_workload.function)
+        original = DynamicMemoMatcher().run(small_workload.function, candidates)
+        reduced = DynamicMemoMatcher().run(simplified, candidates)
+        assert (original.labels == reduced.labels).all()
+
+    def test_redundancy_report_lists_pairs(self):
+        function = parse_function(
+            """
+            general:  jaccard_ws(t, t) >= 0.5
+            specific: jaccard_ws(t, t) >= 0.8
+            """
+        )
+        assert ("general", "specific") in redundancy_report(function)

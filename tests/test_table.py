@@ -1,0 +1,96 @@
+"""Unit tests for the Record/Table data model."""
+
+import pytest
+
+from repro.data import Record, Table
+from repro.errors import SchemaError
+
+
+class TestRecord:
+    def test_get_present(self):
+        record = Record("r1", {"name": "apple"})
+        assert record.get("name") == "apple"
+
+    def test_get_missing_returns_default(self):
+        record = Record("r1", {"name": "apple"})
+        assert record.get("price") is None
+        assert record.get("price", "n/a") == "n/a"
+
+    def test_get_explicit_none_returns_default(self):
+        record = Record("r1", {"name": None})
+        assert record.get("name", "fallback") == "fallback"
+
+    def test_getitem_and_contains(self):
+        record = Record("r1", {"name": "apple"})
+        assert record["name"] == "apple"
+        assert "name" in record
+        assert "price" not in record
+
+    def test_as_dict_is_a_copy(self):
+        record = Record("r1", {"name": "apple"})
+        snapshot = record.as_dict()
+        snapshot["name"] = "mutated"
+        assert record.get("name") == "apple"
+
+    def test_equality_and_hash(self):
+        assert Record("r1", {"a": 1}) == Record("r1", {"a": 1})
+        assert Record("r1", {"a": 1}) != Record("r1", {"a": 2})
+        assert hash(Record("r1", {"a": 1})) == hash(Record("r1", {"a": 2}))
+
+
+class TestTable:
+    def test_add_and_lookup(self):
+        table = Table("T", ["name"])
+        table.add_row("x1", name="apple")
+        assert table.get("x1").get("name") == "apple"
+        assert "x1" in table
+        assert len(table) == 1
+
+    def test_duplicate_id_rejected(self):
+        table = Table("T", ["name"])
+        table.add_row("x1", name="a")
+        with pytest.raises(SchemaError, match="duplicate record id"):
+            table.add_row("x1", name="b")
+
+    def test_extra_attribute_rejected(self):
+        table = Table("T", ["name"])
+        with pytest.raises(SchemaError, match="outside the schema"):
+            table.add(Record("x1", {"name": "a", "price": 3}))
+
+    def test_missing_attribute_allowed(self):
+        table = Table("T", ["name", "price"])
+        table.add_row("x1", name="a")
+        assert table.get("x1").get("price") is None
+
+    def test_duplicate_schema_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate attribute"):
+            Table("T", ["name", "name"])
+
+    def test_iteration_preserves_order(self):
+        table = Table("T", ["n"])
+        for index in range(5):
+            table.add_row(f"x{index}", n=str(index))
+        assert [record.record_id for record in table] == [f"x{i}" for i in range(5)]
+
+    def test_index_access(self):
+        table = Table("T", ["n"])
+        table.add_row("x0", n="0")
+        table.add_row("x1", n="1")
+        assert table[1].record_id == "x1"
+
+    def test_values_column(self):
+        table = Table("T", ["n", "m"])
+        table.add_row("x0", n="a")
+        table.add_row("x1", n="b", m="c")
+        assert table.values("n") == ["a", "b"]
+        assert table.values("m") == [None, "c"]
+
+    def test_values_unknown_attribute(self):
+        table = Table("T", ["n"])
+        with pytest.raises(SchemaError):
+            table.values("zzz")
+
+    def test_get_unknown_id(self):
+        table = Table("T", ["n"])
+        with pytest.raises(KeyError, match="no record"):
+            table.get("nope")

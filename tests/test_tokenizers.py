@@ -1,0 +1,107 @@
+"""Unit tests for repro.similarity.tokenizers."""
+
+import pytest
+
+from repro.similarity.tokenizers import (
+    AlphanumericTokenizer,
+    DelimiterTokenizer,
+    QgramTokenizer,
+    WhitespaceTokenizer,
+)
+
+
+class TestWhitespaceTokenizer:
+    def test_basic_split(self):
+        assert WhitespaceTokenizer().tokenize("red  apple pie") == [
+            "red",
+            "apple",
+            "pie",
+        ]
+
+    def test_lowercases_by_default(self):
+        assert WhitespaceTokenizer().tokenize("Red APPLE") == ["red", "apple"]
+
+    def test_case_preserving_mode(self):
+        tok = WhitespaceTokenizer(lowercase=False)
+        assert tok.tokenize("Red APPLE") == ["Red", "APPLE"]
+
+    def test_none_is_empty(self):
+        assert WhitespaceTokenizer().tokenize(None) == []
+
+    def test_empty_string_is_empty(self):
+        assert WhitespaceTokenizer().tokenize("") == []
+
+    def test_whitespace_only_is_empty(self):
+        assert WhitespaceTokenizer().tokenize("   \t ") == []
+
+    def test_numeric_input_coerced(self):
+        assert WhitespaceTokenizer().tokenize(42) == ["42"]
+
+    def test_tokenize_set_dedupes(self):
+        assert WhitespaceTokenizer().tokenize_set("a b a") == frozenset({"a", "b"})
+
+
+class TestAlphanumericTokenizer:
+    def test_strips_punctuation(self):
+        assert AlphanumericTokenizer().tokenize("mp3-player (new!)") == [
+            "mp3",
+            "player",
+            "new",
+        ]
+
+    def test_pure_punctuation_is_empty(self):
+        assert AlphanumericTokenizer().tokenize("!!! --- ???") == []
+
+    def test_mixed_alnum_runs(self):
+        assert AlphanumericTokenizer().tokenize("a1b2") == ["a1b2"]
+
+
+class TestDelimiterTokenizer:
+    def test_splits_on_configured_delimiters(self):
+        tok = DelimiterTokenizer("|")
+        assert tok.tokenize("action|adventure|sci-fi") == [
+            "action",
+            "adventure",
+            "sci-fi",
+        ]
+
+    def test_strips_whitespace_around_tokens(self):
+        tok = DelimiterTokenizer(",")
+        assert tok.tokenize("a , b ,c") == ["a", "b", "c"]
+
+    def test_consecutive_delimiters_collapse(self):
+        tok = DelimiterTokenizer(",;")
+        assert tok.tokenize("a,;b") == ["a", "b"]
+
+    def test_empty_delimiters_rejected(self):
+        with pytest.raises(ValueError):
+            DelimiterTokenizer("")
+
+
+class TestQgramTokenizer:
+    def test_padded_trigram_example(self):
+        assert QgramTokenizer(q=3).tokenize("ab") == ["##a", "#ab", "ab$", "b$$"]
+
+    def test_unpadded_short_string_is_single_token(self):
+        assert QgramTokenizer(q=3, padded=False).tokenize("ab") == ["ab"]
+
+    def test_unpadded_long_string(self):
+        assert QgramTokenizer(q=2, padded=False).tokenize("abc") == ["ab", "bc"]
+
+    def test_empty_string_is_empty(self):
+        assert QgramTokenizer(q=3).tokenize("") == []
+
+    def test_padded_token_count(self):
+        # n + q - 1 tokens for a string of length n with padding.
+        tokens = QgramTokenizer(q=3).tokenize("night")
+        assert len(tokens) == 5 + 3 - 1
+
+    def test_q_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QgramTokenizer(q=0)
+
+    def test_name_reflects_q(self):
+        assert QgramTokenizer(q=4).name == "qg4"
+
+    def test_q1_is_characters(self):
+        assert QgramTokenizer(q=1).tokenize("abc") == ["a", "b", "c"]

@@ -1,0 +1,197 @@
+"""Tests for rule-set linting, the per-rule debug report, and Editex."""
+
+import numpy as np
+import pytest
+
+from repro.core import MatchState, lint_function, parse_function
+from repro.core.cost_model import Estimates
+from repro.data import CandidateSet, Record, Table
+from repro.evaluation import build_report, render_report
+from repro.similarity import Editex, Levenshtein, editex_distance
+
+
+class TestLint:
+    def test_unsatisfiable_bounds(self):
+        function = parse_function(
+            "bad: jaccard_ws(t, t) >= 0.8 AND jaccard_ws(t, t) <= 0.5"
+        )
+        findings = lint_function(function)
+        assert any(
+            f.check == "unsatisfiable" and f.rule_name == "bad" for f in findings
+        )
+        assert findings[0].severity == "error"
+
+    def test_equal_bounds_strict_op_unsatisfiable(self):
+        function = parse_function(
+            "bad: jaccard_ws(t, t) > 0.5 AND jaccard_ws(t, t) <= 0.5"
+        )
+        assert any(f.check == "unsatisfiable" for f in lint_function(function))
+
+    def test_equal_bounds_inclusive_ok(self):
+        function = parse_function(
+            "point: jaccard_ws(t, t) >= 0.5 AND jaccard_ws(t, t) <= 0.5"
+        )
+        assert not any(f.check == "unsatisfiable" for f in lint_function(function))
+
+    def test_out_of_range_thresholds(self):
+        function = parse_function("bad: jaccard_ws(t, t) > 1.0")
+        assert any(f.check == "unsatisfiable" for f in lint_function(function))
+        function = parse_function("bad: jaccard_ws(t, t) < 0.0")
+        assert any(f.check == "unsatisfiable" for f in lint_function(function))
+
+    def test_vacuous_predicates(self):
+        function = parse_function(
+            "lazy: jaccard_ws(t, t) >= 0.0 AND jaro(n, n) >= 0.5"
+        )
+        findings = lint_function(function)
+        assert any(f.check == "vacuous-predicate" for f in findings)
+
+    def test_duplicate_rules(self):
+        function = parse_function(
+            """
+            first:  jaccard_ws(t, t) >= 0.5
+            second: jaccard_ws(t, t) >= 0.5
+            """
+        )
+        findings = lint_function(function)
+        duplicates = [f for f in findings if f.check == "duplicate-rule"]
+        assert len(duplicates) == 1
+        assert duplicates[0].rule_name == "second"
+
+    def test_subsumed_rules(self):
+        function = parse_function(
+            """
+            loose:  jaccard_ws(t, t) >= 0.3
+            strict: jaccard_ws(t, t) >= 0.8
+            """
+        )
+        findings = lint_function(function)
+        assert any(
+            f.check == "subsumed-rule" and f.rule_name == "strict"
+            for f in findings
+        )
+
+    def test_constant_on_sample(self):
+        function = parse_function("r: jaccard_ws(t, t) >= 0.99")
+        feature_name = function.rules[0].predicates[0].feature.name
+        estimates = Estimates(
+            feature_costs={feature_name: 1e-6},
+            lookup_cost=1e-8,
+            sample_values={feature_name: np.asarray([0.1, 0.2, 0.3])},
+            sample_size=3,
+        )
+        findings = lint_function(function, estimates)
+        assert any(f.check == "constant-on-sample" for f in findings)
+
+    def test_clean_function(self):
+        function = parse_function(
+            "ok: jaccard_ws(t, t) >= 0.5 AND jaro(n, n) <= 0.9"
+        )
+        assert lint_function(function) == []
+
+    def test_errors_sort_first(self):
+        function = parse_function(
+            """
+            a: jaccard_ws(t, t) >= 0.0
+            b: jaro(n, n) >= 0.8 AND jaro(n, n) <= 0.2
+            """
+        )
+        findings = lint_function(function)
+        assert findings[0].severity == "error"
+
+
+class TestDebugReport:
+    @pytest.fixture()
+    def state_and_gold(self):
+        table_a = Table("A", ["name", "code"])
+        table_b = Table("B", ["name", "code"])
+        rows = [
+            # (a name, b name, a code, b code, gold?)
+            ("x1", "x1", "k1", "k1", True),   # matched by name_rule, gold
+            ("x2", "x2", "k2", "zz", False),  # matched by name_rule, NOT gold
+            ("x3", "q3", "k3", "k3", True),   # matched by code_rule, gold
+            ("x4", "q4", "k4", "zz", True),   # missed entirely (FN)
+        ]
+        gold = set()
+        id_pairs = []
+        for index, (name_a, name_b, code_a, code_b, is_gold) in enumerate(rows):
+            table_a.add_row(f"a{index}", name=name_a, code=code_a)
+            table_b.add_row(f"b{index}", name=name_b, code=code_b)
+            id_pairs.append((f"a{index}", f"b{index}"))
+            if is_gold:
+                gold.add((f"a{index}", f"b{index}"))
+        candidates = CandidateSet.from_id_pairs(table_a, table_b, id_pairs)
+        function = parse_function(
+            """
+            name_rule: exact_match(name, name) >= 1
+            code_rule: exact_match(code, code) >= 1
+            idle_rule: jaccard_ws(name, name) >= 2
+            """
+        )
+        state, _ = MatchState.from_initial_run(function, candidates)
+        return state, gold
+
+    def test_per_rule_counts(self, state_and_gold):
+        state, gold = state_and_gold
+        report = build_report(state, gold)
+        by_name = {quality.rule_name: quality for quality in report.rules}
+        assert by_name["name_rule"].matched == 2
+        assert by_name["name_rule"].gold_matched == 1
+        assert by_name["name_rule"].precision == pytest.approx(0.5)
+        assert by_name["code_rule"].matched == 1
+        assert by_name["code_rule"].precision == 1.0
+        assert by_name["idle_rule"].matched == 0
+
+    def test_totals(self, state_and_gold):
+        state, gold = state_and_gold
+        report = build_report(state, gold)
+        assert report.total_matched == 3
+        assert report.total_gold_in_candidates == 3
+        assert report.unmatched_gold == 1
+
+    def test_worst_rules_ranked_by_false_positives(self, state_and_gold):
+        state, gold = state_and_gold
+        report = build_report(state, gold)
+        worst = report.worst_rules(1)
+        assert worst[0].rule_name == "name_rule"
+
+    def test_idle_rules(self, state_and_gold):
+        state, gold = state_and_gold
+        report = build_report(state, gold)
+        assert report.idle_rules() == ["idle_rule"]
+
+    def test_render(self, state_and_gold):
+        state, gold = state_and_gold
+        text = render_report(build_report(state, gold))
+        assert "name_rule" in text
+        assert "matched nothing" in text
+        assert "1 gold matches still missed" in text
+
+
+class TestEditex:
+    def test_identity(self):
+        assert editex_distance("cat", "cat") == 0
+        assert Editex()("same", "same") == 1.0
+
+    def test_same_group_substitution_cheaper(self):
+        # c->k are in one phonetic group (cost 1); c->m is not (cost 2).
+        assert editex_distance("cat", "kat") == 1
+        assert editex_distance("cat", "mat") == 2
+
+    def test_phonetic_beats_levenshtein_on_sound_alikes(self):
+        editex = Editex()
+        levenshtein = Levenshtein()
+        assert editex("nite", "night") >= levenshtein("nite", "night")
+        assert editex("robert", "rupert") > levenshtein("robert", "rupert")
+
+    def test_empty_strings(self):
+        assert Editex()("", "") == 1.0
+        assert editex_distance("", "ab") > 0
+
+    def test_symmetry(self):
+        assert editex_distance("abcde", "axcye") == editex_distance(
+            "axcye", "abcde"
+        )
+
+    def test_bounds(self):
+        assert 0.0 <= Editex()("alpha", "omega") <= 1.0

@@ -1,0 +1,211 @@
+"""Tests for the CLI workbench command interpreter."""
+
+import pytest
+
+from repro.workbench import Workbench, WorkbenchError
+
+
+@pytest.fixture(scope="module")
+def loaded_bench():
+    bench = Workbench()
+    bench.execute("load products --scale 0.25 --rules 30 --seed 13")
+    bench.execute("run")
+    return bench
+
+
+class TestLifecycle:
+    def test_commands_before_load_fail(self):
+        bench = Workbench()
+        with pytest.raises(WorkbenchError, match="no active run"):
+            bench.execute("metrics")
+        with pytest.raises(WorkbenchError, match="load a dataset"):
+            bench.execute("run")
+
+    def test_load_reports_workload(self):
+        bench = Workbench()
+        output = bench.execute("load products --scale 0.2 --rules 10")
+        assert "products" in output
+        assert "rules=" in output
+
+    def test_unknown_command(self):
+        with pytest.raises(WorkbenchError, match="unknown command"):
+            Workbench().execute("frobnicate")
+
+    def test_empty_line_is_noop(self):
+        assert Workbench().execute("   ") == ""
+
+    def test_unknown_flag(self):
+        bench = Workbench()
+        with pytest.raises(WorkbenchError, match="unknown flag"):
+            bench.execute("load products --wat 3")
+
+    def test_help_lists_commands(self):
+        text = Workbench().execute("help")
+        for command in ("load", "run", "tighten", "suggest", "save"):
+            assert command in text
+
+
+class TestInspection:
+    def test_metrics(self, loaded_bench):
+        output = loaded_bench.execute("metrics")
+        assert "P=" in output and "R=" in output
+
+    def test_rules_lists_dsl(self, loaded_bench):
+        output = loaded_bench.execute("rules")
+        assert "r" in output and ">=" in output or "<=" in output or ">" in output
+
+    def test_explain_known_pair(self, loaded_bench):
+        pair = loaded_bench.session.candidates[0]
+        output = loaded_bench.execute(f"explain {pair.pair_id[0]} {pair.pair_id[1]}")
+        assert "MATCH" in output
+
+    def test_explain_unknown_pair(self, loaded_bench):
+        with pytest.raises(WorkbenchError, match="not a candidate"):
+            loaded_bench.execute("explain zz qq")
+
+    def test_memory(self, loaded_bench):
+        assert "MB" in loaded_bench.execute("memory")
+
+
+class TestEditing:
+    @pytest.fixture()
+    def bench(self):
+        bench = Workbench()
+        bench.execute("load products --scale 0.25 --rules 30 --seed 13")
+        bench.execute("run")
+        return bench
+
+    def test_tighten_by_command(self, bench):
+        rule = bench.session.function.rules[0]
+        predicate = rule.predicates[0]
+        threshold = (
+            min(1.0, predicate.threshold + 0.1)
+            if predicate.op in (">=", ">")
+            else max(0.0, predicate.threshold - 0.1)
+        )
+        output = bench.execute(
+            f"tighten {rule.name} '{predicate.slot}' {threshold}"
+        )
+        assert "tighten" in output
+        history = bench.execute("history")
+        assert "1." in history
+
+    def test_bad_threshold_text(self, bench):
+        rule = bench.session.function.rules[0]
+        predicate = rule.predicates[0]
+        with pytest.raises(WorkbenchError, match="not a number"):
+            bench.execute(f"tighten {rule.name} '{predicate.slot}' lots")
+
+    def test_drop_rule(self, bench):
+        name = bench.session.function.rules[0].name
+        bench.execute(f"drop-rule {name}")
+        assert name not in bench.session.function
+
+    def test_add_rule(self, bench):
+        before = len(bench.session.function)
+        bench.execute("add-rule extra: norm_exact_match(modelno, modelno) >= 1")
+        assert len(bench.session.function) == before + 1
+
+    def test_suggest_and_apply(self, bench):
+        output = bench.execute("suggest tighten")
+        if "no suggestions" in output:
+            pytest.skip("no false positives to fix at this scale")
+        assert "1." in output
+        applied = bench.execute("apply 1")
+        assert "tighten" in applied
+
+    def test_apply_without_suggestions(self, bench):
+        with pytest.raises(WorkbenchError, match="no suggestion"):
+            bench.execute("apply 3")
+
+    def test_history_empty_initially(self, bench):
+        assert "no edits" in bench.execute("history")
+
+
+class TestPersistenceCommands:
+    def test_save_and_restore(self, tmp_path):
+        bench = Workbench()
+        bench.execute("load products --scale 0.2 --rules 15 --seed 13")
+        bench.execute("run")
+        matches_before = bench.session.state.match_count()
+        bench.execute(f"save {tmp_path / 'session'}")
+
+        fresh = Workbench()
+        fresh.execute("load products --scale 0.2 --rules 15 --seed 13")
+        fresh.execute("run")
+        output = fresh.execute(f"restore {tmp_path / 'session'}")
+        assert "restored" in output
+        assert fresh.session.state.match_count() == matches_before
+
+    def test_restore_without_load(self, tmp_path):
+        bench = Workbench()
+        with pytest.raises(WorkbenchError, match="load the same dataset"):
+            bench.execute(f"restore {tmp_path}")
+
+
+class TestAnalysisCommands:
+    def test_stats(self, loaded_bench):
+        output = loaded_bench.execute("stats")
+        assert "rules" in output
+        assert "hottest features" in output
+
+    def test_simplify_reports_or_clean(self, loaded_bench):
+        output = loaded_bench.execute("simplify")
+        assert ("subsumed" in output) or ("no subsumed rules" in output)
+
+    def test_lint(self, loaded_bench):
+        output = loaded_bench.execute("lint")
+        assert ("no findings" in output) or ("[" in output)
+
+    def test_report(self, loaded_bench):
+        output = loaded_bench.execute("report")
+        assert "matched" in output
+        assert "precision" in output
+
+
+class TestLoadCsv:
+    @pytest.fixture()
+    def csv_files(self, tmp_path):
+        from repro.data import Table, save_table, save_pairs
+
+        table_a = Table("A", ["title", "code"])
+        table_a.add_row("a0", title="red apple pie", code="k1")
+        table_a.add_row("a1", title="blue bicycle", code="k2")
+        table_b = Table("B", ["title", "code"])
+        table_b.add_row("b0", title="red apple cake", code="k1")
+        table_b.add_row("b1", title="green bicycle", code="k9")
+        save_table(table_a, tmp_path / "a.csv")
+        save_table(table_b, tmp_path / "b.csv")
+        save_pairs([("a0", "b0")], tmp_path / "gold.csv")
+        return tmp_path
+
+    def test_load_csv_and_run(self, csv_files):
+        bench = Workbench()
+        output = bench.execute(
+            f"load-csv {csv_files / 'a.csv'} {csv_files / 'b.csv'} "
+            f"--block title --gold {csv_files / 'gold.csv'} "
+            f"--rules 'R1: exact_match(code, code) >= 1'"
+        )
+        assert "candidate pairs" in output
+        bench.execute("run")
+        metrics = bench.execute("metrics")
+        assert "P=" in metrics
+        assert bench.session.state.match_count() == 1  # a0b0 via code
+
+    def test_load_csv_requires_block_and_rules(self, csv_files):
+        bench = Workbench()
+        with pytest.raises(WorkbenchError, match="--block and --rules"):
+            bench.execute(
+                f"load-csv {csv_files / 'a.csv'} {csv_files / 'b.csv'}"
+            )
+
+    def test_load_csv_edits_work(self, csv_files):
+        bench = Workbench()
+        bench.execute(
+            f"load-csv {csv_files / 'a.csv'} {csv_files / 'b.csv'} "
+            f"--block title "
+            f"--rules 'R1: jaccard_ws(title, title) >= 0.9'"
+        )
+        bench.execute("run")
+        bench.execute("add-rule R2: exact_match(code, code) >= 1")
+        assert bench.session.state.match_count() >= 1
