@@ -1,0 +1,76 @@
+"""Parallel engine — DM+EE wall-clock at 1/2/4 workers on products.
+
+Not a paper figure: the paper's runs are single-threaded.  This sweep
+verifies the engineering claim of :mod:`repro.parallel` — sharded
+execution cuts wall-clock while labels and counters stay bit-identical to
+the serial matcher.
+
+The speedup assertion (>= 1.5x at 4 workers) only runs on hosts with at
+least 4 CPU cores; on smaller machines the sweep still runs and reports
+measured numbers, since correctness-at-any-worker-count is asserted
+unconditionally.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicMemoMatcher
+from repro.parallel import ParallelMatcher
+
+from conftest import print_series
+
+WORKER_COUNTS = [1, 2, 4]
+_RESULTS = {}
+_SERIAL_LABELS = {}
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_point(benchmark, products_workload, bench_candidates, workers):
+    if "serial" not in _SERIAL_LABELS:
+        _SERIAL_LABELS["serial"] = DynamicMemoMatcher().run(
+            products_workload.function, bench_candidates
+        )
+    serial = _SERIAL_LABELS["serial"]
+    matcher = ParallelMatcher(workers=workers, min_chunk_size=64)
+    result = benchmark.pedantic(
+        lambda: matcher.run(products_workload.function, bench_candidates),
+        rounds=1,
+        iterations=1,
+    )
+    assert np.array_equal(result.labels, serial.labels)
+    assert result.stats.pairs_matched == serial.stats.pairs_matched
+    _RESULTS[workers] = (result.stats, matcher.fallback_reason)
+
+
+def test_parallel_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    serial = _SERIAL_LABELS.get("serial")
+    base = serial.stats.elapsed_seconds if serial else None
+    rows = []
+    for workers in WORKER_COUNTS:
+        if workers not in _RESULTS:
+            continue
+        stats, fallback = _RESULTS[workers]
+        rows.append(
+            [
+                workers,
+                f"{stats.elapsed_seconds:.3f}s",
+                f"{base / stats.elapsed_seconds:.2f}x" if base else "-",
+                len(stats.worker_timings),
+                fallback or "-",
+            ]
+        )
+    print_series(
+        "Parallel DM+EE: wall-clock vs workers (products)",
+        ["workers", "time", "speedup", "chunks", "fallback"],
+        rows,
+    )
+    cores = os.cpu_count() or 1
+    if cores >= 4 and base and 4 in _RESULTS:
+        speedup = base / _RESULTS[4][0].elapsed_seconds
+        assert speedup >= 1.5, (
+            f"expected >= 1.5x speedup at 4 workers on a {cores}-core host, "
+            f"measured {speedup:.2f}x"
+        )

@@ -20,7 +20,8 @@ Quickstart::
 Subpackages: :mod:`repro.core` (rule language, matchers, cost model,
 ordering, incremental matching), :mod:`repro.similarity` (string measures),
 :mod:`repro.data` (tables + six synthetic datasets), :mod:`repro.blocking`,
-:mod:`repro.learning` (forest → rules), :mod:`repro.evaluation`.
+:mod:`repro.learning` (forest → rules), :mod:`repro.evaluation`,
+:mod:`repro.parallel` (sharded matching over a process pool).
 """
 
 from .core import (
@@ -67,6 +68,7 @@ from .data import CandidateSet, Dataset, Record, Table, dataset_names, load_data
 from .errors import ReproError
 from .evaluation import confusion, precision_recall_f1
 from .learning import FeatureSpace, RandomForest, Workload, build_workload, extract_rules
+from .parallel import ParallelMatcher
 
 __version__ = "1.0.0"
 
@@ -80,8 +82,8 @@ __all__ = [
     "parse_function", "parse_rule", "format_function",
     # matchers & state
     "RudimentaryMatcher", "EarlyExitMatcher", "PrecomputeMatcher",
-    "DynamicMemoMatcher", "MatchResult", "MatchStats", "MatchState",
-    "ArrayMemo", "HashMemo",
+    "DynamicMemoMatcher", "ParallelMatcher", "MatchResult", "MatchStats",
+    "MatchState", "ArrayMemo", "HashMemo",
     # cost & ordering
     "CostEstimator", "random_ordering", "independent_ordering",
     "greedy_cost_ordering", "greedy_reduction_ordering",

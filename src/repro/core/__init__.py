@@ -19,6 +19,7 @@ from .cost_model import (
     function_cost_no_memo,
     function_cost_with_memo,
     group_predicates,
+    per_pair_cost,
     precompute_cost,
     predicted_runtime,
     rudimentary_cost,
@@ -42,6 +43,7 @@ from .matchers import (
     PairEvaluator,
     PrecomputeMatcher,
     RudimentaryMatcher,
+    TraceLog,
 )
 from .memo import ArrayMemo, FeatureMemo, HashMemo, ValueCache
 from .ordering import (
@@ -76,7 +78,7 @@ from .validation import Finding, lint_function
 from .persistence import candidate_fingerprint, load_state, save_state
 from .session import DebugSession, PairExplanation, PredicateTrace, RuleTrace
 from .state import MatchState
-from .stats import MatchStats
+from .stats import MatchStats, WorkerTiming
 
 __all__ = [
     # rule language
@@ -86,15 +88,16 @@ __all__ = [
     # memos
     "FeatureMemo", "ArrayMemo", "HashMemo", "ValueCache",
     # matchers
-    "MatchStats", "Matcher", "MatchResult", "PairEvaluator",
+    "MatchStats", "WorkerTiming", "Matcher", "MatchResult", "PairEvaluator",
     "RudimentaryMatcher", "EarlyExitMatcher", "PrecomputeMatcher",
-    "DynamicMemoMatcher",
+    "DynamicMemoMatcher", "TraceLog",
     "DynamicRuleReorderMatcher",
     # cost model
     "CostEstimator", "Estimates", "PredicateGroup", "group_predicates",
     "rule_cost", "rule_cost_no_memo", "update_alpha",
     "function_cost_no_memo", "function_cost_with_memo",
-    "rudimentary_cost", "precompute_cost", "predicted_runtime",
+    "rudimentary_cost", "precompute_cost", "per_pair_cost",
+    "predicted_runtime",
     "CALIBRATED_TIER_COSTS", "CALIBRATED_LOOKUP_COST",
     # ordering
     "random_ordering", "independent_ordering", "lemma3_predicate_order",

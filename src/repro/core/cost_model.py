@@ -256,6 +256,13 @@ def rule_cost(
     ``alpha`` maps feature name -> memo-presence probability before this
     rule runs (empty/None = cold memo, which degenerates to the paper's
     Equation 3 where every fetch is a computation).
+
+    Models the §5.4 grouped canonical form, not raw rule order: a rule
+    that repeats a feature around an intervening predicate is costed as
+    if the repeat ran immediately after its group's first member.  If the
+    intervening predicate would have exited early, that charges a δ-lookup
+    rule-order execution skips — so ``rule_cost`` can exceed
+    ``rule_cost_no_memo`` by up to δ per repeated predicate.
     """
     alpha = alpha or {}
     prefix_selectivity = 1.0
@@ -354,6 +361,31 @@ def precompute_cost(
     return compute + lookups
 
 
+def per_pair_cost(
+    function: MatchingFunction,
+    estimates: Estimates,
+    strategy: str = "dynamic_memo",
+) -> float:
+    """Expected seconds to evaluate one candidate pair under ``strategy``.
+
+    Strategies: ``rudimentary`` (C1), ``precompute`` (C2), ``early_exit``
+    (C3), ``dynamic_memo`` (C4).  Besides feeding
+    :func:`predicted_runtime`, this is what the parallel partitioner uses
+    to size chunks: pairs-per-chunk = target-chunk-seconds / per-pair-cost.
+    """
+    formulas = {
+        "rudimentary": rudimentary_cost,
+        "precompute": precompute_cost,
+        "early_exit": function_cost_no_memo,
+        "dynamic_memo": function_cost_with_memo,
+    }
+    if strategy not in formulas:
+        raise EstimationError(
+            f"unknown strategy {strategy!r}; expected one of {sorted(formulas)}"
+        )
+    return formulas[strategy](function, estimates)
+
+
 def predicted_runtime(
     function: MatchingFunction,
     candidates: CandidateSet,
@@ -362,20 +394,9 @@ def predicted_runtime(
 ) -> float:
     """Predicted wall-clock seconds for a full run of ``strategy``.
 
-    Strategies: ``rudimentary`` (C1), ``precompute`` (C2), ``early_exit``
-    (C3), ``dynamic_memo`` (C4).  This is the model curve of Figure 5A.
+    This is the model curve of Figure 5A.
     """
-    per_pair = {
-        "rudimentary": rudimentary_cost,
-        "precompute": precompute_cost,
-        "early_exit": function_cost_no_memo,
-        "dynamic_memo": function_cost_with_memo,
-    }
-    if strategy not in per_pair:
-        raise EstimationError(
-            f"unknown strategy {strategy!r}; expected one of {sorted(per_pair)}"
-        )
-    return per_pair[strategy](function, estimates) * len(candidates)
+    return per_pair_cost(function, estimates, strategy) * len(candidates)
 
 
 # ---------------------------------------------------------------------------

@@ -52,6 +52,55 @@ class TraceRecorder(Protocol):
     ) -> None: ...
 
 
+class TraceLog:
+    """A :class:`TraceRecorder` that simply remembers the observed facts.
+
+    Useful whenever the facts must outlive the run that produced them: the
+    parallel executor's workers record into a ``TraceLog`` (picklable —
+    plain lists of tuples) and the parent replays it into the session's
+    :class:`~repro.core.state.MatchState` with each chunk's local indices
+    translated back to global ones.  Replay order equals observation order,
+    so a replayed state is indistinguishable from one recorded live.
+    """
+
+    __slots__ = ("rule_matches", "predicate_falses")
+
+    def __init__(self):
+        #: observed (pair_index, rule_name) match attributions, in order.
+        self.rule_matches: List[Tuple[int, str]] = []
+        #: observed (pair_index, rule_name, slot) false predicates, in order.
+        self.predicate_falses: List[Tuple[int, str, str]] = []
+
+    def record_rule_match(self, pair_index: int, rule_name: str) -> None:
+        self.rule_matches.append((pair_index, rule_name))
+
+    def record_predicate_false(
+        self, pair_index: int, rule_name: str, slot: str
+    ) -> None:
+        self.predicate_falses.append((pair_index, rule_name, slot))
+
+    def replay_into(
+        self, recorder: TraceRecorder, index_offset: int = 0
+    ) -> None:
+        """Feed every remembered fact to ``recorder``, shifting pair
+        indices by ``index_offset`` (a chunk's global start position)."""
+        for pair_index, rule_name, slot in self.predicate_falses:
+            recorder.record_predicate_false(
+                pair_index + index_offset, rule_name, slot
+            )
+        for pair_index, rule_name in self.rule_matches:
+            recorder.record_rule_match(pair_index + index_offset, rule_name)
+
+    def __len__(self) -> int:
+        return len(self.rule_matches) + len(self.predicate_falses)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceLog({len(self.rule_matches)} matches, "
+            f"{len(self.predicate_falses)} false predicates)"
+        )
+
+
 class MatchResult:
     """Labels plus instrumentation for one matching run."""
 

@@ -22,11 +22,15 @@ computation.  Matchers can layer it under either memo.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import UnknownFeatureError
+from ..errors import MatchingError, UnknownFeatureError
+
+#: How ``update_from`` translates the source memo's pair indices into the
+#: destination's: a mapping, a callable, or ``None`` for identity.
+IndexMap = Union[Mapping[int, int], Callable[[int], int], None]
 
 
 class FeatureMemo(ABC):
@@ -45,6 +49,13 @@ class FeatureMemo(ABC):
         """True iff the value is memoized (used by check-cache-first)."""
 
     @abstractmethod
+    def items(self) -> Iterator[Tuple[int, str, float]]:
+        """Iterate all memoized entries as ``(pair_index, feature_name, value)``.
+
+        Order is backend-defined but deterministic for a given put history.
+        """
+
+    @abstractmethod
     def __len__(self) -> int:
         """Number of memoized entries."""
 
@@ -55,6 +66,49 @@ class FeatureMemo(ABC):
     @abstractmethod
     def clear(self) -> None:
         """Drop all entries (fresh debugging session)."""
+
+    def update_from(
+        self,
+        other: "FeatureMemo",
+        index_map: IndexMap = None,
+        check_conflicts: bool = False,
+    ) -> int:
+        """Bulk-merge every entry of ``other`` into this memo.
+
+        ``index_map`` translates the source memo's pair indices into this
+        memo's index space (a dict, a callable, or ``None`` for identity) —
+        the parallel executor passes each chunk's local→global offset here.
+
+        Conflict semantics: when both memos hold a value for the same
+        (pair, feature) key, the incoming value wins (**last-write-wins**).
+        Because memoized feature values are deterministic functions of the
+        record pair, a conflict with *different* values indicates a bug
+        (mis-aligned index map, stale memo); pass ``check_conflicts=True``
+        (the debug flag) to assert equality and raise
+        :class:`~repro.errors.MatchingError` on any mismatch.
+
+        Returns the number of entries copied.
+        """
+        if index_map is None:
+            translate: Callable[[int], int] = lambda index: index
+        elif callable(index_map):
+            translate = index_map
+        else:
+            translate = index_map.__getitem__
+        copied = 0
+        for pair_index, feature_name, value in other.items():
+            target = translate(pair_index)
+            if check_conflicts:
+                existing = self.get(target, feature_name)
+                if existing is not None and existing != value:
+                    raise MatchingError(
+                        f"memo merge conflict on pair {target}, feature "
+                        f"{feature_name!r}: existing {existing!r} != "
+                        f"incoming {value!r}"
+                    )
+            self.put(target, feature_name, value)
+            copied += 1
+        return copied
 
 
 class ArrayMemo(FeatureMemo):
@@ -139,6 +193,12 @@ class ArrayMemo(FeatureMemo):
             return 0.0
         return float(self._valid[:, column].mean())
 
+    def items(self):
+        for name, column in self._columns.items():
+            valid = self._valid[:, column]
+            for pair_index in np.flatnonzero(valid):
+                yield int(pair_index), name, float(self._values[pair_index, column])
+
     def __len__(self) -> int:
         return self._entries
 
@@ -179,6 +239,10 @@ class HashMemo(FeatureMemo):
 
     def contains(self, pair_index: int, feature_name: str) -> bool:
         return (pair_index, feature_name) in self._store
+
+    def items(self):
+        for (pair_index, name), value in self._store.items():
+            yield pair_index, name, value
 
     def __len__(self) -> int:
         return len(self._store)

@@ -228,21 +228,35 @@ def parse_rule(text: str, resolver: Optional[FeatureResolver] = None) -> Rule:
     return rule
 
 
-def format_predicate(predicate: Predicate) -> str:
-    """DSL text for one predicate."""
+def format_predicate(predicate: Predicate, precise: bool = False) -> str:
+    """DSL text for one predicate.
+
+    ``precise=True`` renders the threshold with ``repr`` (shortest exact
+    float64 round-trip) instead of the human-friendly 6-significant-digit
+    ``%g`` form.  Anything that re-parses formatted text and must reproduce
+    labels bit-for-bit — the parallel executor's worker payloads — needs
+    the precise form: learned thresholds routinely carry more than 6
+    digits, and a predicate sitting exactly between the two renderings
+    would flip.
+    """
     feature = predicate.feature
+    threshold = (
+        repr(predicate.threshold) if precise else f"{predicate.threshold:g}"
+    )
     return (
         f"{feature.sim.name}({feature.attr_a}, {feature.attr_b}) "
-        f"{predicate.op} {predicate.threshold:g}"
+        f"{predicate.op} {threshold}"
     )
 
 
-def format_rule(rule: Rule) -> str:
+def format_rule(rule: Rule, precise: bool = False) -> str:
     """DSL text for one rule, including its name."""
-    body = " AND ".join(format_predicate(predicate) for predicate in rule.predicates)
+    body = " AND ".join(
+        format_predicate(predicate, precise) for predicate in rule.predicates
+    )
     return f"{rule.name}: {body}"
 
 
-def format_function(function: MatchingFunction) -> str:
+def format_function(function: MatchingFunction, precise: bool = False) -> str:
     """DSL text for a whole matching function (one rule per line)."""
-    return "\n".join(format_rule(rule) for rule in function.rules)
+    return "\n".join(format_rule(rule, precise) for rule in function.rules)

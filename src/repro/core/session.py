@@ -31,6 +31,7 @@ from .changes import Change
 from .cost_model import CostEstimator, Estimates
 from .incremental import IncrementalResult, apply_change
 from .matchers import DynamicMemoMatcher, MatchResult
+from .memo import ArrayMemo, HashMemo
 from .ordering import order_function
 from .parser import parse_function
 from .rules import MatchingFunction
@@ -124,21 +125,62 @@ class DebugSession:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def run(self) -> MatchResult:
-        """Initial full matching run: estimate → order → match → materialize."""
+    def run(self, workers: int = 1) -> MatchResult:
+        """Initial full matching run: estimate → order → match → materialize.
+
+        ``workers > 1`` shards the run across a process pool (see
+        :mod:`repro.parallel`); labels, memo, and materialized state are
+        bit-identical to the serial run — only wall-clock changes.  The
+        parallel engine falls back to serial automatically when the pool
+        cannot be used.
+        """
         function = self.initial_function
         if self.ordering_strategy not in ("original", "random"):
             self.estimates = self.estimator.estimate(function, self.candidates)
         function = order_function(
             function, self.estimates, self.ordering_strategy
         )
-        self.state, result = MatchState.from_initial_run(
+        if workers > 1:
+            result = self._run_parallel(function, workers)
+        else:
+            self.state, result = MatchState.from_initial_run(
+                function,
+                self.candidates,
+                memo_backend=self.memo_backend,
+                check_cache_first=self.check_cache_first,
+            )
+        self.last_run = result
+        return result
+
+    def _run_parallel(self, function: MatchingFunction, workers: int) -> MatchResult:
+        """Initial run via the parallel engine, materializing the same state
+        (memo + bitmaps, via trace replay) a serial run would build."""
+        # Imported here: repro.parallel imports repro.core submodules.
+        from ..parallel import ParallelMatcher
+
+        names = [feature.name for feature in function.features()]
+        memo = (
+            ArrayMemo(len(self.candidates), names)
+            if self.memo_backend == "array"
+            else HashMemo(len(self.candidates), names)
+        )
+        state = MatchState(
             function,
             self.candidates,
-            memo_backend=self.memo_backend,
+            memo,
             check_cache_first=self.check_cache_first,
         )
-        self.last_run = result
+        matcher = ParallelMatcher(
+            workers=workers,
+            memo=memo,
+            memo_backend=self.memo_backend,
+            check_cache_first=self.check_cache_first,
+            recorder=state,
+            estimates=self.estimates,
+        )
+        result = matcher.run(function, self.candidates)
+        state.labels = result.labels.copy()
+        self.state = state
         return result
 
     def apply(self, change: Change) -> IncrementalResult:

@@ -53,3 +53,9 @@ class ChangeError(ReproError):
 
 class EstimationError(ReproError):
     """Raised when cost/selectivity estimation is given unusable input."""
+
+
+class ParallelExecutionError(ReproError):
+    """Raised when the parallel matching engine cannot complete a run even
+    after retries and serial fallback (e.g. an unpicklable payload combined
+    with a broken pool)."""

@@ -1,0 +1,58 @@
+"""Parallel matching engine: sharded DM+EE execution with memo merge.
+
+The debugging loop's matchers (see :mod:`repro.core.matchers`) evaluate
+candidate pairs independently — the feature memo is keyed per pair — so a
+matching run shards perfectly across processes.  This package executes
+any matching function over a :class:`~repro.data.pairs.CandidateSet` on a
+``ProcessPoolExecutor`` while keeping every observable output (labels,
+memo contents, trace facts, summed stats counters) **bit-identical** to a
+serial :class:`~repro.core.matchers.DynamicMemoMatcher` run:
+
+* :mod:`~repro.parallel.partitioner` — cost-model-aware contiguous chunks
+* :mod:`~repro.parallel.payload` — picklable tasks (table slices plus the
+  function serialized via the parser round-trip)
+* :mod:`~repro.parallel.worker` — the pure per-chunk evaluation function
+* :mod:`~repro.parallel.executor` — pool driving, retry, timeout, and
+  serial fallback
+* :mod:`~repro.parallel.stitcher` — deterministic reassembly and memo /
+  trace merge-back
+
+Entry points: :class:`ParallelMatcher` directly, or
+``DebugSession.run(workers=N)`` / the workbench ``run --workers N``.
+"""
+
+from .executor import FaultPlan, ParallelMatcher
+from .partitioner import (
+    DEFAULT_MIN_CHUNK_SIZE,
+    DEFAULT_TARGET_CHUNK_SECONDS,
+    Chunk,
+    PartitionPlan,
+    plan_partition,
+)
+from .payload import (
+    ChunkTask,
+    SerializedFunction,
+    build_chunk_task,
+    serialize_function,
+)
+from .stitcher import stitch_outcomes, timings_from_outcomes
+from .worker import ChunkOutcome, InjectedWorkerFault, run_chunk
+
+__all__ = [
+    "ParallelMatcher",
+    "FaultPlan",
+    "Chunk",
+    "PartitionPlan",
+    "plan_partition",
+    "DEFAULT_TARGET_CHUNK_SECONDS",
+    "DEFAULT_MIN_CHUNK_SIZE",
+    "SerializedFunction",
+    "serialize_function",
+    "ChunkTask",
+    "build_chunk_task",
+    "ChunkOutcome",
+    "InjectedWorkerFault",
+    "run_chunk",
+    "stitch_outcomes",
+    "timings_from_outcomes",
+]

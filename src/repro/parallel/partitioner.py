@@ -1,0 +1,143 @@
+"""Shard a candidate set into balanced, contiguous chunks.
+
+Pair-level EM work decomposes perfectly: the memo is keyed per pair, so no
+candidate pair's evaluation reads another pair's state (Rastogi et al.'s
+observation for collective EM holds trivially for DNF rule matching).
+Chunks are **contiguous index ranges** — that keeps task payloads small
+(two ints plus the records the range touches), makes the stitcher a pure
+concatenation, and preserves the candidate order every downstream index
+relies on.
+
+Chunk *sizing* is cost-model-aware: given :class:`~repro.core.cost_model.
+Estimates` from the session's sample, the partitioner sizes chunks to a
+target wall-clock budget (``target_chunk_seconds``) using the C4 per-pair
+expected cost.  Small chunks bound the cost of a retry (the robustness
+unit is the chunk) and smooth load imbalance from selectivity skew; large
+chunks amortize task overhead.  Without estimates it falls back to an even
+split into ``chunks_per_worker`` chunks per worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.cost_model import Estimates, per_pair_cost
+from ..core.rules import MatchingFunction
+from ..errors import ParallelExecutionError
+
+#: Default wall-clock budget one chunk should cost (seconds).  A failed
+#: chunk is re-run from scratch, so this is also the retry granularity.
+DEFAULT_TARGET_CHUNK_SECONDS = 0.25
+
+#: Never produce chunks smaller than this unless the candidate set itself
+#: is smaller — per-task overhead (fork/pickle/dispatch) dominates below it.
+DEFAULT_MIN_CHUNK_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One contiguous shard ``[start, stop)`` of the candidate set."""
+
+    chunk_id: int
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def indices(self) -> range:
+        return range(self.start, self.stop)
+
+
+@dataclass
+class PartitionPlan:
+    """The full sharding of one run: ordered, non-overlapping, exhaustive."""
+
+    n_pairs: int
+    chunks: List[Chunk]
+    #: model-estimated seconds per pair used for sizing (None = even split)
+    estimated_pair_seconds: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+    def validate(self) -> None:
+        """Assert the plan tiles ``[0, n_pairs)`` exactly (defense against
+        partitioner bugs silently dropping or double-evaluating pairs)."""
+        position = 0
+        for chunk in self.chunks:
+            if chunk.start != position or chunk.stop <= chunk.start:
+                raise ParallelExecutionError(
+                    f"partition plan is not a tiling: chunk {chunk.chunk_id} "
+                    f"covers [{chunk.start}, {chunk.stop}) but expected start "
+                    f"{position}"
+                )
+            position = chunk.stop
+        if position != self.n_pairs:
+            raise ParallelExecutionError(
+                f"partition plan covers {position} of {self.n_pairs} pairs"
+            )
+
+    def __repr__(self) -> str:
+        sizes = [len(chunk) for chunk in self.chunks]
+        return (
+            f"PartitionPlan({self.n_pairs} pairs in {len(self.chunks)} chunks, "
+            f"sizes {min(sizes)}..{max(sizes)})" if sizes else "PartitionPlan(empty)"
+        )
+
+
+def plan_partition(
+    n_pairs: int,
+    workers: int,
+    function: Optional[MatchingFunction] = None,
+    estimates: Optional[Estimates] = None,
+    target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
+    chunks_per_worker: int = 4,
+    min_chunk_size: int = DEFAULT_MIN_CHUNK_SIZE,
+) -> PartitionPlan:
+    """Compute the chunking of ``n_pairs`` candidate pairs for ``workers``.
+
+    With ``function`` + ``estimates``, the chunk size targets
+    ``target_chunk_seconds`` of expected C4 (DM+EE) work per chunk; the
+    result is then clamped so there are at least ``workers`` chunks (no
+    idle workers) and at most ``chunks_per_worker * workers`` (bounded
+    dispatch overhead), and never below ``min_chunk_size`` pairs.
+    """
+    if n_pairs < 0:
+        raise ParallelExecutionError(f"n_pairs must be >= 0, got {n_pairs}")
+    if workers < 1:
+        raise ParallelExecutionError(f"workers must be >= 1, got {workers}")
+    if n_pairs == 0:
+        return PartitionPlan(0, [])
+
+    pair_seconds: Optional[float] = None
+    if function is not None and estimates is not None:
+        pair_seconds = per_pair_cost(function, estimates, "dynamic_memo")
+
+    if pair_seconds and pair_seconds > 0.0:
+        size = int(target_chunk_seconds / pair_seconds)
+    else:
+        size = -(-n_pairs // (workers * chunks_per_worker))  # ceil division
+
+    # Clamp, in priority order: bound total chunk count (dispatch
+    # overhead), then try to feed every worker, then — overriding both —
+    # never go below min_chunk_size (per-task overhead dominates there).
+    max_chunks = max(workers * chunks_per_worker, workers)
+    size = max(size, -(-n_pairs // max_chunks))
+    size = min(size, max(-(-n_pairs // workers), 1))
+    size = max(size, min_chunk_size)
+
+    chunks: List[Chunk] = []
+    start = 0
+    while start < n_pairs:
+        stop = min(start + size, n_pairs)
+        # Avoid a trailing sliver smaller than half a chunk: glue it onto
+        # the previous chunk instead (better balance than a tiny tail).
+        if n_pairs - stop < max(size // 2, 1) and stop < n_pairs:
+            stop = n_pairs
+        chunks.append(Chunk(len(chunks), start, stop))
+        start = stop
+    plan = PartitionPlan(n_pairs, chunks, estimated_pair_seconds=pair_seconds)
+    plan.validate()
+    return plan

@@ -1,0 +1,165 @@
+"""Picklable task payloads for worker processes.
+
+A worker must rebuild three things: the **matching function**, the **table
+slices** its chunk touches, and the **pair list** of the chunk.  Each has a
+serialization subtlety:
+
+* The function travels as DSL text via the existing parser round-trip
+  (:func:`~repro.core.parser.format_function` with ``precise=True`` so
+  float64 thresholds survive exactly).  Text is compact, versionless, and
+  independent of pickle protocol details.
+* Corpus-bound features (the TF-IDF family) cannot be rebuilt from text
+  alone — a registry-fresh instance would carry empty document statistics
+  and score differently.  Their :class:`~repro.core.rules.Feature` objects
+  (tokenizer + corpus + name) are pickled alongside the text and take
+  precedence in the worker's resolver.  The same escape hatch covers
+  features with non-default names, whose memo keys must survive the trip.
+* Tables ship as slim ``(record_id, values)`` lists restricted to the
+  records the chunk's pairs actually reference, so payload size scales
+  with the chunk, not the dataset.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.parser import FeatureResolver, format_function, parse_function, registry_resolver
+from ..core.rules import Feature, MatchingFunction
+from ..data.pairs import CandidateSet
+from ..errors import ParallelExecutionError
+from .partitioner import Chunk
+
+#: Resolver key for an overridden feature: (sim name, attr_a, attr_b).
+FeatureKey = Tuple[str, str, str]
+
+
+def _default_feature_name(feature: Feature) -> str:
+    return f"{feature.sim.name}({feature.attr_a},{feature.attr_b})"
+
+
+@dataclass
+class SerializedFunction:
+    """A matching function flattened for transport.
+
+    ``pickled_features`` maps (sim, attr_a, attr_b) keys to pickled
+    :class:`Feature` objects for the features that text cannot faithfully
+    rebuild (corpus-bound measures, custom names).
+    """
+
+    dsl_text: str
+    pickled_features: Dict[FeatureKey, bytes] = field(default_factory=dict)
+
+    def materialize(self) -> MatchingFunction:
+        """Rebuild the function (parser round-trip + feature overrides)."""
+        overrides: Dict[FeatureKey, Feature] = {
+            key: pickle.loads(blob)
+            for key, blob in self.pickled_features.items()
+        }
+        fallback = registry_resolver()
+
+        def resolve(sim_name: str, attr_a: str, attr_b: str) -> Feature:
+            override = overrides.get((sim_name, attr_a, attr_b))
+            if override is not None:
+                return override
+            return fallback(sim_name, attr_a, attr_b)
+
+        return parse_function(self.dsl_text, resolve)
+
+
+def serialize_function(function: MatchingFunction) -> SerializedFunction:
+    """Flatten ``function`` for transport to a worker process.
+
+    Raises :class:`~repro.errors.ParallelExecutionError` when a feature
+    that *requires* object transport (corpus-bound or custom-named) is not
+    picklable — the executor treats that as "this function cannot go
+    parallel" and falls back to serial execution.
+    """
+    text = format_function(function, precise=True)
+    pickled: Dict[FeatureKey, bytes] = {}
+    for feature in function.features():
+        needs_object = (
+            getattr(feature.sim, "needs_corpus", False)
+            or feature.name != _default_feature_name(feature)
+        )
+        if not needs_object:
+            continue
+        key = (feature.sim.name, feature.attr_a, feature.attr_b)
+        try:
+            pickled[key] = pickle.dumps(feature)
+        except Exception as error:
+            raise ParallelExecutionError(
+                f"feature {feature.name!r} must travel by object (corpus-"
+                f"bound or custom-named) but is not picklable: {error!r}"
+            ) from error
+    return SerializedFunction(dsl_text=text, pickled_features=pickled)
+
+
+@dataclass
+class ChunkTask:
+    """Everything one worker needs to evaluate one chunk.
+
+    The whole object must pickle; it contains only text, primitives, and
+    pre-pickled feature blobs.
+    """
+
+    chunk_id: int
+    #: global index of the chunk's first pair (for error messages only —
+    #: workers operate purely in local 0-based indices).
+    global_start: int
+    function: SerializedFunction
+    #: (a_id, b_id) of each pair, in chunk order.
+    pair_ids: List[Tuple[str, str]]
+    #: table name, schema, and the referenced records of side A / side B.
+    table_a_name: str
+    table_a_attributes: Tuple[str, ...]
+    records_a: List[Tuple[str, Dict[str, object]]]
+    table_b_name: str
+    table_b_attributes: Tuple[str, ...]
+    records_b: List[Tuple[str, Dict[str, object]]]
+    #: collect rule/predicate trace facts for MatchState replay?
+    collect_trace: bool = False
+    #: check-cache-first evaluation (paper §5.4.3) inside the worker.
+    check_cache_first: bool = False
+    #: fault injection (tests only): number of times this chunk should
+    #: still fail, and how ("raise" = exception, "exit" = kill the worker).
+    fault_failures: int = 0
+    fault_kind: str = "raise"
+
+    def __len__(self) -> int:
+        return len(self.pair_ids)
+
+
+def build_chunk_task(
+    chunk: Chunk,
+    candidates: CandidateSet,
+    function: SerializedFunction,
+    collect_trace: bool = False,
+    check_cache_first: bool = False,
+) -> ChunkTask:
+    """Slice ``candidates`` down to ``chunk`` and pack a worker task."""
+    pair_ids: List[Tuple[str, str]] = []
+    seen_a: Dict[str, Dict[str, object]] = {}
+    seen_b: Dict[str, Dict[str, object]] = {}
+    for index in chunk.indices():
+        pair = candidates[index]
+        pair_ids.append(pair.pair_id)
+        if pair.record_a.record_id not in seen_a:
+            seen_a[pair.record_a.record_id] = pair.record_a.as_dict()
+        if pair.record_b.record_id not in seen_b:
+            seen_b[pair.record_b.record_id] = pair.record_b.as_dict()
+    return ChunkTask(
+        chunk_id=chunk.chunk_id,
+        global_start=chunk.start,
+        function=function,
+        pair_ids=pair_ids,
+        table_a_name=candidates.table_a.name,
+        table_a_attributes=candidates.table_a.attributes,
+        records_a=list(seen_a.items()),
+        table_b_name=candidates.table_b.name,
+        table_b_attributes=candidates.table_b.attributes,
+        records_b=list(seen_b.items()),
+        collect_trace=collect_trace,
+        check_cache_first=check_cache_first,
+    )

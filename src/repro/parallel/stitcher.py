@@ -1,0 +1,109 @@
+"""Reassemble chunk outcomes into one deterministic MatchResult.
+
+The stitcher is where "parallel is bit-identical to serial" is enforced:
+
+* **Labels** are written back by each chunk's global offset — pure
+  concatenation, since chunks tile the candidate set in order.
+* **Memo contents** merge into the destination memo through
+  :meth:`FeatureMemo.update_from` with the chunk's local→global offset;
+  values are deterministic per pair, so merge order cannot matter
+  (last-write-wins over identical values).
+* **Trace facts** replay into the session recorder in chunk order, giving
+  the same bitmaps and attribution a serial recorded run would build.
+* **Stats** combine via :meth:`MatchStats.merge` — counters sum across
+  chunks (identical to the serial totals), wall-clock takes the max of
+  any chunk (the parallel critical path).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..core.matchers import MatchResult, TraceRecorder
+from ..core.memo import FeatureMemo
+from ..core.stats import MatchStats, WorkerTiming
+from ..data.pairs import CandidateSet
+from ..errors import ParallelExecutionError
+from .partitioner import PartitionPlan
+from .worker import ChunkOutcome
+
+
+def stitch_outcomes(
+    plan: PartitionPlan,
+    outcomes: List[ChunkOutcome],
+    candidates: CandidateSet,
+    memo: Optional[FeatureMemo] = None,
+    recorder: Optional[TraceRecorder] = None,
+    check_memo_conflicts: bool = False,
+) -> MatchResult:
+    """Combine per-chunk outcomes into one result over ``candidates``.
+
+    ``memo`` (usually the session's persistent memo) receives every
+    worker-computed feature value; ``recorder`` (usually the session's
+    :class:`~repro.core.state.MatchState`) receives every replayed trace
+    fact.  Both are optional — a bare parallel run needs neither.
+    """
+    if len(outcomes) != len(plan.chunks):
+        raise ParallelExecutionError(
+            f"expected {len(plan.chunks)} chunk outcomes, got {len(outcomes)}"
+        )
+    by_id = {outcome.chunk_id: outcome for outcome in outcomes}
+    if len(by_id) != len(outcomes):
+        raise ParallelExecutionError("duplicate chunk ids in outcomes")
+
+    labels = np.zeros(plan.n_pairs, dtype=bool)
+    stats = MatchStats()
+    for chunk in plan.chunks:
+        outcome = by_id.get(chunk.chunk_id)
+        if outcome is None:
+            raise ParallelExecutionError(f"missing outcome for chunk {chunk.chunk_id}")
+        if len(outcome.labels) != len(chunk):
+            raise ParallelExecutionError(
+                f"chunk {chunk.chunk_id} returned {len(outcome.labels)} labels "
+                f"for {len(chunk)} pairs"
+            )
+        labels[chunk.start : chunk.stop] = outcome.labels
+        stats = stats.merge(outcome.stats)
+        if memo is not None:
+            offset = chunk.start
+            for local_index, feature_name, value in outcome.memo_entries:
+                if check_memo_conflicts:
+                    existing = memo.get(local_index + offset, feature_name)
+                    if existing is not None and existing != value:
+                        raise ParallelExecutionError(
+                            f"memo conflict on pair {local_index + offset}, "
+                            f"feature {feature_name!r}: {existing!r} != {value!r}"
+                        )
+                memo.put(local_index + offset, feature_name, value)
+        if recorder is not None and outcome.trace is not None:
+            outcome.trace.replay_into(recorder, index_offset=chunk.start)
+
+    stats.pairs_evaluated = plan.n_pairs
+    stats.pairs_matched = int(labels.sum())
+    return MatchResult(candidates, labels, stats)
+
+
+def timings_from_outcomes(
+    outcomes: Iterable[ChunkOutcome],
+    attempts: Optional[dict] = None,
+    fallbacks: Optional[set] = None,
+) -> List[WorkerTiming]:
+    """Build the structured per-worker timing records for MatchStats."""
+    attempts = attempts or {}
+    fallbacks = fallbacks or set()
+    return sorted(
+        (
+            WorkerTiming(
+                chunk_id=outcome.chunk_id,
+                worker_pid=outcome.worker_pid,
+                pairs=len(outcome.labels),
+                elapsed_seconds=outcome.elapsed_seconds,
+                attempts=attempts.get(outcome.chunk_id, 1),
+                fallback=outcome.chunk_id in fallbacks,
+            )
+            for outcome in outcomes
+        ),
+        key=lambda timing: timing.chunk_id,
+    )

@@ -1,0 +1,108 @@
+"""The worker-side half of the parallel engine.
+
+:func:`run_chunk` is a module-level function (so it pickles by reference
+into ``ProcessPoolExecutor``) and is deliberately **pure**: task in,
+outcome out, no shared state.  That purity is what makes the executor's
+robustness story simple — a retry or an in-parent serial fallback calls
+exactly the same function and gets exactly the same answer.
+
+Each worker evaluates its chunk with a fresh per-chunk
+:class:`~repro.core.memo.HashMemo` (sparse — only computed entries travel
+back) over *local* pair indices ``0..len(chunk)``.  Because the memo is
+keyed per pair, per-pair evaluation is independent of every other pair,
+so a chunk's labels, stats counters, memo contents, and trace facts are
+bit-identical to what a serial run would have produced for those pairs.
+
+Fault injection (tests only): a task may carry ``fault_failures > 0``, in
+which case the worker fails up front — ``fault_kind="raise"`` raises
+:class:`InjectedWorkerFault` (an ordinary remote exception),
+``fault_kind="exit"`` kills the process with ``os._exit`` (simulating an
+OOM-killed or segfaulted worker, which breaks the whole pool).  The
+executor decrements the counter on retry, so "fail once" exercises the
+retry path and "fail twice" exercises serial fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.matchers import DynamicMemoMatcher, TraceLog
+from ..core.memo import HashMemo
+from ..core.stats import MatchStats
+from ..data.pairs import CandidateSet
+from ..data.table import Record, Table
+from .payload import ChunkTask
+
+
+class InjectedWorkerFault(RuntimeError):
+    """Deliberate failure raised by the fault-injection hook (tests)."""
+
+
+@dataclass
+class ChunkOutcome:
+    """What a worker sends back for one chunk."""
+
+    chunk_id: int
+    #: labels over the chunk's pairs, in chunk (local) order.
+    labels: np.ndarray
+    stats: MatchStats
+    #: memo contents as (local_pair_index, feature_name, value) triples.
+    memo_entries: List[Tuple[int, str, float]]
+    #: trace facts for MatchState replay (None unless requested).
+    trace: Optional[TraceLog]
+    worker_pid: int
+    elapsed_seconds: float
+
+
+def _build_table(
+    name: str,
+    attributes: Tuple[str, ...],
+    records: List[Tuple[str, dict]],
+) -> Table:
+    return Table(
+        name, attributes, (Record(rid, values) for rid, values in records)
+    )
+
+
+def run_chunk(task: ChunkTask) -> ChunkOutcome:
+    """Evaluate one chunk: rebuild, match, and package the outcome."""
+    if task.fault_failures > 0:
+        if task.fault_kind == "exit":
+            os._exit(17)
+        raise InjectedWorkerFault(
+            f"injected fault on chunk {task.chunk_id} "
+            f"({task.fault_failures} failures remaining)"
+        )
+
+    started = time.perf_counter()
+    function = task.function.materialize()
+    table_a = _build_table(
+        task.table_a_name, task.table_a_attributes, task.records_a
+    )
+    table_b = _build_table(
+        task.table_b_name, task.table_b_attributes, task.records_b
+    )
+    candidates = CandidateSet.from_id_pairs(table_a, table_b, task.pair_ids)
+
+    memo = HashMemo(len(candidates))
+    trace = TraceLog() if task.collect_trace else None
+    matcher = DynamicMemoMatcher(
+        memo=memo,
+        check_cache_first=task.check_cache_first,
+        recorder=trace,
+    )
+    result = matcher.run(function, candidates)
+    return ChunkOutcome(
+        chunk_id=task.chunk_id,
+        labels=result.labels,
+        stats=result.stats,
+        memo_entries=list(memo.items()),
+        trace=trace,
+        worker_pid=os.getpid(),
+        elapsed_seconds=time.perf_counter() - started,
+    )

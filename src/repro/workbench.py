@@ -109,7 +109,8 @@ class Workbench:
                 "commands:",
                 "  load <dataset> [--scale S] [--rules N] [--seed K]",
                 "  load-csv <a.csv> <b.csv> --block <attr> --rules '<DSL>'",
-                "  run                          full matching run (orders rules first)",
+                "  run [--workers N]            full matching run (orders rules first;",
+                "                               N>1 shards it over a process pool)",
                 "  rules                        list current rules",
                 "  metrics                      P/R/F1 against gold",
                 "  explain <a_id> <b_id>        per-rule, per-predicate trace",
@@ -223,8 +224,37 @@ class Workbench:
     def cmd_run(self, arguments: List[str]) -> str:
         if self.session is None:
             raise WorkbenchError("load a dataset first")
-        result = self.session.run()
-        return f"ran: {result.stats.summary()}"
+        workers = 1
+        iterator = iter(arguments)
+        for flag in iterator:
+            if flag == "--workers":
+                try:
+                    workers = int(next(iterator))
+                except StopIteration:
+                    raise WorkbenchError("--workers needs a value") from None
+                except ValueError:
+                    raise WorkbenchError("--workers needs an integer") from None
+                if workers < 1:
+                    raise WorkbenchError("--workers must be >= 1")
+            else:
+                raise WorkbenchError(f"unknown flag {flag!r}")
+        result = self.session.run(workers=workers)
+        output = f"ran: {result.stats.summary()}"
+        if workers > 1 and result.stats.worker_timings:
+            chunks = len(result.stats.worker_timings)
+            pids = {timing.worker_pid for timing in result.stats.worker_timings}
+            retried = sum(
+                1 for timing in result.stats.worker_timings if timing.attempts > 1
+            )
+            fallbacks = sum(
+                1 for timing in result.stats.worker_timings if timing.fallback
+            )
+            output += (
+                f"\nparallel: {chunks} chunks over {len(pids)} workers"
+                + (f", {retried} retried" if retried else "")
+                + (f", {fallbacks} ran in parent" if fallbacks else "")
+            )
+        return output
 
     def cmd_rules(self, arguments: List[str]) -> str:
         session = self._require_session()

@@ -184,6 +184,36 @@ class TestCostFormulas:
         cost = rule_cost(rule, estimates)
         assert cost == pytest.approx(10.0 + 0.75 * 0.1)
 
+    def test_grouping_gap_bounded_by_delta_per_repeat(
+        self, two_features, estimates
+    ):
+        """Repeated feature around an early exit: C4 may exceed C3 by <= δ.
+
+        ``pricey>=0; cheap>1; pricey<=1`` — the cheap predicate has
+        selectivity 0, so rule-order execution (C3) never reaches the
+        second pricey predicate.  The grouped canonical form (C4) pulls it
+        ahead of the exit and pays its δ-lookup.  The gap is exactly
+        first_selectivity * δ and never more than δ per repeat.
+        """
+        cheap, pricey = two_features
+        rule = Rule(
+            "r",
+            [
+                Predicate(pricey, ">=", 0.0),
+                Predicate(cheap, ">", 1),      # selectivity 0: early exit
+                Predicate(pricey, "<=", 1.0),
+            ],
+        )
+        # rule order: 10 + 1.0 * 1 + 1.0 * 0.0 * (lookup) = 11
+        assert rule_cost_no_memo(rule, estimates) == pytest.approx(11.0)
+        # grouped: (10 + 1.0 * 0.1) + 1.0 * 1 = 11.1
+        assert rule_cost(rule, estimates) == pytest.approx(11.1)
+        function = MatchingFunction([rule])
+        c3 = function_cost_no_memo(function, estimates)
+        c4 = function_cost_with_memo(function, estimates)
+        assert c4 > c3
+        assert c4 <= c3 + 1 * 0.1 + 1e-12  # one repeat, δ = 0.1
+
     def test_function_cost_weights_by_reach_probability(
         self, two_features, estimates
     ):

@@ -128,12 +128,25 @@ def test_alpha_monotone_per_feature(estimates, function):
 @given(estimates=estimates_strategy(), function=function_strategy())
 @settings(max_examples=60, deadline=None)
 def test_cost_hierarchy(estimates, function):
-    """C4 <= C3 <= C1 whenever δ <= min cost(f) (true by construction)."""
+    """C4 <= C3 <= C1 up to δ per repeated feature (δ <= min cost(f)).
+
+    C4 models the §5.4 grouped canonical form while C3 models raw rule
+    order.  When a rule repeats a feature around an intervening predicate,
+    grouping pulls the repeat's δ-lookup ahead of an early exit that rule
+    order would have taken first — e.g. ``a>=0; b>=0.25; a<=1`` with
+    sel(b)=0 pays δ for the second ``a`` lookup that Algorithm 3 never
+    reaches.  The gap is bounded by one δ per repeated predicate; with no
+    repeats the hierarchy is exact.  See docs/cost_model.md.
+    """
     c1 = rudimentary_cost(function, estimates)
     c3 = function_cost_no_memo(function, estimates)
     c4 = function_cost_with_memo(function, estimates)
+    repeats = sum(
+        len(rule.predicates) - len({p.feature.name for p in rule.predicates})
+        for rule in function.rules
+    )
     assert c3 <= c1 + 1e-15
-    assert c4 <= c3 + 1e-15
+    assert c4 <= c3 + repeats * estimates.lookup_cost + 1e-15
     assert c4 >= 0.0
 
 

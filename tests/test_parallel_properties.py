@@ -1,0 +1,122 @@
+"""Property-based test: the parallel engine computes exactly the serial
+DM+EE labels on randomly generated tables and rule sets, for any worker
+count and any chunking the partitioner produces.
+
+Same generation style as ``tests/test_matcher_properties.py``; the example
+budget is modest because every parallel example forks a process pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DynamicMemoMatcher,
+    Feature,
+    MatchingFunction,
+    Predicate,
+    Rule,
+)
+from repro.data import CandidateSet, Record, Table
+from repro.parallel import ParallelMatcher
+from repro.similarity import ExactMatch, Jaccard, JaroWinkler, Levenshtein
+
+ATTRIBUTES = ("name", "code")
+
+FEATURE_POOL = [
+    Feature(ExactMatch(), "name", "name"),
+    Feature(JaroWinkler(), "name", "name"),
+    Feature(Jaccard(), "name", "name"),
+    Feature(ExactMatch(), "code", "code"),
+    Feature(Levenshtein(), "code", "code"),
+]
+
+value_strategy = st.text(alphabet="abcd 12", min_size=0, max_size=8)
+maybe_value = st.one_of(st.none(), value_strategy)
+
+
+@st.composite
+def tables_strategy(draw):
+    size_a = draw(st.integers(min_value=1, max_value=4))
+    size_b = draw(st.integers(min_value=1, max_value=4))
+    table_a = Table("A", ATTRIBUTES)
+    table_b = Table("B", ATTRIBUTES)
+    for index in range(size_a):
+        table_a.add(
+            Record(
+                f"a{index}",
+                {"name": draw(maybe_value), "code": draw(maybe_value)},
+            )
+        )
+    for index in range(size_b):
+        table_b.add(
+            Record(
+                f"b{index}",
+                {"name": draw(maybe_value), "code": draw(maybe_value)},
+            )
+        )
+    return table_a, table_b
+
+
+@st.composite
+def function_strategy(draw):
+    n_rules = draw(st.integers(min_value=1, max_value=3))
+    rules = []
+    for rule_index in range(n_rules):
+        slots = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=len(FEATURE_POOL) - 1),
+                    st.sampled_from([">=", ">", "<=", "<"]),
+                ),
+                min_size=1,
+                max_size=3,
+                unique_by=lambda item: (item[0], item[1] in (">=", ">")),
+            )
+        )
+        predicates = [
+            Predicate(
+                FEATURE_POOL[feature_index],
+                op,
+                draw(
+                    st.floats(
+                        min_value=0.0, max_value=1.0, allow_nan=False, width=16
+                    )
+                ),
+            )
+            for feature_index, op in slots
+        ]
+        rules.append(Rule(f"r{rule_index}", predicates))
+    return MatchingFunction(rules)
+
+
+def cross_product(table_a: Table, table_b: Table) -> CandidateSet:
+    return CandidateSet.from_id_pairs(
+        table_a,
+        table_b,
+        [(a.record_id, b.record_id) for a in table_a for b in table_b],
+    )
+
+
+@given(
+    tables=tables_strategy(),
+    function=function_strategy(),
+    workers=st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=15, deadline=None)
+def test_parallel_equals_serial(tables, function, workers):
+    candidates = cross_product(*tables)
+    serial_matcher = DynamicMemoMatcher()
+    serial = serial_matcher.run(function, candidates)
+    # min_chunk_size=1 forces real multi-chunk plans even on tiny inputs.
+    matcher = ParallelMatcher(
+        workers=workers, min_chunk_size=1, target_chunk_seconds=1e-6
+    )
+    parallel = matcher.run(function, candidates)
+    assert np.array_equal(parallel.labels, serial.labels)
+    assert parallel.stats.pairs_matched == serial.stats.pairs_matched
+    assert sorted(matcher.last_memo.items()) == sorted(
+        serial_matcher.last_memo.items()
+    )
