@@ -21,7 +21,8 @@ Subpackages: :mod:`repro.core` (rule language, matchers, cost model,
 ordering, incremental matching), :mod:`repro.similarity` (string measures),
 :mod:`repro.data` (tables + six synthetic datasets), :mod:`repro.blocking`,
 :mod:`repro.learning` (forest → rules), :mod:`repro.evaluation`,
-:mod:`repro.parallel` (sharded matching over a process pool).
+:mod:`repro.parallel` (sharded matching over a process pool),
+:mod:`repro.streaming` (incremental matching under record-level deltas).
 """
 
 from .core import (
@@ -69,6 +70,7 @@ from .errors import ReproError
 from .evaluation import confusion, precision_recall_f1
 from .learning import FeatureSpace, RandomForest, Workload, build_workload, extract_rules
 from .parallel import ParallelMatcher
+from .streaming import BatchResult, Delta, DeltaBatch, StreamingSession
 
 __version__ = "1.0.0"
 
@@ -95,6 +97,8 @@ __all__ = [
     "Record", "Table", "CandidateSet", "Dataset",
     "CartesianBlocker", "AttributeEquivalenceBlocker", "OverlapBlocker",
     "blocking_recall",
+    # streaming
+    "Delta", "DeltaBatch", "BatchResult", "StreamingSession",
     # learning & evaluation
     "FeatureSpace", "RandomForest", "extract_rules",
     "confusion", "precision_recall_f1",

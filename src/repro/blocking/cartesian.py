@@ -9,8 +9,9 @@ versus 291,649 blocked).
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, Set, Tuple
 
+from ..data.pairs import PairId
 from ..data.table import Table
 from .base import Blocker
 
@@ -19,11 +20,14 @@ class CartesianBlocker(Blocker):
     """Emit the full cross product A x B."""
 
     name = "cartesian"
+    delta_strategy = "index"
 
     def __init__(self, limit: int | None = None):
         """``limit`` (if set) caps the number of emitted pairs as a guard
         against accidentally crossing two large tables."""
         self.limit = limit
+        if limit is not None:
+            self.delta_strategy = "reblock"
 
     def _pair_ids(self, table_a: Table, table_b: Table) -> Iterable[Tuple[str, str]]:
         emitted = 0
@@ -33,3 +37,24 @@ class CartesianBlocker(Blocker):
                     return
                 yield record_a.record_id, record_b.record_id
                 emitted += 1
+
+    def _delta_pairs(
+        self, table_a: Table, table_b: Table, delta
+    ) -> Tuple[Set[PairId], Set[PairId]]:
+        if self.limit is not None:
+            # Which pairs fall under the cap depends on table order, not
+            # just the changed record — not local, so re-block and diff.
+            return super()._delta_pairs(table_a, table_b, delta)
+
+        def pairs_for_record(record) -> Set[PairId]:
+            if delta.side == "a":
+                return {
+                    (record.record_id, record_b.record_id)
+                    for record_b in table_b
+                }
+            return {
+                (record_a.record_id, record.record_id)
+                for record_a in table_a
+            }
+
+        return self._local_delta(delta, pairs_for_record)

@@ -7,6 +7,14 @@ side, so the cost is proportional to the candidate count rather than
 from the index: without it, vocabulary-level words ("the", a shared brand
 in a single-brand catalog) would connect everything to everything, and the
 candidate set would degenerate toward the cross product.
+
+Streaming: with ``stop_fraction == 0`` a pair's survival depends only on
+its two records' token sets, so ``block()`` keeps inverted indexes over
+*both* sides and :meth:`~repro.blocking.base.Blocker.pairs_for_delta`
+answers locally.  With a stop-token filter the stop set itself is a
+function of the whole B table (a delta can move tokens across the
+frequency cutoff, changing pairs between *unrelated* records), so the
+blocker falls back to the exact re-block diff.
 """
 
 from __future__ import annotations
@@ -14,7 +22,8 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import Dict, Iterable, List, Set, Tuple
 
-from ..data.table import Table
+from ..data.pairs import PairId
+from ..data.table import Record, Table
 from ..errors import BlockingError
 from ..similarity.tokenizers import Tokenizer, WhitespaceTokenizer
 from .base import Blocker
@@ -44,6 +53,7 @@ class OverlapBlocker(Blocker):
         self.min_overlap = min_overlap
         self.tokenizer = tokenizer or WhitespaceTokenizer()
         self.stop_fraction = stop_fraction
+        self.delta_strategy = "index" if stop_fraction == 0.0 else "reblock"
 
     def _pair_ids(self, table_a: Table, table_b: Table) -> Iterable[Tuple[str, str]]:
         for table in (table_a, table_b):
@@ -74,8 +84,23 @@ class OverlapBlocker(Blocker):
                 if token not in stop_tokens:
                     inverted[token].append(b_id)
 
+        if self.delta_strategy == "index":
+            # Delta-ready state: token sets and inverted indexes on both
+            # sides (the B side reuses what was just built; the A side
+            # fills in below as rows stream past).
+            self._tokens_a: Dict[str, frozenset] = {}
+            self._tokens_b = dict(token_sets_b)
+            self._inverted_a: Dict[str, Set[str]] = defaultdict(set)
+            self._inverted_b: Dict[str, Set[str]] = {
+                token: set(ids) for token, ids in inverted.items()
+            }
+
         for record_a in table_a:
             tokens_a = self.tokenizer.tokenize_set(record_a.get(self.attribute))
+            if self.delta_strategy == "index":
+                self._tokens_a[record_a.record_id] = tokens_a
+                for token in tokens_a:
+                    self._inverted_a[token].add(record_a.record_id)
             overlap_counts: Counter = Counter()
             for token in tokens_a:
                 if token in stop_tokens:
@@ -89,3 +114,56 @@ class OverlapBlocker(Blocker):
             )
             for b_id in survivors:
                 yield record_a.record_id, b_id
+
+    # ------------------------------------------------------------------
+    # Delta maintenance (stop_fraction == 0 only)
+    # ------------------------------------------------------------------
+
+    def _unindex_record(self, side: str, record_id: str) -> None:
+        tokens_of = self._tokens_a if side == "a" else self._tokens_b
+        inverted = self._inverted_a if side == "a" else self._inverted_b
+        for token in tokens_of.pop(record_id, ()):
+            ids = inverted.get(token)
+            if ids is not None:
+                ids.discard(record_id)
+                if not ids:
+                    del inverted[token]
+
+    def _index_record(self, side: str, record: Record) -> frozenset:
+        tokens = self.tokenizer.tokenize_set(record.get(self.attribute))
+        tokens_of = self._tokens_a if side == "a" else self._tokens_b
+        inverted = self._inverted_a if side == "a" else self._inverted_b
+        tokens_of[record.record_id] = tokens
+        for token in tokens:
+            inverted.setdefault(token, set()).add(record.record_id)
+        return tokens
+
+    def _delta_pairs(
+        self, table_a: Table, table_b: Table, delta
+    ) -> Tuple[Set[PairId], Set[PairId]]:
+        if self.delta_strategy != "index" or not hasattr(self, "_tokens_a"):
+            return super()._delta_pairs(table_a, table_b, delta)
+        self._unindex_record(delta.side, delta.record_id)
+        if delta.op != "delete":
+            tokens = self._index_record(delta.side, delta.record)
+        else:
+            tokens = frozenset()
+
+        def pairs_for_record(record: Record) -> Set[PairId]:
+            other_inverted = (
+                self._inverted_b if delta.side == "a" else self._inverted_a
+            )
+            overlap_counts: Counter = Counter()
+            for token in tokens:
+                for other_id in other_inverted.get(token, ()):
+                    overlap_counts[other_id] += 1
+            partners = {
+                other_id
+                for other_id, count in overlap_counts.items()
+                if count >= self.min_overlap
+            }
+            if delta.side == "a":
+                return {(record.record_id, b_id) for b_id in partners}
+            return {(a_id, record.record_id) for a_id in partners}
+
+        return self._local_delta(delta, pairs_for_record)

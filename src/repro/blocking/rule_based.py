@@ -10,8 +10,9 @@ true matches than either alone).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Sequence, Set, Tuple
 
+from ..data.pairs import PairId
 from ..data.table import Record, Table
 from ..errors import BlockingError
 from .base import Blocker
@@ -21,18 +22,53 @@ PairPredicate = Callable[[Record, Record], bool]
 
 
 class RuleBasedBlocker(Blocker):
-    """Keep an upstream blocker's pairs that satisfy ``predicate``."""
+    """Keep an upstream blocker's pairs that satisfy ``predicate``.
+
+    Deltas delegate to the base blocker's ``pairs_for_delta`` and filter
+    its gains through the predicate.  An *update* additionally re-tests
+    base pairs that persist but involve the changed record — the records
+    fed to the predicate changed even though base membership did not.
+    """
 
     name = "rule_based"
 
     def __init__(self, predicate: PairPredicate, base: Blocker | None = None):
         self.predicate = predicate
         self.base = base or CartesianBlocker()
+        self.delta_strategy = self.base.delta_strategy
 
     def _pair_ids(self, table_a: Table, table_b: Table) -> Iterable[Tuple[str, str]]:
-        for a_id, b_id in self.base._pair_ids(table_a, table_b):
+        base_pairs = list(self.base._pair_ids(table_a, table_b))
+        # Keep the base delta-ready so _delta_pairs can delegate to it.
+        self.base._snapshot(base_pairs)
+        for a_id, b_id in base_pairs:
             if self.predicate(table_a.get(a_id), table_b.get(b_id)):
                 yield a_id, b_id
+
+    def _delta_pairs(
+        self, table_a: Table, table_b: Table, delta
+    ) -> Tuple[Set[PairId], Set[PairId]]:
+        base_delta = self.base.pairs_for_delta(table_a, table_b, delta)
+        ours = self.current_pairs()
+        gained = {
+            (a_id, b_id)
+            for a_id, b_id in base_delta.gained
+            if self.predicate(table_a.get(a_id), table_b.get(b_id))
+        }
+        lost = set(base_delta.lost) & ours
+        if delta.op == "update":
+            # Base pairs that survived the update but involve the changed
+            # record: their predicate inputs changed, so membership may flip.
+            persisting = self.base._incident_pairs(delta.side, delta.record_id)
+            persisting -= set(base_delta.gained)
+            for a_id, b_id in persisting:
+                holds = self.predicate(table_a.get(a_id), table_b.get(b_id))
+                was_ours = (a_id, b_id) in ours
+                if holds and not was_ours:
+                    gained.add((a_id, b_id))
+                elif not holds and was_ours:
+                    lost.add((a_id, b_id))
+        return gained, lost
 
 
 class UnionBlocker(Blocker):

@@ -67,11 +67,21 @@ class FeatureMemo(ABC):
     def clear(self) -> None:
         """Drop all entries (fresh debugging session)."""
 
+    @abstractmethod
+    def invalidate_pairs(self, pair_indices: Iterable[int]) -> int:
+        """Evict every memoized feature value of the given pairs.
+
+        Streaming updates call this when a record changes: its incident
+        pairs' feature values are stale, everything else stays warm.
+        Returns the number of entries evicted.
+        """
+
     def update_from(
         self,
         other: "FeatureMemo",
         index_map: IndexMap = None,
         check_conflicts: bool = False,
+        on_conflict: str = "overwrite",
     ) -> int:
         """Bulk-merge every entry of ``other`` into this memo.
 
@@ -79,16 +89,31 @@ class FeatureMemo(ABC):
         memo's index space (a dict, a callable, or ``None`` for identity) —
         the parallel executor passes each chunk's local→global offset here.
 
-        Conflict semantics: when both memos hold a value for the same
-        (pair, feature) key, the incoming value wins (**last-write-wins**).
-        Because memoized feature values are deterministic functions of the
-        record pair, a conflict with *different* values indicates a bug
-        (mis-aligned index map, stale memo); pass ``check_conflicts=True``
-        (the debug flag) to assert equality and raise
-        :class:`~repro.errors.MatchingError` on any mismatch.
+        ``on_conflict`` says what happens when both memos hold a value for
+        the same (pair, feature) key:
+
+        * ``"overwrite"`` (default) — the incoming value wins
+          (last-write-wins, the historical behavior);
+        * ``"keep"`` — the existing value wins, the incoming one is
+          dropped (and not counted as copied);
+        * ``"error"`` — raise :class:`~repro.errors.MatchingError` when the
+          two values *differ*.  Because memoized feature values are
+          deterministic functions of the record pair, a differing conflict
+          indicates a bug (mis-aligned index map, stale memo); equal
+          values are written through silently.
+
+        ``check_conflicts=True`` is the deprecated spelling of
+        ``on_conflict="error"`` and is kept for back-compatibility.
 
         Returns the number of entries copied.
         """
+        if check_conflicts:
+            on_conflict = "error"
+        if on_conflict not in ("overwrite", "keep", "error"):
+            raise MatchingError(
+                f"on_conflict must be 'overwrite', 'keep', or 'error', "
+                f"got {on_conflict!r}"
+            )
         if index_map is None:
             translate: Callable[[int], int] = lambda index: index
         elif callable(index_map):
@@ -98,14 +123,17 @@ class FeatureMemo(ABC):
         copied = 0
         for pair_index, feature_name, value in other.items():
             target = translate(pair_index)
-            if check_conflicts:
+            if on_conflict != "overwrite":
                 existing = self.get(target, feature_name)
-                if existing is not None and existing != value:
-                    raise MatchingError(
-                        f"memo merge conflict on pair {target}, feature "
-                        f"{feature_name!r}: existing {existing!r} != "
-                        f"incoming {value!r}"
-                    )
+                if existing is not None:
+                    if on_conflict == "keep":
+                        continue
+                    if existing != value:
+                        raise MatchingError(
+                            f"memo merge conflict on pair {target}, feature "
+                            f"{feature_name!r}: existing {existing!r} != "
+                            f"incoming {value!r}"
+                        )
             self.put(target, feature_name, value)
             copied += 1
         return copied
@@ -209,6 +237,15 @@ class ArrayMemo(FeatureMemo):
         self._valid[:] = False
         self._entries = 0
 
+    def invalidate_pairs(self, pair_indices: Iterable[int]) -> int:
+        rows = np.unique(np.fromiter(pair_indices, dtype=np.int64))
+        if rows.size == 0:
+            return 0
+        evicted = int(self._valid[rows, :].sum())
+        self._valid[rows, :] = False
+        self._entries -= evicted
+        return evicted
+
     def __repr__(self) -> str:
         return (
             f"ArrayMemo({self.n_pairs} pairs x {len(self._columns)} features, "
@@ -252,6 +289,15 @@ class HashMemo(FeatureMemo):
 
     def clear(self) -> None:
         self._store.clear()
+
+    def invalidate_pairs(self, pair_indices: Iterable[int]) -> int:
+        doomed = set(pair_indices)
+        if not doomed:
+            return 0
+        stale = [key for key in self._store if key[0] in doomed]
+        for key in stale:
+            del self._store[key]
+        return len(stale)
 
     def __repr__(self) -> str:
         return f"HashMemo({len(self._store)} entries)"

@@ -26,7 +26,7 @@ initial full run and all incremental re-evaluations feed the same bitmaps.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -178,6 +178,92 @@ class MatchState:
         bitmap = self._predicate_false.get((rule_name, slot))
         if bitmap is not None:
             bitmap[:] = False
+
+    # ------------------------------------------------------------------
+    # Streaming support (record-level data deltas)
+    # ------------------------------------------------------------------
+
+    def forget_pairs(self, pair_indices: Sequence[int]) -> int:
+        """Erase every materialized fact about the given pairs.
+
+        Used when a record update makes its incident pairs' history stale:
+        labels reset to unmatched, attribution to -1, every rule/predicate
+        bit clears, and the memo rows evict.  The state stays sound —
+        facts are removed, never asserted — so re-matching just those
+        pairs restores full equivalence with a from-scratch run.
+
+        Returns the number of memo entries evicted.
+        """
+        if len(pair_indices) == 0:
+            return 0
+        rows = np.asarray(pair_indices, dtype=np.int64)
+        self.labels[rows] = False
+        self.attribution[rows] = -1
+        for bitmap in self._rule_matched.values():
+            bitmap[rows] = False
+        for bitmap in self._predicate_false.values():
+            bitmap[rows] = False
+        return self.memo.invalidate_pairs(pair_indices)
+
+    def remapped(
+        self,
+        new_candidates: CandidateSet,
+        old_index_of: np.ndarray,
+    ) -> "MatchState":
+        """A new state over ``new_candidates``, gathering surviving facts.
+
+        ``old_index_of[i]`` is the pair's index in *this* state's candidate
+        set, or ``-1`` for pairs new to ``new_candidates`` (which start
+        with no facts: unmatched, unattributed, cold memo rows).  The
+        function, memo backend, and ``check_cache_first`` carry over; the
+        memo is rebuilt with surviving entries copied across.
+        """
+        if len(old_index_of) != len(new_candidates):
+            raise StateError(
+                f"old_index_of length {len(old_index_of)} != new candidate "
+                f"count {len(new_candidates)}"
+            )
+        old_index_of = np.asarray(old_index_of, dtype=np.int64)
+        survivors = old_index_of >= 0
+        gather = old_index_of[survivors]
+
+        if isinstance(self.memo, ArrayMemo):
+            names = list(self.memo._columns)
+            memo: FeatureMemo = ArrayMemo(len(new_candidates), names)
+            for name in names:
+                old_column = self.memo._columns[name]
+                new_column = memo._columns[name]
+                memo._values[survivors, new_column] = self.memo._values[
+                    gather, old_column
+                ]
+                memo._valid[survivors, new_column] = self.memo._valid[
+                    gather, old_column
+                ]
+            memo._entries = int(memo._valid.sum())
+        else:
+            memo = type(self.memo)(len(new_candidates))
+            new_index_of = {
+                int(old): int(new)
+                for new, old in enumerate(old_index_of)
+                if old >= 0
+            }
+            for pair_index, feature_name, value in self.memo.items():
+                target = new_index_of.get(pair_index)
+                if target is not None:
+                    memo.put(target, feature_name, value)
+
+        state = MatchState(
+            self.function, new_candidates, memo, self.check_cache_first
+        )
+        state.labels[survivors] = self.labels[gather]
+        state.attribution[survivors] = self.attribution[gather]
+        for rule_name, bitmap in self._rule_matched.items():
+            if bitmap.any():
+                state._rule_bitmap(rule_name)[survivors] = bitmap[gather]
+        for key, bitmap in self._predicate_false.items():
+            if bitmap.any():
+                state._slot_bitmap(key)[survivors] = bitmap[gather]
+        return state
 
     # ------------------------------------------------------------------
     # Introspection / accounting

@@ -57,6 +57,14 @@ class MatchStats:
     pairs_matched: int = 0
     #: wall-clock seconds of the run (0 until the matcher stamps it)
     elapsed_seconds: float = 0.0
+    #: record-level deltas applied (streaming runs only)
+    deltas_applied: int = 0
+    #: candidate pairs gained from blocking under data deltas
+    pairs_gained: int = 0
+    #: candidate pairs lost from blocking under data deltas
+    pairs_lost: int = 0
+    #: surviving pairs whose memo rows were evicted by a record update
+    pairs_invalidated: int = 0
     #: per-feature computation counts (feature name -> count)
     computations_by_feature: Counter = field(default_factory=Counter)
     #: wall-clock seconds by named phase (e.g. "partition", "execute");
@@ -106,6 +114,10 @@ class MatchStats:
             pairs_evaluated=self.pairs_evaluated + other.pairs_evaluated,
             pairs_matched=self.pairs_matched + other.pairs_matched,
             elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+            deltas_applied=self.deltas_applied + other.deltas_applied,
+            pairs_gained=self.pairs_gained + other.pairs_gained,
+            pairs_lost=self.pairs_lost + other.pairs_lost,
+            pairs_invalidated=self.pairs_invalidated + other.pairs_invalidated,
         )
         merged.computations_by_feature = (
             self.computations_by_feature + other.computations_by_feature
@@ -129,6 +141,10 @@ class MatchStats:
             pairs_evaluated=self.pairs_evaluated + other.pairs_evaluated,
             pairs_matched=self.pairs_matched + other.pairs_matched,
             elapsed_seconds=max(self.elapsed_seconds, other.elapsed_seconds),
+            deltas_applied=self.deltas_applied + other.deltas_applied,
+            pairs_gained=self.pairs_gained + other.pairs_gained,
+            pairs_lost=self.pairs_lost + other.pairs_lost,
+            pairs_invalidated=self.pairs_invalidated + other.pairs_invalidated,
         )
         merged.computations_by_feature = (
             self.computations_by_feature + other.computations_by_feature
@@ -151,4 +167,14 @@ class MatchStats:
             f"computed={self.feature_computations} hits={self.memo_hits} "
             f"preds={self.predicate_evaluations} "
             f"time={self.elapsed_seconds * 1000:.1f}ms"
+        )
+
+    def delta_summary(self) -> str:
+        """One-line digest of a streaming batch application."""
+        return (
+            f"deltas={self.deltas_applied} +pairs={self.pairs_gained} "
+            f"-pairs={self.pairs_lost} invalidated={self.pairs_invalidated} "
+            f"rematched={self.pairs_evaluated} "
+            f"computed={self.feature_computations} hits={self.memo_hits} "
+            f"time={self.elapsed_seconds * 1000:.2f}ms"
         )

@@ -52,6 +52,10 @@ class CandidateSet:
         self.table_b = table_b
         self._pairs: List[CandidatePair] = []
         self._index_by_id: Dict[PairId, int] = {}
+        # record id -> indices of incident pairs, per side; maintained by
+        # add() so streaming deltas can find a record's pairs in O(degree).
+        self._indices_by_a: Dict[str, List[int]] = {}
+        self._indices_by_b: Dict[str, List[int]] = {}
 
     @classmethod
     def from_id_pairs(
@@ -72,6 +76,8 @@ class CandidateSet:
         pair = CandidatePair(len(self._pairs), record_a, record_b)
         self._pairs.append(pair)
         self._index_by_id[pair_id] = pair.index
+        self._indices_by_a.setdefault(a_id, []).append(pair.index)
+        self._indices_by_b.setdefault(b_id, []).append(pair.index)
         return pair
 
     def __len__(self) -> int:
@@ -105,6 +111,19 @@ class CandidateSet:
             pair = self._pairs[index]
             result.add(pair.record_a.record_id, pair.record_b.record_id)
         return result
+
+    def indices_for_record(self, side: str, record_id: str) -> List[int]:
+        """Indices of every pair incident to ``record_id`` on ``side``.
+
+        ``side`` is ``"a"`` or ``"b"``.  This is the record→pair-index
+        mapping streaming updates use to evict exactly the memo rows and
+        bitmap bits an updated record invalidates.
+        """
+        if side == "a":
+            return list(self._indices_by_a.get(record_id, ()))
+        if side == "b":
+            return list(self._indices_by_b.get(record_id, ()))
+        raise BlockingError(f"side must be 'a' or 'b', got {side!r}")
 
     def gold_indices(self, gold: Set[PairId]) -> List[int]:
         """Indices of pairs whose ids appear in a gold match set."""

@@ -106,6 +106,44 @@ class Table:
         self.add(record)
         return record
 
+    def replace(self, record: Record) -> Record:
+        """Swap the record with ``record.record_id`` in place, keeping its
+        position (so blocker/candidate iteration order is stable).
+
+        Returns the previous record.  Raises KeyError if the id is absent
+        and :class:`~repro.errors.SchemaError` on schema violations —
+        mirrors :meth:`add`.
+        """
+        position = self._by_id.get(record.record_id)
+        if position is None:
+            raise KeyError(
+                f"no record {record.record_id!r} in table {self.name!r}"
+            )
+        extra = set(record.attributes()) - set(self.attributes)
+        if extra:
+            raise SchemaError(
+                f"record {record.record_id!r} has attributes outside the schema "
+                f"of table {self.name!r}: {sorted(extra)}"
+            )
+        previous = self._records[position]
+        self._records[position] = record
+        return previous
+
+    def remove(self, record_id: str) -> Record:
+        """Delete a record by id, shifting later records down one position.
+
+        O(|table|) — later records re-index, exactly as if the table had
+        been built from scratch without the removed record (the property
+        streaming equivalence tests rely on).
+        """
+        position = self._by_id.pop(record_id, None)
+        if position is None:
+            raise KeyError(f"no record {record_id!r} in table {self.name!r}")
+        removed = self._records.pop(position)
+        for later in self._records[position:]:
+            self._by_id[later.record_id] -= 1
+        return removed
+
     def get(self, record_id: str) -> Record:
         """Return the record with ``record_id`` (KeyError if absent)."""
         try:

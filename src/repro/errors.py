@@ -55,6 +55,11 @@ class EstimationError(ReproError):
     """Raised when cost/selectivity estimation is given unusable input."""
 
 
+class StreamingError(ReproError):
+    """Raised when a record-level delta cannot be validated or applied
+    (unknown record id, duplicate insert, malformed delta)."""
+
+
 class ParallelExecutionError(ReproError):
     """Raised when the parallel matching engine cannot complete a run even
     after retries and serial fallback (e.g. an unpicklable payload combined

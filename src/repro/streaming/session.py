@@ -1,0 +1,364 @@
+"""Streaming session: live matching state under record-level data deltas.
+
+The paper's debugging loop (§2, Figure 1) holds the *data* fixed and
+iterates on the *rules*; :class:`StreamingSession` lifts that restriction.
+It wraps a :class:`~repro.core.session.DebugSession` and keeps its
+materialized :class:`~repro.core.state.MatchState` — memo, bitmaps,
+labels, attribution — equivalent to a from-scratch block+match of the
+current tables while records stream in, change, and disappear.
+
+Applying a :class:`~repro.streaming.deltas.DeltaBatch` does, per batch:
+
+1. apply each delta to the live tables and ask the blocker for the exact
+   candidate-pair delta (:meth:`~repro.blocking.base.Blocker.pairs_for_delta`);
+2. rebuild the candidate set as *survivors in their old order* followed by
+   the net-new pairs (sorted), and gather every surviving fact into a new
+   state via :meth:`~repro.core.state.MatchState.remapped` — an O(pairs)
+   numpy gather, no re-evaluation;
+3. forget all facts about surviving pairs incident to touched records
+   (:meth:`~repro.core.state.MatchState.forget_pairs` — their feature
+   values are stale);
+4. re-match only the *affected* pairs — net-new plus invalidated — with
+   the same DM+EE kernel a full run uses, recording into the state; the
+   re-match dispatches to :mod:`repro.parallel` when the cost model says
+   the affected set is worth a pool.
+
+Soundness of the rule-editing algorithms (7–10) is preserved because the
+state transformation only ever *removes* facts (forget) or *moves* them
+(remap), never asserts one — and the re-match records facts through the
+identical observation path as the initial run.  A rule edit applied after
+any number of batches therefore sees a state indistinguishable from one
+built by blocking and matching the current tables from scratch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from ..blocking.base import Blocker
+from ..core.cost_model import per_pair_cost
+from ..core.matchers import MatchResult, PairEvaluator, TraceLog
+from ..core.memo import ArrayMemo, HashMemo
+from ..core.session import DebugSession
+from ..core.stats import MatchStats
+from ..data.pairs import CandidateSet, PairId
+from ..data.table import Table
+from ..errors import StreamingError
+from .deltas import Delta, DeltaBatch, apply_delta
+
+#: default affected-set size above which ingest dispatches to the pool
+#: when no cost estimates are available.
+DEFAULT_PARALLEL_THRESHOLD_PAIRS = 2000
+#: default predicted re-match seconds above which ingest dispatches to the
+#: pool when cost estimates are available.
+DEFAULT_PARALLEL_THRESHOLD_SECONDS = 0.05
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :meth:`StreamingSession.ingest` call."""
+
+    #: per-batch counters (deltas_applied, pairs_gained/lost/invalidated,
+    #: pairs_evaluated, feature computations/hits, elapsed_seconds).
+    stats: MatchStats
+    #: net-new candidate pairs (present after, absent before the batch).
+    gained: Tuple[PairId, ...]
+    #: net-lost candidate pairs (present before, absent after the batch).
+    lost: Tuple[PairId, ...]
+    #: indices (post-batch) of the pairs that were re-matched.
+    affected_indices: Tuple[int, ...]
+    #: True when the re-match ran on the parallel engine.
+    executed_parallel: bool = False
+
+    @property
+    def affected(self) -> int:
+        return len(self.affected_indices)
+
+    def summary(self) -> str:
+        where = "parallel" if self.executed_parallel else "serial"
+        return f"{self.stats.delta_summary()} [{where}]"
+
+
+class StreamingSession:
+    """A debugging session whose underlying tables accept deltas.
+
+    Owns the live tables, the (delta-capable) blocker, and a wrapped
+    :class:`~repro.core.session.DebugSession`.  Rule edits go through
+    :meth:`apply` exactly as on a plain session; data edits go through
+    :meth:`ingest`.  The two interleave freely.
+    """
+
+    def __init__(
+        self,
+        table_a: Table,
+        table_b: Table,
+        blocker: Blocker,
+        function,
+        gold: Optional[Set[PairId]] = None,
+        workers: int = 1,
+        parallel_threshold_pairs: int = DEFAULT_PARALLEL_THRESHOLD_PAIRS,
+        parallel_threshold_seconds: float = DEFAULT_PARALLEL_THRESHOLD_SECONDS,
+        **session_kwargs,
+    ):
+        self.table_a = table_a
+        self.table_b = table_b
+        self.blocker = blocker
+        self.workers = workers
+        self.parallel_threshold_pairs = parallel_threshold_pairs
+        self.parallel_threshold_seconds = parallel_threshold_seconds
+        candidates = blocker.block(table_a, table_b)
+        self.session = DebugSession(candidates, function, gold=gold, **session_kwargs)
+        self.batch_history: List[BatchResult] = []
+
+    @classmethod
+    def adopt(
+        cls,
+        session: DebugSession,
+        table_a: Table,
+        table_b: Table,
+        blocker: Blocker,
+        workers: int = 1,
+        parallel_threshold_pairs: int = DEFAULT_PARALLEL_THRESHOLD_PAIRS,
+        parallel_threshold_seconds: float = DEFAULT_PARALLEL_THRESHOLD_SECONDS,
+    ) -> "StreamingSession":
+        """Wrap an existing (already run) session without re-matching.
+
+        Re-blocks once to warm the blocker's delta index and verifies the
+        blocker reproduces the session's candidate set — adopting a
+        session under a *different* blocker would silently desynchronize
+        state from blocking, so that raises
+        :class:`~repro.errors.StreamingError`.
+        """
+        produced = set(blocker.block(table_a, table_b).id_pairs())
+        owned = set(session.candidates.id_pairs())
+        if produced != owned:
+            raise StreamingError(
+                f"blocker {blocker.name!r} does not reproduce the session's "
+                f"candidate set ({len(produced ^ owned)} pairs differ); "
+                f"adopt with the blocker that built the session"
+            )
+        streaming = cls.__new__(cls)
+        streaming.table_a = table_a
+        streaming.table_b = table_b
+        streaming.blocker = blocker
+        streaming.workers = workers
+        streaming.parallel_threshold_pairs = parallel_threshold_pairs
+        streaming.parallel_threshold_seconds = parallel_threshold_seconds
+        streaming.session = session
+        streaming.batch_history = []
+        return streaming
+
+    # ------------------------------------------------------------------
+    # Delegation to the wrapped session (rule-side operations)
+    # ------------------------------------------------------------------
+
+    def run(self, workers: int = 1) -> MatchResult:
+        return self.session.run(workers=workers)
+
+    def apply(self, change):
+        """Apply one rule edit incrementally (Algorithms 7-10)."""
+        return self.session.apply(change)
+
+    def metrics(self):
+        return self.session.metrics()
+
+    def explain(self, a_id: str, b_id: str):
+        return self.session.explain(a_id, b_id)
+
+    @property
+    def candidates(self) -> CandidateSet:
+        return self.session.candidates
+
+    @property
+    def state(self):
+        return self.session.state
+
+    @property
+    def function(self):
+        return self.session.function
+
+    # ------------------------------------------------------------------
+    # Streaming ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self, batch: Union[DeltaBatch, Sequence[Delta], Delta]
+    ) -> BatchResult:
+        """Apply a delta batch, re-matching only the affected pairs."""
+        if isinstance(batch, Delta):
+            batch = DeltaBatch([batch])
+        elif not isinstance(batch, DeltaBatch):
+            batch = DeltaBatch(batch)
+        state = self.session._require_state()
+        stats = MatchStats()
+        started = time.perf_counter()
+
+        if len(batch) == 0:
+            stats.elapsed_seconds = time.perf_counter() - started
+            result = BatchResult(stats, (), (), ())
+            self.batch_history.append(result)
+            return result
+
+        # 1. Apply deltas to the tables; accumulate the blocking delta.
+        old_order = state.candidates.id_pairs()
+        old_index = {pair_id: index for index, pair_id in enumerate(old_order)}
+        current: Set[PairId] = set(old_order)
+        for delta in batch:
+            applied = apply_delta(self.table_a, self.table_b, delta)
+            pair_delta = self.blocker.pairs_for_delta(
+                self.table_a, self.table_b, applied
+            )
+            current.difference_update(pair_delta.lost)
+            current.update(pair_delta.gained)
+            stats.deltas_applied += 1
+            stats.pairs_gained += len(pair_delta.gained)
+            stats.pairs_lost += len(pair_delta.lost)
+
+        # 2. Rebuild candidates (survivors keep their relative order) and
+        #    gather surviving facts into a state over the new index space.
+        net_new = sorted(current.difference(old_index))
+        new_order = [
+            pair_id for pair_id in old_order if pair_id in current
+        ] + net_new
+        new_candidates = CandidateSet.from_id_pairs(
+            self.table_a, self.table_b, new_order
+        )
+        old_index_of = np.fromiter(
+            (old_index.get(pair_id, -1) for pair_id in new_order),
+            dtype=np.int64,
+            count=len(new_order),
+        )
+        new_state = state.remapped(new_candidates, old_index_of)
+
+        # 3. Invalidate surviving pairs whose records the batch touched.
+        touched_a, touched_b = batch.touched_records()
+        stale: Set[int] = set()
+        for record_id in touched_a:
+            stale.update(new_candidates.indices_for_record("a", record_id))
+        for record_id in touched_b:
+            stale.update(new_candidates.indices_for_record("b", record_id))
+        invalidated = sorted(
+            index for index in stale if old_index_of[index] >= 0
+        )
+        new_state.forget_pairs(invalidated)
+        stats.pairs_invalidated = len(invalidated)
+
+        # 4. Re-match exactly the affected pairs (net-new + invalidated).
+        first_new = len(new_order) - len(net_new)
+        affected = invalidated + list(range(first_new, len(new_order)))
+        parallel = self._should_parallelize(len(affected))
+        if parallel:
+            self._rematch_parallel(new_state, affected, stats)
+        else:
+            self._rematch_serial(new_state, affected, stats)
+
+        self.session.candidates = new_candidates
+        self.session.state = new_state
+        stats.pairs_matched = new_state.match_count()
+        stats.elapsed_seconds = time.perf_counter() - started
+        net_lost = tuple(sorted(set(old_order).difference(current)))
+        result = BatchResult(
+            stats=stats,
+            gained=tuple(net_new),
+            lost=net_lost,
+            affected_indices=tuple(affected),
+            executed_parallel=parallel,
+        )
+        self.batch_history.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Re-matching strategies
+    # ------------------------------------------------------------------
+
+    def _rematch_serial(self, state, affected: Sequence[int], stats: MatchStats) -> None:
+        evaluator = PairEvaluator(
+            stats,
+            memo=state.memo,
+            recorder=state,
+            check_cache_first=self.session.check_cache_first,
+        )
+        rules = state.function.rules
+        for index in affected:
+            pair = state.candidates[index]
+            state.labels[index] = (
+                evaluator.first_matching_rule(pair, rules) is not None
+            )
+        stats.pairs_evaluated += len(affected)
+
+    def _rematch_parallel(self, state, affected: Sequence[int], stats: MatchStats) -> None:
+        """Re-match the affected pairs on the process pool.
+
+        The affected subset becomes a dense sub-candidate-set with its own
+        cold memo and trace; results translate back through the
+        local→global index map (memo via ``update_from``, trace facts via
+        direct re-recording, labels via fancy indexing).  Equivalent to
+        the serial path because affected pairs carry no prior facts.
+        """
+        from ..parallel import ParallelMatcher
+
+        function = state.function
+        sub_candidates = state.candidates.subset(affected)
+        names = [feature.name for feature in function.features()]
+        if isinstance(state.memo, ArrayMemo):
+            sub_memo = ArrayMemo(len(sub_candidates), names)
+        else:
+            sub_memo = HashMemo(len(sub_candidates), names)
+        trace = TraceLog()
+        matcher = ParallelMatcher(
+            workers=self.workers,
+            memo=sub_memo,
+            memo_backend="array" if isinstance(sub_memo, ArrayMemo) else "hash",
+            check_cache_first=self.session.check_cache_first,
+            recorder=trace,
+            estimates=self.session.estimates,
+        )
+        result = matcher.run(function, sub_candidates)
+        index_map = {local: affected[local] for local in range(len(affected))}
+        state.memo.update_from(sub_memo, index_map=index_map)
+        for local_index, rule_name, slot in trace.predicate_falses:
+            state.record_predicate_false(affected[local_index], rule_name, slot)
+        for local_index, rule_name in trace.rule_matches:
+            state.record_rule_match(affected[local_index], rule_name)
+        state.labels[np.asarray(affected, dtype=np.int64)] = result.labels
+        run_stats = result.stats
+        stats.feature_computations += run_stats.feature_computations
+        stats.memo_hits += run_stats.memo_hits
+        stats.predicate_evaluations += run_stats.predicate_evaluations
+        stats.rule_evaluations += run_stats.rule_evaluations
+        stats.pairs_evaluated += run_stats.pairs_evaluated
+        stats.computations_by_feature += run_stats.computations_by_feature
+        stats.phase_seconds.update(run_stats.phase_seconds)
+        stats.worker_timings.extend(run_stats.worker_timings)
+
+    def _should_parallelize(self, n_affected: int) -> bool:
+        if self.workers <= 1 or n_affected == 0:
+            return False
+        estimates = self.session.estimates
+        state = self.session.state
+        if estimates is not None and state is not None:
+            predicted = n_affected * per_pair_cost(state.function, estimates)
+            return predicted >= self.parallel_threshold_seconds
+        return n_affected >= self.parallel_threshold_pairs
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def total_batch_stats(self) -> MatchStats:
+        """Sum of every ingested batch's counters (sequential semantics)."""
+        total = MatchStats()
+        for result in self.batch_history:
+            total = total.merged_with(result.stats)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingSession({len(self.table_a)}x{len(self.table_b)} "
+            f"records, {len(self.session.candidates)} pairs, "
+            f"{len(self.batch_history)} batches ingested)"
+        )

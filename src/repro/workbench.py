@@ -45,6 +45,35 @@ class WorkbenchError(ReproError):
     """User-facing command error (bad syntax, wrong session phase)."""
 
 
+def parse_workers_flag(arguments: List[str]) -> "tuple[int, List[str]]":
+    """Extract ``--workers N`` from an argument list.
+
+    Returns ``(workers, remaining_arguments)`` with the flag and its value
+    removed; ``workers`` is 1 when the flag is absent.  Raises
+    :class:`WorkbenchError` on a missing value, a non-integer, or a value
+    below 1 — shared by every command that can shard work over the pool
+    (``run``, ``ingest``).
+    """
+    workers = 1
+    remaining: List[str] = []
+    iterator = iter(arguments)
+    for token in iterator:
+        if token != "--workers":
+            remaining.append(token)
+            continue
+        try:
+            value = next(iterator)
+        except StopIteration:
+            raise WorkbenchError("--workers needs a value") from None
+        try:
+            workers = int(value)
+        except ValueError:
+            raise WorkbenchError("--workers needs an integer") from None
+        if workers < 1:
+            raise WorkbenchError("--workers must be >= 1")
+    return workers, remaining
+
+
 class Workbench:
     """Stateful command interpreter over one debugging session."""
 
@@ -52,12 +81,18 @@ class Workbench:
         self.workload = None
         self.session: Optional[DebugSession] = None
         self.suggestions: List[Suggestion] = []
+        # live-table context for streaming ingestion; set by load/load-csv.
+        self.tables = None
+        self.blocker = None
+        self.streaming = None
         self._commands: Dict[str, Callable[[List[str]], str]] = {
             "help": self.cmd_help,
             "load": self.cmd_load,
             "load-csv": self.cmd_load_csv,
             "rules": self.cmd_rules,
             "run": self.cmd_run,
+            "ingest": self.cmd_ingest,
+            "delta-stats": self.cmd_delta_stats,
             "metrics": self.cmd_metrics,
             "explain": self.cmd_explain,
             "tighten": self.cmd_tighten,
@@ -119,6 +154,11 @@ class Workbench:
                 "  drop-predicate <rule> <slot> remove a predicate (Alg 8)",
                 "  drop-rule <rule>             remove a rule (Alg 9)",
                 "  add-rule <dsl text>          add a rule (Alg 10)",
+                "  ingest <op> <side> <id> [attr=value ...] [--workers N]",
+                "                               apply a record delta (op: insert|",
+                "                               update|delete; side: a|b) and re-",
+                "                               match only the affected pairs",
+                "  delta-stats                  per-batch streaming counters",
                 "  suggest [tighten|relax]      ranked edit proposals",
                 "  apply <n>                    apply the n-th suggestion",
                 "  history                      applied edits with timings",
@@ -149,8 +189,11 @@ class Workbench:
                     raise WorkbenchError(f"unknown flag {flag!r}")
             except StopIteration:
                 raise WorkbenchError(f"flag {flag!r} needs a value") from None
+        from .learning.workload import default_blocker
+
+        blocker = default_blocker(name)
         self.workload = build_workload(
-            name, seed=seed, scale=scale, max_rules=max_rules
+            name, seed=seed, scale=scale, max_rules=max_rules, blocker=blocker
         )
         self.session = DebugSession(
             self.workload.candidates,
@@ -159,6 +202,9 @@ class Workbench:
             ordering="algorithm6",
         )
         self.suggestions = []
+        self.tables = (self.workload.dataset.table_a, self.workload.dataset.table_b)
+        self.blocker = blocker
+        self.streaming = None
         return f"loaded {self.workload.summary()}"
 
     def cmd_load_csv(self, arguments: List[str]) -> str:
@@ -215,6 +261,9 @@ class Workbench:
             ordering="algorithm5",
         )
         self.suggestions = []
+        self.tables = (table_a, table_b)
+        self.blocker = blocker
+        self.streaming = None
         return (
             f"loaded {table_a.name} ({len(table_a)}) x {table_b.name} "
             f"({len(table_b)}): {len(candidates)} candidate pairs"
@@ -224,20 +273,9 @@ class Workbench:
     def cmd_run(self, arguments: List[str]) -> str:
         if self.session is None:
             raise WorkbenchError("load a dataset first")
-        workers = 1
-        iterator = iter(arguments)
-        for flag in iterator:
-            if flag == "--workers":
-                try:
-                    workers = int(next(iterator))
-                except StopIteration:
-                    raise WorkbenchError("--workers needs a value") from None
-                except ValueError:
-                    raise WorkbenchError("--workers needs an integer") from None
-                if workers < 1:
-                    raise WorkbenchError("--workers must be >= 1")
-            else:
-                raise WorkbenchError(f"unknown flag {flag!r}")
+        workers, remaining = parse_workers_flag(arguments)
+        if remaining:
+            raise WorkbenchError(f"unknown flag {remaining[0]!r}")
         result = self.session.run(workers=workers)
         output = f"ran: {result.stats.summary()}"
         if workers > 1 and result.stats.worker_timings:
@@ -255,6 +293,73 @@ class Workbench:
                 + (f", {fallbacks} ran in parent" if fallbacks else "")
             )
         return output
+
+    def _require_streaming(self, workers: int = 1):
+        """The lazily created streaming wrapper around the live session."""
+        from .streaming import StreamingSession
+
+        session = self._require_session()
+        if self.tables is None or self.blocker is None:
+            raise WorkbenchError(
+                "no live tables; 'load' or 'load-csv' a dataset first"
+            )
+        if self.streaming is None or self.streaming.session is not session:
+            self.streaming = StreamingSession.adopt(
+                session, self.tables[0], self.tables[1], self.blocker,
+                workers=workers,
+            )
+        else:
+            self.streaming.workers = workers
+        return self.streaming
+
+    def cmd_ingest(self, arguments: List[str]) -> str:
+        """``ingest <insert|update|delete> <a|b> <id> [attr=value ...]``"""
+        from .streaming import Delta
+
+        workers, arguments = parse_workers_flag(arguments)
+        if len(arguments) < 3:
+            raise WorkbenchError(
+                "usage: ingest <insert|update|delete> <a|b> <record_id> "
+                "[attr=value ...] [--workers N]"
+            )
+        op, side, record_id, *assignments = arguments
+        values = {}
+        for assignment in assignments:
+            attribute, separator, value = assignment.partition("=")
+            if not separator or not attribute:
+                raise WorkbenchError(
+                    f"expected attr=value, got {assignment!r}"
+                )
+            values[attribute] = value if value != "" else None
+        try:
+            if op == "delete":
+                if values:
+                    raise WorkbenchError("delete takes no attr=value arguments")
+                delta = Delta.delete(side, record_id)
+            elif op in ("insert", "update"):
+                delta = Delta(op, side, record_id, values)
+            else:
+                raise WorkbenchError(
+                    f"unknown delta op {op!r}; use insert, update, or delete"
+                )
+            streaming = self._require_streaming(workers)
+            result = streaming.ingest(delta)
+        except ReproError as error:
+            if isinstance(error, WorkbenchError):
+                raise
+            raise WorkbenchError(str(error)) from error
+        return f"ingested: {result.summary()}"
+
+    def cmd_delta_stats(self, arguments: List[str]) -> str:
+        if self.streaming is None or not self.streaming.batch_history:
+            return "no deltas ingested yet"
+        lines = [
+            f"{index + 1}. {result.summary()}"
+            for index, result in enumerate(self.streaming.batch_history)
+        ]
+        total = self.streaming.total_batch_stats()
+        lines.append(f"total: {total.delta_summary()}")
+        return "\n".join(lines)
 
     def cmd_rules(self, arguments: List[str]) -> str:
         session = self._require_session()

@@ -193,6 +193,91 @@ class TestUpdateFrom:
         assert memo.update_from(other) == 0
         assert len(memo) == 1
 
+    def test_on_conflict_overwrite_is_default(self, memo, other):
+        memo.put(1, "f1", 0.2)
+        other.put(1, "f1", 0.9)
+        copied = memo.update_from(other, on_conflict="overwrite")
+        assert copied == 1
+        assert memo.get(1, "f1") == 0.9
+
+    def test_on_conflict_keep_preserves_existing(self, memo, other):
+        memo.put(1, "f1", 0.2)
+        other.put(1, "f1", 0.9)
+        other.put(2, "f1", 0.4)
+        copied = memo.update_from(other, on_conflict="keep")
+        # The kept (skipped) entry does not count as copied.
+        assert copied == 1
+        assert memo.get(1, "f1") == 0.2
+        assert memo.get(2, "f1") == 0.4
+
+    def test_on_conflict_error_rejects_differing_values(self, memo, other):
+        memo.put(1, "f1", 0.2)
+        other.put(1, "f1", 0.9)
+        with pytest.raises(MatchingError):
+            memo.update_from(other, on_conflict="error")
+
+    def test_on_conflict_error_accepts_identical_values(self, memo, other):
+        memo.put(1, "f1", 0.5)
+        other.put(1, "f1", 0.5)
+        assert memo.update_from(other, on_conflict="error") == 1
+        assert memo.get(1, "f1") == 0.5
+
+    def test_on_conflict_invalid_value_rejected(self, memo, other):
+        with pytest.raises(MatchingError):
+            memo.update_from(other, on_conflict="merge")
+
+    def test_check_conflicts_is_error_spelling(self, memo, other):
+        memo.put(1, "f1", 0.2)
+        other.put(1, "f1", 0.9)
+        with pytest.raises(MatchingError):
+            memo.update_from(other, check_conflicts=True, on_conflict="keep")
+
+    def test_on_conflict_keep_respects_index_map(self, memo, other):
+        memo.put(5, "f1", 0.2)
+        other.put(0, "f1", 0.9)
+        memo.update_from(other, index_map={0: 5}, on_conflict="keep")
+        assert memo.get(5, "f1") == 0.2
+
+
+class TestInvalidatePairs:
+    """Streaming eviction of whole memo rows."""
+
+    def test_evicts_all_features_of_given_pairs(self, memo):
+        memo.put(0, "f1", 0.1)
+        memo.put(0, "f2", 0.2)
+        memo.put(1, "f1", 0.3)
+        evicted = memo.invalidate_pairs([0])
+        assert evicted == 2
+        assert memo.get(0, "f1") is None
+        assert memo.get(0, "f2") is None
+        assert memo.get(1, "f1") == 0.3
+        assert len(memo) == 1
+
+    def test_duplicate_indices_counted_once(self, memo):
+        memo.put(2, "f1", 0.5)
+        assert memo.invalidate_pairs([2, 2, 2]) == 1
+        assert len(memo) == 0
+
+    def test_empty_iterable_is_noop(self, memo):
+        memo.put(0, "f1", 0.5)
+        assert memo.invalidate_pairs([]) == 0
+        assert len(memo) == 1
+
+    def test_untouched_pairs_keep_entries(self, memo):
+        for pair_index in range(5):
+            memo.put(pair_index, "f1", float(pair_index))
+        memo.invalidate_pairs([1, 3])
+        assert [memo.get(index, "f1") for index in range(5)] == [
+            0.0, None, 2.0, None, 4.0,
+        ]
+
+    def test_reput_after_invalidate(self, memo):
+        memo.put(0, "f1", 0.5)
+        memo.invalidate_pairs([0])
+        memo.put(0, "f1", 0.7)
+        assert memo.get(0, "f1") == 0.7
+        assert len(memo) == 1
+
 
 class TestValueCache:
     def test_round_trip(self):

@@ -1,0 +1,129 @@
+"""Property-based tests for delta-aware blocking.
+
+The delta protocol has one exact specification: for any blocker and any
+record-level delta, ``pairs_for_delta`` must return precisely the
+symmetric difference between a full ``block()`` of the pre-delta tables
+and a full ``block()`` of the post-delta tables.  Both the inverted-index
+fast paths and the re-block fallback claim this, so we check every
+blocker in the registry against random tables and random delta chains.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import BLOCKER_REGISTRY
+from repro.data import Record, Table
+from repro.errors import BlockingError
+
+token_strategy = st.sampled_from(["red", "blue", "apple", "pear", "x1", "x2"])
+value_strategy = st.one_of(
+    st.none(),
+    st.lists(token_strategy, min_size=0, max_size=4).map(" ".join),
+)
+
+
+@st.composite
+def tables_strategy(draw):
+    table_a = Table("A", ("text",))
+    table_b = Table("B", ("text",))
+    for index in range(draw(st.integers(min_value=1, max_value=6))):
+        table_a.add(Record(f"a{index}", {"text": draw(value_strategy)}))
+    for index in range(draw(st.integers(min_value=1, max_value=6))):
+        table_b.add(Record(f"b{index}", {"text": draw(value_strategy)}))
+    return table_a, table_b
+
+
+class _Delta:
+    """Minimal delta-shaped object (op/side/record_id/record)."""
+
+    def __init__(self, op, side, record_id, record=None):
+        self.op = op
+        self.side = side
+        self.record_id = record_id
+        self.record = record
+
+
+@st.composite
+def delta_strategy(draw, table_a, table_b):
+    """One applicable random delta, given the current tables."""
+    side = draw(st.sampled_from(["a", "b"]))
+    table = table_a if side == "a" else table_b
+    choices = ["insert"]
+    if len(table) > 1:  # keep tables non-empty for the next chained delta
+        choices += ["update", "delete"]
+    elif len(table) == 1:
+        choices += ["update"]
+    op = draw(st.sampled_from(choices))
+    if op == "insert":
+        existing = {record.record_id for record in table}
+        record_id = next(
+            candidate
+            for candidate in (f"{side}new{n}" for n in range(100))
+            if candidate not in existing
+        )
+        record = Record(record_id, {"text": draw(value_strategy)})
+    else:
+        record_id = draw(
+            st.sampled_from([record.record_id for record in table])
+        )
+        record = (
+            None
+            if op == "delete"
+            else Record(record_id, {"text": draw(value_strategy)})
+        )
+    return _Delta(op, side, record_id, record)
+
+
+def _apply_to_table(table, delta):
+    if delta.op == "insert":
+        table.add(delta.record)
+    elif delta.op == "update":
+        table.replace(delta.record)
+    else:
+        table.remove(delta.record_id)
+
+
+@pytest.mark.parametrize("blocker_name", sorted(BLOCKER_REGISTRY))
+@given(tables=tables_strategy(), data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_delta_equals_symmetric_difference_of_full_blocks(
+    blocker_name, tables, data
+):
+    """pairs_for_delta == block(post) Δ block(pre), chained over 3 deltas."""
+    table_a, table_b = tables
+    factory = BLOCKER_REGISTRY[blocker_name]
+    blocker = factory("text")
+    current = set(blocker.block(table_a, table_b).id_pairs())
+    assert current == set(factory("text").block(table_a, table_b).id_pairs())
+    for _ in range(3):
+        delta = data.draw(delta_strategy(table_a, table_b))
+        _apply_to_table(
+            table_a if delta.side == "a" else table_b, delta
+        )
+        pair_delta = blocker.pairs_for_delta(table_a, table_b, delta)
+        reference = set(factory("text").block(table_a, table_b).id_pairs())
+        gained, lost = set(pair_delta.gained), set(pair_delta.lost)
+        assert gained == reference - current, (
+            f"{blocker_name}: wrong gained set after {delta.op} "
+            f"{delta.side}:{delta.record_id}"
+        )
+        assert lost == current - reference, (
+            f"{blocker_name}: wrong lost set after {delta.op} "
+            f"{delta.side}:{delta.record_id}"
+        )
+        assert not (gained & lost)
+        current = reference
+        assert blocker.current_pairs() == current
+
+
+@pytest.mark.parametrize("blocker_name", sorted(BLOCKER_REGISTRY))
+def test_pairs_for_delta_requires_block_first(blocker_name):
+    blocker = BLOCKER_REGISTRY[blocker_name]("text")
+    table_a = Table("A", ("text",), [Record("a0", {"text": "red"})])
+    table_b = Table("B", ("text",), [Record("b0", {"text": "red"})])
+    delta = _Delta("insert", "a", "a1", Record("a1", {"text": "blue"}))
+    with pytest.raises(BlockingError):
+        blocker.pairs_for_delta(table_a, table_b, delta)

@@ -209,3 +209,131 @@ class TestLoadCsv:
         bench.execute("run")
         bench.execute("add-rule R2: exact_match(code, code) >= 1")
         assert bench.session.state.match_count() >= 1
+
+
+class TestWorkersFlagParser:
+    """The shared --workers parser used by run and ingest."""
+
+    def test_absent_flag_defaults_to_one(self):
+        from repro.workbench import parse_workers_flag
+
+        workers, remaining = parse_workers_flag(["foo", "bar"])
+        assert workers == 1
+        assert remaining == ["foo", "bar"]
+
+    def test_extracts_flag_and_value(self):
+        from repro.workbench import parse_workers_flag
+
+        workers, remaining = parse_workers_flag(["x", "--workers", "4", "y"])
+        assert workers == 4
+        assert remaining == ["x", "y"]
+
+    def test_zero_workers_rejected(self):
+        from repro.workbench import parse_workers_flag
+
+        with pytest.raises(WorkbenchError, match="must be >= 1"):
+            parse_workers_flag(["--workers", "0"])
+
+    def test_missing_value_rejected(self):
+        from repro.workbench import parse_workers_flag
+
+        with pytest.raises(WorkbenchError, match="needs a value"):
+            parse_workers_flag(["--workers"])
+
+    def test_non_integer_rejected(self):
+        from repro.workbench import parse_workers_flag
+
+        with pytest.raises(WorkbenchError, match="needs an integer"):
+            parse_workers_flag(["--workers", "two"])
+
+    def test_run_command_error_paths(self):
+        bench = Workbench()
+        bench.execute("load products --scale 0.2 --rules 10")
+        with pytest.raises(WorkbenchError, match="must be >= 1"):
+            bench.execute("run --workers 0")
+        with pytest.raises(WorkbenchError, match="needs a value"):
+            bench.execute("run --workers")
+        with pytest.raises(WorkbenchError, match="needs an integer"):
+            bench.execute("run --workers two")
+        with pytest.raises(WorkbenchError, match="unknown flag"):
+            bench.execute("run --wat 3")
+
+
+class TestStreamingCommands:
+    @pytest.fixture()
+    def bench(self):
+        bench = Workbench()
+        bench.execute("load books --scale 0.2 --rules 20 --seed 11")
+        bench.execute("run")
+        return bench
+
+    def test_ingest_update_reports_counters(self, bench):
+        record_id = bench.tables[0][0].record_id
+        output = bench.execute(f"ingest update a {record_id} author=Nobody")
+        assert "deltas=1" in output
+        assert "invalidated=" in output
+
+    def test_ingest_delete_drops_pairs(self, bench):
+        record_id = bench.tables[1][0].record_id
+        before = len(bench.session.candidates)
+        bench.execute(f"ingest delete b {record_id}")
+        assert record_id not in bench.tables[1]
+        assert len(bench.session.candidates) <= before
+        # the session's state follows the new candidate set
+        assert len(bench.session.state.labels) == len(bench.session.candidates)
+
+    def test_ingest_insert_new_record(self, bench):
+        title = bench.tables[1][0].get("title")
+        output = bench.execute(f"ingest insert b zz99 title='{title}'")
+        assert "deltas=1" in output
+        assert "zz99" in bench.tables[1]
+
+    def test_ingest_then_rule_edit_stays_sound(self, bench):
+        record_id = bench.tables[0][1].record_id
+        bench.execute(f"ingest update a {record_id} author=Changed")
+        rule = bench.session.function.rules[0]
+        predicate = rule.predicates[0]
+        bench.execute(
+            f"tighten {rule.name} {predicate.slot} "
+            f"{min(1.0, predicate.threshold + 0.01)}"
+        )
+        bench.session.state.check_soundness()
+
+    def test_delta_stats_empty(self, bench):
+        assert bench.execute("delta-stats") == "no deltas ingested yet"
+
+    def test_delta_stats_accumulates(self, bench):
+        a_id = bench.tables[0][0].record_id
+        b_id = bench.tables[1][0].record_id
+        bench.execute(f"ingest update a {a_id} author=X")
+        bench.execute(f"ingest delete b {b_id}")
+        output = bench.execute("delta-stats")
+        assert output.count("deltas=1") == 2
+        assert "total: deltas=2" in output
+
+    def test_ingest_bad_op(self, bench):
+        with pytest.raises(WorkbenchError, match="unknown delta op"):
+            bench.execute("ingest frob a x1")
+
+    def test_ingest_unknown_record(self, bench):
+        with pytest.raises(WorkbenchError, match="no such record"):
+            bench.execute("ingest update a nosuchid title=x")
+
+    def test_ingest_usage_error(self, bench):
+        with pytest.raises(WorkbenchError, match="usage: ingest"):
+            bench.execute("ingest update a")
+
+    def test_ingest_bad_assignment(self, bench):
+        record_id = bench.tables[0][0].record_id
+        with pytest.raises(WorkbenchError, match="attr=value"):
+            bench.execute(f"ingest update a {record_id} notanassignment")
+
+    def test_ingest_before_run_fails(self):
+        bench = Workbench()
+        bench.execute("load books --scale 0.2 --rules 10")
+        with pytest.raises(WorkbenchError, match="no active run"):
+            bench.execute("ingest update a a0 title=x")
+
+    def test_ingest_workers_flag_error(self, bench):
+        with pytest.raises(WorkbenchError, match="needs an integer"):
+            bench.execute("ingest update a a0 title=x --workers nope")
