@@ -135,6 +135,40 @@ class Blocker(ABC):
             for b_id in b_ids
         }
 
+    def save_delta_index(self) -> object:
+        """Opaque copy of the delta-maintenance state, for
+        :meth:`restore_delta_index`.
+
+        Streaming ingestion brackets a batch with save/restore so that a
+        failure mid-batch cannot leave the snapshot (or a subclass's
+        incremental index) advanced past the tables it describes.
+        """
+        if not getattr(self, "_snapshot_ready", False):
+            return None
+        return (
+            {a_id: set(b_ids) for a_id, b_ids in self._pairs_by_a.items()},
+            {b_id: set(a_ids) for b_id, a_ids in self._pairs_by_b.items()},
+            self._save_index_extra(),
+        )
+
+    def restore_delta_index(self, saved: object) -> None:
+        """Restore state captured by :meth:`save_delta_index`."""
+        if saved is None:
+            self._snapshot_ready = False
+            return
+        pairs_by_a, pairs_by_b, extra = saved
+        self._pairs_by_a = {a_id: set(b_ids) for a_id, b_ids in pairs_by_a.items()}
+        self._pairs_by_b = {b_id: set(a_ids) for b_id, a_ids in pairs_by_b.items()}
+        self._snapshot_ready = True
+        self._restore_index_extra(extra)
+
+    def _save_index_extra(self) -> object:
+        """Subclass hook: copy any incremental index beyond the snapshot."""
+        return None
+
+    def _restore_index_extra(self, extra: object) -> None:
+        """Subclass hook: restore what :meth:`_save_index_extra` copied."""
+
     def _snapshot(self, id_pairs: Iterable[PairId]) -> None:
         """Record the produced pair set for later delta computation."""
         self._pairs_by_a: Dict[str, Set[str]] = {}

@@ -138,6 +138,27 @@ class OverlapBlocker(Blocker):
             inverted.setdefault(token, set()).add(record.record_id)
         return tokens
 
+    def _save_index_extra(self) -> object:
+        if not hasattr(self, "_tokens_a"):
+            return None
+        return (
+            dict(self._tokens_a),
+            dict(self._tokens_b),
+            {token: set(ids) for token, ids in self._inverted_a.items()},
+            {token: set(ids) for token, ids in self._inverted_b.items()},
+        )
+
+    def _restore_index_extra(self, extra: object) -> None:
+        if extra is None:
+            return
+        tokens_a, tokens_b, inverted_a, inverted_b = extra
+        self._tokens_a = dict(tokens_a)
+        self._tokens_b = dict(tokens_b)
+        self._inverted_a = defaultdict(
+            set, {token: set(ids) for token, ids in inverted_a.items()}
+        )
+        self._inverted_b = {token: set(ids) for token, ids in inverted_b.items()}
+
     def _delta_pairs(
         self, table_a: Table, table_b: Table, delta
     ) -> Tuple[Set[PairId], Set[PairId]]:

@@ -45,6 +45,14 @@ class RuleBasedBlocker(Blocker):
             if self.predicate(table_a.get(a_id), table_b.get(b_id)):
                 yield a_id, b_id
 
+    def _save_index_extra(self) -> object:
+        # The base blocker's snapshot (and any index of its own) advances
+        # with every delegated delta, so it is part of our rollback state.
+        return self.base.save_delta_index()
+
+    def _restore_index_extra(self, extra: object) -> None:
+        self.base.restore_delta_index(extra)
+
     def _delta_pairs(
         self, table_a: Table, table_b: Table, delta
     ) -> Tuple[Set[PairId], Set[PairId]]:

@@ -174,7 +174,7 @@ class MatchStats:
         return (
             f"deltas={self.deltas_applied} +pairs={self.pairs_gained} "
             f"-pairs={self.pairs_lost} invalidated={self.pairs_invalidated} "
-            f"rematched={self.pairs_evaluated} "
+            f"rematched={self.pairs_evaluated} matched={self.pairs_matched} "
             f"computed={self.feature_computations} hits={self.memo_hits} "
             f"time={self.elapsed_seconds * 1000:.2f}ms"
         )

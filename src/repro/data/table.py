@@ -144,6 +144,27 @@ class Table:
             self._by_id[later.record_id] -= 1
         return removed
 
+    def snapshot(self) -> Tuple[Record, ...]:
+        """The records, in order, for a later in-place :meth:`restore`.
+
+        Records are immutable, so a shallow copy of the ordering is a full
+        snapshot of the table's contents.
+        """
+        return tuple(self._records)
+
+    def restore(self, records: Iterable[Record]) -> None:
+        """Reset the contents *in place* to ``records`` (keeping identity).
+
+        In-place so that every holder of this table object — candidate
+        sets, blockers, sessions — observes the restored contents; used by
+        streaming ingestion to roll back a failed batch.
+        """
+        self._records = list(records)
+        self._by_id = {
+            record.record_id: index
+            for index, record in enumerate(self._records)
+        }
+
     def get(self, record_id: str) -> Record:
         """Return the record with ``record_id`` (KeyError if absent)."""
         try:

@@ -14,7 +14,7 @@ records are inserted, updated, and deleted:
 See ``docs/streaming.md`` for the design and the equivalence argument.
 """
 
-from .deltas import AppliedDelta, Delta, DeltaBatch, apply_delta
+from .deltas import AppliedDelta, Delta, DeltaBatch, apply_delta, validate_batch
 from .session import (
     DEFAULT_PARALLEL_THRESHOLD_PAIRS,
     DEFAULT_PARALLEL_THRESHOLD_SECONDS,
@@ -27,6 +27,7 @@ __all__ = [
     "DeltaBatch",
     "AppliedDelta",
     "apply_delta",
+    "validate_batch",
     "BatchResult",
     "StreamingSession",
     "DEFAULT_PARALLEL_THRESHOLD_PAIRS",

@@ -129,6 +129,62 @@ class DeltaBatch:
         return f"DeltaBatch({len(self.deltas)} deltas)"
 
 
+def validate_batch(
+    table_a: Table, table_b: Table, batch: Sequence[Delta]
+) -> None:
+    """Check that every delta in ``batch`` would apply cleanly, in order.
+
+    Simulates the batch against the live tables without mutating anything:
+    record-id liveness is tracked through the sequence (so an insert
+    followed by an update of the same id validates, and a delete followed
+    by an update of it does not), and insert/update values are checked
+    against the table schema — exactly the conditions under which
+    :func:`apply_delta` raises.  Raises
+    :class:`~repro.errors.StreamingError` naming the offending delta's
+    position; the tables are untouched either way.
+
+    :meth:`~repro.streaming.session.StreamingSession.ingest` runs this
+    before applying anything, which is what makes a batch atomic: a batch
+    that cannot apply in full is rejected in full.
+    """
+    live = {
+        "a": {record.record_id for record in table_a},
+        "b": {record.record_id for record in table_b},
+    }
+    schema = {"a": set(table_a.attributes), "b": set(table_b.attributes)}
+    table_name = {"a": table_a.name, "b": table_b.name}
+
+    def reject(position: int, delta: Delta, reason: str) -> None:
+        raise StreamingError(
+            f"batch rejected at delta {position + 1}/{len(batch)} "
+            f"({delta!r}): {reason}; no deltas were applied"
+        )
+
+    for position, delta in enumerate(batch):
+        ids = live[delta.side]
+        name = table_name[delta.side]
+        if delta.op == "insert":
+            if delta.record_id in ids:
+                reject(
+                    position, delta,
+                    f"id already in table {name!r} (use an update delta)",
+                )
+        elif delta.record_id not in ids:
+            reject(position, delta, f"no such record in table {name!r}")
+        if delta.values:
+            extra = set(delta.values) - schema[delta.side]
+            if extra:
+                reject(
+                    position, delta,
+                    f"attributes outside the schema of table {name!r}: "
+                    f"{sorted(extra)}",
+                )
+        if delta.op == "insert":
+            ids.add(delta.record_id)
+        elif delta.op == "delete":
+            ids.discard(delta.record_id)
+
+
 def apply_delta(table_a: Table, table_b: Table, delta: Delta) -> AppliedDelta:
     """Validate ``delta`` against the tables, apply it, resolve the record.
 

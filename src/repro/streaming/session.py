@@ -48,7 +48,7 @@ from ..core.stats import MatchStats
 from ..data.pairs import CandidateSet, PairId
 from ..data.table import Table
 from ..errors import StreamingError
-from .deltas import Delta, DeltaBatch, apply_delta
+from .deltas import Delta, DeltaBatch, apply_delta, validate_batch
 
 #: default affected-set size above which ingest dispatches to the pool
 #: when no cost estimates are available.
@@ -63,7 +63,9 @@ class BatchResult:
     """Outcome of one :meth:`StreamingSession.ingest` call."""
 
     #: per-batch counters (deltas_applied, pairs_gained/lost/invalidated,
-    #: pairs_evaluated, feature computations/hits, elapsed_seconds).
+    #: pairs_evaluated, feature computations/hits, elapsed_seconds;
+    #: ``pairs_matched`` counts affected pairs labeled as matches by
+    #: *this* batch, so summing batches never double-counts).
     stats: MatchStats
     #: net-new candidate pairs (present after, absent before the batch).
     gained: Tuple[PairId, ...]
@@ -73,6 +75,9 @@ class BatchResult:
     affected_indices: Tuple[int, ...]
     #: True when the re-match ran on the parallel engine.
     executed_parallel: bool = False
+    #: total matches in the state after this batch (a snapshot, not a
+    #: counter — kept out of :attr:`stats` so batch sums stay additive).
+    match_count: int = 0
 
     @property
     def affected(self) -> int:
@@ -188,7 +193,17 @@ class StreamingSession:
     def ingest(
         self, batch: Union[DeltaBatch, Sequence[Delta], Delta]
     ) -> BatchResult:
-        """Apply a delta batch, re-matching only the affected pairs."""
+        """Apply a delta batch atomically, re-matching only affected pairs.
+
+        The whole batch is validated against the live tables before
+        anything mutates (:func:`~repro.streaming.deltas.validate_batch`),
+        so a batch that cannot apply in full raises
+        :class:`~repro.errors.StreamingError` with tables, blocker index,
+        and matching state all unchanged.  Should application still fail
+        partway (e.g. a blocker bug), the tables and the blocker's delta
+        index are rolled back to their pre-batch contents before the
+        exception propagates — observers never see half a batch.
+        """
         if isinstance(batch, Delta):
             batch = DeltaBatch([batch])
         elif not isinstance(batch, DeltaBatch):
@@ -199,24 +214,40 @@ class StreamingSession:
 
         if len(batch) == 0:
             stats.elapsed_seconds = time.perf_counter() - started
-            result = BatchResult(stats, (), (), ())
+            result = BatchResult(
+                stats, (), (), (), match_count=state.match_count()
+            )
             self.batch_history.append(result)
             return result
 
+        validate_batch(self.table_a, self.table_b, batch)
+
         # 1. Apply deltas to the tables; accumulate the blocking delta.
+        #    Validation makes apply_delta infallible here; the rollback
+        #    guards against unexpected failures (a blocker raising
+        #    mid-chain would otherwise strand tables + index mid-batch).
         old_order = state.candidates.id_pairs()
         old_index = {pair_id: index for index, pair_id in enumerate(old_order)}
         current: Set[PairId] = set(old_order)
-        for delta in batch:
-            applied = apply_delta(self.table_a, self.table_b, delta)
-            pair_delta = self.blocker.pairs_for_delta(
-                self.table_a, self.table_b, applied
-            )
-            current.difference_update(pair_delta.lost)
-            current.update(pair_delta.gained)
-            stats.deltas_applied += 1
-            stats.pairs_gained += len(pair_delta.gained)
-            stats.pairs_lost += len(pair_delta.lost)
+        saved_a = self.table_a.snapshot()
+        saved_b = self.table_b.snapshot()
+        saved_index = self.blocker.save_delta_index()
+        try:
+            for delta in batch:
+                applied = apply_delta(self.table_a, self.table_b, delta)
+                pair_delta = self.blocker.pairs_for_delta(
+                    self.table_a, self.table_b, applied
+                )
+                current.difference_update(pair_delta.lost)
+                current.update(pair_delta.gained)
+                stats.deltas_applied += 1
+                stats.pairs_gained += len(pair_delta.gained)
+                stats.pairs_lost += len(pair_delta.lost)
+        except Exception:
+            self.table_a.restore(saved_a)
+            self.table_b.restore(saved_b)
+            self.blocker.restore_delta_index(saved_index)
+            raise
 
         # 2. Rebuild candidates (survivors keep their relative order) and
         #    gather surviving facts into a state over the new index space.
@@ -258,7 +289,10 @@ class StreamingSession:
 
         self.session.candidates = new_candidates
         self.session.state = new_state
-        stats.pairs_matched = new_state.match_count()
+        if affected:
+            stats.pairs_matched = int(
+                new_state.labels[np.asarray(affected, dtype=np.int64)].sum()
+            )
         stats.elapsed_seconds = time.perf_counter() - started
         net_lost = tuple(sorted(set(old_order).difference(current)))
         result = BatchResult(
@@ -267,6 +301,7 @@ class StreamingSession:
             lost=net_lost,
             affected_indices=tuple(affected),
             executed_parallel=parallel,
+            match_count=new_state.match_count(),
         )
         self.batch_history.append(result)
         return result

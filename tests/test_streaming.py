@@ -27,6 +27,7 @@ from repro.streaming import (
     DeltaBatch,
     StreamingSession,
     apply_delta,
+    validate_batch,
 )
 
 
@@ -131,6 +132,56 @@ class TestDeltaValidation:
         ])
         assert batch.touched_records() == ({"a1", "a9"}, {"b1"})
         assert len(batch) == 3
+
+
+class TestValidateBatch:
+    def test_valid_sequence_is_accepted_without_mutation(self):
+        table_a, table_b = _tiny_tables()
+        validate_batch(table_a, table_b, DeltaBatch([
+            Delta.insert("a", "a9", title="brand new"),
+            Delta.update("a", "a9", author="zed"),
+            Delta.delete("a", "a9"),
+            Delta.delete("b", "b1"),
+        ]))
+        assert "a9" not in table_a
+        assert "b1" in table_b
+
+    def test_duplicate_insert_within_batch_rejected(self):
+        table_a, table_b = _tiny_tables()
+        with pytest.raises(StreamingError, match="already in table"):
+            validate_batch(table_a, table_b, DeltaBatch([
+                Delta.insert("b", "b9", title="first"),
+                Delta.insert("b", "b9", title="second"),
+            ]))
+
+    def test_update_after_delete_rejected(self):
+        table_a, table_b = _tiny_tables()
+        with pytest.raises(StreamingError, match="no such record"):
+            validate_batch(table_a, table_b, DeltaBatch([
+                Delta.delete("a", "a1"),
+                Delta.update("a", "a1", title="ghost"),
+            ]))
+        assert "a1" in table_a  # untouched despite the valid first delta
+
+    def test_schema_violation_rejected(self):
+        table_a, table_b = _tiny_tables()
+        with pytest.raises(StreamingError, match="outside the schema"):
+            validate_batch(table_a, table_b, DeltaBatch([
+                Delta.insert("a", "a9", title="ok", price=3),
+            ]))
+        with pytest.raises(StreamingError, match="outside the schema"):
+            validate_batch(table_a, table_b, DeltaBatch([
+                Delta.update("a", "a1", bogus="nope"),
+            ]))
+
+    def test_error_names_batch_position(self):
+        table_a, table_b = _tiny_tables()
+        with pytest.raises(StreamingError, match=r"delta 2/3"):
+            validate_batch(table_a, table_b, DeltaBatch([
+                Delta.update("a", "a1", title="fine"),
+                Delta.delete("b", "no-such"),
+                Delta.update("a", "a2", title="never reached"),
+            ]))
 
 
 class TestApplyDelta:
@@ -270,10 +321,17 @@ class TestStreamingEquivalence:
                 "a", streaming.table_a[0].record_id, author="renamed"
             )
         )
-        rule = streaming.function.rules[0]
-        predicate = rule.predicates[0]
+        # Rule order depends on measured feature costs, so pick any
+        # predicate that *can* tighten rather than trusting rules[0]
+        # (a threshold-1.0 predicate would reject the change).
+        rule, predicate = next(
+            (r, p)
+            for r in streaming.function.rules
+            for p in r.predicates
+            if p.threshold + 0.05 <= 1.0
+        )
         change = TightenPredicate(
-            rule.name, predicate.slot, min(1.0, predicate.threshold + 0.05)
+            rule.name, predicate.slot, predicate.threshold + 0.05
         )
         streaming.apply(change)
         streaming.state.check_soundness()
@@ -307,6 +365,59 @@ class TestStreamingEquivalence:
         assert len(streaming.table_a) == n_before
 
 
+class TestBatchAtomicity:
+    """A batch that cannot apply in full must apply not at all."""
+
+    def test_invalid_tail_rejects_whole_batch(self, streaming):
+        before = _snapshot(streaming.candidates, streaming.state)
+        record_id = streaming.table_a[0].record_id
+        old_title = streaming.table_a.get(record_id).get("title")
+        with pytest.raises(StreamingError, match="no deltas were applied"):
+            streaming.ingest(DeltaBatch([
+                Delta.update("a", record_id, title="poisoned batch"),
+                Delta.delete("b", "no-such-id"),
+            ]))
+        # The valid head of the batch must not have leaked through.
+        assert streaming.table_a.get(record_id).get("title") == old_title
+        assert _snapshot(streaming.candidates, streaming.state) == before
+        assert not streaming.batch_history
+        # The session remains live and exact after the rejection.
+        streaming.ingest(Delta.update("a", record_id, title="clean update"))
+        _assert_equivalent(streaming, lambda: default_blocker("books"))
+
+    def test_midbatch_failure_rolls_back_tables_and_blocker(self, streaming):
+        before = _snapshot(streaming.candidates, streaming.state)
+        a_id = streaming.table_a[0].record_id
+        b_id = streaming.table_b[0].record_id
+        old_title = streaming.table_a.get(a_id).get("title")
+        calls = {"n": 0}
+
+        def flaky(table_a, table_b, applied):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("blocker exploded mid-chain")
+            return type(streaming.blocker).pairs_for_delta(
+                streaming.blocker, table_a, table_b, applied
+            )
+
+        streaming.blocker.pairs_for_delta = flaky
+        try:
+            with pytest.raises(RuntimeError, match="mid-chain"):
+                streaming.ingest(DeltaBatch([
+                    Delta.update("a", a_id, title="first applies"),
+                    Delta.update("b", b_id, title="second explodes"),
+                ]))
+        finally:
+            del streaming.blocker.pairs_for_delta
+        assert calls["n"] == 2
+        assert streaming.table_a.get(a_id).get("title") == old_title
+        assert _snapshot(streaming.candidates, streaming.state) == before
+        # The blocker's delta index was restored too: a later ingest still
+        # matches a from-scratch block+match of the live tables.
+        streaming.ingest(Delta.update("a", a_id, title="after rollback"))
+        _assert_equivalent(streaming, lambda: default_blocker("books"))
+
+
 class TestBatchResult:
     def test_counters_and_summary(self, streaming):
         record_id = streaming.table_b[0].record_id
@@ -317,6 +428,29 @@ class TestBatchResult:
         assert result.affected == len(result.affected_indices)
         assert "deltas=1" in result.summary()
         assert result.summary().endswith("[serial]")
+
+    def test_pairs_matched_counts_only_this_batch(self, streaming):
+        total_before = streaming.state.match_count()
+        clone = streaming.table_b[0].as_dict()
+        result = streaming.ingest(Delta.insert("b", "clone77", **clone))
+        # A pure insert invalidates nothing, so the change in the global
+        # match count is exactly the matches labeled among the new pairs.
+        assert result.stats.pairs_invalidated == 0
+        assert result.stats.pairs_matched <= result.affected
+        assert result.stats.pairs_matched == result.match_count - total_before
+        assert result.match_count == streaming.state.match_count()
+
+    def test_delete_only_batch_reports_no_new_matches(self, streaming):
+        record_id = streaming.table_b[0].record_id
+        result = streaming.ingest(Delta.delete("b", record_id))
+        # Nothing was re-matched, so the per-batch counter stays zero even
+        # though the state still holds matches (the old bug reported the
+        # full match count here, inflating total_batch_stats sums).
+        assert result.affected == 0
+        assert result.stats.pairs_matched == 0
+        assert result.match_count == streaming.state.match_count()
+        total = streaming.total_batch_stats()
+        assert total.pairs_matched == 0
 
     def test_total_batch_stats_accumulates(self, streaming):
         streaming.ingest(
