@@ -1,0 +1,134 @@
+"""Observability overhead — instrumented runs must not distort the work.
+
+Not a paper figure: this is the acceptance gate for the observability
+layer.  Two claims are checked on the products workload at bench scale:
+
+1. **Counter identity.**  A run with tracing+metrics attached (and a run
+   with sampled profiling on top) performs *exactly* the same matching
+   work as a bare run: every :class:`~repro.core.MatchStats` counter and
+   every label is identical.  The instruments observe; they never steer.
+
+2. **Bounded wall-clock overhead.**  Span bookkeeping and the metrics
+   bridge are O(phases), not O(pairs), so an instrumented run stays
+   within a small factor of the bare run.  The bound is deliberately
+   generous (2x + 0.5 s on the best-of-N time) because CI hosts are
+   noisy; the interesting regressions — accidentally tracing per pair or
+   profiling without sampling — blow past it by an order of magnitude.
+
+Run with ``-s`` to see the measured overhead table (the numbers quoted
+in ``docs/observability.md`` come from this module).
+"""
+
+import time
+
+import pytest
+
+from repro.core import DebugSession
+from repro.observability import DEFAULT_SAMPLE_EVERY, Observability
+
+from conftest import print_series, rule_subset
+
+#: timing repeats; best-of is compared so one slow run cannot fail CI.
+REPEATS = 3
+
+#: generous multiplicative + additive slack for the wall-clock bound.
+OVERHEAD_FACTOR = 2.0
+OVERHEAD_SLACK_SECONDS = 0.5
+
+
+@pytest.fixture(scope="module")
+def bench_function(products_workload):
+    """A mid-size rule subset — one bare run lands well under a second."""
+    return rule_subset(products_workload.function, 60, seed=11)
+
+
+def _timed_run(candidates, function, observability):
+    # ordering="original": cost estimates are *measured*, so algorithm6
+    # could order rules differently across runs on a noisy host, changing
+    # the counters for reasons unrelated to observability.  Identity
+    # ordering makes the work, and therefore the counters, deterministic.
+    session = DebugSession(
+        candidates, function, ordering="original", observability=observability
+    )
+    started = time.perf_counter()
+    result = session.run()
+    return time.perf_counter() - started, result
+
+
+def _counters(stats):
+    return (
+        stats.pairs_evaluated,
+        stats.pairs_matched,
+        stats.rule_evaluations,
+        stats.predicate_evaluations,
+        stats.feature_computations,
+        stats.memo_hits,
+        dict(stats.computations_by_feature),
+    )
+
+
+def test_observability_overhead(bench_candidates, bench_function):
+    bare_times, traced_times, profiled_times = [], [], []
+    bare = traced = profiled = None
+    observability = profiling = None
+    for _ in range(REPEATS):
+        seconds, bare = _timed_run(bench_candidates, bench_function, None)
+        bare_times.append(seconds)
+
+        observability = Observability()
+        seconds, traced = _timed_run(
+            bench_candidates, bench_function, observability
+        )
+        traced_times.append(seconds)
+
+        profiling = Observability(profile=True, sample_every=DEFAULT_SAMPLE_EVERY)
+        seconds, profiled = _timed_run(
+            bench_candidates, bench_function, profiling
+        )
+        profiled_times.append(seconds)
+
+    # -- claim 1: observation does not change the observed work ---------
+    assert _counters(traced.stats) == _counters(bare.stats)
+    assert _counters(profiled.stats) == _counters(bare.stats)
+    assert (traced.labels == bare.labels).all()
+    assert (profiled.labels == bare.labels).all()
+
+    # the instruments did actually run
+    assert observability.tracer.log.find("run") is not None
+    assert observability.metrics.value("run.pairs_evaluated") == (
+        bare.stats.pairs_evaluated
+    )
+    assert any(
+        histogram.count
+        for histogram in profiling.profiler.feature_costs.values()
+    )
+
+    # -- claim 2: bounded overhead --------------------------------------
+    best_bare = min(bare_times)
+    best_traced = min(traced_times)
+    best_profiled = min(profiled_times)
+    bound = OVERHEAD_FACTOR * best_bare + OVERHEAD_SLACK_SECONDS
+    assert best_traced <= bound, (
+        f"tracing overhead too high: {best_traced:.3f}s vs bare "
+        f"{best_bare:.3f}s (bound {bound:.3f}s)"
+    )
+    assert best_profiled <= bound, (
+        f"profiling overhead too high: {best_profiled:.3f}s vs bare "
+        f"{best_bare:.3f}s (bound {bound:.3f}s)"
+    )
+
+    def row(mode, best):
+        overhead = (best / best_bare - 1.0) * 100.0 if best_bare else 0.0
+        return [mode, f"{best * 1e3:.1f}", f"{overhead:+.1f}%"]
+
+    print_series(
+        "observability overhead (best of "
+        f"{REPEATS}, {len(bench_candidates)} pairs, "
+        f"{len(bench_function.rules)} rules)",
+        ["mode", "best_ms", "vs bare"],
+        [
+            row("bare (observability=None)", best_bare),
+            row("tracing + metrics", best_traced),
+            row(f"+ profiling (1/{DEFAULT_SAMPLE_EVERY})", best_profiled),
+        ],
+    )

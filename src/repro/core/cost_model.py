@@ -169,6 +169,29 @@ class Estimates:
             selectivity *= self.joint_selectivity(group.predicates)
         return selectivity
 
+    def with_feature_costs(self, overrides: Dict[str, float]) -> "Estimates":
+        """A copy with some feature costs replaced (fresh caches).
+
+        Selectivities stay sample-based — only ``feature_costs`` entries
+        named in ``overrides`` change.  Used by cost-model drift detection
+        (:func:`repro.observability.drift.detect_drift`) to ask "would the
+        chosen order change under *observed* costs?" without mutating the
+        session's estimates.
+        """
+        unknown = set(overrides) - set(self.feature_costs)
+        if unknown:
+            raise EstimationError(
+                f"cannot override costs of unestimated features: "
+                f"{sorted(unknown)}"
+            )
+        return Estimates(
+            feature_costs={**self.feature_costs, **overrides},
+            lookup_cost=self.lookup_cost,
+            sample_values=self.sample_values,
+            sample_size=self.sample_size,
+            mode=self.mode,
+        )
+
 
 @dataclass
 class PredicateGroup:

@@ -149,6 +149,7 @@ class PairEvaluator:
         memo: Optional[FeatureMemo] = None,
         recorder: Optional[TraceRecorder] = None,
         check_cache_first: bool = False,
+        profiler=None,
     ):
         if check_cache_first and memo is None:
             raise MatchingError("check_cache_first requires a memo")
@@ -156,6 +157,11 @@ class PairEvaluator:
         self.memo = memo
         self.recorder = recorder
         self.check_cache_first = check_cache_first
+        # Optional repro.observability.Profiler: samples wall-clock of
+        # feature computations / rule evaluations and counts predicate
+        # outcomes.  Never touches stats — with profiler=None the counters
+        # and control flow are identical to the unprofiled build.
+        self.profiler = profiler
         # Per-pair local view of the memo: within one pair's evaluation the
         # same feature may be referenced by hundreds of predicates across
         # rules, and a plain dict lookup is much cheaper than the backing
@@ -180,7 +186,15 @@ class PairEvaluator:
                 self.stats.memo_hits += 1
                 self._local[feature.name] = cached
                 return cached
-        value = feature.compute(pair.record_a, pair.record_b)
+        profiler = self.profiler
+        if profiler is None:
+            value = feature.compute(pair.record_a, pair.record_b)
+        elif profiler.sample_feature(feature.name):
+            started = profiler.clock()
+            value = feature.compute(pair.record_a, pair.record_b)
+            profiler.record_feature(feature.name, profiler.clock() - started)
+        else:
+            value = feature.compute(pair.record_a, pair.record_b)
         self.stats.record_computation(feature.name)
         if self.memo is not None:
             self.memo.put(pair.index, feature.name, value)
@@ -195,6 +209,8 @@ class PairEvaluator:
         value = self.feature_value(pair, predicate.feature)
         self.stats.predicate_evaluations += 1
         result = predicate.evaluate(value)
+        if self.profiler is not None:
+            self.profiler.record_predicate(predicate.pid, result)
         if not result and self.recorder is not None:
             self.recorder.record_predicate_false(
                 pair.index, rule_name, predicate.slot
@@ -222,6 +238,16 @@ class PairEvaluator:
     def rule_true(self, pair: CandidatePair, rule: Rule) -> bool:
         """Evaluate one rule with intra-rule early exit."""
         self.stats.rule_evaluations += 1
+        profiler = self.profiler
+        if profiler is not None and profiler.sample_rule(rule.name):
+            started = profiler.clock()
+            result = True
+            for predicate in self._rule_predicate_order(pair, rule):
+                if not self.predicate_true(pair, predicate, rule.name):
+                    result = False
+                    break
+            profiler.record_rule(rule.name, profiler.clock() - started)
+            return result
         for predicate in self._rule_predicate_order(pair, rule):
             if not self.predicate_true(pair, predicate, rule.name):
                 return False
@@ -397,6 +423,7 @@ class DynamicMemoMatcher(Matcher):
         memo_backend: str = "array",
         check_cache_first: bool = False,
         recorder: Optional[TraceRecorder] = None,
+        profiler=None,
     ):
         if memo_backend not in ("array", "hash"):
             raise MatchingError(
@@ -406,6 +433,7 @@ class DynamicMemoMatcher(Matcher):
         self.memo_backend = memo_backend
         self.check_cache_first = check_cache_first
         self.recorder = recorder
+        self.profiler = profiler
         self.last_memo: Optional[FeatureMemo] = memo
 
     def _make_memo(self, function: MatchingFunction, candidates: CandidateSet) -> FeatureMemo:
@@ -422,6 +450,7 @@ class DynamicMemoMatcher(Matcher):
             memo=memo,
             recorder=self.recorder,
             check_cache_first=self.check_cache_first,
+            profiler=self.profiler,
         )
         for pair in candidates:
             labels[pair.index] = (

@@ -102,10 +102,14 @@ class DebugSession:
         memo_backend: str = "array",
         check_cache_first: bool = True,
         paranoid: bool = False,
+        observability=None,
     ):
         """``paranoid=True`` re-validates the incremental state against a
         from-scratch run after every change — O(full run) per edit, test
-        use only."""
+        use only.  ``observability`` (a
+        :class:`repro.observability.Observability`) collects spans,
+        metrics, and optional profiles across every run of this session;
+        ``None`` (the default) keeps the seed code paths untouched."""
         if isinstance(function, str):
             function = parse_function(function)
         self.candidates = candidates
@@ -116,6 +120,7 @@ class DebugSession:
         self.memo_backend = memo_backend
         self.check_cache_first = check_cache_first
         self.paranoid = paranoid
+        self.observability = observability
         self.estimates: Optional[Estimates] = None
         self.state: Optional[MatchState] = None
         self.history: List[IncrementalResult] = []
@@ -134,21 +139,37 @@ class DebugSession:
         parallel engine falls back to serial automatically when the pool
         cannot be used.
         """
+        from ..observability import maybe_span, record_match_stats
+
+        observability = self.observability
         function = self.initial_function
-        if self.ordering_strategy not in ("original", "random"):
-            self.estimates = self.estimator.estimate(function, self.candidates)
-        function = order_function(
-            function, self.estimates, self.ordering_strategy
-        )
-        if workers > 1:
-            result = self._run_parallel(function, workers)
-        else:
-            self.state, result = MatchState.from_initial_run(
-                function,
-                self.candidates,
-                memo_backend=self.memo_backend,
-                check_cache_first=self.check_cache_first,
-            )
+        with maybe_span(
+            observability, "run", workers=workers, pairs=len(self.candidates)
+        ):
+            if self.ordering_strategy not in ("original", "random"):
+                with maybe_span(observability, "estimate"):
+                    self.estimates = self.estimator.estimate(
+                        function, self.candidates
+                    )
+            with maybe_span(observability, "order", strategy=self.ordering_strategy):
+                function = order_function(
+                    function, self.estimates, self.ordering_strategy
+                )
+            with maybe_span(observability, "match"):
+                if workers > 1:
+                    result = self._run_parallel(function, workers)
+                else:
+                    self.state, result = MatchState.from_initial_run(
+                        function,
+                        self.candidates,
+                        memo_backend=self.memo_backend,
+                        check_cache_first=self.check_cache_first,
+                        profiler=(
+                            observability.profiler if observability else None
+                        ),
+                    )
+        if observability is not None:
+            record_match_stats(observability.metrics, result.stats, prefix="run")
         self.last_run = result
         return result
 
@@ -177,6 +198,7 @@ class DebugSession:
             check_cache_first=self.check_cache_first,
             recorder=state,
             estimates=self.estimates,
+            observability=self.observability,
         )
         result = matcher.run(function, self.candidates)
         state.labels = result.labels.copy()

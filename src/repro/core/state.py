@@ -77,11 +77,14 @@ class MatchState:
         memo_backend: str = "array",
         memo: Optional[FeatureMemo] = None,
         check_cache_first: bool = False,
+        profiler=None,
     ) -> Tuple["MatchState", MatchResult]:
         """Run DM+EE once, materializing state as a side effect.
 
         This is the "first iteration is slow" of the paper's Figure 5C —
         the memo is cold and every bitmap is built from scratch.
+        ``profiler`` (a :class:`repro.observability.Profiler`) samples
+        observed costs during the run without touching the counters.
         """
         if memo is None:
             names = [feature.name for feature in function.features()]
@@ -92,7 +95,10 @@ class MatchState:
             )
         state = cls(function, candidates, memo, check_cache_first)
         matcher = DynamicMemoMatcher(
-            memo=memo, check_cache_first=check_cache_first, recorder=state
+            memo=memo,
+            check_cache_first=check_cache_first,
+            recorder=state,
+            profiler=profiler,
         )
         result = matcher.run(function, candidates)
         state.labels = result.labels.copy()

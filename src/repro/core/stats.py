@@ -105,7 +105,15 @@ class MatchStats:
         return computed + self.memo_hits * lookup_cost
 
     def merged_with(self, other: "MatchStats") -> "MatchStats":
-        """Sum of two stats objects (used to aggregate session history)."""
+        """Sum of two *sequential* stats objects (session/batch history).
+
+        Everything adds: work counters, wall-clock, per-phase seconds
+        (the runs happened one after another, so their clocks accumulate),
+        and per-chunk timing records concatenate in order — a streaming
+        batch that re-matched on the pool keeps its worker accounting
+        when batches are totaled.  Use :meth:`merge` for concurrent
+        (parallel-chunk) semantics where clocks take the max instead.
+        """
         merged = MatchStats(
             feature_computations=self.feature_computations + other.feature_computations,
             memo_hits=self.memo_hits + other.memo_hits,
@@ -122,6 +130,12 @@ class MatchStats:
         merged.computations_by_feature = (
             self.computations_by_feature + other.computations_by_feature
         )
+        for phases in (self.phase_seconds, other.phase_seconds):
+            for phase, seconds in phases.items():
+                merged.phase_seconds[phase] = (
+                    merged.phase_seconds.get(phase, 0.0) + seconds
+                )
+        merged.worker_timings = [*self.worker_timings, *other.worker_timings]
         return merged
 
     def merge(self, other: "MatchStats") -> "MatchStats":

@@ -1,0 +1,148 @@
+"""Unified observability layer: tracing, metrics, profiling, drift.
+
+One :class:`Observability` object rides along a debugging session (serial,
+parallel, or streaming) and collects three coordinated views of a run:
+
+* **spans** (:mod:`repro.observability.spans`) — where wall-clock time
+  went, as a nested tree; parallel workers record locally and the parent
+  splices their logs under the dispatching span;
+* **metrics** (:mod:`repro.observability.metrics`) — the counters that
+  previously lived separately in ``MatchStats``, ``WorkerTiming``, and the
+  streaming batch results, unified in one registry with
+  ``snapshot()/merge()/diff()`` and JSON-lines export;
+* **profile** (:mod:`repro.observability.profiler`) — sampled observed
+  per-feature/per-rule costs and exact predicate selectivities, feeding
+  :func:`~repro.observability.drift.detect_drift`.
+
+Everything is opt-in: sessions built without an ``Observability`` run the
+exact seed code paths (matcher counters byte-identical), and a disabled
+tracer/absent profiler costs one pointer check on the paths it touches.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Optional
+
+from .drift import (
+    DriftReport,
+    FeatureDrift,
+    PredicateDrift,
+    detect_drift,
+    order_signature,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_batch_result,
+    record_match_stats,
+)
+from .profiler import DEFAULT_SAMPLE_EVERY, Profiler
+from .spans import SpanLog, SpanRecord, Tracer
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "SpanLog",
+    "SpanRecord",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Profiler",
+    "DriftReport",
+    "FeatureDrift",
+    "PredicateDrift",
+    "detect_drift",
+    "order_signature",
+    "record_match_stats",
+    "record_batch_result",
+    "maybe_span",
+]
+
+
+class Observability:
+    """Tracer + metrics registry + optional profiler, as one handle.
+
+    ``enabled`` controls tracing; ``profile`` attaches a
+    :class:`Profiler` with the given ``sample_every``.  The object is
+    shared — a :class:`~repro.core.session.DebugSession`, the parallel
+    executor it dispatches to, and a wrapping
+    :class:`~repro.streaming.session.StreamingSession` all write into the
+    same span log and registry, which is what makes one run's telemetry
+    coherent end to end.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        profile: bool = False,
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+    ):
+        self.tracer = Tracer(enabled=enabled)
+        self.metrics = MetricsRegistry()
+        self.profiler: Optional[Profiler] = (
+            Profiler(sample_every=sample_every) if profile else None
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def enable_profiling(
+        self, sample_every: int = DEFAULT_SAMPLE_EVERY
+    ) -> Profiler:
+        """Attach (or replace) the profiler; returns it."""
+        self.profiler = Profiler(sample_every=sample_every)
+        return self.profiler
+
+    def disable_profiling(self) -> None:
+        self.profiler = None
+
+    def export_json_lines(self) -> str:
+        """Spans then metrics, one JSON object per line.
+
+        Span lines carry ``"kind": "span"``, metric lines ``"kind":
+        "metric"`` — a consumer can split the stream back apart.
+        """
+        import json
+
+        lines = []
+        for record in self.tracer.log:
+            lines.append(
+                json.dumps(
+                    {"kind": "span", **record.as_dict()},
+                    sort_keys=True,
+                    default=str,
+                )
+            )
+        for name, data in self.metrics.snapshot().items():
+            lines.append(
+                json.dumps({"kind": "metric", "name": name, **data}, sort_keys=True)
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        profiling = (
+            f"profiling 1/{self.profiler.sample_every}"
+            if self.profiler
+            else "no profiler"
+        )
+        return (
+            f"Observability({'enabled' if self.enabled else 'disabled'}, "
+            f"{len(self.tracer.log)} spans, {len(self.metrics)} metrics, "
+            f"{profiling})"
+        )
+
+
+def maybe_span(observability: Optional[Observability], name: str, **attrs):
+    """``observability.tracer.span(...)`` or a no-op context manager.
+
+    The one-liner every integration point uses so the ``None`` (fully
+    disabled) case stays branch-free at the call site.
+    """
+    if observability is None or not observability.tracer.enabled:
+        return nullcontext()
+    return observability.tracer.span(name, **attrs)

@@ -1,0 +1,251 @@
+"""Cost-model drift detection.
+
+The §4.4 cost model plans rule/predicate order from *estimates* taken on
+a 1 % sample before the first run.  Estimates go stale: data deltas shift
+selectivities, cache pressure and input growth shift per-feature costs,
+and an edited rule set reaches different predicates.  This module
+compares what the :class:`~repro.observability.profiler.Profiler`
+*observed* against the session's
+:class:`~repro.core.cost_model.Estimates` and answers the question the
+analyst actually has: **would re-estimating change the chosen order?**
+
+:func:`detect_drift` flags
+
+* features whose observed mean cost is off by more than
+  ``cost_tolerance``× (either direction),
+* predicates whose observed selectivity moved more than
+  ``selectivity_tolerance`` in absolute terms, and
+* whether re-running the session's ordering strategy with observed
+  feature costs substituted into the estimates yields a different
+  rule/predicate order (selectivities stay sample-based — they enter the
+  patched estimates unchanged, so the order check isolates *cost* drift;
+  selectivity drift is reported separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.cost_model import Estimates
+from ..core.ordering import order_function
+from ..core.rules import MatchingFunction
+from .profiler import Profiler
+
+#: flag a feature when observed/estimated cost ratio exceeds this (or its
+#: inverse) — 2x either way by default.
+DEFAULT_COST_TOLERANCE = 2.0
+#: flag a predicate when |observed - estimated| selectivity exceeds this.
+DEFAULT_SELECTIVITY_TOLERANCE = 0.15
+
+#: (rule name, predicate slots in order) — the shape the order check compares.
+OrderSignature = Tuple[Tuple[str, Tuple[str, ...]], ...]
+
+
+@dataclass
+class FeatureDrift:
+    """Observed-vs-estimated cost of one feature."""
+
+    name: str
+    estimated_cost: float
+    observed_cost: float
+    samples: int
+    drifted: bool
+
+    @property
+    def ratio(self) -> float:
+        if self.estimated_cost <= 0.0:
+            return float("inf") if self.observed_cost > 0.0 else 1.0
+        return self.observed_cost / self.estimated_cost
+
+
+@dataclass
+class PredicateDrift:
+    """Observed-vs-estimated selectivity of one predicate."""
+
+    pid: str
+    estimated_selectivity: float
+    observed_selectivity: float
+    evaluations: int
+    drifted: bool
+
+    @property
+    def delta(self) -> float:
+        return self.observed_selectivity - self.estimated_selectivity
+
+
+@dataclass
+class DriftReport:
+    """Everything :func:`detect_drift` concluded, renderable for the CLI."""
+
+    features: List[FeatureDrift] = field(default_factory=list)
+    predicates: List[PredicateDrift] = field(default_factory=list)
+    order_before: OrderSignature = ()
+    order_after: OrderSignature = ()
+    ordering_strategy: str = "algorithm6"
+    cost_tolerance: float = DEFAULT_COST_TOLERANCE
+    selectivity_tolerance: float = DEFAULT_SELECTIVITY_TOLERANCE
+
+    @property
+    def order_changed(self) -> bool:
+        return self.order_before != self.order_after
+
+    def drifted_features(self) -> List[FeatureDrift]:
+        return [drift for drift in self.features if drift.drifted]
+
+    def drifted_predicates(self) -> List[PredicateDrift]:
+        return [drift for drift in self.predicates if drift.drifted]
+
+    @property
+    def any_drift(self) -> bool:
+        return (
+            bool(self.drifted_features())
+            or bool(self.drifted_predicates())
+            or self.order_changed
+        )
+
+    def render(self) -> str:
+        lines: List[str] = []
+        flagged = self.drifted_features()
+        if flagged:
+            lines.append(
+                f"feature cost drift (>{self.cost_tolerance:g}x, "
+                f"{len(flagged)}/{len(self.features)} observed features):"
+            )
+            for drift in sorted(flagged, key=lambda d: d.ratio, reverse=True):
+                lines.append(
+                    f"  {drift.name}: est {drift.estimated_cost * 1e6:.2f}us "
+                    f"-> obs {drift.observed_cost * 1e6:.2f}us "
+                    f"({drift.ratio:.1f}x, {drift.samples} samples)"
+                )
+        else:
+            lines.append(
+                f"feature costs: no drift beyond {self.cost_tolerance:g}x "
+                f"({len(self.features)} observed features)"
+            )
+        flagged = self.drifted_predicates()
+        if flagged:
+            lines.append(
+                f"predicate selectivity drift (>|{self.selectivity_tolerance:g}|, "
+                f"{len(flagged)}/{len(self.predicates)} observed predicates):"
+            )
+            for drift in sorted(flagged, key=lambda d: abs(d.delta), reverse=True):
+                lines.append(
+                    f"  {drift.pid}: est {drift.estimated_selectivity:.3f} "
+                    f"-> obs {drift.observed_selectivity:.3f} "
+                    f"({drift.delta:+.3f}, {drift.evaluations} evals)"
+                )
+        else:
+            lines.append(
+                f"predicate selectivities: no drift beyond "
+                f"{self.selectivity_tolerance:g} "
+                f"({len(self.predicates)} observed predicates)"
+            )
+        if self.order_changed:
+            before = " > ".join(name for name, _slots in self.order_before)
+            after = " > ".join(name for name, _slots in self.order_after)
+            lines.append(
+                f"ordering ({self.ordering_strategy}): WOULD CHANGE under "
+                f"observed costs"
+            )
+            lines.append(f"  current:      {before}")
+            lines.append(f"  re-estimated: {after}")
+            lines.append("  -> consider 'reorder' / DebugSession.reorder()")
+        else:
+            lines.append(
+                f"ordering ({self.ordering_strategy}): stable — re-estimation "
+                f"would keep the current rule/predicate order"
+            )
+        return "\n".join(lines)
+
+
+def order_signature(function: MatchingFunction) -> OrderSignature:
+    """Rule order plus within-rule predicate slot order, for comparison."""
+    return tuple(
+        (rule.name, tuple(predicate.slot for predicate in rule.predicates))
+        for rule in function.rules
+    )
+
+
+def detect_drift(
+    function: MatchingFunction,
+    estimates: Estimates,
+    profile: Union[Profiler, dict],
+    ordering_strategy: str = "algorithm6",
+    cost_tolerance: float = DEFAULT_COST_TOLERANCE,
+    selectivity_tolerance: float = DEFAULT_SELECTIVITY_TOLERANCE,
+) -> DriftReport:
+    """Compare observed costs/selectivities to ``estimates``.
+
+    ``profile`` is a :class:`Profiler` or one of its snapshots (e.g.
+    merged back from parallel workers).  Only features/predicates the
+    profiler actually observed are compared — unobserved ones cannot have
+    drifted observably.  The ordering check re-runs ``ordering_strategy``
+    with observed mean feature costs patched into the estimates and
+    reports whether the resulting rule/predicate order differs from
+    ordering the same function with the original estimates.
+    """
+    profiler = (
+        profile if isinstance(profile, Profiler) else Profiler.from_snapshot(profile)
+    )
+
+    feature_drifts: List[FeatureDrift] = []
+    observed_costs: Dict[str, float] = {}
+    for feature in function.features():
+        observed = profiler.observed_feature_cost(feature.name)
+        if observed is None or not estimates.has_feature(feature):
+            continue
+        estimated = estimates.cost(feature)
+        observed_costs[feature.name] = observed
+        ratio = observed / estimated if estimated > 0.0 else float("inf")
+        drifted = ratio > cost_tolerance or ratio < 1.0 / cost_tolerance
+        feature_drifts.append(
+            FeatureDrift(
+                name=feature.name,
+                estimated_cost=estimated,
+                observed_cost=observed,
+                samples=profiler.feature_costs[feature.name].count,
+                drifted=drifted,
+            )
+        )
+
+    predicate_drifts: List[PredicateDrift] = []
+    for rule in function.rules:
+        for predicate in rule.predicates:
+            observed = profiler.observed_selectivity(predicate.pid)
+            if observed is None:
+                continue
+            try:
+                estimated = estimates.selectivity(predicate)
+            except Exception:
+                continue  # feature not in the sample — nothing to compare
+            predicate_drifts.append(
+                PredicateDrift(
+                    pid=predicate.pid,
+                    estimated_selectivity=estimated,
+                    observed_selectivity=observed,
+                    evaluations=profiler.predicate_evals[predicate.pid],
+                    drifted=abs(observed - estimated) > selectivity_tolerance,
+                )
+            )
+
+    before: OrderSignature = ()
+    after: OrderSignature = ()
+    if observed_costs and ordering_strategy not in ("original", "random"):
+        patched = estimates.with_feature_costs(observed_costs)
+        before = order_signature(
+            order_function(function, estimates, ordering_strategy)
+        )
+        after = order_signature(
+            order_function(function, patched, ordering_strategy)
+        )
+
+    return DriftReport(
+        features=feature_drifts,
+        predicates=predicate_drifts,
+        order_before=before,
+        order_after=after,
+        ordering_strategy=ordering_strategy,
+        cost_tolerance=cost_tolerance,
+        selectivity_tolerance=selectivity_tolerance,
+    )

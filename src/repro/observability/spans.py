@@ -1,0 +1,240 @@
+"""Structured tracing: lightweight nested spans.
+
+A :class:`Tracer` records *spans* — named, timed, attributed intervals —
+into a :class:`SpanLog`.  Spans nest through an explicit stack kept by the
+tracer, so ``span("match") > span("rule:r3") > span("feature:jaccard")``
+falls out of ordinary ``with`` nesting.
+
+The log is deliberately dumb and **picklable**: plain records with integer
+ids, no live references.  That mirrors how
+:class:`~repro.core.matchers.TraceLog` travels back from parallel workers
+— each worker traces into its own local ``SpanLog`` and the parent
+*splices* the child log under the span that dispatched the chunk
+(:meth:`SpanLog.splice`), re-identifying and re-parenting every child
+span.  A spliced tree is indistinguishable from one recorded live in a
+single process, except that child timestamps are rebased (worker clocks
+share no epoch with the parent).
+
+Disabled tracing costs one attribute check per ``span()`` call and
+allocates nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    #: seconds since the owning log's epoch.
+    start: float
+    #: seconds; -1.0 while the span is still open.
+    duration: float = -1.0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+class SpanLog:
+    """An append-only list of span records with tree helpers.
+
+    Records are kept in *start order*, which is also a valid topological
+    order (a child starts after its parent) — rendering and JSON export
+    need no sorting.
+    """
+
+    def __init__(self):
+        self.records: List[SpanRecord] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------- record
+
+    def new_span(
+        self,
+        name: str,
+        parent_id: Optional[int],
+        start: float,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> SpanRecord:
+        record = SpanRecord(
+            span_id=self._next_id,
+            parent_id=parent_id,
+            name=name,
+            start=start,
+            attrs=dict(attrs or {}),
+        )
+        self._next_id += 1
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(self.records)
+
+    def roots(self) -> List[SpanRecord]:
+        return [record for record in self.records if record.parent_id is None]
+
+    def children(self, span_id: int) -> List[SpanRecord]:
+        return [record for record in self.records if record.parent_id == span_id]
+
+    def find(self, name: str) -> Optional[SpanRecord]:
+        """First span with the given name, in start order."""
+        for record in self.records:
+            if record.name == name:
+                return record
+        return None
+
+    # ------------------------------------------------------------- splice
+
+    def splice(
+        self,
+        child: "SpanLog",
+        parent_id: Optional[int] = None,
+        time_offset: float = 0.0,
+    ) -> int:
+        """Graft every span of ``child`` into this log.
+
+        Child span ids are rebased past this log's id space, child *root*
+        spans are re-parented under ``parent_id``, and child timestamps are
+        shifted by ``time_offset`` (the parent-epoch second at which the
+        child's clock started — worker clocks share no epoch with the
+        parent, so child starts are only meaningful relative to each
+        other).  Returns the number of spans spliced.  The analogue of
+        :meth:`~repro.core.matchers.TraceLog.replay_into` for spans.
+        """
+        if not child.records:
+            return 0
+        id_offset = self._next_id
+        base = min(record.start for record in child.records)
+        for record in child.records:
+            self.records.append(
+                SpanRecord(
+                    span_id=record.span_id + id_offset,
+                    parent_id=(
+                        record.parent_id + id_offset
+                        if record.parent_id is not None
+                        else parent_id
+                    ),
+                    name=record.name,
+                    start=record.start - base + time_offset,
+                    duration=record.duration,
+                    attrs=dict(record.attrs),
+                )
+            )
+        self._next_id += child._next_id
+        return len(child.records)
+
+    # ------------------------------------------------------------- export
+
+    def to_json_lines(self) -> str:
+        """One JSON object per span, in start order."""
+        return "\n".join(
+            json.dumps(record.as_dict(), sort_keys=True, default=str)
+            for record in self.records
+        )
+
+    def render(self, unit_ms: bool = True) -> str:
+        """ASCII tree of the span forest with durations."""
+        by_parent: Dict[Optional[int], List[SpanRecord]] = {}
+        for record in self.records:
+            by_parent.setdefault(record.parent_id, []).append(record)
+
+        lines: List[str] = []
+
+        def walk(record: SpanRecord, depth: int) -> None:
+            if record.duration >= 0.0:
+                took = (
+                    f"{record.duration * 1000:.2f}ms"
+                    if unit_ms
+                    else f"{record.duration:.6f}s"
+                )
+            else:
+                took = "open"
+            attrs = (
+                " " + " ".join(f"{k}={v}" for k, v in record.attrs.items())
+                if record.attrs
+                else ""
+            )
+            lines.append(f"{'  ' * depth}{record.name}  [{took}]{attrs}")
+            for child in by_parent.get(record.span_id, []):
+                walk(child, depth + 1)
+
+        for root in by_parent.get(None, []):
+            walk(root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"SpanLog({len(self.records)} spans, {len(self.roots())} roots)"
+
+
+class Tracer:
+    """Records nested spans into a :class:`SpanLog`.
+
+    ``enabled=False`` makes :meth:`span` a no-op context manager yielding
+    ``None`` — callers never need to branch on the flag themselves.
+    """
+
+    def __init__(self, enabled: bool = True, log: Optional[SpanLog] = None):
+        self.enabled = enabled
+        self.log = log if log is not None else SpanLog()
+        self._stack: List[int] = []
+        self._epoch = time.perf_counter()
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a span named ``name``; attributes become span attrs."""
+        if not self.enabled:
+            yield None
+            return
+        parent_id = self._stack[-1] if self._stack else None
+        record = self.log.new_span(name, parent_id, self._now(), attrs)
+        self._stack.append(record.span_id)
+        try:
+            yield record
+        finally:
+            self._stack.pop()
+            record.duration = self._now() - record.start
+
+    def current_span_id(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def splice(
+        self, child: SpanLog, parent_id: Optional[int] = None
+    ) -> int:
+        """Splice a worker-recorded log under ``parent_id`` (default: the
+        currently open span), rebasing child times to *now*."""
+        if not self.enabled:
+            return 0
+        if parent_id is None:
+            parent_id = self.current_span_id()
+        return self.log.splice(child, parent_id=parent_id, time_offset=self._now())
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, {len(self.log)} spans)"

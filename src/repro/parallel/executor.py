@@ -32,6 +32,7 @@ from ..core.memo import ArrayMemo, FeatureMemo, HashMemo
 from ..core.rules import MatchingFunction
 from ..data.pairs import CandidateSet
 from ..errors import ParallelExecutionError
+from ..observability import maybe_span
 from .partitioner import (
     DEFAULT_MIN_CHUNK_SIZE,
     DEFAULT_TARGET_CHUNK_SECONDS,
@@ -83,6 +84,7 @@ class ParallelMatcher:
         chunks_per_worker: int = 4,
         check_memo_conflicts: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        observability=None,
     ):
         self.workers = workers if workers is not None else _default_workers()
         if self.workers < 1:
@@ -100,6 +102,9 @@ class ParallelMatcher:
         self.chunks_per_worker = chunks_per_worker
         self.check_memo_conflicts = check_memo_conflicts
         self.fault_plan = dict(fault_plan or {})
+        #: repro.observability.Observability: spans for every phase, worker
+        #: span logs spliced back, worker profiles merged.  None = seed paths.
+        self.observability = observability
         self.last_plan: Optional[PartitionPlan] = None
         self.last_memo: Optional[FeatureMemo] = memo
         self.fallback_reason: Optional[str] = None
@@ -112,85 +117,154 @@ class ParallelMatcher:
     ) -> MatchResult:
         self.fallback_reason = None
         self.last_plan = None
+        observability = self.observability
         started = time.perf_counter()
 
-        partition_started = time.perf_counter()
-        plan = plan_partition(
-            len(candidates),
-            self.workers,
-            function=function,
-            estimates=self.estimates,
-            target_chunk_seconds=self.target_chunk_seconds,
-            chunks_per_worker=self.chunks_per_worker,
-            min_chunk_size=self.min_chunk_size,
-        )
-        partition_seconds = time.perf_counter() - partition_started
-        self.last_plan = plan
-
-        # Mirror DynamicMemoMatcher: without a supplied memo a fresh one is
-        # created per run and exposed afterwards as last_memo.
-        memo = self.memo
-        if memo is None:
-            names = [feature.name for feature in function.features()]
-            if self.memo_backend == "array":
-                memo = ArrayMemo(len(candidates), names)
-            else:
-                memo = HashMemo(len(candidates), names)
-        self.last_memo = memo
-
-        if self.workers <= 1 or len(plan) <= 1:
-            return self._run_serial(function, candidates, memo, "workers<=1 or single chunk")
-
-        serialize_started = time.perf_counter()
-        try:
-            serialized = serialize_function(function)
-        except ParallelExecutionError as error:
-            return self._run_serial(
-                function, candidates, memo, f"function not serializable: {error}"
-            )
-        tasks = [
-            self._attach_fault(
-                build_chunk_task(
-                    chunk,
-                    candidates,
-                    serialized,
-                    collect_trace=self.recorder is not None,
-                    check_cache_first=self.check_cache_first,
+        with maybe_span(
+            observability,
+            "parallel_run",
+            workers=self.workers,
+            pairs=len(candidates),
+        ):
+            partition_started = time.perf_counter()
+            with maybe_span(observability, "partition"):
+                plan = plan_partition(
+                    len(candidates),
+                    self.workers,
+                    function=function,
+                    estimates=self.estimates,
+                    target_chunk_seconds=self.target_chunk_seconds,
+                    chunks_per_worker=self.chunks_per_worker,
+                    min_chunk_size=self.min_chunk_size,
                 )
-            )
-            for chunk in plan.chunks
-        ]
-        serialize_seconds = time.perf_counter() - serialize_started
+            partition_seconds = time.perf_counter() - partition_started
+            self.last_plan = plan
 
-        execute_started = time.perf_counter()
-        try:
-            outcomes, attempts, fallbacks = self._execute(tasks)
-        except ParallelExecutionError as error:
-            return self._run_serial(
-                function, candidates, memo, f"pool execution failed: {error}"
-            )
-        execute_seconds = time.perf_counter() - execute_started
+            # Mirror DynamicMemoMatcher: without a supplied memo a fresh one
+            # is created per run and exposed afterwards as last_memo.
+            memo = self.memo
+            if memo is None:
+                names = [feature.name for feature in function.features()]
+                if self.memo_backend == "array":
+                    memo = ArrayMemo(len(candidates), names)
+                else:
+                    memo = HashMemo(len(candidates), names)
+            self.last_memo = memo
 
-        stitch_started = time.perf_counter()
-        result = stitch_outcomes(
-            plan,
-            outcomes,
-            candidates,
-            memo=memo,
-            recorder=self.recorder,
-            check_memo_conflicts=self.check_memo_conflicts,
-        )
-        result.stats.worker_timings = timings_from_outcomes(
-            outcomes, attempts=attempts, fallbacks=fallbacks
-        )
-        result.stats.phase_seconds.update(
-            partition=partition_seconds,
-            serialize=serialize_seconds,
-            execute=execute_seconds,
-            stitch=time.perf_counter() - stitch_started,
-        )
-        result.stats.elapsed_seconds = time.perf_counter() - started
-        return result
+            if self.workers <= 1 or len(plan) <= 1:
+                return self._run_serial(
+                    function,
+                    candidates,
+                    memo,
+                    "workers<=1 or single chunk",
+                    started=started,
+                    partition_seconds=partition_seconds,
+                )
+
+            collect_spans = (
+                observability is not None and observability.tracer.enabled
+            )
+            profile_sample_every = (
+                observability.profiler.sample_every
+                if observability is not None and observability.profiler is not None
+                else 0
+            )
+            serialize_started = time.perf_counter()
+            with maybe_span(observability, "serialize"):
+                try:
+                    serialized = serialize_function(function)
+                except ParallelExecutionError as error:
+                    serialized = None
+                    serialize_error = error
+                if serialized is not None:
+                    tasks = [
+                        self._attach_fault(
+                            build_chunk_task(
+                                chunk,
+                                candidates,
+                                serialized,
+                                collect_trace=self.recorder is not None,
+                                check_cache_first=self.check_cache_first,
+                                collect_spans=collect_spans,
+                                profile_sample_every=profile_sample_every,
+                            )
+                        )
+                        for chunk in plan.chunks
+                    ]
+            if serialized is None:
+                return self._run_serial(
+                    function,
+                    candidates,
+                    memo,
+                    f"function not serializable: {serialize_error}",
+                    started=started,
+                    partition_seconds=partition_seconds,
+                )
+            serialize_seconds = time.perf_counter() - serialize_started
+
+            execute_started = time.perf_counter()
+            with maybe_span(
+                observability, "execute", chunks=len(tasks)
+            ) as execute_span:
+                try:
+                    outcomes, attempts, fallbacks = self._execute(tasks)
+                except ParallelExecutionError as error:
+                    outcomes = None
+                    execute_error = error
+            if outcomes is None:
+                return self._run_serial(
+                    function,
+                    candidates,
+                    memo,
+                    f"pool execution failed: {execute_error}",
+                    started=started,
+                    partition_seconds=partition_seconds,
+                )
+            execute_seconds = time.perf_counter() - execute_started
+
+            # Splice worker-recorded spans under the execute span and fold
+            # worker profiles into the session profiler — the parallel
+            # analogue of the memo/trace merge the stitcher does below.
+            if observability is not None:
+                for outcome in outcomes:
+                    if outcome.spans is not None and observability.tracer.enabled:
+                        observability.tracer.log.splice(
+                            outcome.spans,
+                            parent_id=(
+                                execute_span.span_id
+                                if execute_span is not None
+                                else None
+                            ),
+                            time_offset=(
+                                execute_span.start
+                                if execute_span is not None
+                                else 0.0
+                            ),
+                        )
+                    if outcome.profile is not None and observability.profiler is not None:
+                        observability.profiler.merge(outcome.profile)
+
+            stitch_started = time.perf_counter()
+            with maybe_span(observability, "stitch"):
+                result = stitch_outcomes(
+                    plan,
+                    outcomes,
+                    candidates,
+                    memo=memo,
+                    recorder=self.recorder,
+                    check_memo_conflicts=self.check_memo_conflicts,
+                )
+            result.stats.worker_timings = timings_from_outcomes(
+                outcomes, attempts=attempts, fallbacks=fallbacks
+            )
+            result.stats.phase_seconds.update(
+                partition=partition_seconds,
+                serialize=serialize_seconds,
+                execute=execute_seconds,
+                stitch=time.perf_counter() - stitch_started,
+            )
+            result.stats.elapsed_seconds = time.perf_counter() - started
+            return result
 
     # --------------------------------------------------------- pool driving
 
@@ -305,17 +379,38 @@ class ParallelMatcher:
         candidates: CandidateSet,
         memo: FeatureMemo,
         reason: str,
+        started: Optional[float] = None,
+        partition_seconds: Optional[float] = None,
     ) -> MatchResult:
-        """Whole-run serial fallback through the plain DM+EE matcher."""
+        """Whole-run serial fallback through the plain DM+EE matcher.
+
+        ``started``/``partition_seconds`` come from the enclosing
+        :meth:`run`; stamping them here keeps the fallback's
+        ``elapsed_seconds`` measured from the *parallel run's* start (not
+        from matcher start) and preserves the partition phase in
+        ``phase_seconds``, so serial-fallback stats stay comparable to the
+        pool path's.
+        """
         self._note_fallback(reason)
+        observability = self.observability
         matcher = DynamicMemoMatcher(
             memo=memo,
             memo_backend=self.memo_backend,
             check_cache_first=self.check_cache_first,
             recorder=self.recorder,
+            profiler=(
+                observability.profiler if observability is not None else None
+            ),
         )
-        result = matcher.run(function, candidates)
+        with maybe_span(observability, "serial_fallback", reason=reason):
+            result = matcher.run(function, candidates)
         self.last_memo = matcher.last_memo
+        match_seconds = result.stats.elapsed_seconds
+        if partition_seconds is not None:
+            result.stats.phase_seconds["partition"] = partition_seconds
+        result.stats.phase_seconds["match"] = match_seconds
+        if started is not None:
+            result.stats.elapsed_seconds = time.perf_counter() - started
         return result
 
     # ------------------------------------------------------------- plumbing

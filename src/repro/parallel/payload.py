@@ -122,6 +122,11 @@ class ChunkTask:
     collect_trace: bool = False
     #: check-cache-first evaluation (paper §5.4.3) inside the worker.
     check_cache_first: bool = False
+    #: record a worker-local SpanLog for the parent to splice?
+    collect_spans: bool = False
+    #: profiling sample rate (0 = no profiling); the worker's profile
+    #: snapshot travels back in the outcome for the parent to merge.
+    profile_sample_every: int = 0
     #: fault injection (tests only): number of times this chunk should
     #: still fail, and how ("raise" = exception, "exit" = kill the worker).
     fault_failures: int = 0
@@ -137,6 +142,8 @@ def build_chunk_task(
     function: SerializedFunction,
     collect_trace: bool = False,
     check_cache_first: bool = False,
+    collect_spans: bool = False,
+    profile_sample_every: int = 0,
 ) -> ChunkTask:
     """Slice ``candidates`` down to ``chunk`` and pack a worker task."""
     pair_ids: List[Tuple[str, str]] = []
@@ -162,4 +169,6 @@ def build_chunk_task(
         records_b=list(seen_b.items()),
         collect_trace=collect_trace,
         check_cache_first=check_cache_first,
+        collect_spans=collect_spans,
+        profile_sample_every=profile_sample_every,
     )

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -43,6 +44,11 @@ class InjectedWorkerFault(RuntimeError):
     """Deliberate failure raised by the fault-injection hook (tests)."""
 
 
+#: Shared no-op context manager for the untraced paths (stateless, safe
+#: to re-enter).
+_NULL_CONTEXT = nullcontext()
+
+
 @dataclass
 class ChunkOutcome:
     """What a worker sends back for one chunk."""
@@ -57,6 +63,11 @@ class ChunkOutcome:
     trace: Optional[TraceLog]
     worker_pid: int
     elapsed_seconds: float
+    #: worker-local span log for the parent to splice (None unless
+    #: requested via ChunkTask.collect_spans).
+    spans: Optional[object] = None
+    #: worker-local Profiler snapshot (None unless profiling requested).
+    profile: Optional[dict] = None
 
 
 def _build_table(
@@ -80,23 +91,46 @@ def run_chunk(task: ChunkTask) -> ChunkOutcome:
         )
 
     started = time.perf_counter()
-    function = task.function.materialize()
-    table_a = _build_table(
-        task.table_a_name, task.table_a_attributes, task.records_a
-    )
-    table_b = _build_table(
-        task.table_b_name, task.table_b_attributes, task.records_b
-    )
-    candidates = CandidateSet.from_id_pairs(table_a, table_b, task.pair_ids)
+    tracer = None
+    profiler = None
+    if task.collect_spans or task.profile_sample_every > 0:
+        # Imported lazily: most workers never need the observability layer.
+        from ..observability import Profiler, Tracer
 
-    memo = HashMemo(len(candidates))
-    trace = TraceLog() if task.collect_trace else None
-    matcher = DynamicMemoMatcher(
-        memo=memo,
-        check_cache_first=task.check_cache_first,
-        recorder=trace,
-    )
-    result = matcher.run(function, candidates)
+        if task.collect_spans:
+            tracer = Tracer(enabled=True)
+        if task.profile_sample_every > 0:
+            profiler = Profiler(sample_every=task.profile_sample_every)
+
+    with (
+        tracer.span(f"chunk:{task.chunk_id}", pairs=len(task.pair_ids))
+        if tracer is not None
+        else _NULL_CONTEXT
+    ):
+        with (
+            tracer.span("rebuild") if tracer is not None else _NULL_CONTEXT
+        ):
+            function = task.function.materialize()
+            table_a = _build_table(
+                task.table_a_name, task.table_a_attributes, task.records_a
+            )
+            table_b = _build_table(
+                task.table_b_name, task.table_b_attributes, task.records_b
+            )
+            candidates = CandidateSet.from_id_pairs(
+                table_a, table_b, task.pair_ids
+            )
+
+        memo = HashMemo(len(candidates))
+        trace = TraceLog() if task.collect_trace else None
+        matcher = DynamicMemoMatcher(
+            memo=memo,
+            check_cache_first=task.check_cache_first,
+            recorder=trace,
+            profiler=profiler,
+        )
+        with tracer.span("match") if tracer is not None else _NULL_CONTEXT:
+            result = matcher.run(function, candidates)
     return ChunkOutcome(
         chunk_id=task.chunk_id,
         labels=result.labels,
@@ -105,4 +139,6 @@ def run_chunk(task: ChunkTask) -> ChunkOutcome:
         trace=trace,
         worker_pid=os.getpid(),
         elapsed_seconds=time.perf_counter() - started,
+        spans=tracer.log if tracer is not None else None,
+        profile=profiler.snapshot() if profiler is not None else None,
     )

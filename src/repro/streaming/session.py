@@ -48,6 +48,7 @@ from ..core.stats import MatchStats
 from ..data.pairs import CandidateSet, PairId
 from ..data.table import Table
 from ..errors import StreamingError
+from ..observability import maybe_span, record_batch_result
 from .deltas import Delta, DeltaBatch, apply_delta, validate_batch
 
 #: default affected-set size above which ingest dispatches to the pool
@@ -186,6 +187,11 @@ class StreamingSession:
     def function(self):
         return self.session.function
 
+    @property
+    def observability(self):
+        """The wrapped session's Observability (None = not collecting)."""
+        return self.session.observability
+
     # ------------------------------------------------------------------
     # Streaming ingestion
     # ------------------------------------------------------------------
@@ -209,6 +215,7 @@ class StreamingSession:
         elif not isinstance(batch, DeltaBatch):
             batch = DeltaBatch(batch)
         state = self.session._require_state()
+        observability = self.observability
         stats = MatchStats()
         started = time.perf_counter()
 
@@ -218,104 +225,129 @@ class StreamingSession:
                 stats, (), (), (), match_count=state.match_count()
             )
             self.batch_history.append(result)
+            if observability is not None:
+                record_batch_result(observability.metrics, result)
             return result
 
-        validate_batch(self.table_a, self.table_b, batch)
+        with maybe_span(observability, "ingest", deltas=len(batch)):
+            with maybe_span(observability, "validate"):
+                validate_batch(self.table_a, self.table_b, batch)
 
-        # 1. Apply deltas to the tables; accumulate the blocking delta.
-        #    Validation makes apply_delta infallible here; the rollback
-        #    guards against unexpected failures (a blocker raising
-        #    mid-chain would otherwise strand tables + index mid-batch).
-        old_order = state.candidates.id_pairs()
-        old_index = {pair_id: index for index, pair_id in enumerate(old_order)}
-        current: Set[PairId] = set(old_order)
-        saved_a = self.table_a.snapshot()
-        saved_b = self.table_b.snapshot()
-        saved_index = self.blocker.save_delta_index()
-        try:
-            for delta in batch:
-                applied = apply_delta(self.table_a, self.table_b, delta)
-                pair_delta = self.blocker.pairs_for_delta(
-                    self.table_a, self.table_b, applied
+            # 1. Apply deltas to the tables; accumulate the blocking delta.
+            #    Validation makes apply_delta infallible here; the rollback
+            #    guards against unexpected failures (a blocker raising
+            #    mid-chain would otherwise strand tables + index mid-batch).
+            old_order = state.candidates.id_pairs()
+            old_index = {
+                pair_id: index for index, pair_id in enumerate(old_order)
+            }
+            current: Set[PairId] = set(old_order)
+            saved_a = self.table_a.snapshot()
+            saved_b = self.table_b.snapshot()
+            saved_index = self.blocker.save_delta_index()
+            with maybe_span(observability, "apply_deltas"):
+                try:
+                    for delta in batch:
+                        applied = apply_delta(self.table_a, self.table_b, delta)
+                        pair_delta = self.blocker.pairs_for_delta(
+                            self.table_a, self.table_b, applied
+                        )
+                        current.difference_update(pair_delta.lost)
+                        current.update(pair_delta.gained)
+                        stats.deltas_applied += 1
+                        stats.pairs_gained += len(pair_delta.gained)
+                        stats.pairs_lost += len(pair_delta.lost)
+                except Exception:
+                    self.table_a.restore(saved_a)
+                    self.table_b.restore(saved_b)
+                    self.blocker.restore_delta_index(saved_index)
+                    raise
+
+            # 2. Rebuild candidates (survivors keep their relative order) and
+            #    gather surviving facts into a state over the new index space.
+            with maybe_span(observability, "remap"):
+                net_new = sorted(current.difference(old_index))
+                new_order = [
+                    pair_id for pair_id in old_order if pair_id in current
+                ] + net_new
+                new_candidates = CandidateSet.from_id_pairs(
+                    self.table_a, self.table_b, new_order
                 )
-                current.difference_update(pair_delta.lost)
-                current.update(pair_delta.gained)
-                stats.deltas_applied += 1
-                stats.pairs_gained += len(pair_delta.gained)
-                stats.pairs_lost += len(pair_delta.lost)
-        except Exception:
-            self.table_a.restore(saved_a)
-            self.table_b.restore(saved_b)
-            self.blocker.restore_delta_index(saved_index)
-            raise
+                old_index_of = np.fromiter(
+                    (old_index.get(pair_id, -1) for pair_id in new_order),
+                    dtype=np.int64,
+                    count=len(new_order),
+                )
+                new_state = state.remapped(new_candidates, old_index_of)
 
-        # 2. Rebuild candidates (survivors keep their relative order) and
-        #    gather surviving facts into a state over the new index space.
-        net_new = sorted(current.difference(old_index))
-        new_order = [
-            pair_id for pair_id in old_order if pair_id in current
-        ] + net_new
-        new_candidates = CandidateSet.from_id_pairs(
-            self.table_a, self.table_b, new_order
-        )
-        old_index_of = np.fromiter(
-            (old_index.get(pair_id, -1) for pair_id in new_order),
-            dtype=np.int64,
-            count=len(new_order),
-        )
-        new_state = state.remapped(new_candidates, old_index_of)
+            # 3. Invalidate surviving pairs whose records the batch touched.
+            with maybe_span(observability, "invalidate"):
+                touched_a, touched_b = batch.touched_records()
+                stale: Set[int] = set()
+                for record_id in touched_a:
+                    stale.update(
+                        new_candidates.indices_for_record("a", record_id)
+                    )
+                for record_id in touched_b:
+                    stale.update(
+                        new_candidates.indices_for_record("b", record_id)
+                    )
+                invalidated = sorted(
+                    index for index in stale if old_index_of[index] >= 0
+                )
+                new_state.forget_pairs(invalidated)
+                stats.pairs_invalidated = len(invalidated)
 
-        # 3. Invalidate surviving pairs whose records the batch touched.
-        touched_a, touched_b = batch.touched_records()
-        stale: Set[int] = set()
-        for record_id in touched_a:
-            stale.update(new_candidates.indices_for_record("a", record_id))
-        for record_id in touched_b:
-            stale.update(new_candidates.indices_for_record("b", record_id))
-        invalidated = sorted(
-            index for index in stale if old_index_of[index] >= 0
-        )
-        new_state.forget_pairs(invalidated)
-        stats.pairs_invalidated = len(invalidated)
+            # 4. Re-match exactly the affected pairs (net-new + invalidated).
+            first_new = len(new_order) - len(net_new)
+            affected = invalidated + list(range(first_new, len(new_order)))
+            parallel = self._should_parallelize(len(affected))
+            with maybe_span(
+                observability,
+                "rematch",
+                affected=len(affected),
+                parallel=parallel,
+            ):
+                if parallel:
+                    self._rematch_parallel(new_state, affected, stats)
+                else:
+                    self._rematch_serial(new_state, affected, stats)
 
-        # 4. Re-match exactly the affected pairs (net-new + invalidated).
-        first_new = len(new_order) - len(net_new)
-        affected = invalidated + list(range(first_new, len(new_order)))
-        parallel = self._should_parallelize(len(affected))
-        if parallel:
-            self._rematch_parallel(new_state, affected, stats)
-        else:
-            self._rematch_serial(new_state, affected, stats)
-
-        self.session.candidates = new_candidates
-        self.session.state = new_state
-        if affected:
-            stats.pairs_matched = int(
-                new_state.labels[np.asarray(affected, dtype=np.int64)].sum()
+            self.session.candidates = new_candidates
+            self.session.state = new_state
+            if affected:
+                stats.pairs_matched = int(
+                    new_state.labels[np.asarray(affected, dtype=np.int64)].sum()
+                )
+            stats.elapsed_seconds = time.perf_counter() - started
+            net_lost = tuple(sorted(set(old_order).difference(current)))
+            result = BatchResult(
+                stats=stats,
+                gained=tuple(net_new),
+                lost=net_lost,
+                affected_indices=tuple(affected),
+                executed_parallel=parallel,
+                match_count=new_state.match_count(),
             )
-        stats.elapsed_seconds = time.perf_counter() - started
-        net_lost = tuple(sorted(set(old_order).difference(current)))
-        result = BatchResult(
-            stats=stats,
-            gained=tuple(net_new),
-            lost=net_lost,
-            affected_indices=tuple(affected),
-            executed_parallel=parallel,
-            match_count=new_state.match_count(),
-        )
-        self.batch_history.append(result)
-        return result
+            self.batch_history.append(result)
+            if observability is not None:
+                record_batch_result(observability.metrics, result)
+            return result
 
     # ------------------------------------------------------------------
     # Re-matching strategies
     # ------------------------------------------------------------------
 
     def _rematch_serial(self, state, affected: Sequence[int], stats: MatchStats) -> None:
+        observability = self.observability
         evaluator = PairEvaluator(
             stats,
             memo=state.memo,
             recorder=state,
             check_cache_first=self.session.check_cache_first,
+            profiler=(
+                observability.profiler if observability is not None else None
+            ),
         )
         rules = state.function.rules
         for index in affected:
@@ -351,6 +383,7 @@ class StreamingSession:
             check_cache_first=self.session.check_cache_first,
             recorder=trace,
             estimates=self.session.estimates,
+            observability=self.observability,
         )
         result = matcher.run(function, sub_candidates)
         index_map = {local: affected[local] for local in range(len(affected))}

@@ -37,6 +37,7 @@ from .core.parser import format_rule, parse_rule
 from .core.persistence import load_state, save_state
 from .core.session import DebugSession
 from .errors import ReproError
+from .observability import DEFAULT_SAMPLE_EVERY, Observability, detect_drift
 from .evaluation.suggest import Suggestion, suggest_relaxations, suggest_tightenings
 from .learning import build_workload
 
@@ -52,7 +53,9 @@ def parse_workers_flag(arguments: List[str]) -> "tuple[int, List[str]]":
     removed; ``workers`` is 1 when the flag is absent.  Raises
     :class:`WorkbenchError` on a missing value, a non-integer, or a value
     below 1 — shared by every command that can shard work over the pool
-    (``run``, ``ingest``).
+    (``run``, ``ingest``).  Pool runs are observable like serial ones:
+    worker span logs are spliced into the session's trace (see the
+    ``trace`` command) and worker profiles fold into ``profile``.
     """
     workers = 1
     remaining: List[str] = []
@@ -85,6 +88,9 @@ class Workbench:
         self.tables = None
         self.blocker = None
         self.streaming = None
+        # one Observability per loaded dataset; every run/ingest of the
+        # session writes into it (see 'trace', 'profile', 'drift').
+        self.observability: Optional[Observability] = None
         self._commands: Dict[str, Callable[[List[str]], str]] = {
             "help": self.cmd_help,
             "load": self.cmd_load,
@@ -105,6 +111,9 @@ class Workbench:
             "history": self.cmd_history,
             "memory": self.cmd_memory,
             "stats": self.cmd_stats,
+            "trace": self.cmd_trace,
+            "profile": self.cmd_profile,
+            "drift": self.cmd_drift,
             "simplify": self.cmd_simplify,
             "lint": self.cmd_lint,
             "report": self.cmd_report,
@@ -164,6 +173,12 @@ class Workbench:
                 "  history                      applied edits with timings",
                 "  memory                       materialized-state bytes",
                 "  stats                        rule-set structure report",
+                "                               (+ metrics digest once run)",
+                "  trace [--json]               span tree of run/ingest timings",
+                "  profile [on|off] [--sample N]",
+                "                               sampled per-feature cost profile",
+                "  drift                        observed vs estimated costs;",
+                "                               flags stale rule ordering",
                 "  simplify                     list subsumed (redundant) rules",
                 "  lint                         static checks on the rule set",
                 "  report                       per-rule precision table",
@@ -195,11 +210,13 @@ class Workbench:
         self.workload = build_workload(
             name, seed=seed, scale=scale, max_rules=max_rules, blocker=blocker
         )
+        self.observability = Observability()
         self.session = DebugSession(
             self.workload.candidates,
             self.workload.function,
             gold=self.workload.gold,
             ordering="algorithm6",
+            observability=self.observability,
         )
         self.suggestions = []
         self.tables = (self.workload.dataset.table_a, self.workload.dataset.table_b)
@@ -254,11 +271,13 @@ class Workbench:
         candidates = blocker.block(table_a, table_b)
         gold = load_gold(gold_path) if gold_path else None
         self.workload = None  # no feature space; DSL resolves via registry
+        self.observability = Observability()
         self.session = DebugSession(
             candidates,
             parse_function(rules_text),
             gold=gold,
             ordering="algorithm5",
+            observability=self.observability,
         )
         self.suggestions = []
         self.tables = (table_a, table_b)
@@ -482,7 +501,85 @@ class Workbench:
         from .core.analysis import describe_function
 
         session = self._require_session()
-        return describe_function(session.function)
+        output = describe_function(session.function)
+        if self.observability is not None and len(self.observability.metrics):
+            output += "\n\nmetrics:\n" + self.observability.metrics.render()
+        return output
+
+    def cmd_trace(self, arguments: List[str]) -> str:
+        """``trace [--json]`` — span tree of everything recorded so far."""
+        if arguments and arguments != ["--json"]:
+            raise WorkbenchError("usage: trace [--json]")
+        if self.observability is None or not len(self.observability.tracer.log):
+            return "no spans recorded yet; 'run' or 'ingest' something first"
+        if arguments:
+            return self.observability.tracer.log.to_json_lines()
+        return self.observability.tracer.log.render()
+
+    def cmd_profile(self, arguments: List[str]) -> str:
+        """``profile [on|off] [--sample N]`` — toggle/show cost profiling.
+
+        With no arguments, prints the observed-cost table collected so
+        far.  ``on`` attaches a fresh profiler (sampling 1-of-every-N
+        feature computations, default 1/{default}); subsequent ``run`` /
+        ``ingest`` calls feed it.  ``off`` detaches it.
+        """
+        if self.observability is None:
+            raise WorkbenchError("load a dataset first")
+        sample_every = DEFAULT_SAMPLE_EVERY
+        mode = None
+        iterator = iter(arguments)
+        for token in iterator:
+            if token in ("on", "off"):
+                mode = token
+            elif token == "--sample":
+                try:
+                    sample_every = int(next(iterator))
+                except StopIteration:
+                    raise WorkbenchError("--sample needs a value") from None
+                except ValueError:
+                    raise WorkbenchError("--sample needs an integer") from None
+                if sample_every < 1:
+                    raise WorkbenchError("--sample must be >= 1")
+            else:
+                raise WorkbenchError("usage: profile [on|off] [--sample N]")
+        if mode == "on":
+            self.observability.enable_profiling(sample_every=sample_every)
+            return (
+                f"profiling on (sampling 1/{sample_every}); "
+                "'run' to collect, 'profile' to inspect, 'drift' to compare"
+            )
+        if mode == "off":
+            self.observability.disable_profiling()
+            return "profiling off"
+        profiler = self.observability.profiler
+        if profiler is None:
+            return "profiling is off; 'profile on' to enable"
+        return profiler.render()
+
+    cmd_profile.__doc__ = cmd_profile.__doc__.format(default=DEFAULT_SAMPLE_EVERY)
+
+    def cmd_drift(self, arguments: List[str]) -> str:
+        """Compare observed costs/selectivities against the estimates."""
+        session = self._require_session()
+        profiler = (
+            self.observability.profiler if self.observability is not None else None
+        )
+        if profiler is None:
+            raise WorkbenchError(
+                "drift needs a profile; 'profile on' then 'run' first"
+            )
+        if session.estimates is None:
+            raise WorkbenchError(
+                "no cost estimates to compare against; 'run' first"
+            )
+        report = detect_drift(
+            session.function,
+            session.estimates,
+            profiler,
+            ordering_strategy=session.ordering_strategy,
+        )
+        return report.render()
 
     def cmd_simplify(self, arguments: List[str]) -> str:
         """Report (not apply) subsumption redundancy in the current rules.

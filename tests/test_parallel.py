@@ -399,6 +399,151 @@ class TestSerialPaths:
             ParallelMatcher(workers=0)
 
 
+class TestSerialFallbackStats:
+    """The serial-fallback path stamps stats like the pool path does.
+
+    ``elapsed_seconds`` must be measured from the *parallel run's* start
+    (covering partitioning too, not just the matcher), and
+    ``phase_seconds`` must keep the partition phase plus a ``match``
+    entry, so fallback runs stay comparable with pool runs in dashboards
+    and in the metrics registry.
+    """
+
+    def _assert_stamped(self, result):
+        phases = result.stats.phase_seconds
+        assert "partition" in phases
+        assert "match" in phases
+        assert phases["match"] > 0.0
+        # measured from run() entry, so it covers partition + match
+        assert result.stats.elapsed_seconds >= phases["match"]
+
+    def test_workers_one_path(self, small_workload):
+        candidates, function = small_workload
+        result = ParallelMatcher(workers=1).run(function, candidates)
+        self._assert_stamped(result)
+
+    def test_single_chunk_path(self, small_workload):
+        candidates, function = small_workload
+        result = ParallelMatcher(workers=4, min_chunk_size=10_000).run(
+            function, candidates
+        )
+        self._assert_stamped(result)
+
+    def test_unserializable_function_path(self, small_workload):
+        candidates, _ = small_workload
+
+        class LocalSim(Jaccard):
+            pass
+
+        feature = Feature(LocalSim(), "name", "name", name="local2")
+        function = MatchingFunction(
+            [Rule("r1", [Predicate(feature, ">=", 0.5)])]
+        )
+        matcher = ParallelMatcher(workers=2, **FAST)
+        result = matcher.run(function, candidates)
+        assert "not serializable" in matcher.fallback_reason
+        self._assert_stamped(result)
+
+
+class TestTraceReplayWithState:
+    """``TraceLog.replay_into`` at a nonzero offset, composed with the
+    streaming state transforms (``remapped`` / ``forget_pairs``) — the
+    exact seam a parallel re-match of a streaming batch exercises."""
+
+    @pytest.fixture()
+    def setup(self):
+        table_a, table_b = make_tables(6, 6, seed=3)
+        candidates = cross_candidates(table_a, table_b)
+        function = parse_function(
+            "R1: jaccard_ws(name, name) >= 0.3; R2: jaro(name, name) >= 0.8",
+            registry_resolver(),
+        )
+        return table_a, table_b, candidates, function
+
+    def _replayed_state(self, candidates, function, offset, size):
+        from repro.core.matchers import TraceLog
+        from repro.core.memo import ArrayMemo
+        from repro.core.state import MatchState
+
+        chunk = candidates.subset(range(offset, offset + size))
+        trace = TraceLog()
+        chunk_result = DynamicMemoMatcher(recorder=trace).run(function, chunk)
+        names = [feature.name for feature in function.features()]
+        state = MatchState(function, candidates, ArrayMemo(len(candidates), names))
+        trace.replay_into(state, index_offset=offset)
+        state.labels[offset:offset + size] = chunk_result.labels
+        return state, trace
+
+    def test_offset_replay_lands_on_global_indices(self, setup):
+        _, _, candidates, function = setup
+        offset, size = 10, 8
+        state, trace = self._replayed_state(candidates, function, offset, size)
+        assert len(trace) > 0
+        for local_index, rule_name in trace.rule_matches:
+            assert local_index + offset in state.matched_by_rule(rule_name)
+        for local_index, rule_name, slot in trace.predicate_falses:
+            assert local_index + offset in state.failed_predicate(rule_name, slot)
+        # no fact leaked outside the chunk's global index range
+        fact_indices = {
+            index
+            for rule in function.rules
+            for index in state.matched_by_rule(rule.name)
+        } | {
+            index
+            for rule in function.rules
+            for predicate in rule.predicates
+            for index in state.failed_predicate(rule.name, predicate.slot)
+        }
+        assert all(offset <= index < offset + size for index in fact_indices)
+
+    def test_replayed_facts_survive_remap_then_forget(self, setup):
+        table_a, table_b, candidates, function = setup
+        offset, size = 6, 10
+        state, trace = self._replayed_state(candidates, function, offset, size)
+
+        # drop the first 3 pairs and reverse the survivors — every
+        # surviving index moves, so a remap bug cannot hide.
+        old_order = candidates.id_pairs()
+        new_order = list(reversed(old_order[3:]))
+        new_candidates = CandidateSet.from_id_pairs(table_a, table_b, new_order)
+        position = {pair_id: index for index, pair_id in enumerate(old_order)}
+        old_index_of = np.array(
+            [position[pair_id] for pair_id in new_order], dtype=np.int64
+        )
+        new_state = state.remapped(new_candidates, old_index_of)
+
+        new_position = {pair_id: index for index, pair_id in enumerate(new_order)}
+        for local_index, rule_name in trace.rule_matches:
+            old_global = local_index + offset
+            expected = new_position[old_order[old_global]]
+            assert expected in new_state.matched_by_rule(rule_name)
+        for local_index, rule_name, slot in trace.predicate_falses:
+            old_global = local_index + offset
+            expected = new_position[old_order[old_global]]
+            assert expected in new_state.failed_predicate(rule_name, slot)
+
+        # forgetting the remapped fact-bearing pairs erases every fact
+        fact_indices = sorted(
+            {
+                new_position[old_order[local_index + offset]]
+                for local_index, _rule in trace.rule_matches
+            }
+            | {
+                new_position[old_order[local_index + offset]]
+                for local_index, _rule, _slot in trace.predicate_falses
+            }
+        )
+        new_state.forget_pairs(fact_indices)
+        for rule in function.rules:
+            assert not set(new_state.matched_by_rule(rule.name)) & set(fact_indices)
+            for predicate in rule.predicates:
+                assert not (
+                    set(new_state.failed_predicate(rule.name, predicate.slot))
+                    & set(fact_indices)
+                )
+        assert not new_state.labels[fact_indices].any()
+
+
 # ----------------------------------------------------------------------
 # Session + workbench integration
 # ----------------------------------------------------------------------

@@ -76,6 +76,30 @@ class TestMergeAndSummary:
         # merge does not mutate inputs
         assert first.feature_computations == 1
 
+    def test_merged_with_sums_phases_and_keeps_worker_timings(self):
+        """Sequential totaling must not drop parallel-run accounting.
+
+        A streaming batch that re-matched on the pool carries
+        ``phase_seconds`` and ``worker_timings``; ``merged_with`` used to
+        silently discard both when batches were totaled.  Sequential runs
+        happened one after another, so phase clocks add and per-chunk
+        records concatenate in order.
+        """
+        first = MatchStats()
+        first.phase_seconds = {"partition": 0.1, "execute": 0.5}
+        first.worker_timings = [WorkerTiming(0, 100, 50, 0.2)]
+        second = MatchStats()
+        second.phase_seconds = {"execute": 0.25, "stitch": 0.05}
+        second.worker_timings = [WorkerTiming(1, 101, 60, 0.3)]
+        merged = first.merged_with(second)
+        assert merged.phase_seconds == pytest.approx(
+            {"partition": 0.1, "execute": 0.75, "stitch": 0.05}
+        )
+        assert [t.chunk_id for t in merged.worker_timings] == [0, 1]
+        # inputs not mutated, including the list/dict fields
+        assert first.phase_seconds == {"partition": 0.1, "execute": 0.5}
+        assert len(second.worker_timings) == 1
+
     def test_summary_contains_counters(self):
         stats = MatchStats()
         stats.pairs_evaluated = 10

@@ -488,6 +488,43 @@ class TestParallelPath:
         )
         assert not result.executed_parallel
 
+    def test_total_batch_stats_keeps_parallel_accounting(self, books_function):
+        """Per-batch parallel accounting survives sequential totaling.
+
+        Each pool-executed batch carries phase clocks (and per-chunk
+        worker records when the affected set actually sharded); summing
+        the batch history must preserve them — phases add, timing records
+        concatenate — and work counters must stay additive with no
+        double-counting.
+        """
+        streaming = _books_streaming(
+            books_function,
+            workers=2,
+            parallel_threshold_pairs=1,
+            parallel_threshold_seconds=0.0,
+        )
+        first = streaming.ingest(
+            Delta.update("a", streaming.table_a[0].record_id, author="p1")
+        )
+        second = streaming.ingest(
+            Delta.update("a", streaming.table_a[1].record_id, author="p2")
+        )
+        assert first.executed_parallel and second.executed_parallel
+        total = streaming.total_batch_stats()
+        batches = (first.stats, second.stats)
+        assert len(total.worker_timings) == sum(
+            len(stats.worker_timings) for stats in batches
+        )
+        for phase in {key for stats in batches for key in stats.phase_seconds}:
+            assert total.phase_seconds[phase] == pytest.approx(
+                sum(stats.phase_seconds.get(phase, 0.0) for stats in batches)
+            )
+        assert total.pairs_matched == sum(s.pairs_matched for s in batches)
+        assert total.feature_computations == sum(
+            s.feature_computations for s in batches
+        )
+        assert total.pairs_evaluated == sum(s.pairs_evaluated for s in batches)
+
 
 class TestAdopt:
     def test_adopt_wraps_existing_session(self, books_function):

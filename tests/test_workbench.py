@@ -163,6 +163,83 @@ class TestAnalysisCommands:
         assert "precision" in output
 
 
+class TestObservabilityCommands:
+    """Round-trips for ``trace`` / ``profile`` / ``drift`` and the
+    metrics block appended to ``stats``.  Uses its own bench so that
+    toggling profiling cannot leak into the shared module fixture."""
+
+    @pytest.fixture(scope="class")
+    def obs_bench(self):
+        bench = Workbench()
+        bench.execute("load products --scale 0.15 --rules 10 --seed 13")
+        bench.execute("run")
+        return bench
+
+    def test_trace_before_any_run(self):
+        assert "no spans" in Workbench().execute("trace")
+
+    def test_trace_renders_run_tree(self, obs_bench):
+        output = obs_bench.execute("trace")
+        assert "run" in output
+        assert "match" in output
+        # nested phases are indented under the run root
+        assert "  " in output
+
+    def test_trace_json_round_trips(self, obs_bench):
+        import json
+
+        rows = [
+            json.loads(line)
+            for line in obs_bench.execute("trace --json").strip().splitlines()
+        ]
+        assert any(row["name"] == "run" for row in rows)
+        assert all(row["duration"] >= 0.0 for row in rows)
+
+    def test_trace_rejects_unknown_flag(self, obs_bench):
+        with pytest.raises(WorkbenchError, match="usage"):
+            obs_bench.execute("trace --wat")
+
+    def test_stats_appends_metrics_block(self, obs_bench):
+        output = obs_bench.execute("stats")
+        assert "metrics:" in output
+        assert "run.runs" in output
+
+    def test_profile_off_by_default(self, obs_bench):
+        assert "profiling is off" in obs_bench.execute("profile")
+
+    def test_profile_run_drift_round_trip(self, obs_bench):
+        message = obs_bench.execute("profile on --sample 1")
+        assert "1/1" in message
+        obs_bench.execute("run")
+        table = obs_bench.execute("profile")
+        assert "mean(us)" in table
+        report = obs_bench.execute("drift")
+        assert "feature cost" in report
+        assert "order" in report
+        assert "profiling off" in obs_bench.execute("profile off")
+        assert "profiling is off" in obs_bench.execute("profile")
+
+    def test_drift_requires_profile(self, obs_bench):
+        obs_bench.execute("profile off")
+        with pytest.raises(WorkbenchError, match="profile on"):
+            obs_bench.execute("drift")
+
+    def test_profile_flag_validation(self, obs_bench):
+        with pytest.raises(WorkbenchError, match="needs a value"):
+            obs_bench.execute("profile on --sample")
+        with pytest.raises(WorkbenchError, match="integer"):
+            obs_bench.execute("profile on --sample many")
+        with pytest.raises(WorkbenchError, match=">= 1"):
+            obs_bench.execute("profile on --sample 0")
+        with pytest.raises(WorkbenchError, match="usage"):
+            obs_bench.execute("profile sideways")
+
+    def test_help_lists_observability_commands(self):
+        text = Workbench().execute("help")
+        for command in ("trace", "profile", "drift"):
+            assert command in text
+
+
 class TestLoadCsv:
     @pytest.fixture()
     def csv_files(self, tmp_path):
