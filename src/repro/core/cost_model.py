@@ -67,6 +67,11 @@ CALIBRATED_TIER_COSTS: Dict[int, float] = {
 #: Synthetic memo lookup cost (δ) for the calibrated mode.
 CALIBRATED_LOOKUP_COST = 0.05e-6
 
+#: Synthetic size-bound check cost for the calibrated mode — the kernel
+#: layer's "pre-predicate" is cheaper than a feature but touches the token
+#: cache, so it sits between δ and the cheapest tier.
+CALIBRATED_BOUND_COST = 0.1e-6
+
 
 @dataclass
 class Estimates:
@@ -83,6 +88,13 @@ class Estimates:
     sample_values: Dict[str, np.ndarray]
     sample_size: int
     mode: str = "measured"
+    #: predicate pid -> probability its outcome is decided by the kernel
+    #: layer's size bound (no feature computation, no memo fill).  Empty
+    #: when estimated without kernels/bounds — all formulas then reduce
+    #: exactly to the paper's.
+    bound_skip_rates: Dict[str, float] = field(default_factory=dict)
+    #: seconds for one size-bound check (near-zero "pre-predicate" cost)
+    bound_check_cost: float = 0.0
     # Memoization caches — ordering algorithms evaluate the same
     # selectivities and group decompositions O(n^2) times; everything here
     # is derived data, safe to cache because rules/predicates are immutable.
@@ -190,6 +202,8 @@ class Estimates:
             sample_values=self.sample_values,
             sample_size=self.sample_size,
             mode=self.mode,
+            bound_skip_rates=self.bound_skip_rates,
+            bound_check_cost=self.bound_check_cost,
         )
 
 
@@ -258,9 +272,23 @@ def group_cost(group: PredicateGroup, estimates: Estimates, memo_probability: fl
     With ``memo_probability`` = α(f): the first predicate's feature fetch
     costs ``(1-α)·cost(f) + α·δ``; a second same-feature predicate always
     costs δ and only runs if the first was true (Lemma 2's ``c + sel·c'``).
+
+    When the kernel layer's size bounds can decide the group's first
+    predicate (``estimates.bound_skip_rates``), the un-memoized fetch is
+    discounted: with skip probability ``p`` it costs the near-zero bound
+    check plus ``(1-p)·cost(f)``, modeling the bound as a free
+    pre-predicate (the ISSUE's "recorded in the cost model" requirement).
+    With empty rates the arithmetic below is exactly the paper's.
     """
+    skip_rate = estimates.bound_skip_rates.get(group.predicates[0].pid, 0.0)
+    if skip_rate:
+        compute = estimates.bound_check_cost + (1.0 - skip_rate) * estimates.cost(
+            group.feature
+        )
+    else:
+        compute = estimates.cost(group.feature)
     fetch = (
-        (1.0 - memo_probability) * estimates.cost(group.feature)
+        (1.0 - memo_probability) * compute
         + memo_probability * estimates.lookup_cost
     )
     cost = fetch
@@ -320,7 +348,15 @@ def update_alpha(rule: Rule, estimates: Estimates, alpha: Dict[str, float]) -> N
     for group in group_predicates(rule, estimates):
         name = group.feature.name
         previous = alpha.get(name, 0.0)
-        alpha[name] = (1.0 - previous) * prefix_selectivity + previous
+        # A bound-skipped first predicate never computes the feature, so
+        # the memo only fills on the (1 - skip_rate) complement.
+        skip_rate = estimates.bound_skip_rates.get(
+            group.predicates[0].pid, 0.0
+        )
+        fill_probability = prefix_selectivity
+        if skip_rate:
+            fill_probability *= 1.0 - skip_rate
+        alpha[name] = (1.0 - previous) * fill_probability + previous
         prefix_selectivity *= group.selectivity
 
 
@@ -473,9 +509,18 @@ class CostEstimator:
         function: MatchingFunction,
         candidates: CandidateSet,
         extra_features: Sequence[Feature] = (),
+        kernels=None,
     ) -> Estimates:
         """Estimate costs/selectivities for all features of ``function``
-        (plus ``extra_features``, e.g. an FPR superset) on one sample."""
+        (plus ``extra_features``, e.g. an FPR superset) on one sample.
+
+        ``kernels`` (a :class:`repro.kernels.FeatureKernels`) makes the
+        estimate consistent with a kernel-enabled run: measured feature
+        costs are taken on the warm-cache path the matchers actually
+        execute (so drift detection compares like with like), and when the
+        kernels object has bounds enabled, per-predicate
+        ``bound_skip_rates`` are measured on the sample.
+        """
         features: Dict[str, Feature] = {
             feature.name: feature for feature in function.features()
         }
@@ -488,13 +533,31 @@ class CostEstimator:
         feature_costs: Dict[str, float] = {}
 
         for name, feature in features.items():
-            started = time.perf_counter()
-            values = np.fromiter(
-                (feature.compute(pair.record_a, pair.record_b) for pair in pairs),
-                dtype=np.float64,
-                count=len(pairs),
-            )
-            elapsed = time.perf_counter() - started
+            use_kernel = kernels is not None and kernels.supports(feature)
+            if use_kernel:
+                # Warm the token cache untimed, then time the warm path —
+                # in a real run every record is touched by many pairs and
+                # features, so warm is the representative regime.
+                for pair in pairs:
+                    kernels.compute(feature, pair)
+                started = time.perf_counter()
+                values = np.fromiter(
+                    (kernels.compute(feature, pair) for pair in pairs),
+                    dtype=np.float64,
+                    count=len(pairs),
+                )
+                elapsed = time.perf_counter() - started
+            else:
+                started = time.perf_counter()
+                values = np.fromiter(
+                    (
+                        feature.compute(pair.record_a, pair.record_b)
+                        for pair in pairs
+                    ),
+                    dtype=np.float64,
+                    count=len(pairs),
+                )
+                elapsed = time.perf_counter() - started
             sample_values[name] = values
             if self.mode == "measured":
                 feature_costs[name] = elapsed / len(pairs)
@@ -506,13 +569,54 @@ class CostEstimator:
             if self.mode == "measured"
             else CALIBRATED_LOOKUP_COST
         )
+        bound_skip_rates: Dict[str, float] = {}
+        bound_check_cost = 0.0
+        if kernels is not None and kernels.use_bounds and pairs:
+            bound_check_cost = (
+                self._measure_bound_cost(kernels, function, pairs)
+                if self.mode == "measured"
+                else CALIBRATED_BOUND_COST
+            )
+            for rule in function.rules:
+                for predicate in rule.predicates:
+                    if predicate.pid in bound_skip_rates:
+                        continue
+                    if not kernels.supports(predicate.feature):
+                        continue
+                    decided = sum(
+                        1
+                        for pair in pairs
+                        if kernels.bound_decision(predicate, pair) is not None
+                    )
+                    if decided:
+                        bound_skip_rates[predicate.pid] = decided / len(pairs)
         return Estimates(
             feature_costs=feature_costs,
             lookup_cost=lookup_cost,
             sample_values=sample_values,
             sample_size=len(pairs),
             mode=self.mode,
+            bound_skip_rates=bound_skip_rates,
+            bound_check_cost=bound_check_cost,
         )
+
+    @staticmethod
+    def _measure_bound_cost(kernels, function, pairs) -> float:
+        """Measure the per-check cost of a size-bound decision (warm cache)."""
+        predicates = [
+            predicate
+            for rule in function.rules
+            for predicate in rule.predicates
+            if kernels.supports(predicate.feature)
+        ]
+        if not predicates:
+            return 0.0
+        probe = predicates[0]
+        probe_pairs = pairs[: min(len(pairs), 200)]
+        started = time.perf_counter()
+        for pair in probe_pairs:
+            kernels.bound_decision(probe, pair)
+        return (time.perf_counter() - started) / len(probe_pairs)
 
     @staticmethod
     def _measure_lookup_cost(sample_size: int, repetitions: int = 20000) -> float:

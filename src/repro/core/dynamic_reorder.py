@@ -43,6 +43,7 @@ class DynamicRuleReorderMatcher(Matcher):
         memo: Optional[FeatureMemo] = None,
         memo_backend: str = "array",
         check_cache_first: bool = True,
+        kernels=None,
     ):
         if memo_backend not in ("array", "hash"):
             raise MatchingError(
@@ -51,6 +52,7 @@ class DynamicRuleReorderMatcher(Matcher):
         self.memo = memo
         self.memo_backend = memo_backend
         self.check_cache_first = check_cache_first
+        self.kernels = kernels
         self.last_memo: Optional[FeatureMemo] = memo
 
     def _make_memo(self, function: MatchingFunction, n_pairs: int) -> FeatureMemo:
@@ -67,7 +69,10 @@ class DynamicRuleReorderMatcher(Matcher):
         )
         self.last_memo = memo
         evaluator = PairEvaluator(
-            stats, memo=memo, check_cache_first=self.check_cache_first
+            stats,
+            memo=memo,
+            check_cache_first=self.check_cache_first,
+            kernels=self.kernels,
         )
         # Pre-extract each rule's distinct feature names once.
         rule_features: List[Tuple[Rule, Tuple[str, ...]]] = [

@@ -92,6 +92,7 @@ def _evaluator(state: MatchState, stats: MatchStats) -> PairEvaluator:
         memo=state.memo,
         recorder=state,
         check_cache_first=state.check_cache_first,
+        kernels=state.kernels,
     )
 
 

@@ -141,6 +141,15 @@ class PairEvaluator:
     runtime optimization: inside a rule, predicates whose features are
     already memoized for this pair are evaluated before the rest, with
     both groups keeping their static relative order.
+
+    ``kernels`` (a :class:`repro.kernels.FeatureKernels`) routes supported
+    token-based features through the record token cache — same values,
+    same counters, less tokenization.  When the kernels object has
+    ``use_bounds`` enabled, threshold predicates over supported features
+    may additionally be decided from token-set sizes alone *before* the
+    feature is computed or memoized; such decisions increment
+    ``stats.bound_skips`` (not ``predicate_evaluations``) and are only
+    taken when provably equal to the full evaluation's outcome.
     """
 
     def __init__(
@@ -150,6 +159,7 @@ class PairEvaluator:
         recorder: Optional[TraceRecorder] = None,
         check_cache_first: bool = False,
         profiler=None,
+        kernels=None,
     ):
         if check_cache_first and memo is None:
             raise MatchingError("check_cache_first requires a memo")
@@ -157,6 +167,8 @@ class PairEvaluator:
         self.memo = memo
         self.recorder = recorder
         self.check_cache_first = check_cache_first
+        # Optional repro.kernels.FeatureKernels; None = seed paths.
+        self.kernels = kernels
         # Optional repro.observability.Profiler: samples wall-clock of
         # feature computations / rule evaluations and counts predicate
         # outcomes.  Never touches stats — with profiler=None the counters
@@ -187,12 +199,24 @@ class PairEvaluator:
                 self._local[feature.name] = cached
                 return cached
         profiler = self.profiler
+        kernels = self.kernels
+        use_kernel = kernels is not None and kernels.supports(feature)
         if profiler is None:
-            value = feature.compute(pair.record_a, pair.record_b)
+            if use_kernel:
+                value = kernels.compute(feature, pair)
+            else:
+                value = feature.compute(pair.record_a, pair.record_b)
         elif profiler.sample_feature(feature.name):
+            # Time the path actually taken, so observed costs reflect the
+            # warm-cache reality drift detection compares against.
             started = profiler.clock()
-            value = feature.compute(pair.record_a, pair.record_b)
+            if use_kernel:
+                value = kernels.compute(feature, pair)
+            else:
+                value = feature.compute(pair.record_a, pair.record_b)
             profiler.record_feature(feature.name, profiler.clock() - started)
+        elif use_kernel:
+            value = kernels.compute(feature, pair)
         else:
             value = feature.compute(pair.record_a, pair.record_b)
         self.stats.record_computation(feature.name)
@@ -206,6 +230,29 @@ class PairEvaluator:
     def predicate_true(
         self, pair: CandidatePair, predicate: Predicate, rule_name: str
     ) -> bool:
+        kernels = self.kernels
+        if kernels is not None and kernels.use_bounds:
+            feature_name = predicate.feature.name
+            # A memoized value costs one lookup — cheaper than the bound
+            # check, and skipping it would forfeit a guaranteed hit.
+            known = (
+                pair.index == self._local_index and feature_name in self._local
+            ) or (
+                self.memo is not None
+                and self.memo.contains(pair.index, feature_name)
+            )
+            if not known:
+                decided = kernels.try_bound(predicate, pair)
+                if decided is not None:
+                    self.stats.bound_skips += 1
+                    if self.profiler is not None:
+                        self.profiler.record_predicate(predicate.pid, decided)
+                        self.profiler.record_bound_skip(predicate.pid)
+                    if not decided and self.recorder is not None:
+                        self.recorder.record_predicate_false(
+                            pair.index, rule_name, predicate.slot
+                        )
+                    return decided
         value = self.feature_value(pair, predicate.feature)
         self.stats.predicate_evaluations += 1
         result = predicate.evaluate(value)
@@ -344,6 +391,11 @@ class PrecomputeMatcher(Matcher):
     ``use_value_cache=True`` shares computations between candidate pairs
     with identical attribute values (the paper's "hash table mapping pairs
     of attribute values to similarity function outputs").
+
+    ``kernels`` (a :class:`repro.kernels.FeatureKernels`) replaces the
+    per-feature-per-pair precompute loop with one batched column kernel
+    per supported feature, landed via ``ArrayMemo.fill_column`` — same
+    values and counters, one NumPy pass instead of a Python inner loop.
     """
 
     strategy_name = "precompute"
@@ -353,10 +405,12 @@ class PrecomputeMatcher(Matcher):
         features: Optional[Sequence[Feature]] = None,
         early_exit: bool = True,
         use_value_cache: bool = False,
+        kernels=None,
     ):
         self.features = list(features) if features is not None else None
         self.early_exit = early_exit
         self.use_value_cache = use_value_cache
+        self.kernels = kernels
 
     def _run(self, function, candidates, labels, stats) -> None:
         features = self.features if self.features is not None else function.features()
@@ -368,7 +422,19 @@ class PrecomputeMatcher(Matcher):
             )
         memo = ArrayMemo(len(candidates), [feature.name for feature in features])
         value_cache = ValueCache() if self.use_value_cache else None
+        kernels = self.kernels
         for feature in features:
+            if (
+                kernels is not None
+                and value_cache is None
+                and kernels.supports(feature)
+            ):
+                column = kernels.compute_column(feature, candidates)
+                memo.fill_column(feature.name, column)
+                count = len(candidates)
+                stats.feature_computations += count
+                stats.computations_by_feature[feature.name] += count
+                continue
             for pair in candidates:
                 if value_cache is not None:
                     value_a = pair.record_a.get(feature.attr_a)
@@ -386,7 +452,7 @@ class PrecomputeMatcher(Matcher):
                     stats.record_computation(feature.name)
                 memo.put(pair.index, feature.name, value)
 
-        evaluator = PairEvaluator(stats, memo=memo)
+        evaluator = PairEvaluator(stats, memo=memo, kernels=kernels)
         if self.early_exit:
             for pair in candidates:
                 labels[pair.index] = (
@@ -424,6 +490,7 @@ class DynamicMemoMatcher(Matcher):
         check_cache_first: bool = False,
         recorder: Optional[TraceRecorder] = None,
         profiler=None,
+        kernels=None,
     ):
         if memo_backend not in ("array", "hash"):
             raise MatchingError(
@@ -434,6 +501,7 @@ class DynamicMemoMatcher(Matcher):
         self.check_cache_first = check_cache_first
         self.recorder = recorder
         self.profiler = profiler
+        self.kernels = kernels
         self.last_memo: Optional[FeatureMemo] = memo
 
     def _make_memo(self, function: MatchingFunction, candidates: CandidateSet) -> FeatureMemo:
@@ -451,6 +519,7 @@ class DynamicMemoMatcher(Matcher):
             recorder=self.recorder,
             check_cache_first=self.check_cache_first,
             profiler=self.profiler,
+            kernels=self.kernels,
         )
         for pair in candidates:
             labels[pair.index] = (

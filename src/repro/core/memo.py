@@ -21,6 +21,7 @@ computation.  Matchers can layer it under either memo.
 
 from __future__ import annotations
 
+import sys
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
@@ -145,16 +146,31 @@ class ArrayMemo(FeatureMemo):
     Feature columns are allocated on first use; the column set may grow as
     the analyst introduces new features mid-session (``ensure_feature``),
     with geometric growth so amortized insertion stays O(1).
+
+    ``dtype`` controls value-array precision.  The default ``float64``
+    round-trips every Python float exactly (required for the bit-identity
+    guarantees of the memo merge and kernel layers); ``float32`` halves
+    the value-array footprint at the cost of rounding stored scores to
+    single precision on read-back.
     """
 
-    def __init__(self, n_pairs: int, feature_names: Iterable[str] = ()):
+    def __init__(
+        self,
+        n_pairs: int,
+        feature_names: Iterable[str] = (),
+        dtype=np.float64,
+    ):
         if n_pairs < 0:
             raise ValueError(f"n_pairs must be >= 0, got {n_pairs}")
+        dtype = np.dtype(dtype)
+        if dtype.kind != "f":
+            raise ValueError(f"dtype must be a float dtype, got {dtype}")
         self.n_pairs = n_pairs
+        self.dtype = dtype
         self._columns: Dict[str, int] = {}
         initial = list(feature_names)
         capacity = max(len(initial), 4)
-        self._values = np.zeros((n_pairs, capacity), dtype=np.float64)
+        self._values = np.zeros((n_pairs, capacity), dtype=dtype)
         self._valid = np.zeros((n_pairs, capacity), dtype=bool)
         self._entries = 0
         for name in initial:
@@ -168,7 +184,7 @@ class ArrayMemo(FeatureMemo):
         column = len(self._columns)
         if column >= self._values.shape[1]:
             grown = max(4, self._values.shape[1] * 2)
-            values = np.zeros((self.n_pairs, grown), dtype=np.float64)
+            values = np.zeros((self.n_pairs, grown), dtype=self.dtype)
             valid = np.zeros((self.n_pairs, grown), dtype=bool)
             values[:, : self._values.shape[1]] = self._values
             valid[:, : self._valid.shape[1]] = self._valid
@@ -231,7 +247,13 @@ class ArrayMemo(FeatureMemo):
         return self._entries
 
     def nbytes(self) -> int:
-        return int(self._values.nbytes + self._valid.nbytes)
+        # The column-name index is part of the memo's real footprint: with
+        # hundreds of learned features its dict + key strings are not
+        # negligible next to a small candidate set's arrays.
+        index_bytes = sys.getsizeof(self._columns) + sum(
+            sys.getsizeof(name) for name in self._columns
+        )
+        return int(self._values.nbytes + self._valid.nbytes + index_bytes)
 
     def clear(self) -> None:
         self._valid[:] = False

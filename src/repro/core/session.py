@@ -103,13 +103,26 @@ class DebugSession:
         check_cache_first: bool = True,
         paranoid: bool = False,
         observability=None,
+        use_kernels: bool = True,
+        use_bounds: bool = True,
     ):
         """``paranoid=True`` re-validates the incremental state against a
         from-scratch run after every change — O(full run) per edit, test
         use only.  ``observability`` (a
         :class:`repro.observability.Observability`) collects spans,
         metrics, and optional profiles across every run of this session;
-        ``None`` (the default) keeps the seed code paths untouched."""
+        ``None`` (the default) keeps the seed code paths untouched.
+
+        ``use_kernels`` routes token-based features through the session's
+        record token cache (:mod:`repro.kernels`) — labels, values, and
+        counters are bit-identical to the uncached path.  ``use_bounds``
+        additionally lets threshold predicates be decided from token-set
+        size bounds without computing the feature; decisions are provably
+        identical, but skipped features are not memoized and
+        ``stats.bound_skips`` counts the skips.  Both default on; the
+        same setting threads into parallel (``run(workers=...)``) and
+        streaming runs of this session, so serial/parallel memo equality
+        is preserved either way."""
         if isinstance(function, str):
             function = parse_function(function)
         self.candidates = candidates
@@ -121,6 +134,14 @@ class DebugSession:
         self.check_cache_first = check_cache_first
         self.paranoid = paranoid
         self.observability = observability
+        self.use_kernels = use_kernels
+        self.use_bounds = use_bounds
+        if use_kernels:
+            from ..kernels import FeatureKernels
+
+            self.kernels = FeatureKernels(use_bounds=use_bounds)
+        else:
+            self.kernels = None
         self.estimates: Optional[Estimates] = None
         self.state: Optional[MatchState] = None
         self.history: List[IncrementalResult] = []
@@ -149,7 +170,7 @@ class DebugSession:
             if self.ordering_strategy not in ("original", "random"):
                 with maybe_span(observability, "estimate"):
                     self.estimates = self.estimator.estimate(
-                        function, self.candidates
+                        function, self.candidates, kernels=self.kernels
                     )
             with maybe_span(observability, "order", strategy=self.ordering_strategy):
                 function = order_function(
@@ -167,9 +188,12 @@ class DebugSession:
                         profiler=(
                             observability.profiler if observability else None
                         ),
+                        kernels=self.kernels,
                     )
         if observability is not None:
             record_match_stats(observability.metrics, result.stats, prefix="run")
+            if self.kernels is not None:
+                self.kernels.report_metrics(observability.metrics)
         self.last_run = result
         return result
 
@@ -190,6 +214,7 @@ class DebugSession:
             self.candidates,
             memo,
             check_cache_first=self.check_cache_first,
+            kernels=self.kernels,
         )
         matcher = ParallelMatcher(
             workers=workers,
@@ -199,6 +224,7 @@ class DebugSession:
             recorder=state,
             estimates=self.estimates,
             observability=self.observability,
+            kernels=self.kernels,
         )
         result = matcher.run(function, self.candidates)
         state.labels = result.labels.copy()
@@ -241,18 +267,22 @@ class DebugSession:
         strategy = strategy or self.ordering_strategy
         function = state.function
         if strategy not in ("original", "random"):
-            self.estimates = self.estimator.estimate(function, self.candidates)
+            self.estimates = self.estimator.estimate(
+                function, self.candidates, kernels=self.kernels
+            )
         function = order_function(function, self.estimates, strategy)
         fresh = MatchState(
             function,
             self.candidates,
             state.memo,
             check_cache_first=self.check_cache_first,
+            kernels=self.kernels,
         )
         matcher = DynamicMemoMatcher(
             memo=state.memo,
             check_cache_first=self.check_cache_first,
             recorder=fresh,
+            kernels=self.kernels,
         )
         result = matcher.run(function, self.candidates)
         fresh.labels = result.labels.copy()
@@ -269,11 +299,13 @@ class DebugSession:
             self.candidates,
             state.memo,
             check_cache_first=self.check_cache_first,
+            kernels=self.kernels,
         )
         matcher = DynamicMemoMatcher(
             memo=state.memo,
             check_cache_first=self.check_cache_first,
             recorder=fresh,
+            kernels=self.kernels,
         )
         result = matcher.run(state.function, self.candidates)
         fresh.labels = result.labels.copy()

@@ -50,11 +50,15 @@ class MatchState:
         candidates: CandidateSet,
         memo: FeatureMemo,
         check_cache_first: bool = False,
+        kernels=None,
     ):
         self.function = function
         self.candidates = candidates
         self.memo = memo
         self.check_cache_first = check_cache_first
+        # Optional repro.kernels.FeatureKernels shared by every evaluator
+        # built over this state (incremental updates, streaming re-match).
+        self.kernels = kernels
         self.labels = np.zeros(len(candidates), dtype=bool)
         self._rule_matched: Dict[str, np.ndarray] = {}
         self._predicate_false: Dict[SlotKey, np.ndarray] = {}
@@ -78,6 +82,7 @@ class MatchState:
         memo: Optional[FeatureMemo] = None,
         check_cache_first: bool = False,
         profiler=None,
+        kernels=None,
     ) -> Tuple["MatchState", MatchResult]:
         """Run DM+EE once, materializing state as a side effect.
 
@@ -93,12 +98,13 @@ class MatchState:
                 if memo_backend == "array"
                 else HashMemo(len(candidates), names)
             )
-        state = cls(function, candidates, memo, check_cache_first)
+        state = cls(function, candidates, memo, check_cache_first, kernels=kernels)
         matcher = DynamicMemoMatcher(
             memo=memo,
             check_cache_first=check_cache_first,
             recorder=state,
             profiler=profiler,
+            kernels=kernels,
         )
         result = matcher.run(function, candidates)
         state.labels = result.labels.copy()
@@ -235,7 +241,9 @@ class MatchState:
 
         if isinstance(self.memo, ArrayMemo):
             names = list(self.memo._columns)
-            memo: FeatureMemo = ArrayMemo(len(new_candidates), names)
+            memo: FeatureMemo = ArrayMemo(
+                len(new_candidates), names, dtype=self.memo.dtype
+            )
             for name in names:
                 old_column = self.memo._columns[name]
                 new_column = memo._columns[name]
@@ -259,7 +267,11 @@ class MatchState:
                     memo.put(target, feature_name, value)
 
         state = MatchState(
-            self.function, new_candidates, memo, self.check_cache_first
+            self.function,
+            new_candidates,
+            memo,
+            self.check_cache_first,
+            kernels=self.kernels,
         )
         state.labels[survivors] = self.labels[gather]
         state.attribution[survivors] = self.attribution[gather]

@@ -49,6 +49,9 @@ class MatchStats:
     memo_hits: int = 0
     #: predicate comparisons performed
     predicate_evaluations: int = 0
+    #: predicates decided from cheap size bounds without computing the
+    #: feature (kernel layer; disjoint from predicate_evaluations)
+    bound_skips: int = 0
     #: rules whose evaluation was started
     rule_evaluations: int = 0
     #: candidate pairs examined
@@ -118,6 +121,7 @@ class MatchStats:
             feature_computations=self.feature_computations + other.feature_computations,
             memo_hits=self.memo_hits + other.memo_hits,
             predicate_evaluations=self.predicate_evaluations + other.predicate_evaluations,
+            bound_skips=self.bound_skips + other.bound_skips,
             rule_evaluations=self.rule_evaluations + other.rule_evaluations,
             pairs_evaluated=self.pairs_evaluated + other.pairs_evaluated,
             pairs_matched=self.pairs_matched + other.pairs_matched,
@@ -151,6 +155,7 @@ class MatchStats:
             feature_computations=self.feature_computations + other.feature_computations,
             memo_hits=self.memo_hits + other.memo_hits,
             predicate_evaluations=self.predicate_evaluations + other.predicate_evaluations,
+            bound_skips=self.bound_skips + other.bound_skips,
             rule_evaluations=self.rule_evaluations + other.rule_evaluations,
             pairs_evaluated=self.pairs_evaluated + other.pairs_evaluated,
             pairs_matched=self.pairs_matched + other.pairs_matched,

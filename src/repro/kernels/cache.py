@@ -1,0 +1,127 @@
+"""Per-record token-set cache keyed by (attribute, tokenizer).
+
+A record that survives blocking typically appears in many candidate
+pairs, and a matching function typically applies several token-based
+features to the same attribute.  The seed path re-tokenized the value on
+every (pair, feature) touch; this cache tokenizes each record's value
+once per (attribute, tokenizer behaviour) and hands out the frozenset.
+
+Keys
+----
+The outer key is ``(attribute, tokenizer.cache_key())`` — *behavioural*
+tokenizer identity, so two ``Jaccard(ws)`` and ``Dice(ws)`` features over
+the same attribute share one bucket, while ``qg3`` padded and unpadded do
+not.  The inner key is ``(side, record_id)``: record ids are unique per
+table side, and the streaming layer invalidates ids it touches (a
+``Table.replace`` swaps the record object under the same id, so identity
+of the id alone is not enough across deltas).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+
+class TokenCache:
+    """Token sets per (attribute, tokenizer) per record, with counters."""
+
+    __slots__ = ("_buckets", "_labels", "hits", "misses")
+
+    def __init__(self):
+        #: outer key -> {(side, record_id): frozenset of tokens}
+        self._buckets: Dict[tuple, Dict[Tuple[str, str], FrozenSet[str]]] = {}
+        #: outer key -> human-readable label, e.g. ``"title:ws"``
+        self._labels: Dict[tuple, str] = {}
+        self.hits: Dict[tuple, int] = {}
+        self.misses: Dict[tuple, int] = {}
+
+    def bucket(self, attribute: str, tokenizer) -> tuple:
+        """Return (and create if needed) the bucket key for a column.
+
+        Callers on the hot path keep the returned key and go through
+        :meth:`token_set`; creating the bucket eagerly here keeps the
+        per-pair path free of label/counter initialization branches.
+        """
+        key = (attribute, tokenizer.cache_key())
+        if key not in self._buckets:
+            self._buckets[key] = {}
+            self._labels[key] = f"{attribute}:{tokenizer.name}"
+            self.hits[key] = 0
+            self.misses[key] = 0
+        return key
+
+    def token_set(
+        self, key: tuple, side: str, record, attribute: str, tokenizer
+    ) -> FrozenSet[str]:
+        """The token set of ``record.get(attribute)``, cached.
+
+        ``key`` must come from :meth:`bucket` for the same
+        (attribute, tokenizer).
+        """
+        bucket = self._buckets[key]
+        entry = (side, record.record_id)
+        tokens = bucket.get(entry)
+        if tokens is None:
+            self.misses[key] += 1
+            tokens = tokenizer.tokenize_set(record.get(attribute))
+            bucket[entry] = tokens
+        else:
+            self.hits[key] += 1
+        return tokens
+
+    # ------------------------------------------------------- invalidation
+
+    def invalidate_records(self, side: str, record_ids: Iterable[str]) -> int:
+        """Drop cached token sets for the given records on one side.
+
+        Called by the streaming layer for every record an ingested delta
+        batch touches (insert/update/delete alike — an id may be deleted
+        and re-inserted with different values within one batch).  Returns
+        the number of evicted entries.
+        """
+        ids = set(record_ids)
+        if not ids:
+            return 0
+        evicted = 0
+        for bucket in self._buckets.values():
+            for record_id in ids:
+                if bucket.pop((side, record_id), None) is not None:
+                    evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        for bucket in self._buckets.values():
+            bucket.clear()
+
+    # ------------------------------------------------------- introspection
+
+    def stats(self) -> List[dict]:
+        """Per-(attribute, tokenizer) sizes and hit/miss counts."""
+        rows = []
+        for key, bucket in sorted(
+            self._buckets.items(), key=lambda item: self._labels[item[0]]
+        ):
+            hits = self.hits[key]
+            misses = self.misses[key]
+            total = hits + misses
+            rows.append(
+                {
+                    "label": self._labels[key],
+                    "entries": len(bucket),
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": hits / total if total else 0.0,
+                }
+            )
+        return rows
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())

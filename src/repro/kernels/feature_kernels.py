@@ -1,0 +1,260 @@
+"""FeatureKernels: cached, batched, bound-aware feature computation.
+
+This is the façade the matchers talk to.  It owns one
+:class:`~repro.kernels.cache.TokenCache` and exposes three operations:
+
+* :meth:`FeatureKernels.compute` — per-pair feature value through the
+  token cache.  Bit-identical to ``Feature.compute``: raw ``None`` on
+  either side scores 0.0 (mirroring ``SimilarityFunction.__call__``),
+  otherwise the cached token sets feed the measure's ``score_sets``,
+  the exact same code the uncached path runs.
+* :meth:`FeatureKernels.compute_column` — a whole score column for a
+  candidate list in one pass: a single Python loop gathers intersection
+  and size counts, then the measure's vectorized ``from_counts`` produces
+  the column.  ``from_counts`` replicates the scalar arithmetic
+  operation-for-operation on int64/float64, so the column equals the
+  per-pair loop bit-for-bit (integer counts are exact in float64 and
+  division/sqrt are correctly rounded).
+* :meth:`FeatureKernels.try_bound` — decide a threshold predicate from
+  set sizes alone.  The measure's ``upper_bound`` is its score formula
+  evaluated at the maximum possible intersection with the same
+  floating-point shape, so ``score <= bound`` holds for the *computed*
+  values too; a decision is only returned when it is therefore provably
+  what the full evaluation would produce.
+
+Only measures deriving from
+:class:`~repro.similarity.token_based.TokenSetSimilarity` that keep the
+base-class ``compare``/``score_sets`` are eligible; everything else
+(Monge-Elkan, the TF-IDF family, bag measures, character measures) falls
+through to the seed per-pair path untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..similarity.token_based import TokenSetSimilarity
+from .cache import TokenCache
+
+
+class _Plan:
+    """Resolved hot-path handles for one supported feature."""
+
+    __slots__ = (
+        "sim",
+        "tokenizer",
+        "attr_a",
+        "attr_b",
+        "key_a",
+        "key_b",
+        "from_counts",
+        "has_bound",
+    )
+
+    def __init__(self, feature, cache: TokenCache):
+        sim = feature.sim
+        self.sim = sim
+        self.tokenizer = sim.tokenizer
+        self.attr_a = feature.attr_a
+        self.attr_b = feature.attr_b
+        self.key_a = cache.bucket(feature.attr_a, sim.tokenizer)
+        self.key_b = cache.bucket(feature.attr_b, sim.tokenizer)
+        self.from_counts = sim.from_counts
+        self.has_bound = type(sim).upper_bound is not TokenSetSimilarity.upper_bound
+
+
+class FeatureKernels:
+    """Token-cached feature computation with optional bound skipping.
+
+    One instance per matching scope (a :class:`~repro.core.session.DebugSession`,
+    a parallel worker shard, a streaming session).  ``use_bounds`` gates
+    :meth:`try_bound` only; caching and batched computation are always on
+    because they are pure speedups with bit-identical outputs, whereas a
+    bound decision changes *which* features get computed and memoized.
+    """
+
+    def __init__(self, cache: Optional[TokenCache] = None, use_bounds: bool = False):
+        self.cache = cache if cache is not None else TokenCache()
+        self.use_bounds = use_bounds
+        #: predicate pid -> number of evaluations decided from bounds alone
+        self.bound_skips: Dict[str, int] = {}
+        self._plans: Dict[str, Optional[_Plan]] = {}
+        self._reported = {"hits": 0, "misses": 0, "skips": 0}
+
+    # ---------------------------------------------------------- eligibility
+
+    def supports(self, feature) -> bool:
+        """True when ``feature`` can run through the cached kernel path."""
+        return self._plan(feature) is not None
+
+    def _make_plan(self, feature) -> Optional[_Plan]:
+        sim = feature.sim
+        if not isinstance(sim, TokenSetSimilarity):
+            return None
+        # A subclass overriding compare/score_sets has forked the scoring
+        # path; routing it through cached sets could change its output.
+        if type(sim).compare is not TokenSetSimilarity.compare:
+            return None
+        if type(sim).score_sets is not TokenSetSimilarity.score_sets:
+            return None
+        return _Plan(feature, self.cache)
+
+    def _plan(self, feature) -> Optional[_Plan]:
+        plan = self._plans.get(feature.name, False)
+        if plan is False:
+            plan = self._make_plan(feature)
+            self._plans[feature.name] = plan
+        return plan
+
+    # -------------------------------------------------------------- compute
+
+    def compute(self, feature, pair) -> float:
+        """``feature.compute(pair)`` through the token cache."""
+        plan = self._plan(feature)
+        if plan is None:
+            return feature.compute(pair.record_a, pair.record_b)
+        record_a, record_b = pair.record_a, pair.record_b
+        value_a = record_a.get(plan.attr_a)
+        value_b = record_b.get(plan.attr_b)
+        if value_a is None or value_b is None:
+            return 0.0
+        cache = self.cache
+        set_a = cache.token_set(plan.key_a, "a", record_a, plan.attr_a, plan.tokenizer)
+        set_b = cache.token_set(plan.key_b, "b", record_b, plan.attr_b, plan.tokenizer)
+        return plan.sim.score_sets(set_a, set_b)
+
+    def compute_column(self, feature, candidates) -> np.ndarray:
+        """The feature's score for every pair, as one float64 column.
+
+        Falls back to a per-pair loop (still token-cached) when the
+        measure has no vectorized ``from_counts``.
+        """
+        n = len(candidates)
+        plan = self._plan(feature)
+        if plan is None or plan.from_counts is None:
+            return np.fromiter(
+                (self.compute(feature, pair) for pair in candidates),
+                dtype=np.float64,
+                count=n,
+            )
+        intersection = np.empty(n, dtype=np.int64)
+        size_x = np.ones(n, dtype=np.int64)
+        size_y = np.ones(n, dtype=np.int64)
+        special = []  # (row, score) for None/empty rows the formula skips
+        cache = self.cache
+        key_a, key_b = plan.key_a, plan.key_b
+        attr_a, attr_b = plan.attr_a, plan.attr_b
+        tokenizer = plan.tokenizer
+        for row, pair in enumerate(candidates):
+            record_a, record_b = pair.record_a, pair.record_b
+            if record_a.get(attr_a) is None or record_b.get(attr_b) is None:
+                intersection[row] = 0
+                special.append((row, 0.0))
+                continue
+            set_a = cache.token_set(key_a, "a", record_a, attr_a, tokenizer)
+            set_b = cache.token_set(key_b, "b", record_b, attr_b, tokenizer)
+            len_a, len_b = len(set_a), len(set_b)
+            if len_a == 0 or len_b == 0:
+                intersection[row] = 0
+                special.append((row, 1.0 if len_a == len_b else 0.0))
+                continue
+            intersection[row] = len(set_a & set_b)
+            size_x[row] = len_a
+            size_y[row] = len_b
+        column = np.asarray(
+            plan.from_counts(intersection, size_x, size_y), dtype=np.float64
+        )
+        for row, score in special:
+            column[row] = score
+        return column
+
+    # --------------------------------------------------------- invalidation
+
+    def invalidate_records(self, side: str, record_ids) -> int:
+        """Evict cached token sets for ``record_ids`` on ``side`` ("a"/"b").
+
+        Streaming ingest calls this for every record a delta batch touched;
+        the next access re-tokenizes the record's current value.  Returns
+        the number of evicted entries.
+        """
+        return self.cache.invalidate_records(side, record_ids)
+
+    # --------------------------------------------------------------- bounds
+
+    def bound_decision(self, predicate, pair) -> Optional[bool]:
+        """The predicate's outcome if sizes alone decide it, else None.
+
+        Pure query — no counters.  Sound by construction: the upper bound
+        dominates every computed score for the observed sizes, so
+        ``bound < t`` proves ``score >= t`` is False (and ``bound <= t``
+        proves ``score <= t`` is True).
+        """
+        feature = predicate.feature
+        plan = self._plan(feature)
+        if plan is None or not plan.has_bound:
+            return None
+        record_a, record_b = pair.record_a, pair.record_b
+        if record_a.get(plan.attr_a) is None or record_b.get(plan.attr_b) is None:
+            return None  # full path is already trivially cheap (0.0)
+        cache = self.cache
+        set_a = cache.token_set(plan.key_a, "a", record_a, plan.attr_a, plan.tokenizer)
+        set_b = cache.token_set(plan.key_b, "b", record_b, plan.attr_b, plan.tokenizer)
+        if not set_a or not set_b:
+            return None
+        bound = plan.sim.upper_bound(len(set_a), len(set_b))
+        if bound is None:
+            return None
+        op = predicate.op
+        threshold = predicate.threshold
+        if op == ">=":
+            return False if bound < threshold else None
+        if op == ">":
+            return False if bound <= threshold else None
+        if op == "==":
+            return False if bound < threshold else None
+        if op == "<=":
+            return True if bound <= threshold else None
+        if op == "<":
+            return True if bound < threshold else None
+        return None
+
+    def try_bound(self, predicate, pair) -> Optional[bool]:
+        """Like :meth:`bound_decision`, but counts decided skips."""
+        decided = self.bound_decision(predicate, pair)
+        if decided is not None:
+            pid = predicate.pid
+            self.bound_skips[pid] = self.bound_skips.get(pid, 0) + 1
+        return decided
+
+    # -------------------------------------------------------------- metrics
+
+    @property
+    def total_bound_skips(self) -> int:
+        return sum(self.bound_skips.values())
+
+    def report_metrics(self, registry) -> None:
+        """Fold cache/bound counters into a metrics registry.
+
+        Totals land as counters (``cache.hit``, ``cache.miss``,
+        ``bound.skip``) incremented by the delta since the last report;
+        per-column sizes and hit counts land as gauges so the workbench
+        can show the per-(attribute, tokenizer) breakdown.
+        """
+        cache = self.cache
+        hits, misses = cache.total_hits, cache.total_misses
+        skips = self.total_bound_skips
+        reported = self._reported
+        if hits - reported["hits"]:
+            registry.counter("cache.hit").inc(hits - reported["hits"])
+        if misses - reported["misses"]:
+            registry.counter("cache.miss").inc(misses - reported["misses"])
+        if skips - reported["skips"]:
+            registry.counter("bound.skip").inc(skips - reported["skips"])
+        reported.update(hits=hits, misses=misses, skips=skips)
+        for row in cache.stats():
+            label = row["label"]
+            registry.gauge(f"cache.entries.{label}").set(row["entries"])
+            registry.gauge(f"cache.hits.{label}").set(row["hits"])
+            registry.gauge(f"cache.misses.{label}").set(row["misses"])

@@ -282,6 +282,7 @@ def record_match_stats(
         "feature_computations",
         "memo_hits",
         "predicate_evaluations",
+        "bound_skips",
         "rule_evaluations",
         "pairs_evaluated",
         "pairs_matched",

@@ -52,6 +52,7 @@ class Profiler:
         "rule_costs",
         "predicate_evals",
         "predicate_trues",
+        "bound_skips",
     )
 
     def __init__(
@@ -70,6 +71,11 @@ class Profiler:
         self.rule_costs: Dict[str, Histogram] = {}
         self.predicate_evals: Dict[str, int] = {}
         self.predicate_trues: Dict[str, int] = {}
+        #: decisions reached via a cheap similarity bound instead of a
+        #: feature computation (kernels with ``use_bounds``).  The decision
+        #: itself is *also* counted in predicate_evals/predicate_trues so
+        #: observed selectivities stay comparable with bounds off.
+        self.bound_skips: Dict[str, int] = {}
 
     # ------------------------------------------------------------ sampling
 
@@ -104,6 +110,10 @@ class Profiler:
         self.predicate_evals[pid] = self.predicate_evals.get(pid, 0) + 1
         if outcome:
             self.predicate_trues[pid] = self.predicate_trues.get(pid, 0) + 1
+
+    def record_bound_skip(self, pid: str) -> None:
+        """One predicate decision settled by a cheap bound (no compute)."""
+        self.bound_skips[pid] = self.bound_skips.get(pid, 0) + 1
 
     # ------------------------------------------------------------- reading
 
@@ -150,6 +160,7 @@ class Profiler:
             },
             "predicate_evals": dict(self.predicate_evals),
             "predicate_trues": dict(self.predicate_trues),
+            "bound_skips": dict(self.bound_skips),
         }
 
     def merge(self, other: Union["Profiler", dict]) -> "Profiler":
@@ -181,6 +192,9 @@ class Profiler:
             self.predicate_evals[name] = self.predicate_evals.get(name, 0) + count
         for name, count in data["predicate_trues"].items():
             self.predicate_trues[name] = self.predicate_trues.get(name, 0) + count
+        # .get: snapshots from older builds predate bound skipping.
+        for name, count in data.get("bound_skips", {}).items():
+            self.bound_skips[name] = self.bound_skips.get(name, 0) + count
         return self
 
     @classmethod

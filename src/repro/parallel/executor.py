@@ -85,6 +85,7 @@ class ParallelMatcher:
         check_memo_conflicts: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         observability=None,
+        kernels=None,
     ):
         self.workers = workers if workers is not None else _default_workers()
         if self.workers < 1:
@@ -105,6 +106,12 @@ class ParallelMatcher:
         #: repro.observability.Observability: spans for every phase, worker
         #: span logs spliced back, worker profiles merged.  None = seed paths.
         self.observability = observability
+        #: repro.kernels.FeatureKernels: token caches + batched kernels.
+        #: Workers cannot share the parent's cache (records are re-hydrated
+        #: per shard), so tasks carry only the *flags*; each worker builds a
+        #: fresh per-shard kernel set.  The parent's instance serves the
+        #: serial and in-parent fallback paths.  None = seed-exact paths.
+        self.kernels = kernels
         self.last_plan: Optional[PartitionPlan] = None
         self.last_memo: Optional[FeatureMemo] = memo
         self.fallback_reason: Optional[str] = None
@@ -187,6 +194,11 @@ class ParallelMatcher:
                                 check_cache_first=self.check_cache_first,
                                 collect_spans=collect_spans,
                                 profile_sample_every=profile_sample_every,
+                                use_kernels=self.kernels is not None,
+                                use_bounds=(
+                                    self.kernels is not None
+                                    and self.kernels.use_bounds
+                                ),
                             )
                         )
                         for chunk in plan.chunks
@@ -401,6 +413,7 @@ class ParallelMatcher:
             profiler=(
                 observability.profiler if observability is not None else None
             ),
+            kernels=self.kernels,
         )
         with maybe_span(observability, "serial_fallback", reason=reason):
             result = matcher.run(function, candidates)

@@ -127,6 +127,14 @@ class ChunkTask:
     #: profiling sample rate (0 = no profiling); the worker's profile
     #: snapshot travels back in the outcome for the parent to merge.
     profile_sample_every: int = 0
+    #: build a per-shard token cache + batched kernels in the worker?
+    #: Only flags travel — caches are worker-local, rebuilt from the
+    #: shard's re-hydrated records (values are bit-identical either way).
+    use_kernels: bool = False
+    #: cheap-bound predicate short-circuiting inside the worker (requires
+    #: use_kernels; changes memo contents, so tasks built for bare
+    #: matchers leave it off).
+    use_bounds: bool = False
     #: fault injection (tests only): number of times this chunk should
     #: still fail, and how ("raise" = exception, "exit" = kill the worker).
     fault_failures: int = 0
@@ -144,6 +152,8 @@ def build_chunk_task(
     check_cache_first: bool = False,
     collect_spans: bool = False,
     profile_sample_every: int = 0,
+    use_kernels: bool = False,
+    use_bounds: bool = False,
 ) -> ChunkTask:
     """Slice ``candidates`` down to ``chunk`` and pack a worker task."""
     pair_ids: List[Tuple[str, str]] = []
@@ -171,4 +181,6 @@ def build_chunk_task(
         check_cache_first=check_cache_first,
         collect_spans=collect_spans,
         profile_sample_every=profile_sample_every,
+        use_kernels=use_kernels,
+        use_bounds=use_bounds,
     )

@@ -121,6 +121,16 @@ def run_chunk(task: ChunkTask) -> ChunkOutcome:
                 table_a, table_b, task.pair_ids
             )
 
+        kernels = None
+        if task.use_kernels:
+            # Imported lazily, like observability: seed tasks never need it.
+            # The cache is per-shard — built over the re-hydrated records,
+            # so token sets (and all derived values) are bit-identical to
+            # the parent's.
+            from ..kernels import FeatureKernels
+
+            kernels = FeatureKernels(use_bounds=task.use_bounds)
+
         memo = HashMemo(len(candidates))
         trace = TraceLog() if task.collect_trace else None
         matcher = DynamicMemoMatcher(
@@ -128,6 +138,7 @@ def run_chunk(task: ChunkTask) -> ChunkOutcome:
             check_cache_first=task.check_cache_first,
             recorder=trace,
             profiler=profiler,
+            kernels=kernels,
         )
         with tracer.span("match") if tracer is not None else _NULL_CONTEXT:
             result = matcher.run(function, candidates)

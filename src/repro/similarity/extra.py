@@ -18,6 +18,7 @@ import math
 from collections import Counter
 
 from .base import SimilarityFunction
+from .token_based import TokenSetSimilarity
 from .tokenizers import Tokenizer, WhitespaceTokenizer
 
 
@@ -40,12 +41,17 @@ class Hamming(SimilarityFunction):
         return agreements / longest
 
 
-class Tversky(SimilarityFunction):
+class Tversky(TokenSetSimilarity):
     """Symmetric Tversky index over token sets.
 
     ``|X∩Y| / (|X∩Y| + α·|X\\Y| + α·|Y\\X|)`` — α = 0.5 reproduces Dice,
     α = 1 reproduces Jaccard; intermediate values soften the penalty for
     unmatched tokens (useful when one source pads titles with noise).
+
+    A :class:`~repro.similarity.token_based.TokenSetSimilarity` subclass,
+    so the empty-set convention and the tokenization site live in the base
+    class rather than being duplicated here, and the token-cache/kernel
+    layer applies automatically.
     """
 
     cost_tier = 6
@@ -54,20 +60,28 @@ class Tversky(SimilarityFunction):
         if alpha <= 0:
             raise ValueError(f"alpha must be positive, got {alpha}")
         self.alpha = alpha
-        self.tokenizer = tokenizer or WhitespaceTokenizer()
-        self.name = f"tversky{alpha:g}_{self.tokenizer.name}"
+        super().__init__(tokenizer, base_name=f"tversky{alpha:g}")
 
-    def compare(self, x: str, y: str) -> float:
-        set_x = self.tokenizer.tokenize_set(x)
-        set_y = self.tokenizer.tokenize_set(y)
-        if not set_x and not set_y:
-            return 1.0
-        if not set_x or not set_y:
-            return 0.0
+    def from_sets(self, set_x: frozenset, set_y: frozenset) -> float:
         common = len(set_x & set_y)
         only_x = len(set_x - set_y)
         only_y = len(set_y - set_x)
         denominator = common + self.alpha * (only_x + only_y)
+        return common / denominator if denominator else 0.0
+
+    def from_counts(self, intersection, size_x, size_y):
+        # Non-empty sets make the denominator strictly positive, so the
+        # scalar path's division-by-zero guard has no vectorized analogue.
+        denominator = intersection + self.alpha * (
+            (size_x - intersection) + (size_y - intersection)
+        )
+        return intersection / denominator
+
+    def upper_bound(self, size_x: int, size_y: int) -> float:
+        common = min(size_x, size_y)
+        denominator = common + self.alpha * (
+            (size_x - common) + (size_y - common)
+        )
         return common / denominator if denominator else 0.0
 
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from .base import SimilarityFunction
 from .tokenizers import QgramTokenizer, Tokenizer, WhitespaceTokenizer
 
@@ -20,9 +22,27 @@ from .tokenizers import QgramTokenizer, Tokenizer, WhitespaceTokenizer
 class TokenSetSimilarity(SimilarityFunction):
     """Common machinery for measures defined on a pair of token sets.
 
-    Subclasses implement :meth:`from_sets`.  Edge cases are normalized
-    here: two values that both tokenize to the empty set score 1.0 (both
-    empty = indistinguishable), and exactly one empty set scores 0.0.
+    Subclasses implement :meth:`from_sets`.  Tokenization happens in
+    exactly one place (:meth:`compare` → :meth:`score_sets`), so the
+    token-cache layer (:mod:`repro.kernels`) can substitute cached token
+    sets and reach *identical* code for the actual scoring.  Edge cases
+    are normalized in :meth:`score_sets`: two values that both tokenize to
+    the empty set score 1.0 (both empty = indistinguishable), and exactly
+    one empty set scores 0.0.  Subclasses must not override
+    :meth:`compare` or :meth:`score_sets` — doing so would bypass the
+    cache path and fork the empty-set convention.
+
+    Two optional hooks power the kernel layer:
+
+    * :meth:`from_counts` — vectorized scoring from intersection/size
+      arrays.  Must replicate :meth:`from_sets` arithmetic bit-for-bit
+      (same operations in the same order on the same dtypes).
+    * :meth:`upper_bound` — a cheap upper bound on :meth:`from_sets` given
+      only the two set sizes, used for threshold short-circuiting.
+      Soundness: the bound is the score formula evaluated at the maximum
+      possible intersection ``min(|X|, |Y|)`` with the same floating-point
+      operation shape, so rounding monotonicity guarantees
+      ``from_sets(X, Y) <= upper_bound(|X|, |Y|)``.
     """
 
     def __init__(self, tokenizer: Tokenizer | None = None, base_name: str = "sim"):
@@ -30,8 +50,12 @@ class TokenSetSimilarity(SimilarityFunction):
         self.name = f"{base_name}_{self.tokenizer.name}"
 
     def compare(self, x: str, y: str) -> float:
-        set_x = self.tokenizer.tokenize_set(x)
-        set_y = self.tokenizer.tokenize_set(y)
+        return self.score_sets(
+            self.tokenizer.tokenize_set(x), self.tokenizer.tokenize_set(y)
+        )
+
+    def score_sets(self, set_x: frozenset, set_y: frozenset) -> float:
+        """Score two pre-tokenized sets under the package conventions."""
         if not set_x and not set_y:
             return 1.0
         if not set_x or not set_y:
@@ -40,6 +64,15 @@ class TokenSetSimilarity(SimilarityFunction):
 
     def from_sets(self, set_x: frozenset, set_y: frozenset) -> float:
         raise NotImplementedError
+
+    #: Vectorized hook: subclasses replace this with a method taking
+    #: (intersection, size_x, size_y) int64 ndarrays and returning the
+    #: float64 score column.  None = no batched kernel for this measure.
+    from_counts = None
+
+    def upper_bound(self, size_x: int, size_y: int) -> float | None:
+        """Upper bound on :meth:`from_sets` for non-empty sets, or None."""
+        return None
 
 
 class Jaccard(TokenSetSimilarity):
@@ -56,6 +89,16 @@ class Jaccard(TokenSetSimilarity):
             return 0.0
         return intersection / (len(set_x) + len(set_y) - intersection)
 
+    def from_counts(self, intersection, size_x, size_y):
+        # intersection == 0 gives 0 / (sx + sy) == 0.0 exactly, matching
+        # the scalar early-return.
+        return intersection / (size_x + size_y - intersection)
+
+    def upper_bound(self, size_x: int, size_y: int) -> float:
+        if size_x <= size_y:
+            return size_x / size_y
+        return size_y / size_x
+
 
 class Dice(TokenSetSimilarity):
     """Sørensen-Dice coefficient ``2|X ∩ Y| / (|X| + |Y|)``."""
@@ -67,6 +110,12 @@ class Dice(TokenSetSimilarity):
 
     def from_sets(self, set_x: frozenset, set_y: frozenset) -> float:
         return 2.0 * len(set_x & set_y) / (len(set_x) + len(set_y))
+
+    def from_counts(self, intersection, size_x, size_y):
+        return 2.0 * intersection / (size_x + size_y)
+
+    def upper_bound(self, size_x: int, size_y: int) -> float:
+        return 2.0 * min(size_x, size_y) / (size_x + size_y)
 
 
 class OverlapCoefficient(TokenSetSimilarity):
@@ -83,6 +132,14 @@ class OverlapCoefficient(TokenSetSimilarity):
 
     def from_sets(self, set_x: frozenset, set_y: frozenset) -> float:
         return len(set_x & set_y) / min(len(set_x), len(set_y))
+
+    def from_counts(self, intersection, size_x, size_y):
+        return intersection / np.minimum(size_x, size_y)
+
+    def upper_bound(self, size_x: int, size_y: int) -> float:
+        # Any overlap bound based on sizes alone is the trivial 1.0: the
+        # smaller set may always be contained in the larger.
+        return 1.0
 
 
 class Cosine(TokenSetSimilarity):
@@ -101,6 +158,14 @@ class Cosine(TokenSetSimilarity):
 
     def from_sets(self, set_x: frozenset, set_y: frozenset) -> float:
         return len(set_x & set_y) / math.sqrt(len(set_x) * len(set_y))
+
+    def from_counts(self, intersection, size_x, size_y):
+        # np.sqrt and math.sqrt are both correctly rounded, so the batched
+        # result matches the scalar path bit-for-bit.
+        return intersection / np.sqrt(size_x * size_y)
+
+    def upper_bound(self, size_x: int, size_y: int) -> float:
+        return min(size_x, size_y) / math.sqrt(size_x * size_y)
 
 
 class Trigram(Jaccard):

@@ -58,6 +58,17 @@ class Tokenizer(ABC):
         """Return the token *set* for ``value`` (duplicates collapsed)."""
         return frozenset(self.tokenize(value))
 
+    def cache_key(self) -> tuple:
+        """Hashable identity of this tokenizer's *behaviour*.
+
+        Two tokenizers with the same cache key tokenize every value
+        identically, so cached token sets may be shared between them.
+        ``name`` alone is not enough: it omits configuration that changes
+        the output (delimiter sets, q-gram padding), which is exactly what
+        subclasses append here.
+        """
+        return (type(self).__name__, self.name, self.lowercase)
+
     @abstractmethod
     def _split(self, text: str) -> List[str]:
         """Split an already-normalized string into tokens."""
@@ -110,6 +121,9 @@ class DelimiterTokenizer(Tokenizer):
     def _split(self, text: str) -> List[str]:
         return [token.strip() for token in self._pattern.split(text) if token.strip()]
 
+    def cache_key(self) -> tuple:
+        return super().cache_key() + (self.delimiters,)
+
 
 class QgramTokenizer(Tokenizer):
     """Sliding-window q-gram tokenizer.
@@ -139,6 +153,9 @@ class QgramTokenizer(Tokenizer):
         if len(text) < q:
             return [text]
         return [text[i : i + q] for i in range(len(text) - q + 1)]
+
+    def cache_key(self) -> tuple:
+        return super().cache_key() + (self.q, self.padded)
 
 
 #: Shared default instances.  Tokenizers are stateless, so similarity

@@ -297,6 +297,13 @@ class StreamingSession:
                 )
                 new_state.forget_pairs(invalidated)
                 stats.pairs_invalidated = len(invalidated)
+                # Token caches key on record ids, so edited records must be
+                # evicted too — the re-match would otherwise score against
+                # pre-delta token sets.
+                kernels = self.session.kernels
+                if kernels is not None:
+                    kernels.invalidate_records("a", touched_a)
+                    kernels.invalidate_records("b", touched_b)
 
             # 4. Re-match exactly the affected pairs (net-new + invalidated).
             first_new = len(new_order) - len(net_new)
@@ -348,6 +355,7 @@ class StreamingSession:
             profiler=(
                 observability.profiler if observability is not None else None
             ),
+            kernels=state.kernels,
         )
         rules = state.function.rules
         for index in affected:
@@ -384,6 +392,7 @@ class StreamingSession:
             recorder=trace,
             estimates=self.session.estimates,
             observability=self.observability,
+            kernels=state.kernels,
         )
         result = matcher.run(function, sub_candidates)
         index_map = {local: affected[local] for local in range(len(affected))}
@@ -397,6 +406,7 @@ class StreamingSession:
         stats.feature_computations += run_stats.feature_computations
         stats.memo_hits += run_stats.memo_hits
         stats.predicate_evaluations += run_stats.predicate_evaluations
+        stats.bound_skips += run_stats.bound_skips
         stats.rule_evaluations += run_stats.rule_evaluations
         stats.pairs_evaluated += run_stats.pairs_evaluated
         stats.computations_by_feature += run_stats.computations_by_feature

@@ -110,6 +110,7 @@ class Workbench:
             "apply": self.cmd_apply,
             "history": self.cmd_history,
             "memory": self.cmd_memory,
+            "cache": self.cmd_cache,
             "stats": self.cmd_stats,
             "trace": self.cmd_trace,
             "profile": self.cmd_profile,
@@ -172,6 +173,8 @@ class Workbench:
                 "  apply <n>                    apply the n-th suggestion",
                 "  history                      applied edits with timings",
                 "  memory                       materialized-state bytes",
+                "  cache stats                  token-cache sizes, hit rates,",
+                "                               and bound-skip counts",
                 "  stats                        rule-set structure report",
                 "                               (+ metrics digest once run)",
                 "  trace [--json]               span tree of run/ingest timings",
@@ -496,6 +499,47 @@ class Workbench:
             f"predicate bitmaps {report['predicate_bitmaps'] / 1e6:.2f}MB, "
             f"total {report['total'] / 1e6:.2f}MB"
         )
+
+    def cmd_cache(self, arguments: List[str]) -> str:
+        """``cache stats`` — per-(attribute, tokenizer) token-cache report.
+
+        Folds the session's live kernel counters into the metrics
+        registry first, so the printed totals match what ``stats`` and the
+        rendered metrics show.
+        """
+        if arguments not in ([], ["stats"]):
+            raise WorkbenchError("usage: cache stats")
+        session = self._require_session()
+        kernels = session.kernels
+        if kernels is None:
+            return "token caching is off (session built with use_kernels=False)"
+        if self.observability is not None:
+            kernels.report_metrics(self.observability.metrics)
+        rows = kernels.cache.stats()
+        if not rows:
+            return "token cache is empty; 'run' something first"
+        lines = [
+            "cache (attribute:tokenizer)            entries      hits    misses  hit-rate"
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['label']:<38}{row['entries']:>8}{row['hits']:>10}"
+                f"{row['misses']:>10}{row['hit_rate']:>9.1%}"
+            )
+        total_accesses = kernels.cache.total_hits + kernels.cache.total_misses
+        overall = (
+            kernels.cache.total_hits / total_accesses if total_accesses else 0.0
+        )
+        lines.append(
+            f"total: {len(kernels.cache)} entries, "
+            f"{kernels.cache.total_hits} hits / {total_accesses} accesses "
+            f"({overall:.1%}), {kernels.total_bound_skips} bound skips"
+        )
+        if kernels.bound_skips:
+            lines.append("bound skips by predicate:")
+            for pid, count in sorted(kernels.bound_skips.items()):
+                lines.append(f"  {pid:<48}{count:>8}")
+        return "\n".join(lines)
 
     def cmd_stats(self, arguments: List[str]) -> str:
         from .core.analysis import describe_function

@@ -107,6 +107,56 @@ class TestArrayMemo:
             ArrayMemo(-1)
 
 
+class TestArrayMemoDtype:
+    def test_default_is_float64(self):
+        memo = ArrayMemo(4, ["f1"])
+        assert memo.dtype == np.float64
+
+    def test_float32_round_trip(self):
+        memo = ArrayMemo(4, ["f1"], dtype=np.float32)
+        memo.put(0, "f1", 0.1)
+        assert memo.get(0, "f1") == np.float32(0.1)
+        assert memo.contains(0, "f1")
+
+    def test_float32_halves_value_storage(self):
+        wide = ArrayMemo(1000, ["f1", "f2"])
+        narrow = ArrayMemo(1000, ["f1", "f2"], dtype=np.float32)
+        # Value arrays halve; the validity bitmap and index are unchanged.
+        assert narrow._values.nbytes * 2 == wide._values.nbytes
+        assert (
+            wide.nbytes() - narrow.nbytes()
+            == wide._values.nbytes - narrow._values.nbytes
+        )
+
+    def test_growth_preserves_dtype(self):
+        memo = ArrayMemo(4, dtype=np.float32)
+        for index in range(40):
+            memo.put(0, f"f{index}", 0.5)
+        assert memo._values.dtype == np.float32
+
+    def test_non_float_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayMemo(4, ["f1"], dtype=np.int64)
+
+
+class TestArrayMemoNbytesAudit:
+    def test_nbytes_includes_the_column_index(self):
+        """The audit counts the name->column dict, not just the arrays.
+
+        With many features over few pairs the index dict is a real share
+        of the footprint; nbytes must exceed the raw array bytes.
+        """
+        memo = ArrayMemo(2, [f"feature_{index}" for index in range(50)])
+        arrays_only = memo._values.nbytes + memo._valid.nbytes
+        assert memo.nbytes() > arrays_only
+
+    def test_nbytes_grows_with_new_columns(self):
+        memo = ArrayMemo(10, ["f1"])
+        before = memo.nbytes()
+        memo.put(0, "another_feature", 0.5)
+        assert memo.nbytes() > before
+
+
 class TestHashMemoSparsity:
     def test_nbytes_scales_with_occupancy(self):
         sparse = HashMemo(1000)

@@ -66,6 +66,25 @@ class TestInspection:
     def test_memory(self, loaded_bench):
         assert "MB" in loaded_bench.execute("memory")
 
+    def test_cache_stats(self, loaded_bench):
+        output = loaded_bench.execute("cache stats")
+        assert "hit-rate" in output
+        assert "bound skips" in output
+        assert "total:" in output
+        # Per-(attribute, tokenizer) rows use the attribute:tokenizer label.
+        assert ":" in output.splitlines()[1]
+        # The command also folds the counters into the metrics registry.
+        assert loaded_bench.observability.metrics.value("cache.hit") > 0
+
+    def test_cache_stats_before_run_fails(self):
+        bench = Workbench()
+        with pytest.raises(WorkbenchError, match="no active run"):
+            bench.execute("cache stats")
+
+    def test_cache_bad_argument(self, loaded_bench):
+        with pytest.raises(WorkbenchError, match="usage: cache stats"):
+            loaded_bench.execute("cache wat")
+
 
 class TestEditing:
     @pytest.fixture()
