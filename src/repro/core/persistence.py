@@ -10,6 +10,8 @@ directory:
   corpus-bound measures reattach correctly),
 * ``state.npz``     — labels, attribution, memo contents, and bitmaps as
   compressed numpy arrays,
+* ``stats.json``    — optional full-fidelity :class:`MatchStats` of the
+  run that produced the state (phase timings and worker timings included),
 * ``meta.json``     — candidate-set fingerprint and format version.
 
 The candidate set itself is NOT serialized — it is deterministic from the
@@ -17,6 +19,20 @@ dataset + blocker, and re-blocking is cheap relative to re-computing
 similarity scores.  A fingerprint (pair count + hash of the id sequence)
 guards against loading state onto a different candidate set, which would
 silently misalign every pair index.
+
+Session checkpoints
+-------------------
+:func:`save_session` / :func:`load_session` widen the unit of durability
+from one :class:`MatchState` to one live
+:class:`~repro.streaming.session.StreamingSession` — the serving layer's
+(:mod:`repro.service`) unit of work.  A checkpoint directory additionally
+holds the *live tables* (which deltas have mutated away from any
+generator), the candidate order (survivors-then-gained, which a fresh
+re-block would not reproduce), gold labels, token caches, accumulated
+stats, and the session's configuration.  The blocker itself is rebuilt by
+the caller (it may close over lambdas); re-blocking the restored tables
+reproduces its delta index exactly, which the streaming adopt path
+verifies pair-for-pair.
 """
 
 from __future__ import annotations
@@ -24,17 +40,20 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..data.pairs import CandidateSet
+from ..data.table import Record, Table
 from ..errors import StateError
 from .memo import ArrayMemo, FeatureMemo, HashMemo
 from .parser import FeatureResolver, format_function, parse_function
 from .state import MatchState
+from .stats import MatchStats, WorkerTiming
 
 FORMAT_VERSION = 1
+SESSION_FORMAT_VERSION = 1
 
 
 def candidate_fingerprint(candidates: CandidateSet) -> str:
@@ -81,8 +100,97 @@ def _memo_arrays(memo: FeatureMemo, n_pairs: int) -> Dict[str, np.ndarray]:
     }
 
 
-def save_state(state: MatchState, directory: str | Path) -> Path:
-    """Serialize ``state`` into ``directory`` (created if needed)."""
+def stats_to_dict(stats: MatchStats) -> dict:
+    """Full-fidelity JSON-able form of a :class:`MatchStats`.
+
+    Every counter round-trips through :func:`stats_from_dict`, including
+    the fields a naive ``vars()`` dump would mangle: ``phase_seconds``
+    (dict), ``worker_timings`` (list of :class:`WorkerTiming`), and
+    ``computations_by_feature`` (Counter).
+    """
+    return {
+        "feature_computations": stats.feature_computations,
+        "memo_hits": stats.memo_hits,
+        "predicate_evaluations": stats.predicate_evaluations,
+        "bound_skips": stats.bound_skips,
+        "rule_evaluations": stats.rule_evaluations,
+        "pairs_evaluated": stats.pairs_evaluated,
+        "pairs_matched": stats.pairs_matched,
+        "elapsed_seconds": stats.elapsed_seconds,
+        "deltas_applied": stats.deltas_applied,
+        "pairs_gained": stats.pairs_gained,
+        "pairs_lost": stats.pairs_lost,
+        "pairs_invalidated": stats.pairs_invalidated,
+        "computations_by_feature": dict(stats.computations_by_feature),
+        "phase_seconds": dict(stats.phase_seconds),
+        "worker_timings": [
+            {
+                "chunk_id": timing.chunk_id,
+                "worker_pid": timing.worker_pid,
+                "pairs": timing.pairs,
+                "elapsed_seconds": timing.elapsed_seconds,
+                "attempts": timing.attempts,
+                "fallback": timing.fallback,
+            }
+            for timing in stats.worker_timings
+        ],
+    }
+
+
+def stats_from_dict(data: dict) -> MatchStats:
+    """Inverse of :func:`stats_to_dict`."""
+    stats = MatchStats(
+        feature_computations=int(data.get("feature_computations", 0)),
+        memo_hits=int(data.get("memo_hits", 0)),
+        predicate_evaluations=int(data.get("predicate_evaluations", 0)),
+        bound_skips=int(data.get("bound_skips", 0)),
+        rule_evaluations=int(data.get("rule_evaluations", 0)),
+        pairs_evaluated=int(data.get("pairs_evaluated", 0)),
+        pairs_matched=int(data.get("pairs_matched", 0)),
+        elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        deltas_applied=int(data.get("deltas_applied", 0)),
+        pairs_gained=int(data.get("pairs_gained", 0)),
+        pairs_lost=int(data.get("pairs_lost", 0)),
+        pairs_invalidated=int(data.get("pairs_invalidated", 0)),
+    )
+    stats.computations_by_feature.update(
+        {
+            str(name): int(count)
+            for name, count in data.get("computations_by_feature", {}).items()
+        }
+    )
+    stats.phase_seconds.update(
+        {
+            str(phase): float(seconds)
+            for phase, seconds in data.get("phase_seconds", {}).items()
+        }
+    )
+    stats.worker_timings.extend(
+        WorkerTiming(
+            chunk_id=int(timing["chunk_id"]),
+            worker_pid=int(timing["worker_pid"]),
+            pairs=int(timing["pairs"]),
+            elapsed_seconds=float(timing["elapsed_seconds"]),
+            attempts=int(timing.get("attempts", 1)),
+            fallback=bool(timing.get("fallback", False)),
+        )
+        for timing in data.get("worker_timings", ())
+    )
+    return stats
+
+
+def save_state(
+    state: MatchState,
+    directory: str | Path,
+    stats: Optional[MatchStats] = None,
+) -> Path:
+    """Serialize ``state`` into ``directory`` (created if needed).
+
+    ``stats`` (the run's :class:`MatchStats`, if the caller kept it) is
+    stored alongside in full fidelity — phase timings, worker timings,
+    and bound-skip counts survive the round-trip — and comes back via
+    :func:`load_stats`.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
@@ -118,7 +226,19 @@ def save_state(state: MatchState, directory: str | Path) -> Path:
         "n_pairs": len(state.candidates),
     }
     (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    if stats is not None:
+        (directory / "stats.json").write_text(
+            json.dumps(stats_to_dict(stats), indent=2, sort_keys=True)
+        )
     return directory
+
+
+def load_stats(directory: str | Path) -> Optional[MatchStats]:
+    """The stats saved next to a state, or ``None`` if none were."""
+    stats_path = Path(directory) / "stats.json"
+    if not stats_path.exists():
+        return None
+    return stats_from_dict(json.loads(stats_path.read_text()))
 
 
 def load_state(
@@ -182,3 +302,223 @@ def load_state(
                 f"slot_bitmap_{index}"
             ].astype(bool)
     return state
+
+
+# ---------------------------------------------------------------------------
+# Session checkpoints (tables + candidates + state + caches + stats)
+# ---------------------------------------------------------------------------
+
+
+def _table_to_jsonable(table: Table) -> dict:
+    return {
+        "name": table.name,
+        "attributes": list(table.attributes),
+        "records": [
+            {"id": record.record_id, "values": record.as_dict()}
+            for record in table
+        ],
+    }
+
+
+def _table_from_jsonable(data: dict) -> Table:
+    return Table(
+        data["name"],
+        data["attributes"],
+        (Record(row["id"], row["values"]) for row in data["records"]),
+    )
+
+
+def _tuplify(value):
+    """Recursively convert JSON lists back into the tuples they encoded."""
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
+def _token_cache_to_jsonable(cache) -> List[dict]:
+    """Serialize a :class:`~repro.kernels.cache.TokenCache`'s buckets.
+
+    Bucket keys are ``(attribute, tokenizer.cache_key())`` — nested tuples
+    of primitives — encoded as nested JSON lists and re-tuplified on load.
+    Hit/miss counters travel too, so restored cache stats stay truthful.
+    """
+    buckets = []
+    for key, bucket in cache._buckets.items():
+        buckets.append(
+            {
+                "key": key,
+                "label": cache._labels[key],
+                "hits": cache.hits[key],
+                "misses": cache.misses[key],
+                "entries": [
+                    {"side": side, "record_id": record_id, "tokens": sorted(tokens)}
+                    for (side, record_id), tokens in sorted(bucket.items())
+                ],
+            }
+        )
+    return buckets
+
+
+def _token_cache_restore(cache, buckets: List[dict]) -> None:
+    for data in buckets:
+        key = _tuplify(data["key"])
+        cache._buckets[key] = {
+            (entry["side"], entry["record_id"]): frozenset(entry["tokens"])
+            for entry in data["entries"]
+        }
+        cache._labels[key] = data["label"]
+        cache.hits[key] = int(data["hits"])
+        cache.misses[key] = int(data["misses"])
+
+
+def save_session(
+    streaming,
+    directory: str | Path,
+    blocker_spec: Optional[dict] = None,
+    extra_meta: Optional[dict] = None,
+) -> Path:
+    """Checkpoint a :class:`~repro.streaming.session.StreamingSession`.
+
+    Everything a restart needs lands in ``directory``: the live tables
+    (post-delta, so no generator can rebuild them), the candidate order
+    (survivors-then-gained — a fresh re-block would NOT reproduce it, so
+    it is stored explicitly), the matching state + run stats (via
+    :func:`save_state`), gold labels, token caches, accumulated batch
+    stats, and the session configuration.  ``blocker_spec`` is an opaque
+    JSON description the caller can turn back into a blocker on load
+    (:mod:`repro.service.protocol` defines one such vocabulary).
+
+    The wrapped :class:`~repro.core.session.DebugSession` must have run
+    (:class:`~repro.errors.StateError` otherwise).
+    """
+    session = streaming.session
+    if session.state is None:
+        raise StateError("cannot checkpoint a session that has not run")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    run_stats = streaming.run_stats()
+    save_state(session.state, directory / "state", stats=run_stats)
+
+    (directory / "tables.json").write_text(
+        json.dumps(
+            {
+                "a": _table_to_jsonable(streaming.table_a),
+                "b": _table_to_jsonable(streaming.table_b),
+            }
+        )
+    )
+    (directory / "candidates.json").write_text(
+        json.dumps([list(pair) for pair in session.candidates.id_pairs()])
+    )
+    if session.gold is not None:
+        (directory / "gold.json").write_text(
+            json.dumps(sorted([list(pair) for pair in session.gold]))
+        )
+    if session.kernels is not None:
+        (directory / "token_cache.json").write_text(
+            json.dumps(_token_cache_to_jsonable(session.kernels.cache))
+        )
+
+    batch_stats = streaming.total_batch_stats()
+    meta = {
+        "version": SESSION_FORMAT_VERSION,
+        "blocker_spec": blocker_spec,
+        "workers": streaming.workers,
+        "parallel_threshold_pairs": streaming.parallel_threshold_pairs,
+        "parallel_threshold_seconds": streaming.parallel_threshold_seconds,
+        "ordering": session.ordering_strategy,
+        "memo_backend": session.memo_backend,
+        "check_cache_first": session.check_cache_first,
+        "use_kernels": session.use_kernels,
+        "use_bounds": session.use_bounds,
+        "batches_ingested": streaming.batches_ingested,
+        "batch_stats": stats_to_dict(batch_stats),
+        "has_run_stats": run_stats is not None,
+        "extra": extra_meta or {},
+    }
+    (directory / "session.json").write_text(json.dumps(meta, indent=2))
+    return directory
+
+
+def load_session(
+    directory: str | Path,
+    blocker,
+    resolver: Optional[FeatureResolver] = None,
+):
+    """Restore a :func:`save_session` checkpoint onto a fresh blocker.
+
+    ``blocker`` must be behaviorally identical to the one the session ran
+    under (rebuild it from the checkpoint's ``blocker_spec``); it is
+    re-blocked against the restored tables to warm its delta index, and
+    the adopt path verifies it reproduces the checkpointed candidate
+    membership exactly.  Returns a
+    :class:`~repro.streaming.session.StreamingSession` whose state —
+    labels, attribution, bitmaps, memo, token caches, stats — equals the
+    checkpointed one entry for entry.
+    """
+    from ..streaming.session import StreamingSession
+    from .session import DebugSession
+
+    directory = Path(directory)
+    meta_path = directory / "session.json"
+    if not meta_path.exists():
+        raise StateError(f"{directory} does not contain a saved session")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("version") != SESSION_FORMAT_VERSION:
+        raise StateError(
+            f"session format version {meta.get('version')} not supported "
+            f"(expected {SESSION_FORMAT_VERSION})"
+        )
+
+    tables = json.loads((directory / "tables.json").read_text())
+    table_a = _table_from_jsonable(tables["a"])
+    table_b = _table_from_jsonable(tables["b"])
+    id_pairs = [
+        (a_id, b_id)
+        for a_id, b_id in json.loads((directory / "candidates.json").read_text())
+    ]
+    candidates = CandidateSet.from_id_pairs(table_a, table_b, id_pairs)
+
+    gold = None
+    gold_path = directory / "gold.json"
+    if gold_path.exists():
+        gold = {(a_id, b_id) for a_id, b_id in json.loads(gold_path.read_text())}
+
+    state = load_state(directory / "state", candidates, resolver)
+    run_stats = load_stats(directory / "state")
+
+    session = DebugSession.from_materialized(
+        candidates,
+        state,
+        gold=gold,
+        ordering=meta["ordering"],
+        memo_backend=meta["memo_backend"],
+        check_cache_first=meta["check_cache_first"],
+        use_kernels=meta["use_kernels"],
+        use_bounds=meta["use_bounds"],
+    )
+
+    cache_path = directory / "token_cache.json"
+    if session.kernels is not None and cache_path.exists():
+        _token_cache_restore(
+            session.kernels.cache, json.loads(cache_path.read_text())
+        )
+
+    streaming = StreamingSession.adopt(
+        session,
+        table_a,
+        table_b,
+        blocker,
+        workers=int(meta.get("workers", 1)),
+        parallel_threshold_pairs=int(meta.get("parallel_threshold_pairs", 2000)),
+        parallel_threshold_seconds=float(
+            meta.get("parallel_threshold_seconds", 0.05)
+        ),
+    )
+    streaming.seed_restored(
+        run_stats=run_stats,
+        batch_stats=stats_from_dict(meta["batch_stats"]),
+        batches=int(meta.get("batches_ingested", 0)),
+    )
+    return streaming

@@ -151,6 +151,30 @@ class DebugSession:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    @classmethod
+    def from_materialized(
+        cls,
+        candidates: CandidateSet,
+        state: MatchState,
+        gold: Optional[Set[PairId]] = None,
+        **session_kwargs,
+    ) -> "DebugSession":
+        """A session adopting an already-materialized :class:`MatchState`.
+
+        The restore path of :func:`repro.core.persistence.load_session`:
+        no initial run happens — the state (function, labels, memo,
+        bitmaps) is taken as-is, and the session's kernels are attached to
+        it so subsequent edits and streaming re-matches go through the
+        token cache exactly as they would have in the original process.
+        Cost estimates start empty; they rebuild on the next
+        :meth:`reorder` (or stay absent — every consumer handles ``None``).
+        """
+        session = cls(candidates, state.function, gold=gold, **session_kwargs)
+        state.kernels = session.kernels
+        state.check_cache_first = session.check_cache_first
+        session.state = state
+        return session
+
     def run(self, workers: int = 1) -> MatchResult:
         """Initial full matching run: estimate → order → match → materialize.
 

@@ -124,6 +124,22 @@ class Observability:
             )
         return "\n".join(lines)
 
+    def flush_json_lines(self, path) -> int:
+        """Write :meth:`export_json_lines` to ``path``; returns line count.
+
+        The service layer's graceful shutdown calls this per session so a
+        stopped server leaves its telemetry on disk next to the
+        checkpoints.  Parent directories are created; an empty export
+        still produces the file (a truthful "nothing was recorded").
+        """
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = self.export_json_lines()
+        path.write_text(payload + ("\n" if payload else ""), encoding="utf-8")
+        return 0 if not payload else payload.count("\n") + 1
+
     def __repr__(self) -> str:
         profiling = (
             f"profiling 1/{self.profiler.sample_every}"

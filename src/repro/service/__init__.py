@@ -1,0 +1,46 @@
+"""Matching service layer: host many debugging sessions behind HTTP.
+
+The paper's debugging loop is interactive — one analyst, one session.
+This package turns the engine into a small *service* so many analysts
+(or tools) can hold concurrent named sessions against one process:
+
+* :mod:`~repro.service.locks` — writer-preferring reader/writer lock;
+* :mod:`~repro.service.protocol` — JSON payload codecs + error model;
+* :mod:`~repro.service.registry` — named sessions, per-session locking,
+  backpressure, and durable checkpoints;
+* :mod:`~repro.service.handlers` — transport-free operation handlers;
+* :mod:`~repro.service.app` — the asyncio HTTP server (stdlib only) and
+  :class:`ServiceThread` for embedding it;
+* :mod:`~repro.service.client` — thin stdlib HTTP client.
+
+Start a durable server from Python::
+
+    from repro.service import ServiceThread
+    thread = ServiceThread(port=8642, checkpoint_root="checkpoints")
+    host, port = thread.start()
+    ...
+    thread.stop()          # drain, checkpoint, flush telemetry
+
+or from the workbench: ``serve start 8642 checkpoints``.
+"""
+
+from .app import MatchingService, ServiceThread
+from .client import ServiceClient, ServiceClientError
+from .handlers import ServiceHandlers
+from .locks import ReadWriteLock
+from .protocol import API_VERSION, ServiceError, build_blocker
+from .registry import ManagedSession, SessionRegistry
+
+__all__ = [
+    "API_VERSION",
+    "MatchingService",
+    "ManagedSession",
+    "ReadWriteLock",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceHandlers",
+    "ServiceThread",
+    "SessionRegistry",
+    "build_blocker",
+]

@@ -1,0 +1,431 @@
+"""The matching service: an asyncio HTTP/JSON server over the registry.
+
+Stdlib only.  A hand-rolled (deliberately minimal) HTTP/1.1 layer on
+:func:`asyncio.start_server` parses requests, routes them onto
+:class:`~repro.service.handlers.ServiceHandlers`, and writes JSON
+envelopes back.  Matching work is CPU-bound synchronous Python, so every
+handler call is dispatched to a thread pool via ``run_in_executor`` —
+the event loop itself only parses, routes, and serializes, which is what
+lets one server interleave requests against many sessions while each
+session's reader/writer lock enforces its own consistency.
+
+Request flow, per connection::
+
+    read request -> route -> acquire session slot (backpressure)
+        -> run handler in executor (under the session's RW lock)
+        -> asyncio.wait_for(per-request timeout)
+        -> JSON envelope (ok or error) -> keep-alive or close
+
+Graceful shutdown (:meth:`MatchingService.stop`): stop accepting, wait
+for in-flight requests to drain (bounded), checkpoint every dirty
+session, and flush each session's observability export as JSON lines
+next to its checkpoint.
+
+Routes
+------
+::
+
+    GET  /health                          liveness + session count
+    GET  /sessions                        list sessions
+    POST /sessions                        create session
+    GET  /sessions/{name}                 session info
+    DELETE /sessions/{name}               close (checkpoint first)
+    POST /sessions/{name}/ingest          apply a delta batch
+    POST /sessions/{name}/edit            apply a rule edit
+    POST /sessions/{name}/explain         full trace of one pair
+    GET  /sessions/{name}/matches         labels (+ confusion if gold)
+    GET  /sessions/{name}/stats           run/batch MatchStats
+    GET  /sessions/{name}/metrics         metrics snapshot + diff
+    GET  /sessions/{name}/trace           span log
+    GET  /sessions/{name}/observability   spans+metrics+profile+drift
+    POST /sessions/{name}/checkpoint      durably save now
+    POST /shutdown                        graceful stop (drain + save)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Tuple
+
+from ..errors import ReproError
+from .handlers import ServiceHandlers
+from .protocol import (
+    ServiceError,
+    envelope_error,
+    envelope_ok,
+    new_request_id,
+)
+from .registry import SessionRegistry
+
+#: ceiling on request bodies (16 MiB) — tables ride in JSON.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+DEFAULT_REQUEST_TIMEOUT = 60.0
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+#: writes take the session's exclusive lock; everything else is a read.
+_WRITE_ACTIONS = {"ingest", "edit", "explain"}
+
+
+class MatchingService:
+    """Async multi-session matching server.  See module docstring."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint_root=None,
+        executor_workers: int = 8,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        max_pending: Optional[int] = None,
+        resolver=None,
+    ):
+        self.host = host
+        self.port = port
+        registry_kwargs = {}
+        if max_pending is not None:
+            registry_kwargs["max_pending"] = max_pending
+        self.registry = SessionRegistry(
+            checkpoint_root=checkpoint_root, **registry_kwargs
+        )
+        self.handlers = ServiceHandlers(self.registry, resolver=resolver)
+        self.request_timeout = request_timeout
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers, thread_name_prefix="repro-svc"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._in_flight = 0
+        self._drained = asyncio.Event()
+        self._shutting_down = False
+        self.started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; restores checkpointed sessions first."""
+        self._loop = asyncio.get_running_loop()
+        restored = self.registry.restore_all(resolver=self.handlers.resolver)
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        address = self._server.sockets[0].getsockname()
+        self.host, self.port = address[0], address[1]
+        self.started_at = time.time()
+        self.restored_sessions = restored
+        return self.host, self.port
+
+    async def stop(
+        self, graceful: bool = True, drain_timeout: float = DEFAULT_DRAIN_TIMEOUT
+    ) -> dict:
+        """Stop serving; with ``graceful`` drain, checkpoint, and flush."""
+        self._shutting_down = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        report = {"drained": True, "checkpointed": [], "flushed": []}
+        if graceful:
+            if self._in_flight > 0:
+                self._drained.clear()
+                try:
+                    await asyncio.wait_for(
+                        self._drained.wait(), timeout=drain_timeout
+                    )
+                except asyncio.TimeoutError:
+                    report["drained"] = False
+            report["checkpointed"] = await self._loop.run_in_executor(
+                self._executor, self.registry.checkpoint_all
+            )
+            report["flushed"] = await self._loop.run_in_executor(
+                self._executor, self._flush_observability
+            )
+        self._executor.shutdown(wait=graceful)
+        return report
+
+    def _flush_observability(self):
+        """Write each session's telemetry as JSON lines beside its
+        checkpoint (``<root>/<name>/observability.jsonl``)."""
+        root = self.registry.checkpoint_root
+        if root is None:
+            return []
+        flushed = []
+        for name in self.registry.names():
+            try:
+                managed = self.registry.get(name)
+            except ServiceError:
+                continue
+            observability = managed.streaming.observability
+            if observability is None:
+                continue
+            observability.flush_json_lines(root / name / "observability.jsonl")
+            flushed.append(name)
+        return flushed
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(self, reader, writer):
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                status, payload = await self._dispatch(method, path, body)
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive or self._shutting_down:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        try:
+            header_blob = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        head, *header_lines = header_blob.decode("latin-1").split("\r\n")
+        parts = head.split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                key, value = line.split(":", 1)
+                headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _write_response(self, writer, status, payload, keep_alive):
+        body = json.dumps(payload, default=str).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 409: "Conflict",
+                  429: "Too Many Requests", 500: "Internal Server Error",
+                  503: "Service Unavailable", 504: "Gateway Timeout"}.get(
+            status, "OK"
+        )
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing and dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, method, path, body):
+        request_id = new_request_id()
+        started = time.perf_counter()
+        if self._shutting_down:
+            error = ServiceError("shutting_down", "server is shutting down")
+            return error.status, envelope_error(error, request_id, started)
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+        except (ValueError, UnicodeDecodeError) as exc:
+            error = ServiceError("bad_request", f"invalid JSON body: {exc}")
+            return error.status, envelope_error(error, request_id, started)
+
+        self._in_flight += 1
+        try:
+            result = await self._route(method, path.rstrip("/") or "/", payload)
+            return 200, envelope_ok(result, request_id, started)
+        except ServiceError as error:
+            return error.status, envelope_error(error, request_id, started)
+        except asyncio.TimeoutError:
+            error = ServiceError(
+                "timeout",
+                f"request exceeded {self.request_timeout:g}s; the session "
+                f"operation keeps running but this response is abandoned",
+            )
+            return error.status, envelope_error(error, request_id, started)
+        except ReproError as exc:
+            # Engine validation errors are the caller's fault.
+            error = ServiceError("bad_request", str(exc))
+            return error.status, envelope_error(error, request_id, started)
+        except Exception as exc:  # noqa: BLE001 — last-resort envelope
+            error = ServiceError("internal", f"{type(exc).__name__}: {exc}")
+            return error.status, envelope_error(error, request_id, started)
+        finally:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._drained.set()
+
+    async def _route(self, method, path, payload):
+        segments = [s for s in path.split("/") if s]
+        if path == "/health" and method == "GET":
+            return await self._call(self.handlers.health)
+        if path == "/shutdown" and method == "POST":
+            # Schedule the stop after this response flushes.
+            asyncio.get_running_loop().create_task(self._stop_later())
+            return {"stopping": True}
+        if path == "/sessions" and method == "GET":
+            return await self._call(self.handlers.list_sessions)
+        if path == "/sessions" and method == "POST":
+            return await self._call(self.handlers.create_session, payload)
+        if len(segments) >= 2 and segments[0] == "sessions":
+            name = segments[1]
+            action = segments[2] if len(segments) > 2 else None
+            return await self._session_route(method, name, action, payload)
+        raise ServiceError("not_found", f"no route {method} {path}")
+
+    async def _session_route(self, method, name, action, payload):
+        handlers = self.handlers
+        if action is None:
+            if method == "GET":
+                return await self._call(handlers.session_info, name)
+            if method == "DELETE":
+                return await self._call(handlers.close_session, name, payload)
+        table = {
+            ("POST", "ingest"): lambda: handlers.ingest(name, payload),
+            ("POST", "edit"): lambda: handlers.edit_rule(name, payload),
+            ("POST", "explain"): lambda: handlers.explain(name, payload),
+            ("POST", "checkpoint"): lambda: handlers.checkpoint_session(name),
+            ("GET", "matches"): lambda: handlers.matches(name),
+            ("GET", "stats"): lambda: handlers.stats(name),
+            ("GET", "metrics"): lambda: handlers.metrics(name),
+            ("GET", "trace"): lambda: handlers.trace(name),
+            ("GET", "observability"): lambda: handlers.observability_snapshot(
+                name
+            ),
+        }
+        operation = table.get((method, action))
+        if operation is None:
+            raise ServiceError(
+                "not_found", f"no route {method} /sessions/{name}/{action or ''}"
+            )
+        # Backpressure: claim the session's slot before queueing executor
+        # work, release once the handler finishes (even on timeout the
+        # slot is held until the work actually completes — the session is
+        # still busy even if the response was abandoned).
+        needs_slot = action in _WRITE_ACTIONS or (method, action) in (
+            ("GET", "matches"),
+            ("GET", "stats"),
+            ("GET", "metrics"),
+            ("GET", "trace"),
+            ("GET", "observability"),
+        )
+        if needs_slot:
+            managed = self.registry.get(name)
+            managed.acquire_slot()
+
+            def _guarded():
+                try:
+                    return operation()
+                finally:
+                    managed.release_slot()
+
+            return await self._call(_guarded)
+        return await self._call(operation)
+
+    async def _call(self, fn, *args):
+        future = self._loop.run_in_executor(self._executor, fn, *args)
+        return await asyncio.wait_for(future, timeout=self.request_timeout)
+
+    async def _stop_later(self):
+        await asyncio.sleep(0.05)
+        await self.stop(graceful=True)
+        loop = asyncio.get_running_loop()
+        stopper = getattr(loop, "_repro_service_stopper", None)
+        if stopper is not None:
+            stopper()
+
+
+class ServiceThread:
+    """Run a :class:`MatchingService` on a background event-loop thread.
+
+    The workbench's ``serve`` command and the tests use this: ``start()``
+    blocks until the port is bound and returns ``(host, port)``;
+    ``stop()`` performs the graceful shutdown from the caller's thread.
+    """
+
+    def __init__(self, **service_kwargs):
+        self.service = MatchingService(**service_kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self.address: Optional[Tuple[str, int]] = None
+
+    def start(self, timeout: float = 30.0) -> Tuple[str, int]:
+        if self._thread is not None:
+            raise RuntimeError("service thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("service failed to start within timeout")
+        if self.address is None:
+            raise RuntimeError("service failed to bind")
+        return self.address
+
+    def _run(self):
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        stop_signal = asyncio.Event()
+        loop._repro_service_stopper = lambda: stop_signal.set()
+
+        async def _main():
+            try:
+                self.address = await self.service.start()
+            finally:
+                self._started.set()
+            await stop_signal.wait()
+
+        try:
+            loop.run_until_complete(_main())
+        finally:
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+            self._stopped.set()
+
+    def stop(self, graceful: bool = True, timeout: float = 60.0) -> dict:
+        """Gracefully stop from outside the loop thread; returns the
+        shutdown report (drained / checkpointed / flushed)."""
+        if self._loop is None or not self._thread:
+            return {"drained": True, "checkpointed": [], "flushed": []}
+        if self._stopped.is_set():
+            return {"drained": True, "checkpointed": [], "flushed": []}
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(graceful=graceful), self._loop
+        )
+        report = future.result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop._repro_service_stopper)
+        self._thread.join(timeout=timeout)
+        return report
+
+    @property
+    def running(self) -> bool:
+        return (
+            self._thread is not None
+            and self._thread.is_alive()
+            and not self._stopped.is_set()
+        )

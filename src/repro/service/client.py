@@ -1,0 +1,136 @@
+"""Thin synchronous client for the matching service.
+
+Wraps :class:`http.client.HTTPConnection` (stdlib only) with one method
+per API operation, unwrapping the JSON envelope: a successful call
+returns the ``result`` payload directly; a failed one raises
+:class:`ServiceClientError` carrying the server's error ``code`` and
+HTTP ``status``.  The workbench's ``remote`` command and the service
+tests both drive the server through this class, so the client *is* the
+reference consumer of the wire protocol.
+
+>>> client = ServiceClient("127.0.0.1", 8642)
+>>> client.create_session({"name": "demo", "dataset": {"name": "products"}})
+>>> client.ingest("demo", [{"op": "insert", "side": "a",
+...                         "id": "a-new", "values": {...}}])
+>>> client.metrics("demo")["snapshot"]
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import List, Optional
+
+from ..errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """Server answered with an error envelope (or unparseable output)."""
+
+    def __init__(self, code: str, status: int, message: str):
+        self.code = code
+        self.status = status
+        super().__init__(message)
+
+
+class ServiceClient:
+    """One server endpoint; a fresh connection per request (simple,
+    side-steps keep-alive state after server restarts)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def request(self, method: str, path: str, payload=None):
+        body = None
+        headers = {"Connection": "close"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise ServiceClientError(
+                "internal", response.status,
+                f"unparseable response: {raw[:200]!r}",
+            ) from exc
+        if not envelope.get("ok"):
+            error = envelope.get("error", {})
+            raise ServiceClientError(
+                error.get("code", "internal"),
+                response.status,
+                error.get("message", "unknown server error"),
+            )
+        return envelope["result"]
+
+    # -- service-level -------------------------------------------------
+
+    def health(self) -> dict:
+        return self.request("GET", "/health")
+
+    def shutdown(self) -> dict:
+        return self.request("POST", "/shutdown")
+
+    # -- session lifecycle ---------------------------------------------
+
+    def list_sessions(self) -> List[dict]:
+        return self.request("GET", "/sessions")["sessions"]
+
+    def create_session(self, payload: dict) -> dict:
+        return self.request("POST", "/sessions", payload)
+
+    def session_info(self, name: str) -> dict:
+        return self.request("GET", f"/sessions/{name}")
+
+    def close_session(self, name: str, checkpoint: bool = True,
+                      drop_checkpoint: bool = False) -> dict:
+        return self.request(
+            "DELETE", f"/sessions/{name}",
+            {"checkpoint": checkpoint, "drop_checkpoint": drop_checkpoint},
+        )
+
+    def checkpoint(self, name: str) -> dict:
+        return self.request("POST", f"/sessions/{name}/checkpoint")
+
+    # -- writes --------------------------------------------------------
+
+    def ingest(self, name: str, deltas: List[dict]) -> dict:
+        return self.request(
+            "POST", f"/sessions/{name}/ingest", {"deltas": deltas}
+        )
+
+    def edit_rule(self, name: str, change: dict) -> dict:
+        return self.request("POST", f"/sessions/{name}/edit", change)
+
+    def explain(self, name: str, a_id: str, b_id: str) -> dict:
+        return self.request(
+            "POST", f"/sessions/{name}/explain", {"a_id": a_id, "b_id": b_id}
+        )
+
+    # -- reads ---------------------------------------------------------
+
+    def matches(self, name: str) -> dict:
+        return self.request("GET", f"/sessions/{name}/matches")
+
+    def stats(self, name: str) -> dict:
+        return self.request("GET", f"/sessions/{name}/stats")
+
+    def metrics(self, name: str) -> dict:
+        return self.request("GET", f"/sessions/{name}/metrics")
+
+    def trace(self, name: str) -> dict:
+        return self.request("GET", f"/sessions/{name}/trace")
+
+    def observability(self, name: str) -> dict:
+        return self.request("GET", f"/sessions/{name}/observability")

@@ -1,0 +1,406 @@
+"""Request handlers: one method per logical API operation.
+
+Handlers are transport-free — they take parsed JSON payloads, run the
+engine under the right :class:`~repro.service.registry.ManagedSession`
+lock, and return JSON-able dicts.  :mod:`repro.service.app` maps HTTP
+routes onto these methods; the tests can also call them directly, which
+keeps the concurrency tests independent of socket plumbing.
+
+Locking discipline
+------------------
+*Reads* (matches, metrics, stats, trace, observability, checkpoints) run
+under the shared lock — arbitrarily many at once per session.  *Writes*
+(ingest, rule edits) take the exclusive lock.  ``explain`` also takes the
+exclusive lock even though it looks like a read: explanation back-fills
+the memo for predicates matching never evaluated, which is a state
+mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.parser import format_function
+from ..core.persistence import stats_to_dict
+from ..observability import Observability, detect_drift
+from ..streaming.session import StreamingSession
+from .protocol import (
+    ServiceError,
+    batch_result_to_payload,
+    build_blocker,
+    change_from_payload,
+    confusion_to_payload,
+    default_blocker_spec,
+    deltas_from_payload,
+    explanation_to_payload,
+    pairs_to_payload,
+    table_from_payload,
+)
+from .registry import SessionRegistry
+
+
+class ServiceHandlers:
+    """The service's operation surface over one :class:`SessionRegistry`."""
+
+    def __init__(self, registry: SessionRegistry, resolver=None):
+        self.registry = registry
+        self.resolver = resolver
+
+    # ------------------------------------------------------------------
+    # Service-level
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "sessions": len(self.registry),
+            "durable": self.registry.checkpoint_root is not None,
+        }
+
+    def list_sessions(self) -> dict:
+        return {"sessions": self.registry.list_sessions()}
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def create_session(self, payload: dict) -> dict:
+        """Create, initial-match, and register a named session.
+
+        Two construction modes:
+
+        * ``{"name", "dataset": {"name", "seed"?, "scale"?, ...}}`` —
+          build the paper workload for a synthetic dataset (rules learned
+          via the random-forest extractor);
+        * ``{"name", "table_a", "table_b", "rules": <DSL text>,
+          "blocker": <spec>, "gold"?: [[a, b], ...]}`` — explicit tables
+          and a hand-written matching function.
+
+        Common options: ``workers``, ``observability`` (bool),
+        ``profile`` (bool), ``use_kernels``, ``use_bounds``,
+        ``ordering``, ``memo_backend``.
+        """
+        if not isinstance(payload, dict):
+            raise ServiceError("bad_request", "body must be a JSON object")
+        name = payload.get("name")
+        if not name:
+            raise ServiceError("bad_request", "a session 'name' is required")
+
+        workers = int(payload.get("workers", 1))
+        session_kwargs = {
+            key: payload[key]
+            for key in ("ordering", "memo_backend", "use_kernels", "use_bounds")
+            if key in payload
+        }
+        if payload.get("observability", True):
+            session_kwargs["observability"] = Observability(
+                enabled=True, profile=bool(payload.get("profile", False))
+            )
+
+        if "dataset" in payload:
+            streaming, blocker_spec = self._from_dataset(
+                payload["dataset"], workers, session_kwargs
+            )
+        elif "table_a" in payload and "table_b" in payload:
+            streaming, blocker_spec = self._from_tables(
+                payload, workers, session_kwargs
+            )
+        else:
+            raise ServiceError(
+                "bad_request",
+                "provide either 'dataset' or 'table_a'+'table_b'+'rules'",
+            )
+
+        result = streaming.run(workers=workers)
+        managed = self.registry.add(name, streaming, blocker_spec=blocker_spec)
+        return {
+            "session": managed.describe(),
+            "initial_run": {
+                "stats": stats_to_dict(result.stats),
+                "match_count": sum(1 for label in result.labels if label),
+            },
+        }
+
+    def _from_dataset(self, spec, workers, session_kwargs):
+        from ..learning.workload import build_workload
+
+        if not isinstance(spec, dict) or "name" not in spec:
+            raise ServiceError(
+                "bad_request", "dataset spec needs at least {'name': ...}"
+            )
+        blocker_spec = spec.get("blocker") or default_blocker_spec(spec["name"])
+        blocker = build_blocker(blocker_spec)
+        workload = build_workload(
+            dataset_name=spec["name"],
+            seed=int(spec.get("seed", 7)),
+            scale=float(spec.get("scale", 1.0)),
+            blocker=blocker,
+            max_rules=spec.get("max_rules", 255),
+        )
+        streaming = StreamingSession(
+            workload.dataset.table_a,
+            workload.dataset.table_b,
+            blocker,
+            workload.function,
+            gold=workload.gold,
+            workers=workers,
+            **session_kwargs,
+        )
+        return streaming, blocker_spec
+
+    def _from_tables(self, payload, workers, session_kwargs):
+        from ..core.parser import parse_function
+
+        rules = payload.get("rules")
+        if not rules:
+            raise ServiceError(
+                "bad_request", "'rules' (matching-function DSL) is required"
+            )
+        blocker_spec = payload.get("blocker")
+        blocker = build_blocker(blocker_spec)
+        table_a = table_from_payload(payload["table_a"], "A")
+        table_b = table_from_payload(payload["table_b"], "B")
+        gold = None
+        if payload.get("gold") is not None:
+            gold = {tuple(pair) for pair in payload["gold"]}
+        function = parse_function(rules, self.resolver)
+        streaming = StreamingSession(
+            table_a,
+            table_b,
+            blocker,
+            function,
+            gold=gold,
+            workers=workers,
+            **session_kwargs,
+        )
+        return streaming, blocker_spec
+
+    def session_info(self, name: str) -> dict:
+        managed = self.registry.get(name)
+
+        def _info(streaming: StreamingSession) -> dict:
+            info = managed.describe()
+            info["function"] = format_function(streaming.function)
+            info["has_gold"] = streaming.session.gold is not None
+            info["edits_applied"] = len(streaming.session.history)
+            return info
+
+        return managed.read(_info)
+
+    def close_session(self, name: str, payload: Optional[dict] = None) -> dict:
+        payload = payload or {}
+        return self.registry.close(
+            name,
+            checkpoint=bool(payload.get("checkpoint", True)),
+            drop_checkpoint=bool(payload.get("drop_checkpoint", False)),
+        )
+
+    def checkpoint_session(self, name: str) -> dict:
+        directory = self.registry.checkpoint(name)
+        if directory is None:
+            raise ServiceError(
+                "conflict", "server was started without a checkpoint directory"
+            )
+        return {"checkpointed": name, "directory": directory}
+
+    # ------------------------------------------------------------------
+    # Writes: data deltas and rule edits
+    # ------------------------------------------------------------------
+
+    def ingest(self, name: str, payload: dict) -> dict:
+        if not isinstance(payload, dict) or "deltas" not in payload:
+            raise ServiceError("bad_request", "body must be {'deltas': [...]}")
+        batch = deltas_from_payload(payload["deltas"])
+        managed = self.registry.get(name)
+
+        def _ingest(streaming: StreamingSession):
+            # ingest() validates the whole batch before mutating anything.
+            return streaming.ingest(batch)
+
+        result = managed.write(_ingest)
+        return {
+            "session": name,
+            "seq": managed.seq,
+            "batch": batch_result_to_payload(result),
+        }
+
+    def edit_rule(self, name: str, payload: dict) -> dict:
+        change = change_from_payload(payload, self.resolver)
+        managed = self.registry.get(name)
+
+        def _apply(streaming: StreamingSession):
+            return streaming.apply(change)
+
+        result = managed.write(_apply)
+        return {
+            "session": name,
+            "seq": managed.seq,
+            "change": change.describe(),
+            "stats": stats_to_dict(result.stats),
+            "affected_pairs": result.affected_pairs,
+            "newly_matched": result.newly_matched,
+            "newly_unmatched": result.newly_unmatched,
+        }
+
+    def explain(self, name: str, payload: dict) -> dict:
+        # Exclusive lock: explanation back-fills the memo (see module doc).
+        if not isinstance(payload, dict) or "a_id" not in payload or "b_id" not in payload:
+            raise ServiceError("bad_request", "body must be {'a_id', 'b_id'}")
+        managed = self.registry.get(name)
+
+        def _explain(streaming: StreamingSession):
+            return streaming.explain(payload["a_id"], payload["b_id"])
+
+        return explanation_to_payload(managed.write(_explain))
+
+    # ------------------------------------------------------------------
+    # Reads: match state and observability
+    # ------------------------------------------------------------------
+
+    def matches(self, name: str) -> dict:
+        managed = self.registry.get(name)
+
+        def _matches(streaming: StreamingSession) -> dict:
+            matched = streaming.session.matched_ids()
+            out = {
+                "session": name,
+                "seq": managed.seq,
+                "match_count": len(matched),
+                "matches": pairs_to_payload(matched),
+            }
+            if streaming.session.gold is not None:
+                out["confusion"] = confusion_to_payload(
+                    streaming.session.metrics()
+                )
+            return out
+
+        return managed.read(_matches)
+
+    def stats(self, name: str) -> dict:
+        managed = self.registry.get(name)
+
+        def _stats(streaming: StreamingSession) -> dict:
+            run_stats = streaming.run_stats()
+            return {
+                "session": name,
+                "seq": managed.seq,
+                "run_stats": stats_to_dict(run_stats) if run_stats else None,
+                "batch_stats": stats_to_dict(streaming.total_batch_stats()),
+                "batches_ingested": streaming.batches_ingested,
+                "edits_applied": len(streaming.session.history),
+                "memory": streaming.session.memory_report(),
+            }
+
+        return managed.read(_stats)
+
+    def metrics(self, name: str) -> dict:
+        """Metrics snapshot plus the diff since the previous call.
+
+        The last snapshot is remembered per session, so polling clients
+        get "what changed since I last asked" without holding state.
+        """
+        managed = self.registry.get(name)
+
+        def _metrics(streaming: StreamingSession) -> dict:
+            observability = streaming.observability
+            if observability is None:
+                raise ServiceError(
+                    "conflict",
+                    f"session {name!r} was created without observability",
+                )
+            snapshot = observability.metrics.snapshot()
+            previous = managed.last_metrics_snapshot
+            diff = (
+                observability.metrics.diff(previous)
+                if previous is not None
+                else None
+            )
+            managed.last_metrics_snapshot = snapshot
+            return {
+                "session": name,
+                "seq": managed.seq,
+                "snapshot": snapshot,
+                "diff_since_last": diff,
+            }
+
+        return managed.read(_metrics)
+
+    def trace(self, name: str, limit: Optional[int] = None) -> dict:
+        managed = self.registry.get(name)
+
+        def _trace(streaming: StreamingSession) -> dict:
+            observability = streaming.observability
+            if observability is None:
+                raise ServiceError(
+                    "conflict",
+                    f"session {name!r} was created without observability",
+                )
+            spans = [record.as_dict() for record in observability.tracer.log]
+            if limit is not None:
+                spans = spans[-limit:]
+            return {
+                "session": name,
+                "seq": managed.seq,
+                "span_count": len(observability.tracer.log),
+                "spans": spans,
+            }
+
+        return managed.read(_trace)
+
+    def observability_snapshot(self, name: str) -> dict:
+        """Everything at once: spans, metrics, profile, drift."""
+        managed = self.registry.get(name)
+
+        def _snapshot(streaming: StreamingSession) -> dict:
+            observability = streaming.observability
+            if observability is None:
+                raise ServiceError(
+                    "conflict",
+                    f"session {name!r} was created without observability",
+                )
+            out = {
+                "session": name,
+                "seq": managed.seq,
+                "spans": [r.as_dict() for r in observability.tracer.log],
+                "metrics": observability.metrics.snapshot(),
+                "profile": (
+                    observability.profiler.snapshot()
+                    if observability.profiler
+                    else None
+                ),
+                "drift": None,
+            }
+            session = streaming.session
+            if observability.profiler and session.estimates is not None:
+                report = detect_drift(
+                    session.function,
+                    session.estimates,
+                    observability.profiler,
+                    ordering_strategy=session.ordering_strategy,
+                )
+                out["drift"] = {
+                    "order_changed": report.order_changed,
+                    "features": [
+                        {
+                            "name": drift.name,
+                            "estimated_cost": drift.estimated_cost,
+                            "observed_cost": drift.observed_cost,
+                            "samples": drift.samples,
+                            "drifted": drift.drifted,
+                        }
+                        for drift in report.features
+                    ],
+                    "predicates": [
+                        {
+                            "pid": drift.pid,
+                            "estimated_selectivity": drift.estimated_selectivity,
+                            "observed_selectivity": drift.observed_selectivity,
+                            "evaluations": drift.evaluations,
+                            "drifted": drift.drifted,
+                        }
+                        for drift in report.predicates
+                    ],
+                }
+            return out
+
+        return managed.read(_snapshot)

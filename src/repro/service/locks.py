@@ -1,0 +1,103 @@
+"""Reader/writer lock for per-session request serialization.
+
+The service executes session requests on a thread pool
+(:mod:`repro.service.app`): observability reads (trace, metrics, match
+queries) may run concurrently against one session, while mutations
+(delta ingest, rule edits) need the session to themselves — a rule edit
+interleaved with a streaming re-match would corrupt the shared
+:class:`~repro.core.state.MatchState`.  A classic reader/writer lock
+expresses exactly that contract.
+
+The implementation is *writer-preferring*: once a writer is waiting, new
+readers queue behind it, so a stream of cheap snapshot requests cannot
+starve an ingest.  Within each class (readers, writers) the underlying
+condition variable's FIFO wakeup keeps grant order close to arrival
+order; the conservation tests (``tests/test_service_registry.py``) only
+rely on mutual exclusion and non-starvation, not on a global order.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """Writer-preferring reader/writer lock over one condition variable."""
+
+    def __init__(self):
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------- readers
+
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Block until no writer holds or awaits the lock; True on success."""
+        with self._condition:
+            success = self._condition.wait_for(
+                lambda: not self._writer and self._writers_waiting == 0,
+                timeout=timeout,
+            )
+            if success:
+                self._readers += 1
+            return success
+
+    def release_read(self) -> None:
+        with self._condition:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without a matching acquire")
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    # ------------------------------------------------------------- writers
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Block until the lock is free of readers and writers alike."""
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                success = self._condition.wait_for(
+                    lambda: not self._writer and self._readers == 0,
+                    timeout=timeout,
+                )
+                if success:
+                    self._writer = True
+                return success
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._condition:
+            if not self._writer:
+                raise RuntimeError("release_write without a matching acquire")
+            self._writer = False
+            self._condition.notify_all()
+
+    # ------------------------------------------------------- context sugar
+
+    @contextmanager
+    def read_locked(self, timeout: float | None = None):
+        if not self.acquire_read(timeout):
+            raise TimeoutError("could not acquire read lock")
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self, timeout: float | None = None):
+        if not self.acquire_write(timeout):
+            raise TimeoutError("could not acquire write lock")
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadWriteLock(readers={self._readers}, writer={self._writer}, "
+            f"writers_waiting={self._writers_waiting})"
+        )

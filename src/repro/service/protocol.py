@@ -1,0 +1,311 @@
+"""Wire protocol of the matching service: payload codecs and error model.
+
+Everything crossing the HTTP boundary is JSON.  This module owns the
+vocabulary: the error envelope every response uses, the blocker/table/
+delta/change payload shapes, and the serializers that turn engine objects
+(:class:`~repro.core.stats.MatchStats`, confusions, explanations) into
+JSON-able dicts.  Both the server (:mod:`repro.service.handlers`) and the
+client (:mod:`repro.service.client`) import from here, so the two ends
+cannot drift apart silently.
+
+Blocker specs
+-------------
+Blockers may close over lambdas, so they are never serialized directly;
+a *spec* is a small JSON dict that :func:`build_blocker` turns into a
+fresh instance::
+
+    {"kind": "overlap", "attribute": "title", "min_overlap": 2,
+     "stop_fraction": 0.15}
+
+Specs are stored verbatim in session checkpoints
+(:func:`repro.core.persistence.save_session`), which is how a restarted
+server rebuilds each session's blocker before adopting its state.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from typing import Dict, List, Optional, Sequence
+
+from ..blocking import (
+    AttributeEquivalenceBlocker,
+    BLOCKER_REGISTRY,
+    Blocker,
+    CartesianBlocker,
+    OverlapBlocker,
+    SortedNeighborhoodBlocker,
+)
+from ..core.changes import (
+    AddRule,
+    Change,
+    RelaxPredicate,
+    RemovePredicate,
+    RemoveRule,
+    TightenPredicate,
+)
+from ..core.parser import parse_rule
+from ..core.persistence import stats_to_dict
+from ..data.table import Record, Table
+from ..errors import ReproError
+from ..streaming.deltas import Delta, DeltaBatch
+
+API_VERSION = 1
+
+#: error code -> HTTP status the server answers with.
+ERROR_STATUS: Dict[str, int] = {
+    "bad_request": 400,
+    "not_found": 404,
+    "conflict": 409,
+    "busy": 429,
+    "timeout": 504,
+    "shutting_down": 503,
+    "internal": 500,
+}
+
+
+class ServiceError(ReproError):
+    """A request failure with a protocol error code.
+
+    ``code`` picks the HTTP status (:data:`ERROR_STATUS`); anything the
+    engine raises that is not already a ``ServiceError`` is wrapped as
+    ``bad_request`` (engine validation errors are the caller's fault) or
+    ``internal`` (everything else) by the dispatch layer.
+    """
+
+    def __init__(self, code: str, message: str):
+        if code not in ERROR_STATUS:
+            raise ValueError(f"unknown service error code {code!r}")
+        self.code = code
+        super().__init__(message)
+
+    @property
+    def status(self) -> int:
+        return ERROR_STATUS[self.code]
+
+
+# ---------------------------------------------------------------------------
+# Response envelopes
+# ---------------------------------------------------------------------------
+
+
+def new_request_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+def envelope_ok(result, request_id: str, started: float) -> dict:
+    return {
+        "ok": True,
+        "api_version": API_VERSION,
+        "request_id": request_id,
+        "elapsed_ms": round((time.perf_counter() - started) * 1000, 3),
+        "result": result,
+    }
+
+
+def envelope_error(error: ServiceError, request_id: str, started: float) -> dict:
+    return {
+        "ok": False,
+        "api_version": API_VERSION,
+        "request_id": request_id,
+        "elapsed_ms": round((time.perf_counter() - started) * 1000, 3),
+        "error": {"code": error.code, "message": str(error)},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Blocker specs
+# ---------------------------------------------------------------------------
+
+
+def build_blocker(spec: Optional[dict]) -> Blocker:
+    """Construct a blocker from its JSON spec (see module docstring).
+
+    Supported kinds: ``overlap`` (attribute, min_overlap, stop_fraction),
+    ``attr_equivalence`` (attribute), ``cartesian``,
+    ``sorted_neighborhood`` (attribute, window), and ``registry`` (name +
+    attribute, resolved through
+    :data:`repro.blocking.BLOCKER_REGISTRY`).
+    """
+    if not spec:
+        raise ServiceError("bad_request", "a blocker spec is required")
+    kind = spec.get("kind")
+    try:
+        if kind == "overlap":
+            return OverlapBlocker(
+                spec["attribute"],
+                min_overlap=int(spec.get("min_overlap", 1)),
+                stop_fraction=float(spec.get("stop_fraction") or 0.0),
+            )
+        if kind == "attr_equivalence":
+            return AttributeEquivalenceBlocker(spec["attribute"])
+        if kind == "cartesian":
+            return CartesianBlocker()
+        if kind == "sorted_neighborhood":
+            return SortedNeighborhoodBlocker(
+                spec["attribute"], window=int(spec.get("window", 3))
+            )
+        if kind == "registry":
+            factory = BLOCKER_REGISTRY.get(spec["name"])
+            if factory is None:
+                raise ServiceError(
+                    "bad_request",
+                    f"no blocker {spec['name']!r} in the registry",
+                )
+            return factory(spec["attribute"])
+    except ServiceError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise ServiceError(
+            "bad_request", f"malformed blocker spec {spec!r}: {error}"
+        ) from error
+    raise ServiceError("bad_request", f"unknown blocker kind {kind!r}")
+
+
+def default_blocker_spec(dataset_name: str) -> dict:
+    """The spec matching :func:`repro.learning.workload.default_blocker`."""
+    from ..learning.workload import BLOCKING_ATTRIBUTES, _BLOCKING_MIN_OVERLAP
+
+    attribute = BLOCKING_ATTRIBUTES.get(dataset_name)
+    if attribute is None:
+        raise ServiceError(
+            "bad_request", f"no default blocker for dataset {dataset_name!r}"
+        )
+    return {
+        "kind": "overlap",
+        "attribute": attribute,
+        "min_overlap": _BLOCKING_MIN_OVERLAP.get(dataset_name, 1),
+        "stop_fraction": 0.15,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table / delta / change payloads
+# ---------------------------------------------------------------------------
+
+
+def table_from_payload(payload: dict, default_name: str) -> Table:
+    """``{"name"?, "attributes": [...], "records": [{"id", "values"}...]}``"""
+    try:
+        return Table(
+            payload.get("name", default_name),
+            payload["attributes"],
+            (
+                Record(row["id"], row.get("values", {}))
+                for row in payload.get("records", ())
+            ),
+        )
+    except (KeyError, TypeError) as error:
+        raise ServiceError(
+            "bad_request", f"malformed table payload: {error}"
+        ) from error
+
+
+def deltas_from_payload(payload) -> DeltaBatch:
+    """``[{"op", "side", "id", "values"?}, ...]`` → :class:`DeltaBatch`."""
+    if not isinstance(payload, (list, tuple)):
+        raise ServiceError("bad_request", "deltas must be a JSON array")
+    deltas = []
+    for position, entry in enumerate(payload):
+        try:
+            deltas.append(
+                Delta(
+                    entry["op"],
+                    entry["side"],
+                    entry["id"],
+                    entry.get("values"),
+                )
+            )
+        except (KeyError, TypeError) as error:
+            raise ServiceError(
+                "bad_request", f"malformed delta #{position + 1}: {error}"
+            ) from error
+    return DeltaBatch(deltas)
+
+
+def change_from_payload(payload: dict, resolver=None) -> Change:
+    """``{"kind": ..., ...}`` → a :class:`~repro.core.changes.Change`.
+
+    Kinds: ``tighten``/``relax`` (rule, slot, threshold),
+    ``drop_predicate`` (rule, slot), ``drop_rule`` (rule), ``add_rule``
+    (rule_dsl).
+    """
+    if not isinstance(payload, dict):
+        raise ServiceError("bad_request", "edit must be a JSON object")
+    kind = payload.get("kind")
+    try:
+        if kind == "tighten":
+            return TightenPredicate(
+                payload["rule"], payload["slot"], float(payload["threshold"])
+            )
+        if kind == "relax":
+            return RelaxPredicate(
+                payload["rule"], payload["slot"], float(payload["threshold"])
+            )
+        if kind == "drop_predicate":
+            return RemovePredicate(payload["rule"], payload["slot"])
+        if kind == "drop_rule":
+            return RemoveRule(payload["rule"])
+        if kind == "add_rule":
+            return AddRule(parse_rule(payload["rule_dsl"], resolver))
+    except ServiceError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise ServiceError(
+            "bad_request", f"malformed {kind!r} edit: {error}"
+        ) from error
+    raise ServiceError("bad_request", f"unknown edit kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Engine-object serializers
+# ---------------------------------------------------------------------------
+
+
+def confusion_to_payload(confusion) -> dict:
+    return {
+        "true_positives": confusion.true_positives,
+        "false_positives": confusion.false_positives,
+        "false_negatives": confusion.false_negatives,
+        "true_negatives": confusion.true_negatives,
+        "precision": confusion.precision,
+        "recall": confusion.recall,
+        "f1": confusion.f1,
+    }
+
+
+def batch_result_to_payload(result) -> dict:
+    return {
+        "stats": stats_to_dict(result.stats),
+        "gained": [list(pair) for pair in result.gained],
+        "lost": [list(pair) for pair in result.lost],
+        "affected": result.affected,
+        "executed_parallel": result.executed_parallel,
+        "match_count": result.match_count,
+    }
+
+
+def explanation_to_payload(explanation) -> dict:
+    return {
+        "pair": list(explanation.pair_id),
+        "matched": explanation.matched,
+        "rules": [
+            {
+                "rule": trace.rule_name,
+                "matched": trace.matched,
+                "predicates": [
+                    {
+                        "pid": predicate.pid,
+                        "value": predicate.value,
+                        "passed": predicate.passed,
+                    }
+                    for predicate in trace.predicates
+                ],
+            }
+            for trace in explanation.rules
+        ],
+    }
+
+
+def pairs_to_payload(pairs: Sequence) -> List[List[str]]:
+    return [list(pair) for pair in pairs]

@@ -1,0 +1,318 @@
+"""Session registry: named sessions, per-session locking, durability.
+
+The service hosts many debugging sessions at once.  Each lives in a
+:class:`ManagedSession` — the :class:`~repro.streaming.session.
+StreamingSession` plus the concurrency state that makes it safe to share:
+
+* a writer-preferring :class:`~repro.service.locks.ReadWriteLock`, so any
+  number of snapshot reads (matches, metrics, trace, explain) run
+  concurrently while ingests and rule edits serialize, and a waiting
+  write is never starved by a stream of reads;
+* a bounded pending counter (*backpressure*): once ``max_pending``
+  requests are queued against one session, further requests fail fast
+  with a ``busy`` error instead of piling onto the executor;
+* a monotonically increasing ``seq`` and a ``dirty`` flag that tell the
+  checkpointer which sessions changed since their last save.
+
+The :class:`SessionRegistry` owns the name → session map (guarded by its
+own mutex — registry operations never hold any session's lock) and the
+checkpoint directory layout::
+
+    <checkpoint_root>/<session_name>/   one repro.core.persistence
+                                        session checkpoint per session
+
+``restore_all`` walks that tree at startup, rebuilding each session's
+blocker from the spec stored in its checkpoint — this is how a restarted
+server resumes exactly where it stopped.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..core.persistence import load_session, save_session
+from ..streaming.session import StreamingSession
+from .locks import ReadWriteLock
+from .protocol import ServiceError, build_blocker
+
+#: default per-session queue depth before requests bounce with ``busy``.
+DEFAULT_MAX_PENDING = 32
+
+_VALID_NAME = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_."
+
+
+def validate_session_name(name: str) -> str:
+    """Session names become directory names; keep them filesystem-safe."""
+    if not name or len(name) > 64:
+        raise ServiceError(
+            "bad_request", "session name must be 1-64 characters"
+        )
+    if any(ch not in _VALID_NAME for ch in name):
+        raise ServiceError(
+            "bad_request",
+            f"session name {name!r} may only contain letters, digits, "
+            f"'-', '_', and '.'",
+        )
+    return name
+
+
+class ManagedSession:
+    """One hosted session: engine object + lock + backpressure + dirt."""
+
+    def __init__(
+        self,
+        name: str,
+        streaming: StreamingSession,
+        blocker_spec: Optional[dict] = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ):
+        self.name = name
+        self.streaming = streaming
+        self.blocker_spec = blocker_spec
+        self.lock = ReadWriteLock()
+        self.max_pending = max_pending
+        self.created_at = time.time()
+        #: bumped on every successful write; lets clients (and the
+        #: checkpointer) detect "has anything changed since I looked?".
+        self.seq = 0
+        #: True when state changed after the last checkpoint.
+        self.dirty = True
+        #: previous metrics snapshot (the /metrics diff-since-last basis).
+        self.last_metrics_snapshot = None
+        self._pending = 0
+        self._pending_mutex = threading.Lock()
+
+    # -- backpressure --------------------------------------------------
+
+    def acquire_slot(self) -> None:
+        """Claim a pending-request slot or fail fast with ``busy``."""
+        with self._pending_mutex:
+            if self._pending >= self.max_pending:
+                raise ServiceError(
+                    "busy",
+                    f"session {self.name!r} has {self._pending} requests "
+                    f"pending (limit {self.max_pending}); retry later",
+                )
+            self._pending += 1
+
+    def release_slot(self) -> None:
+        with self._pending_mutex:
+            self._pending = max(0, self._pending - 1)
+
+    @property
+    def pending(self) -> int:
+        with self._pending_mutex:
+            return self._pending
+
+    # -- guarded access ------------------------------------------------
+
+    def read(self, fn: Callable[[StreamingSession], object], timeout=None):
+        """Run ``fn`` under the shared (reader) lock."""
+        with self.lock.read_locked(timeout=timeout):
+            return fn(self.streaming)
+
+    def write(self, fn: Callable[[StreamingSession], object], timeout=None):
+        """Run ``fn`` under the exclusive (writer) lock; marks dirty."""
+        with self.lock.write_locked(timeout=timeout):
+            result = fn(self.streaming)
+            self.seq += 1
+            self.dirty = True
+            return result
+
+    def describe(self) -> dict:
+        """Unlocked summary for listings (point-in-time, may be stale)."""
+        streaming = self.streaming
+        return {
+            "name": self.name,
+            "seq": self.seq,
+            "dirty": self.dirty,
+            "pending": self.pending,
+            "created_at": self.created_at,
+            "candidates": len(streaming.candidates),
+            "batches_ingested": streaming.batches_ingested,
+            "rules": [rule.name for rule in streaming.function.rules],
+            "workers": streaming.workers,
+            "blocker_spec": self.blocker_spec,
+        }
+
+
+class SessionRegistry:
+    """Thread-safe name → :class:`ManagedSession` map with durability.
+
+    The registry mutex only guards the map itself; request work runs
+    under the individual session's reader/writer lock, so operations on
+    different sessions never contend.
+    """
+
+    def __init__(
+        self,
+        checkpoint_root: Optional[str | Path] = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ):
+        self.checkpoint_root = (
+            Path(checkpoint_root) if checkpoint_root is not None else None
+        )
+        self.max_pending = max_pending
+        self._sessions: Dict[str, ManagedSession] = {}
+        self._mutex = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        streaming: StreamingSession,
+        blocker_spec: Optional[dict] = None,
+    ) -> ManagedSession:
+        validate_session_name(name)
+        managed = ManagedSession(
+            name, streaming, blocker_spec=blocker_spec,
+            max_pending=self.max_pending,
+        )
+        with self._mutex:
+            if name in self._sessions:
+                raise ServiceError(
+                    "conflict", f"session {name!r} already exists"
+                )
+            self._sessions[name] = managed
+        return managed
+
+    def get(self, name: str) -> ManagedSession:
+        with self._mutex:
+            managed = self._sessions.get(name)
+        if managed is None:
+            raise ServiceError("not_found", f"no session named {name!r}")
+        return managed
+
+    def names(self) -> List[str]:
+        with self._mutex:
+            return sorted(self._sessions)
+
+    def list_sessions(self) -> List[dict]:
+        with self._mutex:
+            sessions = list(self._sessions.values())
+        return [managed.describe() for managed in sorted(
+            sessions, key=lambda m: m.name
+        )]
+
+    def close(self, name: str, checkpoint: bool = True, drop_checkpoint: bool = False) -> dict:
+        """Remove a session, checkpointing it first by default.
+
+        ``drop_checkpoint`` deletes its on-disk checkpoint instead, so a
+        closed-for-good session does not resurrect on restart.
+        """
+        managed = self.get(name)
+        saved = None
+        if checkpoint and not drop_checkpoint:
+            saved = self.checkpoint(name)
+        with self._mutex:
+            self._sessions.pop(name, None)
+        if drop_checkpoint and self.checkpoint_root is not None:
+            shutil.rmtree(self.checkpoint_root / name, ignore_errors=True)
+        return {"closed": name, "checkpoint": saved}
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        with self._mutex:
+            return name in self._sessions
+
+    # -- durability ----------------------------------------------------
+
+    def session_dir(self, name: str) -> Path:
+        if self.checkpoint_root is None:
+            raise ServiceError(
+                "conflict",
+                "this registry has no checkpoint directory configured",
+            )
+        return self.checkpoint_root / name
+
+    def checkpoint(self, name: str) -> Optional[str]:
+        """Durably save one session (under its reader lock).
+
+        A reader lock suffices: checkpointing only reads state, and the
+        writer-preference of the lock keeps a pending ingest from being
+        starved by it.  Returns the directory written, or ``None`` when
+        the registry is not durable.
+        """
+        if self.checkpoint_root is None:
+            return None
+        managed = self.get(name)
+        directory = self.session_dir(name)
+
+        def _save(streaming: StreamingSession):
+            observability = streaming.observability
+            return save_session(
+                streaming,
+                directory,
+                blocker_spec=managed.blocker_spec,
+                # Observability objects are not serialized (telemetry is
+                # flushed separately as JSON lines); record only the
+                # configuration so a restore re-attaches a fresh one.
+                extra_meta={
+                    "observability": observability is not None,
+                    "profile": bool(
+                        observability is not None and observability.profiler
+                    ),
+                },
+            )
+
+        saved = managed.read(_save)
+        managed.dirty = False
+        return str(saved)
+
+    def checkpoint_all(self, dirty_only: bool = True) -> List[str]:
+        """Checkpoint every (dirty) session; returns the names saved."""
+        if self.checkpoint_root is None:
+            return []
+        saved = []
+        for name in self.names():
+            try:
+                managed = self.get(name)
+            except ServiceError:
+                continue  # closed concurrently
+            if dirty_only and not managed.dirty:
+                continue
+            self.checkpoint(name)
+            saved.append(name)
+        return saved
+
+    def restore_all(self, resolver=None) -> List[str]:
+        """Re-hydrate every checkpointed session found on disk.
+
+        Each checkpoint stores the blocker *spec*; the blocker itself is
+        rebuilt via :func:`~repro.service.protocol.build_blocker` before
+        :func:`~repro.core.persistence.load_session` adopts the state.
+        Restored sessions start clean (not dirty) — nothing changed since
+        their checkpoint was written.
+        """
+        if self.checkpoint_root is None or not self.checkpoint_root.exists():
+            return []
+        restored = []
+        for entry in sorted(self.checkpoint_root.iterdir()):
+            if not (entry / "session.json").exists():
+                continue
+            import json
+
+            meta = json.loads((entry / "session.json").read_text("utf-8"))
+            blocker = build_blocker(meta.get("blocker_spec"))
+            streaming = load_session(entry, blocker, resolver=resolver)
+            extra = meta.get("extra") or {}
+            if extra.get("observability"):
+                from ..observability import Observability
+
+                streaming.session.observability = Observability(
+                    enabled=True, profile=bool(extra.get("profile"))
+                )
+            managed = self.add(
+                entry.name, streaming, blocker_spec=meta.get("blocker_spec")
+            )
+            managed.dirty = False
+            restored.append(entry.name)
+        return restored

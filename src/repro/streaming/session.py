@@ -119,6 +119,9 @@ class StreamingSession:
         candidates = blocker.block(table_a, table_b)
         self.session = DebugSession(candidates, function, gold=gold, **session_kwargs)
         self.batch_history: List[BatchResult] = []
+        self._restored_run_stats: Optional[MatchStats] = None
+        self._restored_batch_stats: Optional[MatchStats] = None
+        self._restored_batches = 0
 
     @classmethod
     def adopt(
@@ -156,6 +159,9 @@ class StreamingSession:
         streaming.parallel_threshold_seconds = parallel_threshold_seconds
         streaming.session = session
         streaming.batch_history = []
+        streaming._restored_run_stats = None
+        streaming._restored_batch_stats = None
+        streaming._restored_batches = 0
         return streaming
 
     # ------------------------------------------------------------------
@@ -427,9 +433,40 @@ class StreamingSession:
     # Accounting
     # ------------------------------------------------------------------
 
+    def seed_restored(
+        self,
+        run_stats: Optional[MatchStats] = None,
+        batch_stats: Optional[MatchStats] = None,
+        batches: int = 0,
+    ) -> None:
+        """Attach accounting restored from a checkpoint.
+
+        A restored process has no :class:`~repro.core.matchers.MatchResult`
+        objects to point at, but the *numbers* survive: the initial run's
+        stats come back through :meth:`run_stats`, and pre-restart batch
+        totals fold into :meth:`total_batch_stats` /
+        :attr:`batches_ingested` so accounting is continuous across
+        restarts.  Called by :func:`repro.core.persistence.load_session`.
+        """
+        self._restored_run_stats = run_stats
+        self._restored_batch_stats = batch_stats
+        self._restored_batches = batches
+
+    def run_stats(self) -> Optional[MatchStats]:
+        """Stats of the initial full run, surviving checkpoint restores."""
+        if self.session.last_run is not None:
+            return self.session.last_run.stats
+        return self._restored_run_stats
+
+    @property
+    def batches_ingested(self) -> int:
+        """Batches applied over the session's whole life, restarts included."""
+        return self._restored_batches + len(self.batch_history)
+
     def total_batch_stats(self) -> MatchStats:
-        """Sum of every ingested batch's counters (sequential semantics)."""
-        total = MatchStats()
+        """Sum of every ingested batch's counters (sequential semantics),
+        including batches ingested before a checkpoint restore."""
+        total = self._restored_batch_stats or MatchStats()
         for result in self.batch_history:
             total = total.merged_with(result.stats)
         return total

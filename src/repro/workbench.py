@@ -91,6 +91,10 @@ class Workbench:
         # one Observability per loaded dataset; every run/ingest of the
         # session writes into it (see 'trace', 'profile', 'drift').
         self.observability: Optional[Observability] = None
+        # service-layer handles: an embedded server ('serve') and a
+        # client connection to any server ('remote').
+        self.service_thread = None
+        self.remote_client = None
         self._commands: Dict[str, Callable[[List[str]], str]] = {
             "help": self.cmd_help,
             "load": self.cmd_load,
@@ -120,6 +124,8 @@ class Workbench:
             "report": self.cmd_report,
             "save": self.cmd_save,
             "restore": self.cmd_restore,
+            "serve": self.cmd_serve,
+            "remote": self.cmd_remote,
         }
 
     # ------------------------------------------------------------------
@@ -186,6 +192,14 @@ class Workbench:
                 "  lint                         static checks on the rule set",
                 "  report                       per-rule precision table",
                 "  save <dir> / restore <dir>   persist / reload the session state",
+                "  serve start [port] [ckpt-dir] | status | stop",
+                "                               run the matching service in-process",
+                "  remote connect <host:port>   point 'remote' at a server",
+                "  remote create <name> <dataset> [--scale S] [--seed K] [--workers N]",
+                "  remote sessions | info <name> | close <name>",
+                "  remote ingest <name> <op> <a|b> <id> [attr=value ...]",
+                "  remote tighten|relax <name> <rule> <slot> <thr>",
+                "  remote metrics <name> | trace <name>",
             ]
         )
 
@@ -679,6 +693,218 @@ class Workbench:
             f"state restored: {state.match_count()} matches, "
             f"{len(state.memo)} memoized values"
         )
+
+
+    # ------------------------------------------------------------------
+    # Service layer: embedded server + remote client
+    # ------------------------------------------------------------------
+
+    def cmd_serve(self, arguments: List[str]) -> str:
+        """``serve start [port] [checkpoint_dir]`` / ``status`` / ``stop``."""
+        action = arguments[0] if arguments else "status"
+        if action == "start":
+            if self.service_thread is not None and self.service_thread.running:
+                host, port = self.service_thread.address
+                raise WorkbenchError(f"already serving on {host}:{port}")
+            from .service import ServiceThread
+
+            port = 0
+            if len(arguments) > 1:
+                try:
+                    port = int(arguments[1])
+                except ValueError:
+                    raise WorkbenchError("serve start needs a numeric port") from None
+            checkpoint_root = arguments[2] if len(arguments) > 2 else None
+            self.service_thread = ServiceThread(
+                port=port, checkpoint_root=checkpoint_root
+            )
+            host, bound = self.service_thread.start()
+            restored = getattr(
+                self.service_thread.service, "restored_sessions", []
+            )
+            suffix = (
+                f", restored {len(restored)} session(s)" if restored else ""
+            )
+            durable = (
+                f", checkpoints in {checkpoint_root}"
+                if checkpoint_root
+                else " (not durable)"
+            )
+            return f"serving on {host}:{bound}{durable}{suffix}"
+        if action == "status":
+            if self.service_thread is None or not self.service_thread.running:
+                return "not serving"
+            host, port = self.service_thread.address
+            sessions = len(self.service_thread.service.registry)
+            return f"serving on {host}:{port}, {sessions} session(s)"
+        if action == "stop":
+            if self.service_thread is None or not self.service_thread.running:
+                raise WorkbenchError("not serving")
+            report = self.service_thread.stop()
+            self.service_thread = None
+            return (
+                f"stopped: drained={report['drained']} "
+                f"checkpointed={report['checkpointed']} "
+                f"flushed={report['flushed']}"
+            )
+        raise WorkbenchError("usage: serve start [port] [ckpt-dir] | status | stop")
+
+    def _require_remote(self):
+        if self.remote_client is None:
+            raise WorkbenchError(
+                "no server connection; use 'remote connect <host:port>'"
+            )
+        return self.remote_client
+
+    def cmd_remote(self, arguments: List[str]) -> str:
+        """Drive a running matching service over HTTP (see ``help``)."""
+        from .service import ServiceClient, ServiceClientError
+
+        if not arguments:
+            raise WorkbenchError("usage: remote <connect|create|sessions|...>")
+        action, *rest = arguments
+        try:
+            if action == "connect":
+                if len(rest) != 1 or ":" not in rest[0]:
+                    raise WorkbenchError("usage: remote connect <host:port>")
+                host, _, port_text = rest[0].rpartition(":")
+                try:
+                    port = int(port_text)
+                except ValueError:
+                    raise WorkbenchError(f"bad port {port_text!r}") from None
+                client = ServiceClient(host, port)
+                health = client.health()
+                self.remote_client = client
+                return (
+                    f"connected to {host}:{port} "
+                    f"({health['sessions']} session(s), "
+                    f"{'durable' if health['durable'] else 'not durable'})"
+                )
+            return self._remote_action(action, rest)
+        except ServiceClientError as error:
+            raise WorkbenchError(
+                f"server error [{error.code}]: {error}"
+            ) from error
+        except (ConnectionError, OSError) as error:
+            raise WorkbenchError(f"connection failed: {error}") from error
+
+    def _remote_action(self, action: str, rest: List[str]) -> str:
+        client = self._require_remote()
+        if action == "create":
+            workers, rest = parse_workers_flag(rest)
+            if len(rest) < 2:
+                raise WorkbenchError(
+                    "usage: remote create <name> <dataset> [--scale S] "
+                    "[--seed K] [--workers N]"
+                )
+            name, dataset, *flags = rest
+            spec = {"name": dataset}
+            iterator = iter(flags)
+            for flag in iterator:
+                try:
+                    if flag == "--scale":
+                        spec["scale"] = float(next(iterator))
+                    elif flag == "--seed":
+                        spec["seed"] = int(next(iterator))
+                    else:
+                        raise WorkbenchError(f"unknown flag {flag!r}")
+                except (StopIteration, ValueError):
+                    raise WorkbenchError(f"{flag} needs a value") from None
+            created = client.create_session(
+                {"name": name, "dataset": spec, "workers": workers}
+            )
+            run = created["initial_run"]
+            return (
+                f"created {name!r}: "
+                f"{created['session']['candidates']} candidates, "
+                f"{run['match_count']} matches"
+            )
+        if action == "sessions":
+            sessions = client.list_sessions()
+            if not sessions:
+                return "no sessions"
+            return "\n".join(
+                f"{info['name']}: {info['candidates']} candidates, "
+                f"{info['batches_ingested']} batch(es), seq={info['seq']}"
+                f"{' [dirty]' if info['dirty'] else ''}"
+                for info in sessions
+            )
+        if action == "info":
+            if len(rest) != 1:
+                raise WorkbenchError("usage: remote info <name>")
+            info = client.session_info(rest[0])
+            return (
+                f"{info['name']}: {info['candidates']} candidates, "
+                f"{info['batches_ingested']} batch(es), "
+                f"{info['edits_applied']} edit(s), "
+                f"rules: {', '.join(info['rules'])}"
+            )
+        if action == "close":
+            if len(rest) != 1:
+                raise WorkbenchError("usage: remote close <name>")
+            closed = client.close_session(rest[0])
+            return f"closed {closed['closed']!r} (checkpoint: {closed['checkpoint']})"
+        if action == "ingest":
+            if len(rest) < 4:
+                raise WorkbenchError(
+                    "usage: remote ingest <name> <op> <a|b> <id> [attr=value ...]"
+                )
+            name, op, side, record_id, *assignments = rest
+            values = {}
+            for assignment in assignments:
+                attribute, separator, value = assignment.partition("=")
+                if not separator or not attribute:
+                    raise WorkbenchError(f"expected attr=value, got {assignment!r}")
+                values[attribute] = value if value != "" else None
+            delta = {"op": op, "side": side, "id": record_id}
+            if op != "delete":
+                delta["values"] = values
+            result = client.ingest(name, [delta])["batch"]
+            return (
+                f"ingested: affected={result['affected']} "
+                f"+{len(result['gained'])}/-{len(result['lost'])} pairs, "
+                f"matches={result['match_count']}"
+            )
+        if action in ("tighten", "relax"):
+            if len(rest) != 4:
+                raise WorkbenchError(
+                    f"usage: remote {action} <name> <rule> <slot> <threshold>"
+                )
+            name, rule, slot, threshold = rest
+            try:
+                threshold_value = float(threshold)
+            except ValueError:
+                raise WorkbenchError(f"bad threshold {threshold!r}") from None
+            result = client.edit_rule(
+                name,
+                {"kind": action, "rule": rule, "slot": slot,
+                 "threshold": threshold_value},
+            )
+            return (
+                f"{result['change']}: affected={result['affected_pairs']} "
+                f"+{result['newly_matched']}/-{result['newly_unmatched']} matches"
+            )
+        if action == "metrics":
+            if len(rest) != 1:
+                raise WorkbenchError("usage: remote metrics <name>")
+            snapshot = client.metrics(rest[0])["snapshot"]
+            lines = [f"{len(snapshot)} metric(s):"]
+            for metric_name in sorted(snapshot):
+                data = snapshot[metric_name]
+                value = data.get("value", data.get("count", data))
+                lines.append(f"  {metric_name} = {value}")
+            return "\n".join(lines)
+        if action == "trace":
+            if len(rest) != 1:
+                raise WorkbenchError("usage: remote trace <name>")
+            trace = client.trace(rest[0])
+            lines = [f"{trace['span_count']} span(s):"]
+            for span in trace["spans"][-20:]:
+                lines.append(
+                    f"  {span['name']}: {span['duration'] * 1000:.2f}ms"
+                )
+            return "\n".join(lines)
+        raise WorkbenchError(f"unknown remote action {action!r}; try 'help'")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

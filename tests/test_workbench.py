@@ -433,3 +433,77 @@ class TestStreamingCommands:
     def test_ingest_workers_flag_error(self, bench):
         with pytest.raises(WorkbenchError, match="needs an integer"):
             bench.execute("ingest update a a0 title=x --workers nope")
+
+
+class TestServiceCommands:
+    """The 'serve' / 'remote' commands against an embedded server."""
+
+    @pytest.fixture()
+    def serving_bench(self, tmp_path):
+        bench = Workbench()
+        output = bench.execute(f"serve start 0 {tmp_path / 'ckpt'}")
+        address = output.split("serving on ")[1].split(",")[0]
+        bench.execute(f"remote connect {address}")
+        yield bench
+        if bench.service_thread is not None and bench.service_thread.running:
+            bench.execute("serve stop")
+
+    def test_serve_status_reports_not_serving(self):
+        assert Workbench().execute("serve status") == "not serving"
+
+    def test_serve_stop_without_start_fails(self):
+        with pytest.raises(WorkbenchError, match="not serving"):
+            Workbench().execute("serve stop")
+
+    def test_remote_without_connection_fails(self):
+        with pytest.raises(WorkbenchError, match="no server connection"):
+            Workbench().execute("remote sessions")
+
+    def test_serve_start_status_stop_cycle(self, tmp_path):
+        bench = Workbench()
+        output = bench.execute(f"serve start 0 {tmp_path}")
+        assert "serving on" in output and "checkpoints in" in output
+        assert "0 session(s)" in bench.execute("serve status")
+        with pytest.raises(WorkbenchError, match="already serving"):
+            bench.execute("serve start 0")
+        stopped = bench.execute("serve stop")
+        assert "drained=True" in stopped
+        assert bench.execute("serve status") == "not serving"
+
+    def test_remote_session_lifecycle(self, serving_bench):
+        bench = serving_bench
+        created = bench.execute(
+            "remote create demo products --scale 0.2 --seed 7"
+        )
+        assert "created 'demo'" in created and "matches" in created
+        assert "demo" in bench.execute("remote sessions")
+        assert "rules:" in bench.execute("remote info demo")
+
+        ingested = bench.execute("remote ingest demo delete a a0")
+        assert "ingested" in ingested and "matches=" in ingested
+
+        metrics = bench.execute("remote metrics demo")
+        assert "metric(s):" in metrics
+        trace = bench.execute("remote trace demo")
+        assert "span(s):" in trace
+
+        closed = bench.execute("remote close demo")
+        assert "closed 'demo'" in closed
+        assert bench.execute("remote sessions") == "no sessions"
+
+    def test_remote_server_error_surfaces_code(self, serving_bench):
+        with pytest.raises(WorkbenchError, match="not_found"):
+            serving_bench.execute("remote info ghost")
+
+    def test_remote_create_reuses_workers_parser(self, serving_bench):
+        with pytest.raises(WorkbenchError, match="needs an integer"):
+            serving_bench.execute(
+                "remote create w products --workers nope"
+            )
+
+    def test_remote_connect_bad_target(self):
+        bench = Workbench()
+        with pytest.raises(WorkbenchError, match="usage: remote connect"):
+            bench.execute("remote connect nocolon")
+        with pytest.raises(WorkbenchError, match="bad port"):
+            bench.execute("remote connect host:notaport")
