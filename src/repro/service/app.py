@@ -70,6 +70,15 @@ DEFAULT_DRAIN_TIMEOUT = 30.0
 _WRITE_ACTIONS = {"ingest", "edit", "explain"}
 
 
+class _RequestTooLarge(Exception):
+    """Declared Content-Length exceeds the cap; the body was never read,
+    so after answering with an error the connection must close."""
+
+    def __init__(self, length: int):
+        super().__init__(f"request body of {length} bytes")
+        self.length = length
+
+
 class MatchingService:
     """Async multi-session matching server.  See module docstring."""
 
@@ -118,6 +127,7 @@ class MatchingService:
         self.host, self.port = address[0], address[1]
         self.started_at = time.time()
         self.restored_sessions = restored
+        self.restore_failures = self.registry.restore_failures
         return self.host, self.port
 
     async def stop(
@@ -144,7 +154,11 @@ class MatchingService:
             report["flushed"] = await self._loop.run_in_executor(
                 self._executor, self._flush_observability
             )
-        self._executor.shutdown(wait=graceful)
+        # Never wait=True here: stop() runs on the event-loop thread, and
+        # a timed-out handler still running in the pool would block the
+        # whole loop.  The drain wait above already bounded in-flight
+        # work; leftover threads finish on their own and are ignored.
+        self._executor.shutdown(wait=False)
         return report
 
     def _flush_observability(self):
@@ -173,7 +187,26 @@ class MatchingService:
     async def _serve_connection(self, reader, writer):
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _RequestTooLarge as too_large:
+                    # Answer with a parseable error envelope instead of
+                    # silently closing; the oversized body is unread, so
+                    # the connection cannot be kept alive.
+                    error = ServiceError(
+                        "bad_request",
+                        f"request body of {too_large.length} bytes exceeds "
+                        f"the {MAX_BODY_BYTES}-byte limit",
+                    )
+                    await self._write_response(
+                        writer,
+                        error.status,
+                        envelope_error(
+                            error, new_request_id(), time.perf_counter()
+                        ),
+                        keep_alive=False,
+                    )
+                    break
                 if request is None:
                     break
                 method, path, headers, body = request
@@ -208,7 +241,7 @@ class MatchingService:
                 headers[key.strip().lower()] = value.strip()
         length = int(headers.get("content-length", 0) or 0)
         if length > MAX_BODY_BYTES:
-            return None
+            raise _RequestTooLarge(length)
         body = await reader.readexactly(length) if length else b""
         return method, path, headers, body
 

@@ -55,6 +55,7 @@ class ServiceHandlers:
             "status": "ok",
             "sessions": len(self.registry),
             "durable": self.registry.checkpoint_root is not None,
+            "restore_failures": self.registry.restore_failures,
         }
 
     def list_sessions(self) -> dict:

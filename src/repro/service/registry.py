@@ -28,6 +28,8 @@ server resumes exactly where it stopped.
 
 from __future__ import annotations
 
+import json
+import logging
 import shutil
 import threading
 import time
@@ -38,6 +40,8 @@ from ..core.persistence import load_session, save_session
 from ..streaming.session import StreamingSession
 from .locks import ReadWriteLock
 from .protocol import ServiceError, build_blocker
+
+logger = logging.getLogger(__name__)
 
 #: default per-session queue depth before requests bounce with ``busy``.
 DEFAULT_MAX_PENDING = 32
@@ -56,6 +60,13 @@ def validate_session_name(name: str) -> str:
             "bad_request",
             f"session name {name!r} may only contain letters, digits, "
             f"'-', '_', and '.'",
+        )
+    if set(name) <= {"."}:
+        # '.' and '..' are directory escapes, not names: '..' would
+        # checkpoint outside the root and rmtree the root's parent.
+        raise ServiceError(
+            "bad_request",
+            "session name must contain a character other than '.'",
         )
     return name
 
@@ -157,6 +168,9 @@ class SessionRegistry:
             Path(checkpoint_root) if checkpoint_root is not None else None
         )
         self.max_pending = max_pending
+        #: checkpoints restore_all() could not rehydrate (skipped, kept
+        #: on disk): ``[{"name", "error"}, ...]``.
+        self.restore_failures: List[dict] = []
         self._sessions: Dict[str, ManagedSession] = {}
         self._mutex = threading.Lock()
 
@@ -212,7 +226,7 @@ class SessionRegistry:
         with self._mutex:
             self._sessions.pop(name, None)
         if drop_checkpoint and self.checkpoint_root is not None:
-            shutil.rmtree(self.checkpoint_root / name, ignore_errors=True)
+            shutil.rmtree(self.session_dir(name), ignore_errors=True)
         return {"closed": name, "checkpoint": saved}
 
     def __len__(self) -> int:
@@ -231,7 +245,17 @@ class SessionRegistry:
                 "conflict",
                 "this registry has no checkpoint directory configured",
             )
-        return self.checkpoint_root / name
+        validate_session_name(name)
+        directory = self.checkpoint_root / name
+        # Belt and braces on top of name validation: never hand out a
+        # path that escapes the checkpoint root.
+        root = self.checkpoint_root.resolve()
+        if root not in directory.resolve().parents:
+            raise ServiceError(
+                "bad_request",
+                f"session name {name!r} escapes the checkpoint root",
+            )
+        return directory
 
     def checkpoint(self, name: str) -> Optional[str]:
         """Durably save one session (under its reader lock).
@@ -248,7 +272,7 @@ class SessionRegistry:
 
         def _save(streaming: StreamingSession):
             observability = streaming.observability
-            return save_session(
+            saved = save_session(
                 streaming,
                 directory,
                 blocker_spec=managed.blocker_spec,
@@ -262,9 +286,15 @@ class SessionRegistry:
                     ),
                 },
             )
+            # Clear the dirty flag while the read lock is still held:
+            # readers exclude writers, so no write can slip in between
+            # the save and the clear and have its dirt wiped (which
+            # would make checkpoint_all(dirty_only=True) skip it and
+            # lose the write on restart).
+            managed.dirty = False
+            return saved
 
         saved = managed.read(_save)
-        managed.dirty = False
         return str(saved)
 
     def checkpoint_all(self, dirty_only: bool = True) -> List[str]:
@@ -291,28 +321,44 @@ class SessionRegistry:
         :func:`~repro.core.persistence.load_session` adopts the state.
         Restored sessions start clean (not dirty) — nothing changed since
         their checkpoint was written.
+
+        A corrupt or version-mismatched checkpoint must not keep the
+        whole server (and every healthy session) from starting: failed
+        entries are skipped, logged, and reported in
+        :attr:`restore_failures` (``[{"name", "error"}, ...]``) — their
+        on-disk state is left untouched for inspection.
         """
+        self.restore_failures: List[dict] = []
         if self.checkpoint_root is None or not self.checkpoint_root.exists():
             return []
         restored = []
         for entry in sorted(self.checkpoint_root.iterdir()):
             if not (entry / "session.json").exists():
                 continue
-            import json
-
-            meta = json.loads((entry / "session.json").read_text("utf-8"))
-            blocker = build_blocker(meta.get("blocker_spec"))
-            streaming = load_session(entry, blocker, resolver=resolver)
-            extra = meta.get("extra") or {}
-            if extra.get("observability"):
-                from ..observability import Observability
-
-                streaming.session.observability = Observability(
-                    enabled=True, profile=bool(extra.get("profile"))
+            try:
+                restored.append(self._restore_one(entry, resolver))
+            except Exception as error:  # noqa: BLE001 — isolate bad entries
+                logger.warning(
+                    "skipping unrestorable checkpoint %s: %s", entry, error
                 )
-            managed = self.add(
-                entry.name, streaming, blocker_spec=meta.get("blocker_spec")
-            )
-            managed.dirty = False
-            restored.append(entry.name)
+                self.restore_failures.append(
+                    {"name": entry.name, "error": f"{type(error).__name__}: {error}"}
+                )
         return restored
+
+    def _restore_one(self, entry: Path, resolver) -> str:
+        meta = json.loads((entry / "session.json").read_text("utf-8"))
+        blocker = build_blocker(meta.get("blocker_spec"))
+        streaming = load_session(entry, blocker, resolver=resolver)
+        extra = meta.get("extra") or {}
+        if extra.get("observability"):
+            from ..observability import Observability
+
+            streaming.session.observability = Observability(
+                enabled=True, profile=bool(extra.get("profile"))
+            )
+        managed = self.add(
+            entry.name, streaming, blocker_spec=meta.get("blocker_spec")
+        )
+        managed.dirty = False
+        return entry.name

@@ -169,10 +169,26 @@ class TestRegistry:
             registry.get("ghost")
         assert excinfo.value.code == "not_found"
 
-    @pytest.mark.parametrize("bad", ["", "a" * 65, "sp ace", "sl/ash", "../x"])
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "a" * 65, "sp ace", "sl/ash", "../x", ".", "..", "..."],
+    )
     def test_invalid_names_rejected(self, bad):
         with pytest.raises(ServiceError):
             validate_session_name(bad)
+
+    @pytest.mark.parametrize("escape", [".", ".."])
+    def test_dot_names_never_reach_the_filesystem(self, tmp_path, escape):
+        # '..' would checkpoint outside the root and, on close with
+        # drop_checkpoint, rmtree the root's *parent*; '.' the root
+        # itself.  Both must bounce before any path is built.
+        registry = SessionRegistry(checkpoint_root=tmp_path)
+        with pytest.raises(ServiceError) as excinfo:
+            registry.add(escape, _build_streaming())
+        assert excinfo.value.code == "bad_request"
+        with pytest.raises(ServiceError) as excinfo:
+            registry.session_dir(escape)
+        assert excinfo.value.code == "bad_request"
 
     def test_checkpoint_restore_cycle(self, tmp_path):
         spec = {"kind": "overlap", "attribute": "title", "min_overlap": 1}
@@ -211,6 +227,64 @@ class TestRegistry:
         registry.close("gone", drop_checkpoint=True)
         assert not (tmp_path / "gone").exists()
         assert SessionRegistry(checkpoint_root=tmp_path).restore_all() == []
+
+    def test_write_racing_a_checkpoint_keeps_the_session_dirty(
+        self, tmp_path, monkeypatch
+    ):
+        """A write that lands while a checkpoint is saving must leave the
+        session dirty, or checkpoint_all(dirty_only=True) at shutdown
+        would skip it and silently lose the write on restart."""
+        import repro.service.registry as registry_mod
+
+        spec = {"kind": "overlap", "attribute": "title", "min_overlap": 1}
+        registry = SessionRegistry(checkpoint_root=tmp_path)
+        managed = registry.add("racy", _build_streaming(), blocker_spec=spec)
+
+        real_save = registry_mod.save_session
+        saving = threading.Event()
+        release = threading.Event()
+
+        def slow_save(*args, **kwargs):
+            result = real_save(*args, **kwargs)
+            saving.set()
+            release.wait(10)  # hold the read lock with the save "done"
+            return result
+
+        monkeypatch.setattr(registry_mod, "save_session", slow_save)
+        checkpointer = threading.Thread(
+            target=registry.checkpoint, args=("racy",)
+        )
+        checkpointer.start()
+        assert saving.wait(10)
+        writer = threading.Thread(
+            target=lambda: managed.write(
+                lambda s: s.ingest(Delta.delete("a", "a2"))
+            )
+        )
+        writer.start()
+        time.sleep(0.05)  # let the writer block on the session lock
+        release.set()
+        checkpointer.join(10)
+        writer.join(10)
+        assert managed.dirty, "racing write's dirt was wiped by checkpoint"
+        monkeypatch.setattr(registry_mod, "save_session", real_save)
+        assert registry.checkpoint_all() == ["racy"]
+
+    def test_restore_all_skips_corrupt_checkpoints(self, tmp_path):
+        spec = {"kind": "overlap", "attribute": "title", "min_overlap": 1}
+        registry = SessionRegistry(checkpoint_root=tmp_path)
+        registry.add("good", _build_streaming(), blocker_spec=spec)
+        registry.checkpoint("good")
+        bad = tmp_path / "broken"
+        bad.mkdir()
+        (bad / "session.json").write_text("{this is not json", "utf-8")
+
+        fresh = SessionRegistry(checkpoint_root=tmp_path)
+        assert fresh.restore_all() == ["good"]
+        assert "broken" not in fresh
+        assert [f["name"] for f in fresh.restore_failures] == ["broken"]
+        # the corrupt checkpoint stays on disk for inspection:
+        assert (bad / "session.json").exists()
 
     def test_non_durable_registry_checkpoints_nothing(self):
         registry = SessionRegistry()

@@ -237,6 +237,33 @@ class TestErrorEnvelopes:
         assert response.status == 400
         assert envelope["error"]["code"] == "bad_request"
 
+    def test_oversized_body_gets_error_envelope(self, server):
+        client, _thread, _root = server
+        import socket
+
+        from repro.service.app import MAX_BODY_BYTES
+
+        with socket.create_connection(
+            (client.host, client.port), timeout=30
+        ) as sock:
+            sock.sendall(
+                b"POST /sessions HTTP/1.1\r\n"
+                b"Content-Length: " + str(MAX_BODY_BYTES + 1).encode()
+                + b"\r\n\r\n"
+            )
+            response = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break  # server answers, then closes (body unread)
+                response += chunk
+        head, _, body = response.partition(b"\r\n\r\n")
+        assert b" 400 " in head.split(b"\r\n")[0]
+        envelope = json.loads(body)
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "bad_request"
+        assert "exceeds" in envelope["error"]["message"]
+
     def test_timeout_produces_504_envelope(self, tmp_path):
         thread = ServiceThread(port=0, request_timeout=0.02)
         host, port = thread.start()
@@ -311,6 +338,28 @@ class TestRestartRestore:
             for path in sorted(root.rglob("*.json"))
         }
         assert first == second
+
+    def test_corrupt_checkpoint_does_not_block_startup(self, server):
+        client, thread, root = server
+        client.create_session(_create_payload("healthy"))
+        thread.stop()
+        rotten = root / "rotten"
+        rotten.mkdir()
+        (rotten / "session.json").write_text("{corrupt", "utf-8")
+
+        thread2 = ServiceThread(port=0, checkpoint_root=root)
+        host2, port2 = thread2.start()
+        try:
+            client2 = ServiceClient(host2, port2)
+            # the healthy session restored; the bad one was skipped and
+            # reported, not fatal to the whole server:
+            assert [s["name"] for s in client2.list_sessions()] == ["healthy"]
+            health = client2.health()
+            assert [f["name"] for f in health["restore_failures"]] == [
+                "rotten"
+            ]
+        finally:
+            thread2.stop()
 
     def test_forced_checkpoint_of_restored_session_is_identical(self, server):
         client, thread, root = server
