@@ -1,0 +1,132 @@
+"""Extension bench: throughput of the automated refinement search.
+
+``repro.refine`` closes the paper's debugging loop: instead of a human
+choosing the next rule edit, a beam search enumerates candidate edits and
+scores each one *through the incremental engine* (§6 algorithms) against
+gold labels.  For the search to belong in the interactive loop the
+scoring inner loop must amortize like a human-driven edit does — this
+bench pins a floor of 100 candidate edits scored per second on the
+products workload with deliberately broken rules, checks that the search
+actually repairs them (the frontier strictly improves F1 over the seeded
+bugs), and asserts the zero-full-rematch invariant that makes the whole
+thing fast.  Results land in ``benchmarks/BENCH_refine_search.json`` for
+the CI history.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import MatchingFunction, MatchState, Rule
+from repro.refine import RefineConfig, RefinementSearch
+
+from conftest import print_series, rule_subset
+
+#: floor asserted by this bench (candidate edits scored per second).
+MIN_CANDIDATES_PER_SECOND = 100.0
+
+BENCH_RULES = 40
+BENCH_PAIRS = 1200
+
+
+def seed_bugs(function: MatchingFunction) -> MatchingFunction:
+    """Deterministically break a learned function: over-tighten some
+    thresholds (manufacturing false negatives the relax/drop generators
+    can recover) and over-relax others (false positives for the tighten
+    generator) — the two failure modes §7's debugging loop exists for."""
+    broken = []
+    for index, rule in enumerate(function.rules):
+        predicates = list(rule.predicates)
+        victim = predicates[0]
+        lower_bound = victim.op in (">=", ">")
+        if index % 3 == 0:
+            threshold = 0.98 if lower_bound else 0.02
+        elif index % 3 == 1:
+            threshold = 0.05 if lower_bound else 0.95
+        else:
+            broken.append(rule)
+            continue
+        predicates[0] = victim.with_threshold(threshold)
+        broken.append(Rule(rule.name, predicates))
+    return MatchingFunction(broken)
+
+
+@pytest.fixture(scope="module")
+def buggy_state(products_workload, bench_candidates):
+    candidates = bench_candidates.subset(range(BENCH_PAIRS))
+    function = seed_bugs(
+        rule_subset(products_workload.function, BENCH_RULES, seed=5)
+    )
+    state, _ = MatchState.from_initial_run(function, candidates)
+    return state, products_workload.gold
+
+
+def test_refine_search_throughput(benchmark, buggy_state):
+    state, gold = buggy_state
+    config = RefineConfig(
+        budget=400,
+        beam_width=3,
+        max_depth=2,
+        max_candidates_per_round=64,
+        seed=7,
+    )
+    holder = {}
+
+    def run_search():
+        begin = time.perf_counter()
+        holder["report"] = RefinementSearch(state, gold, config=config).run()
+        return time.perf_counter() - begin
+
+    wall = benchmark.pedantic(run_search, rounds=1, iterations=1)
+    report = holder["report"]
+    per_second = report.candidates_scored / wall if wall else float("inf")
+
+    print_series(
+        f"Refinement search ({BENCH_PAIRS} pairs, {BENCH_RULES} buggy rules)",
+        ["metric", "value"],
+        [
+            ["candidates generated", report.candidates_generated],
+            ["candidates scored", report.candidates_scored],
+            ["incremental evals", report.incremental_evals],
+            ["full re-matches", report.full_rematches],
+            ["rounds", report.rounds],
+            ["wall time", f"{wall:.2f}s"],
+            ["throughput", f"{per_second:.0f} candidates/s"],
+            ["baseline F1", f"{report.baseline.f1:.3f}"],
+            ["best F1", f"{report.best.f1:.3f}"],
+            ["frontier size", len(report.frontier)],
+        ],
+    )
+    payload = {
+        "pairs": BENCH_PAIRS,
+        "rules": BENCH_RULES,
+        "candidates_generated": report.candidates_generated,
+        "candidates_scored": report.candidates_scored,
+        "incremental_evals": report.incremental_evals,
+        "full_rematches": report.full_rematches,
+        "rounds": report.rounds,
+        "wall_seconds": wall,
+        "candidates_per_second": per_second,
+        "baseline_f1": report.baseline.f1,
+        "best_f1": report.best.f1,
+        "frontier_size": len(report.frontier),
+    }
+    out_path = Path(__file__).resolve().parent / "BENCH_refine_search.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # The three acceptance bars, in one place:
+    # 1. interactive throughput — scoring rides the incremental engine;
+    assert per_second >= MIN_CANDIDATES_PER_SECOND, (
+        f"scored {per_second:.0f} candidates/s; "
+        f"floor is {MIN_CANDIDATES_PER_SECOND:.0f}"
+    )
+    # 2. the search repairs the seeded bugs, not just enumerates edits;
+    assert report.improves_f1()
+    assert report.best.f1 > report.baseline.f1
+    # 3. no candidate was ever scored by a from-scratch re-match.
+    assert report.full_rematches == 0
+    assert report.incremental_evals >= report.candidates_scored

@@ -70,6 +70,7 @@ from .errors import ReproError
 from .evaluation import confusion, precision_recall_f1
 from .learning import FeatureSpace, RandomForest, Workload, build_workload, extract_rules
 from .parallel import ParallelMatcher
+from .refine import RefineConfig, RefinementReport, RefinementSearch
 from .streaming import BatchResult, Delta, DeltaBatch, StreamingSession
 
 __version__ = "1.0.0"
@@ -102,5 +103,7 @@ __all__ = [
     # learning & evaluation
     "FeatureSpace", "RandomForest", "extract_rules",
     "confusion", "precision_recall_f1",
+    # refinement
+    "RefineConfig", "RefinementReport", "RefinementSearch",
     "ReproError",
 ]

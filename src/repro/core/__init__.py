@@ -77,7 +77,7 @@ from .dynamic_reorder import DynamicRuleReorderMatcher
 from .validation import Finding, lint_function
 from .persistence import candidate_fingerprint, load_state, save_state
 from .session import DebugSession, PairExplanation, PredicateTrace, RuleTrace
-from .state import MatchState
+from .state import MatchState, StateCheckpoint
 from .stats import MatchStats, WorkerTiming
 
 __all__ = [
@@ -110,7 +110,7 @@ __all__ = [
     # incremental
     "Change", "AddPredicate", "RemovePredicate", "TightenPredicate",
     "RelaxPredicate", "AddRule", "RemoveRule",
-    "MatchState", "IncrementalResult", "apply_change",
+    "MatchState", "StateCheckpoint", "IncrementalResult", "apply_change",
     "apply_strictening", "apply_loosening", "apply_remove_rule",
     "apply_add_rule",
     # session

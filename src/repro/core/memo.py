@@ -77,6 +77,26 @@ class FeatureMemo(ABC):
         Returns the number of entries evicted.
         """
 
+    @abstractmethod
+    def snapshot(self) -> object:
+        """An opaque copy of the memo's contents for later :meth:`restore`.
+
+        Used by the refinement search's rollback API.  Because memoized
+        feature values depend only on the record pair — never on the
+        matching function — restoring a memo snapshot is *optional* for
+        correctness after a rolled-back rule edit; it exists for callers
+        that need byte-identical accounting (entry counts, fill
+        fractions) as well.
+        """
+
+    @abstractmethod
+    def restore(self, snapshot: object) -> None:
+        """Reset the memo to a state captured by :meth:`snapshot`.
+
+        The snapshot may be restored any number of times; restoring never
+        consumes it.
+        """
+
     def update_from(
         self,
         other: "FeatureMemo",
@@ -268,6 +288,21 @@ class ArrayMemo(FeatureMemo):
         self._entries -= evicted
         return evicted
 
+    def snapshot(self) -> object:
+        return (
+            dict(self._columns),
+            self._values.copy(),
+            self._valid.copy(),
+            self._entries,
+        )
+
+    def restore(self, snapshot: object) -> None:
+        columns, values, valid, entries = snapshot
+        self._columns = dict(columns)
+        self._values = values.copy()
+        self._valid = valid.copy()
+        self._entries = entries
+
     def __repr__(self) -> str:
         return (
             f"ArrayMemo({self.n_pairs} pairs x {len(self._columns)} features, "
@@ -320,6 +355,12 @@ class HashMemo(FeatureMemo):
         for key in stale:
             del self._store[key]
         return len(stale)
+
+    def snapshot(self) -> object:
+        return dict(self._store)
+
+    def restore(self, snapshot: object) -> None:
+        self._store = dict(snapshot)
 
     def __repr__(self) -> str:
         return f"HashMemo({len(self._store)} entries)"

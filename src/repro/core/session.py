@@ -337,6 +337,66 @@ class DebugSession:
         self.last_run = result
         return result
 
+    def refine(
+        self,
+        config=None,
+        gold: Optional[Set[PairId]] = None,
+        seed_rules: Sequence = (),
+        feature_universe: Sequence = (),
+        feature_space=None,
+        **config_overrides,
+    ):
+        """Run the automated refinement search (see :mod:`repro.refine`).
+
+        Scores candidate edits through the incremental engine against the
+        session's gold labels (or an explicit ``gold`` override) and
+        returns a :class:`~repro.refine.search.RefinementReport` with the
+        Pareto frontier over (precision, recall, expected cost).  The
+        session's state is untouched afterwards — apply a chosen frontier
+        entry with :meth:`apply_many` (``report.best.edits``).
+
+        ``feature_space`` (a :class:`repro.learning.FeatureSpace`) widens
+        the search: its features join the add-predicate/add-rule universe
+        and the §7.1 extractor mines whole-rule seeds from it.  Keyword
+        overrides (``budget=...``, ``beam_width=...``) build or adjust the
+        :class:`~repro.refine.search.RefineConfig`.
+        """
+        from dataclasses import replace as dataclass_replace
+
+        from ..errors import RefinementError
+        from ..refine import RefineConfig, RefinementSearch, extractor_seed_rules
+
+        gold = gold if gold is not None else self.gold
+        if not gold:
+            raise RefinementError(
+                "refinement needs gold labels; build the session with gold= "
+                "or pass gold=... explicitly"
+            )
+        state = self._require_state()
+        if config is None:
+            config = RefineConfig(**config_overrides)
+        elif config_overrides:
+            config = dataclass_replace(config, **config_overrides)
+        seed_rules = list(seed_rules)
+        feature_universe = list(feature_universe)
+        if feature_space is not None:
+            seed_rules.extend(
+                extractor_seed_rules(
+                    self.candidates, gold, feature_space, seed=config.seed
+                )
+            )
+            feature_universe.extend(feature_space)
+        search = RefinementSearch(
+            state,
+            gold,
+            config=config,
+            seed_rules=seed_rules,
+            feature_universe=feature_universe,
+            observability=self.observability,
+            kernels=self.kernels,
+        )
+        return search.run()
+
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------

@@ -26,6 +26,7 @@ initial full run and all incremental re-evaluations feed the same bitmaps.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,6 +40,32 @@ from .stats import MatchStats
 
 #: Key of a predicate bitmap: (rule name, predicate slot).
 SlotKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class StateCheckpoint:
+    """Everything a rule edit can change, captured for rollback.
+
+    Produced by :meth:`MatchState.checkpoint`, consumed (repeatedly — a
+    checkpoint is never invalidated by restoring it) by
+    :meth:`MatchState.restore`.  ``memo_snapshot`` is ``None`` unless the
+    checkpoint was taken with ``include_memo=True``; see
+    :meth:`MatchState.checkpoint` for why memo capture is optional.
+    """
+
+    function: "MatchingFunction"
+    labels: np.ndarray
+    attribution: np.ndarray
+    rule_matched: Dict[str, np.ndarray]
+    predicate_false: Dict[SlotKey, np.ndarray]
+    memo_snapshot: Optional[object] = None
+
+    def nbytes(self) -> int:
+        """Approximate bytes held by the checkpoint's copies."""
+        total = int(self.labels.nbytes) + int(self.attribution.nbytes)
+        total += sum(int(b.nbytes) for b in self.rule_matched.values())
+        total += sum(int(b.nbytes) for b in self.predicate_false.values())
+        return total
 
 
 class MatchState:
@@ -190,6 +217,68 @@ class MatchState:
         bitmap = self._predicate_false.get((rule_name, slot))
         if bitmap is not None:
             bitmap[:] = False
+
+    # ------------------------------------------------------------------
+    # Checkpoint / rollback (the refinement search's scoring loop)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, include_memo: bool = False) -> "StateCheckpoint":
+        """Capture everything a rule edit can change, for :meth:`restore`.
+
+        The captured facts are the function reference (immutable),
+        labels, attribution, and both bitmap families.  The memo is *not*
+        captured by default: memoized feature values depend only on the
+        record pair, never on the matching function, so after a rollback
+        every surviving memo entry is still correct — a deliberately
+        retained warm cache that makes scoring candidate edit N+1 cheaper
+        than candidate N.  ``include_memo=True`` additionally snapshots
+        the memo for callers that need byte-identical accounting.
+
+        Cost is O(pairs x allocated bitmaps) bytes of copying and no
+        feature computation, which is what lets the refinement search
+        score hundreds of candidate edits per second against one state.
+        """
+        return StateCheckpoint(
+            function=self.function,
+            labels=self.labels.copy(),
+            attribution=self.attribution.copy(),
+            rule_matched={
+                name: bitmap.copy()
+                for name, bitmap in self._rule_matched.items()
+            },
+            predicate_false={
+                key: bitmap.copy()
+                for key, bitmap in self._predicate_false.items()
+            },
+            memo_snapshot=self.memo.snapshot() if include_memo else None,
+        )
+
+    def restore(self, checkpoint: "StateCheckpoint") -> None:
+        """Rewind to a :meth:`checkpoint`; the checkpoint stays reusable.
+
+        Function, labels, attribution, and bitmaps revert exactly; the
+        memo keeps entries computed since the checkpoint (sound — see
+        :meth:`checkpoint`) unless the checkpoint captured it.
+        """
+        if len(checkpoint.labels) != len(self.candidates):
+            raise StateError(
+                f"checkpoint is over {len(checkpoint.labels)} pairs but the "
+                f"state holds {len(self.candidates)}; checkpoints do not "
+                f"survive candidate-set changes (streaming ingest)"
+            )
+        self.function = checkpoint.function
+        self.labels = checkpoint.labels.copy()
+        self.attribution = checkpoint.attribution.copy()
+        self._rule_matched = {
+            name: bitmap.copy()
+            for name, bitmap in checkpoint.rule_matched.items()
+        }
+        self._predicate_false = {
+            key: bitmap.copy()
+            for key, bitmap in checkpoint.predicate_false.items()
+        }
+        if checkpoint.memo_snapshot is not None:
+            self.memo.restore(checkpoint.memo_snapshot)
 
     # ------------------------------------------------------------------
     # Streaming support (record-level data deltas)

@@ -64,3 +64,8 @@ class ParallelExecutionError(ReproError):
     """Raised when the parallel matching engine cannot complete a run even
     after retries and serial fallback (e.g. an unpicklable payload combined
     with a broken pool)."""
+
+
+class RefinementError(ReproError):
+    """Raised when the rule-refinement search is misconfigured or asked to
+    run without the inputs it needs (no gold labels, no started state)."""

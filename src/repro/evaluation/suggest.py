@@ -1,106 +1,32 @@
-"""Edit suggestions — closing the paper's debugging loop automatically.
+"""Edit suggestions — the interactive face of the refinement vocabulary.
 
-The paper's workflow (its Figure 1) leaves "examine results → decide the
-edit" to the analyst.  This module automates the *candidate generation*
-half of that decision: given the current :class:`MatchState` and gold
-labels (in practice, the analyst's labeled sample), it proposes concrete
-:class:`~repro.core.changes.Change` objects ranked by predicted effect —
-the natural next step the paper's §8 gestures at ("integrating the
-techniques presented here with a full system").
+Historically this module owned its own candidate generation; that logic
+now lives in :mod:`repro.refine.edits`, shared with the automated
+refinement search (``repro.refine``) so there is exactly one edit
+vocabulary and one scoring/dedupe implementation.  What remains here is
+the interactive ranking policy: generate, sort by predicted score, keep
+the best edit per (rule, slot), truncate to a handful the analyst can
+actually read.
 
-Two generators:
-
-* :func:`suggest_tightenings` — for rules that matched false positives:
-  for every predicate slot, scan the memoized feature values of that
-  rule's matched pairs and propose the threshold that removes the most
-  false positives per lost true positive (Algorithm 7 applies the result
-  in milliseconds).
-* :func:`suggest_relaxations` — for false negatives blocked by a single
-  predicate of some rule: propose relaxing that predicate just enough to
-  admit them, with the number of *non-gold* pairs that same relaxation
-  would admit as the risk estimate (Algorithm 8 applies it).
-
-All value reads go through the state's memo; values that matching never
-computed (early exit) are computed and memoized here, so suggestion cost
-is itself incremental.
+Public API is unchanged: :class:`Suggestion` (an alias of
+:class:`repro.refine.edits.CandidateEdit`), :func:`suggest_tightenings`,
+and :func:`suggest_relaxations`.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Set
 
-from ..core.changes import Change, RelaxPredicate, TightenPredicate
-from ..core.rules import Predicate, Rule
 from ..core.state import MatchState
 from ..data.pairs import PairId
+from ..refine.edits import (
+    CandidateEdit as Suggestion,
+    rank_edits,
+    relax_edits,
+    tighten_edits,
+)
 
-
-@dataclass
-class Suggestion:
-    """One ranked edit proposal."""
-
-    change: Change
-    #: predicted newly-correct pairs (FPs removed / FNs recovered)
-    predicted_gain: int
-    #: predicted newly-wrong pairs (TPs lost / FPs admitted)
-    predicted_cost: int
-
-    @property
-    def score(self) -> float:
-        """Gain discounted by cost; ties favour cheaper edits."""
-        return self.predicted_gain - 2.0 * self.predicted_cost
-
-    def describe(self) -> str:
-        return (
-            f"{self.change.describe()}  "
-            f"(+{self.predicted_gain} fixed, -{self.predicted_cost} broken)"
-        )
-
-    def __repr__(self) -> str:
-        return f"Suggestion({self.describe()})"
-
-
-def _feature_value(state: MatchState, pair_index: int, predicate: Predicate) -> float:
-    """Memo-first feature read (computes + memoizes on miss)."""
-    cached = state.memo.get(pair_index, predicate.feature.name)
-    if cached is not None:
-        return cached
-    pair = state.candidates[pair_index]
-    value = predicate.feature.compute(pair.record_a, pair.record_b)
-    state.memo.put(pair_index, predicate.feature.name, value)
-    return value
-
-
-def _stricter_candidates(
-    predicate: Predicate, good_values: Sequence[float], bad_values: Sequence[float]
-) -> List[Tuple[float, int, int]]:
-    """Candidate stricter thresholds with their (fp_removed, tp_lost).
-
-    For a lower-bound predicate, raising the threshold to just above a
-    value excludes every pair at or below it; symmetric for upper bounds.
-    Candidates are the distinct bad-pair values (each is the cheapest
-    threshold that excludes that pair).
-    """
-    lower_bound = predicate.op in (">=", ">")
-    results = []
-    for pivot in sorted(set(bad_values)):
-        if lower_bound:
-            threshold = round(pivot + 1e-6, 6)
-            if threshold <= predicate.threshold:
-                continue
-            removed = sum(1 for value in bad_values if value < threshold)
-            lost = sum(1 for value in good_values if value < threshold)
-        else:
-            threshold = round(pivot - 1e-6, 6)
-            if threshold >= predicate.threshold:
-                continue
-            removed = sum(1 for value in bad_values if value > threshold)
-            lost = sum(1 for value in good_values if value > threshold)
-        if removed > 0:
-            results.append((threshold, removed, lost))
-    return results
+__all__ = ["Suggestion", "suggest_tightenings", "suggest_relaxations"]
 
 
 def suggest_tightenings(
@@ -114,42 +40,9 @@ def suggest_tightenings(
     those are exactly the pairs the rule is *responsible* for, and
     exactly the set Algorithm 7 will re-examine.
     """
-    by_rule: Dict[str, Tuple[List[int], List[int]]] = defaultdict(
-        lambda: ([], [])
+    return rank_edits(
+        tighten_edits(state, gold), per_slot=True, limit=max_suggestions
     )
-    for pair_index in state.matched_indices():
-        rule_name = state.function.rules[int(state.attribution[pair_index])].name
-        is_gold = state.candidates[pair_index].pair_id in gold
-        by_rule[rule_name][0 if is_gold else 1].append(pair_index)
-
-    suggestions: List[Suggestion] = []
-    for rule_name, (true_positive_pairs, false_positive_pairs) in by_rule.items():
-        if not false_positive_pairs:
-            continue
-        rule = state.function.rule(rule_name)
-        for predicate in rule.predicates:
-            good_values = [
-                _feature_value(state, index, predicate)
-                for index in true_positive_pairs
-            ]
-            bad_values = [
-                _feature_value(state, index, predicate)
-                for index in false_positive_pairs
-            ]
-            for threshold, removed, lost in _stricter_candidates(
-                predicate, good_values, bad_values
-            ):
-                suggestions.append(
-                    Suggestion(
-                        change=TightenPredicate(
-                            rule_name, predicate.slot, threshold
-                        ),
-                        predicted_gain=removed,
-                        predicted_cost=lost,
-                    )
-                )
-    suggestions.sort(key=lambda item: (-item.score, item.change.describe()))
-    return _dedupe_by_slot(suggestions)[:max_suggestions]
 
 
 def suggest_relaxations(
@@ -165,80 +58,8 @@ def suggest_relaxations(
     risk estimate replays the same relaxation over (a sample of) the
     unmatched non-gold pairs.
     """
-    false_negative_indices = [
-        index
-        for index in state.unmatched_indices()
-        if state.candidates[index].pair_id in gold
-    ]
-    if not false_negative_indices:
-        return []
-
-    # (rule, slot) -> list of feature values needed to admit each FN.
-    needed: Dict[Tuple[str, str], List[float]] = defaultdict(list)
-    for pair_index in false_negative_indices:
-        for rule in state.function.rules:
-            failing: List[Predicate] = []
-            for predicate in rule.predicates:
-                value = _feature_value(state, pair_index, predicate)
-                if not predicate.evaluate(value):
-                    failing.append(predicate)
-                if len(failing) > 1:
-                    break
-            if len(failing) == 1:
-                predicate = failing[0]
-                needed[(rule.name, predicate.slot)].append(
-                    _feature_value(state, pair_index, predicate)
-                )
-
-    unmatched_non_gold = [
-        index
-        for index in state.unmatched_indices()
-        if state.candidates[index].pair_id not in gold
-    ][:risk_sample]
-
-    suggestions: List[Suggestion] = []
-    for (rule_name, slot), values in needed.items():
-        rule = state.function.rule(rule_name)
-        predicate = rule.predicate_by_slot(slot)
-        lower_bound = predicate.op in (">=", ">")
-        target = min(values) if lower_bound else max(values)
-        threshold = round(target - 1e-6, 6) if lower_bound else round(target + 1e-6, 6)
-        relaxed = predicate.with_threshold(threshold)
-        if not predicate.is_stricter_than(relaxed):
-            continue  # no actual relaxation possible (already at bound)
-        gain = sum(1 for value in values if relaxed.evaluate(value))
-        # Risk: unmatched non-gold pairs the relaxed rule would now admit.
-        risk = 0
-        others = [p for p in rule.predicates if p.slot != slot]
-        for pair_index in unmatched_non_gold:
-            value = _feature_value(state, pair_index, predicate)
-            if not relaxed.evaluate(value) or predicate.evaluate(value):
-                continue
-            if all(
-                other.evaluate(_feature_value(state, pair_index, other))
-                for other in others
-            ):
-                risk += 1
-        suggestions.append(
-            Suggestion(
-                change=RelaxPredicate(rule_name, slot, threshold),
-                predicted_gain=gain,
-                predicted_cost=risk,
-            )
-        )
-    suggestions.sort(key=lambda item: (-item.score, item.change.describe()))
-    return _dedupe_by_slot(suggestions)[:max_suggestions]
-
-
-def _dedupe_by_slot(suggestions: List[Suggestion]) -> List[Suggestion]:
-    """Keep only the best suggestion per (rule, slot)."""
-    seen: Set[Tuple[str, str]] = set()
-    kept: List[Suggestion] = []
-    for suggestion in suggestions:
-        change = suggestion.change
-        key = (change.rule_name, change.slot)
-        if key in seen:
-            continue
-        seen.add(key)
-        kept.append(suggestion)
-    return kept
+    return rank_edits(
+        relax_edits(state, gold, risk_sample=risk_sample),
+        per_slot=True,
+        limit=max_suggestions,
+    )

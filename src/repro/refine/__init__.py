@@ -1,0 +1,66 @@
+"""Automated rule-refinement search — closing the paper's debugging loop.
+
+The paper (§8) stops at *interactive* debugging: the incremental engine
+makes each human-chosen edit cheap.  This package turns the crank
+automatically: enumerate candidate edits from the current error profile
+(:mod:`repro.refine.edits`), score every one through Algorithms 7-10 with
+checkpoint/rollback (:mod:`repro.refine.search`), and report the Pareto
+frontier over (precision, recall, expected cost)
+(:mod:`repro.refine.pareto`).  See ``docs/refinement.md``.
+"""
+
+from .edits import (
+    CandidateEdit,
+    ErrorProfile,
+    add_predicate_edits,
+    add_rule_edits,
+    change_key,
+    dedupe_edits,
+    drop_predicate_edits,
+    drop_rule_edits,
+    error_profile,
+    feature_value,
+    generate_candidates,
+    rank_edits,
+    relax_edits,
+    stricter_candidates,
+    tighten_edits,
+)
+from .pareto import Objective, dominates, pareto_frontier
+from .seeding import extractor_seed_rules
+from .search import (
+    EditOutcome,
+    RefineConfig,
+    RefinementReport,
+    RefinementSearch,
+    ScoredCandidate,
+    refine,
+)
+
+__all__ = [
+    "CandidateEdit",
+    "EditOutcome",
+    "ErrorProfile",
+    "Objective",
+    "RefineConfig",
+    "RefinementReport",
+    "RefinementSearch",
+    "ScoredCandidate",
+    "add_predicate_edits",
+    "add_rule_edits",
+    "change_key",
+    "dedupe_edits",
+    "dominates",
+    "drop_predicate_edits",
+    "drop_rule_edits",
+    "error_profile",
+    "extractor_seed_rules",
+    "feature_value",
+    "generate_candidates",
+    "pareto_frontier",
+    "rank_edits",
+    "refine",
+    "relax_edits",
+    "stricter_candidates",
+    "tighten_edits",
+]

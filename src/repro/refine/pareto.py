@@ -1,0 +1,83 @@
+"""Pareto dominance over (precision ↑, recall ↑, expected cost ↓).
+
+The refinement search reports a *frontier*, not a single winner, because
+the three objectives genuinely trade off: the cheapest fix for precision
+usually costs recall (and vice versa), and a higher-quality function may
+be more expensive to evaluate per pair.  The analyst — or a policy on
+top — picks the operating point; the search's job is only to make sure
+no reported candidate is strictly beaten by another.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+#: (precision, recall, expected_cost) — the objective vector.
+Objective = Tuple[float, float, float]
+
+#: Absolute slack when comparing objective components: per-pair costs are
+#: tiny floats assembled from sums in different orders, so exact ties
+#: would otherwise split on noise.
+_EPSILON = 1e-12
+
+
+def dominates(a: Objective, b: Objective) -> bool:
+    """True iff ``a`` is at least as good as ``b`` on every objective and
+    strictly better on at least one (precision/recall maximised, expected
+    cost minimised)."""
+    precision_a, recall_a, cost_a = a
+    precision_b, recall_b, cost_b = b
+    if (
+        precision_a < precision_b - _EPSILON
+        or recall_a < recall_b - _EPSILON
+        or cost_a > cost_b + _EPSILON
+    ):
+        return False
+    return (
+        precision_a > precision_b + _EPSILON
+        or recall_a > recall_b + _EPSILON
+        or cost_a < cost_b - _EPSILON
+    )
+
+
+def pareto_frontier(
+    items: Sequence[T], objective: Callable[[T], Objective]
+) -> List[T]:
+    """The non-dominated subset of ``items``, de-duplicated by objective.
+
+    Of several items with an identical objective vector the first (in
+    input order) survives, so callers control tie-breaks by pre-sorting —
+    the search feeds candidates in deterministic discovery order, keeping
+    the frontier stable under a fixed seed.  Output is sorted by
+    (recall desc, precision desc, cost asc) for stable presentation.
+    """
+    kept: List[T] = []
+    kept_objectives: List[Objective] = []
+    for item in items:
+        vector = objective(item)
+        if any(dominates(other, vector) for other in kept_objectives):
+            continue
+        if any(
+            not dominates(vector, other)
+            and all(abs(x - y) <= _EPSILON for x, y in zip(vector, other))
+            for other in kept_objectives
+        ):
+            continue  # exact duplicate of a survivor
+        survivors = [
+            (kept_item, kept_vector)
+            for kept_item, kept_vector in zip(kept, kept_objectives)
+            if not dominates(vector, kept_vector)
+        ]
+        kept = [item_ for item_, _ in survivors] + [item]
+        kept_objectives = [vector_ for _, vector_ in survivors] + [vector]
+    order = sorted(
+        range(len(kept)),
+        key=lambda i: (
+            -kept_objectives[i][1],
+            -kept_objectives[i][0],
+            kept_objectives[i][2],
+        ),
+    )
+    return [kept[i] for i in order]

@@ -1,0 +1,57 @@
+"""Seed-rule mining — the bridge from :mod:`repro.learning` into refinement.
+
+The paper's §7.1 extractor turns a fitted forest into a DNF rule set; the
+refinement search reuses it at a smaller scale to propose *whole-rule*
+candidates (its ``AddRule`` family, Algorithm 10): fit a modest forest on
+the analyst's gold labels, extract its positive-path rules, and hand them
+to :func:`repro.refine.edits.add_rule_edits`, which filters them against
+the current function and measures their actual gain/risk.  Everything is
+seeded, so the mined rules — and therefore the whole search — stay
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..core.rules import Rule
+from ..data.pairs import CandidateSet, PairId
+from ..errors import ReproError
+from ..learning.feature_space import FeatureSpace
+from ..learning.random_forest import RandomForest
+from ..learning.rule_extraction import extract_rules
+from ..learning.vectorize import build_labeled_sample
+
+
+def extractor_seed_rules(
+    candidates: CandidateSet,
+    gold: Set[PairId],
+    space: FeatureSpace,
+    max_rules: int = 8,
+    n_trees: int = 16,
+    max_depth: int = 4,
+    negative_ratio: float = 3.0,
+    seed: int = 0,
+) -> List[Rule]:
+    """Mine candidate rules from the gold labels via the §7.1 extractor.
+
+    Returns at most ``max_rules`` rules (named ``r1..rN`` by the
+    extractor; :func:`~repro.refine.edits.add_rule_edits` renames them to
+    fresh names before proposing).  An unextractable sample — too few
+    positives, no pure leaves — yields ``[]`` rather than an error: seed
+    rules are an enrichment, not a requirement.
+    """
+    try:
+        sample = build_labeled_sample(
+            space, candidates, gold, negative_ratio=negative_ratio, seed=seed
+        )
+        forest = RandomForest(
+            n_trees=n_trees,
+            max_depth=max_depth,
+            max_features="sqrt",
+            seed=seed,
+        ).fit(sample.matrix, sample.labels)
+        extracted = extract_rules(forest, space, max_rules=max_rules)
+    except ReproError:
+        return []
+    return list(extracted.rules)

@@ -33,6 +33,7 @@ Routes
     POST /sessions/{name}/ingest          apply a delta batch
     POST /sessions/{name}/edit            apply a rule edit
     POST /sessions/{name}/explain         full trace of one pair
+    POST /sessions/{name}/refine          automated refinement search
     GET  /sessions/{name}/matches         labels (+ confusion if gold)
     GET  /sessions/{name}/stats           run/batch MatchStats
     GET  /sessions/{name}/metrics         metrics snapshot + diff
@@ -67,7 +68,7 @@ DEFAULT_REQUEST_TIMEOUT = 60.0
 DEFAULT_DRAIN_TIMEOUT = 30.0
 
 #: writes take the session's exclusive lock; everything else is a read.
-_WRITE_ACTIONS = {"ingest", "edit", "explain"}
+_WRITE_ACTIONS = {"ingest", "edit", "explain", "refine"}
 
 
 class _RequestTooLarge(Exception):
@@ -333,6 +334,7 @@ class MatchingService:
             ("POST", "ingest"): lambda: handlers.ingest(name, payload),
             ("POST", "edit"): lambda: handlers.edit_rule(name, payload),
             ("POST", "explain"): lambda: handlers.explain(name, payload),
+            ("POST", "refine"): lambda: handlers.refine(name, payload),
             ("POST", "checkpoint"): lambda: handlers.checkpoint_session(name),
             ("GET", "matches"): lambda: handlers.matches(name),
             ("GET", "stats"): lambda: handlers.stats(name),

@@ -118,6 +118,15 @@ class ServiceClient:
             "POST", f"/sessions/{name}/explain", {"a_id": a_id, "b_id": b_id}
         )
 
+    def refine(self, name: str, **options) -> dict:
+        """Run the automated refinement search.  ``options`` are
+        RefineConfig fields (``budget``, ``beam_width``, ``seed``, ...)
+        plus ``apply="best"`` (or a frontier index) to also apply the
+        chosen edit sequence server-side."""
+        return self.request(
+            "POST", f"/sessions/{name}/refine", options or None
+        )
+
     # -- reads ---------------------------------------------------------
 
     def matches(self, name: str) -> dict:

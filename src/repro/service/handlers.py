@@ -34,6 +34,8 @@ from .protocol import (
     deltas_from_payload,
     explanation_to_payload,
     pairs_to_payload,
+    refine_config_from_payload,
+    refinement_to_payload,
     table_from_payload,
 )
 from .registry import SessionRegistry
@@ -241,6 +243,65 @@ class ServiceHandlers:
             "affected_pairs": result.affected_pairs,
             "newly_matched": result.newly_matched,
             "newly_unmatched": result.newly_unmatched,
+        }
+
+    def refine(self, name: str, payload: Optional[dict] = None) -> dict:
+        """Run the automated refinement search on a session (write lock:
+        the search borrows the live state, and candidate scoring mutates
+        and restores it in place; an optional ``apply`` then edits it for
+        real).
+
+        Options (all optional): any :class:`repro.refine.RefineConfig`
+        field (``budget``, ``beam_width``, ``max_depth``, ``seed``, ...)
+        plus ``apply`` — ``"best"`` or a frontier index — to apply that
+        frontier entry's edit sequence before returning, closing the
+        debugging loop in one request.
+        """
+        payload = payload or {}
+        if not isinstance(payload, dict):
+            raise ServiceError("bad_request", "body must be a JSON object")
+        config = refine_config_from_payload(payload)
+        apply_choice = payload.get("apply", None)
+        if apply_choice not in (None, False, "best") and not isinstance(
+            apply_choice, int
+        ):
+            raise ServiceError(
+                "bad_request", "'apply' must be \"best\" or a frontier index"
+            )
+        managed = self.registry.get(name)
+
+        def _refine(streaming: StreamingSession):
+            report = streaming.refine(config=config)
+            applied_payload = None
+            if apply_choice is not None and apply_choice is not False:
+                if apply_choice == "best":
+                    chosen = report.best
+                else:
+                    if not 0 <= apply_choice < len(report.frontier):
+                        raise ServiceError(
+                            "bad_request",
+                            f"'apply' index {apply_choice} out of range for a "
+                            f"frontier of {len(report.frontier)} points",
+                        )
+                    chosen = report.frontier[apply_choice]
+                for change in chosen.edits:
+                    streaming.apply(change)
+                applied_payload = {
+                    "edits": [change.describe() for change in chosen.edits],
+                    "confusion": (
+                        confusion_to_payload(streaming.metrics())
+                        if streaming.session.gold is not None
+                        else None
+                    ),
+                }
+            return report, applied_payload
+
+        report, applied_payload = managed.write(_refine)
+        return {
+            "session": name,
+            "seq": managed.seq,
+            "report": refinement_to_payload(report),
+            "applied": applied_payload,
         }
 
     def explain(self, name: str, payload: dict) -> dict:

@@ -309,3 +309,82 @@ def explanation_to_payload(explanation) -> dict:
 
 def pairs_to_payload(pairs: Sequence) -> List[List[str]]:
     return [list(pair) for pair in pairs]
+
+
+#: RefineConfig fields a service caller may set, with coercions.  Kept
+#: explicit (not introspected) so the wire contract is visible in one place.
+_REFINE_CONFIG_FIELDS = {
+    "budget": int,
+    "beam_width": int,
+    "max_depth": int,
+    "max_candidates_per_round": int,
+    "max_per_slot": int,
+    "risk_sample": int,
+    "seed": int,
+    "attribution_limit": int,
+    "cost_strategy": str,
+    "estimate_mode": str,
+    "admit_fractions": lambda value: tuple(float(v) for v in value),
+}
+
+
+def refine_config_from_payload(payload: Optional[dict]):
+    """Build a :class:`repro.refine.RefineConfig` from request options."""
+    from ..refine import RefineConfig
+
+    payload = payload or {}
+    kwargs = {}
+    for key, coerce in _REFINE_CONFIG_FIELDS.items():
+        if key in payload:
+            try:
+                kwargs[key] = coerce(payload[key])
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(
+                    "bad_request", f"bad refine option {key!r}: {exc}"
+                )
+    return RefineConfig(**kwargs)
+
+
+def scored_candidate_to_payload(candidate) -> dict:
+    """One frontier/baseline entry of a refinement report."""
+    return {
+        "edits": [change.describe() for change in candidate.edits],
+        "precision": candidate.precision,
+        "recall": candidate.recall,
+        "f1": candidate.f1,
+        "expected_cost": candidate.expected_cost,
+        "confusion": confusion_to_payload(candidate.confusion),
+        "per_edit": [
+            {
+                "change": outcome.change.describe(),
+                "fixed": outcome.fixed,
+                "broken": outcome.broken,
+                "fixed_examples": pairs_to_payload(outcome.fixed_examples),
+                "broken_examples": pairs_to_payload(outcome.broken_examples),
+                "newly_matched": outcome.newly_matched,
+                "newly_unmatched": outcome.newly_unmatched,
+            }
+            for outcome in candidate.outcomes
+        ],
+    }
+
+
+def refinement_to_payload(report) -> dict:
+    """JSON shape of a :class:`repro.refine.RefinementReport`."""
+    return {
+        "baseline": scored_candidate_to_payload(report.baseline),
+        "frontier": [
+            scored_candidate_to_payload(candidate)
+            for candidate in report.frontier
+        ],
+        "best_index": (
+            report.frontier.index(report.best) if report.frontier else None
+        ),
+        "improves_f1": report.improves_f1(),
+        "candidates_generated": report.candidates_generated,
+        "candidates_scored": report.candidates_scored,
+        "incremental_evals": report.incremental_evals,
+        "full_rematches": report.full_rematches,
+        "rounds": report.rounds,
+        "elapsed_seconds": report.elapsed_seconds,
+    }

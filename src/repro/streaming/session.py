@@ -181,6 +181,11 @@ class StreamingSession:
     def explain(self, a_id: str, b_id: str):
         return self.session.explain(a_id, b_id)
 
+    def refine(self, config=None, **refine_kwargs):
+        """Run the automated refinement search (see
+        :meth:`repro.core.session.DebugSession.refine`)."""
+        return self.session.refine(config=config, **refine_kwargs)
+
     @property
     def candidates(self) -> CandidateSet:
         return self.session.candidates

@@ -84,6 +84,8 @@ class Workbench:
         self.workload = None
         self.session: Optional[DebugSession] = None
         self.suggestions: List[Suggestion] = []
+        # last refinement report; 'refine apply <n>' indexes its frontier.
+        self.refinement = None
         # live-table context for streaming ingestion; set by load/load-csv.
         self.tables = None
         self.blocker = None
@@ -112,6 +114,7 @@ class Workbench:
             "add-rule": self.cmd_add_rule,
             "suggest": self.cmd_suggest,
             "apply": self.cmd_apply,
+            "refine": self.cmd_refine,
             "history": self.cmd_history,
             "memory": self.cmd_memory,
             "cache": self.cmd_cache,
@@ -177,6 +180,10 @@ class Workbench:
                 "  delta-stats                  per-batch streaming counters",
                 "  suggest [tighten|relax]      ranked edit proposals",
                 "  apply <n>                    apply the n-th suggestion",
+                "  refine [--budget N] [--beam W] [--depth D] [--seed K]",
+                "         [--space]             automated edit search ->",
+                "                               Pareto frontier (P, R, cost)",
+                "  refine apply <n>             apply the n-th frontier entry",
                 "  history                      applied edits with timings",
                 "  memory                       materialized-state bytes",
                 "  cache stats                  token-cache sizes, hit rates,",
@@ -199,6 +206,7 @@ class Workbench:
                 "  remote sessions | info <name> | close <name>",
                 "  remote ingest <name> <op> <a|b> <id> [attr=value ...]",
                 "  remote tighten|relax <name> <rule> <slot> <thr>",
+                "  remote refine <name> [--budget N] [--apply best|<i>]",
                 "  remote metrics <name> | trace <name>",
             ]
         )
@@ -236,6 +244,7 @@ class Workbench:
             observability=self.observability,
         )
         self.suggestions = []
+        self.refinement = None
         self.tables = (self.workload.dataset.table_a, self.workload.dataset.table_b)
         self.blocker = blocker
         self.streaming = None
@@ -297,6 +306,7 @@ class Workbench:
             observability=self.observability,
         )
         self.suggestions = []
+        self.refinement = None
         self.tables = (table_a, table_b)
         self.blocker = blocker
         self.streaming = None
@@ -494,6 +504,74 @@ class Workbench:
         suggestion = self.suggestions.pop(position)
         outcome = session.apply(suggestion.change)
         return outcome.summary()
+
+    def cmd_refine(self, arguments: List[str]) -> str:
+        """Automated refinement search (see :mod:`repro.refine`):
+        ``refine [--budget N] [--beam W] [--depth D] [--seed K] [--space]``
+        searches and prints the Pareto frontier; ``refine apply <n>``
+        applies the n-th frontier entry of the last search."""
+        session = self._require_session()
+        if arguments and arguments[0] == "apply":
+            if len(arguments) != 2 or not arguments[1].isdigit():
+                raise WorkbenchError("usage: refine apply <frontier number>")
+            if self.refinement is None:
+                raise WorkbenchError("no refinement result; run 'refine' first")
+            position = int(arguments[1]) - 1
+            frontier = self.refinement.frontier
+            if not 0 <= position < len(frontier):
+                raise WorkbenchError(
+                    f"no frontier entry #{arguments[1]} "
+                    f"(the frontier has {len(frontier)} point(s))"
+                )
+            candidate = frontier[position]
+            self.refinement = None
+            if not candidate.edits:
+                return "that frontier point is the unedited baseline"
+            outcomes = session.apply_many(candidate.edits)
+            lines = [outcome.summary() for outcome in outcomes]
+            if session.gold is not None:
+                lines.append(session.metrics().summary())
+            return "\n".join(lines)
+
+        if session.gold is None:
+            raise WorkbenchError("refinement needs gold labels")
+        options = {}
+        use_space = False
+        iterator = iter(arguments)
+        flag_names = {
+            "--budget": "budget",
+            "--beam": "beam_width",
+            "--depth": "max_depth",
+            "--seed": "seed",
+        }
+        for flag in iterator:
+            if flag == "--space":
+                use_space = True
+                continue
+            key = flag_names.get(flag)
+            if key is None:
+                raise WorkbenchError(f"unknown flag {flag!r}")
+            try:
+                options[key] = int(next(iterator))
+            except (StopIteration, ValueError):
+                raise WorkbenchError(f"{flag} needs an integer") from None
+        feature_space = (
+            self.workload.space if (use_space and self.workload) else None
+        )
+        report = session.refine(feature_space=feature_space, **options)
+        self.refinement = report
+        lines = [
+            f"baseline: {report.baseline.summary()}",
+            f"scored {report.candidates_scored} candidate(s) in "
+            f"{report.rounds} round(s) "
+            f"({report.incremental_evals} incremental evals, "
+            f"{report.full_rematches} full re-matches)",
+        ]
+        for index, candidate in enumerate(report.frontier):
+            marker = "*" if candidate is report.best else " "
+            lines.append(f"{index + 1}.{marker} {candidate.summary()}")
+        lines.append("apply one with: refine apply <n>")
+        return "\n".join(lines)
 
     def cmd_history(self, arguments: List[str]) -> str:
         session = self._require_session()
@@ -884,6 +962,56 @@ class Workbench:
                 f"{result['change']}: affected={result['affected_pairs']} "
                 f"+{result['newly_matched']}/-{result['newly_unmatched']} matches"
             )
+        if action == "refine":
+            if not rest:
+                raise WorkbenchError(
+                    "usage: remote refine <name> [--budget N] [--beam W] "
+                    "[--depth D] [--seed K] [--apply best|<index>]"
+                )
+            name, *flags = rest
+            options = {}
+            flag_names = {
+                "--budget": "budget",
+                "--beam": "beam_width",
+                "--depth": "max_depth",
+                "--seed": "seed",
+            }
+            iterator = iter(flags)
+            for flag in iterator:
+                try:
+                    if flag == "--apply":
+                        value = next(iterator)
+                        options["apply"] = (
+                            "best" if value == "best" else int(value)
+                        )
+                    elif flag in flag_names:
+                        options[flag_names[flag]] = int(next(iterator))
+                    else:
+                        raise WorkbenchError(f"unknown flag {flag!r}")
+                except (StopIteration, ValueError):
+                    raise WorkbenchError(f"{flag} needs a value") from None
+            result = client.refine(name, **options)
+            report = result["report"]
+            lines = [
+                f"baseline: P={report['baseline']['precision']:.3f} "
+                f"R={report['baseline']['recall']:.3f} "
+                f"F1={report['baseline']['f1']:.3f}",
+                f"scored {report['candidates_scored']} candidate(s), "
+                f"frontier of {len(report['frontier'])}:",
+            ]
+            for index, point in enumerate(report["frontier"]):
+                marker = "*" if index == report["best_index"] else " "
+                lines.append(
+                    f"{index + 1}.{marker} P={point['precision']:.3f} "
+                    f"R={point['recall']:.3f} F1={point['f1']:.3f} "
+                    f"cost={point['expected_cost'] * 1e6:.2f}us/pair "
+                    f"[{'; '.join(point['edits']) or 'no edits'}]"
+                )
+            if result.get("applied"):
+                lines.append(
+                    f"applied: {'; '.join(result['applied']['edits'])}"
+                )
+            return "\n".join(lines)
         if action == "metrics":
             if len(rest) != 1:
                 raise WorkbenchError("usage: remote metrics <name>")

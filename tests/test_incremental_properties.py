@@ -178,6 +178,106 @@ def test_edit_sequences_match_scratch_runs(scenario):
 
 
 @given(scenario=scenario_strategy())
+@settings(max_examples=40, deadline=None)
+def test_candidate_scoring_is_scratch_identical_and_rolls_back(scenario):
+    """The refinement search's inner loop, as a property: from one base
+    state, each candidate edit applied incrementally must (a) produce
+    labels bit-identical to a from-scratch re-match of the edited
+    function and (b) roll back through checkpoint/restore to a state
+    bit-identical to the base — for *every* candidate against the *same*
+    checkpoint, which is exactly how ``RefinementSearch`` scores a pool.
+    """
+    table_a, table_b, function, script, extra_rules = scenario
+    candidates = CandidateSet.from_id_pairs(
+        table_a,
+        table_b,
+        [(a.record_id, b.record_id) for a in table_a for b in table_b],
+    )
+    state, _ = MatchState.from_initial_run(function, candidates)
+    checkpoint = state.checkpoint()
+    base_labels = state.labels.copy()
+    base_attribution = state.attribution.copy()
+    for step, intent in enumerate(script):
+        change = resolve_change(state, intent, extra_rules, step)
+        if change is None:
+            continue
+        try:
+            change.validate(state.function)
+        except ChangeError:
+            continue
+        apply_change(state, change)
+        scratch = DynamicMemoMatcher().run(state.function, candidates)
+        assert (state.labels == scratch.labels).all(), (
+            f"incremental scoring diverged for {change.describe()}"
+        )
+        state.restore(checkpoint)
+        assert state.function is checkpoint.function
+        assert (state.labels == base_labels).all()
+        assert (state.attribution == base_attribution).all()
+        state.check_soundness()
+
+
+@given(scenario=scenario_strategy(), data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_refinement_search_frontier_matches_scratch_runs(scenario, data):
+    """End-to-end search property: every frontier point's measured
+    confusion equals a from-scratch re-match of its edit sequence, the
+    borrowed state comes back untouched, the frontier is mutually
+    non-dominated, and no full re-match ever ran inside the search."""
+    from repro.evaluation.metrics import confusion
+    from repro.refine import RefineConfig, RefinementSearch, dominates
+
+    table_a, table_b, function, script, extra_rules = scenario
+    candidates = CandidateSet.from_id_pairs(
+        table_a,
+        table_b,
+        [(a.record_id, b.record_id) for a in table_a for b in table_b],
+    )
+    gold = data.draw(
+        st.sets(
+            st.sampled_from([pair.pair_id for pair in candidates]),
+            min_size=1,
+        ),
+        label="gold",
+    )
+    state, _ = MatchState.from_initial_run(function, candidates)
+    base_labels = state.labels.copy()
+    base_function = state.function
+    config = RefineConfig(
+        budget=25,
+        beam_width=2,
+        max_depth=2,
+        max_candidates_per_round=10,
+        risk_sample=50,
+        seed=0,
+    )
+    report = RefinementSearch(
+        state, gold, config=config, seed_rules=extra_rules[:2]
+    ).run()
+
+    assert report.full_rematches == 0
+    assert report.incremental_evals >= report.candidates_scored
+    assert state.function is base_function
+    assert (state.labels == base_labels).all()
+    state.check_soundness()
+
+    assert report.frontier, "frontier always contains at least the baseline"
+    for candidate in report.frontier:
+        edited = base_function
+        for change in candidate.edits:
+            edited = change.apply_to(edited)
+        scratch = DynamicMemoMatcher().run(edited, candidates)
+        expected = confusion(scratch.labels, candidates, gold)
+        assert candidate.confusion == expected, (
+            f"search-scored confusion diverged for [{candidate.describe()}]"
+        )
+    for first in report.frontier:
+        for second in report.frontier:
+            if first is not second:
+                assert not dominates(first.objective, second.objective)
+
+
+@given(scenario=scenario_strategy())
 @settings(max_examples=25, deadline=None)
 def test_check_cache_first_state_is_equivalent(scenario):
     """The §5.4.3 runtime reordering must not perturb incremental results."""

@@ -180,6 +180,34 @@ class TestEndToEndEquality:
         assert explanation["matched"] is True
         assert {trace["rule"] for trace in explanation["rules"]} == {"R1", "R2"}
 
+    def test_refine_over_http(self, server):
+        client, _thread, _root = server
+        client.create_session(_create_payload("ref"))
+        result = client.refine("ref", budget=40, beam_width=2, max_depth=1)
+        report = result["report"]
+        assert report["full_rematches"] == 0
+        assert report["frontier"]
+        assert 0 <= report["best_index"] < len(report["frontier"])
+        assert result["applied"] is None
+
+        # apply="best" closes the loop server-side and bumps the seq.
+        seq_before = result["seq"]
+        applied = client.refine("ref", budget=40, max_depth=1, apply="best")
+        assert applied["seq"] > seq_before
+        assert applied["applied"] is not None
+        best = applied["report"]["frontier"][applied["report"]["best_index"]]
+        assert applied["applied"]["confusion"]["f1"] == pytest.approx(best["f1"])
+
+    def test_refine_bad_options_are_bad_request(self, server):
+        client, _thread, _root = server
+        client.create_session(_create_payload("refbad"))
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.refine("refbad", budget="lots")
+        assert excinfo.value.code == "bad_request"
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.refine("refbad", apply=99)
+        assert excinfo.value.code == "bad_request"
+
 
 class TestErrorEnvelopes:
     def test_unknown_session_is_not_found(self, server):
