@@ -22,6 +22,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.observability.metrics import Histogram
+from repro.observability.rolling import LATENCY_BUCKETS
 from repro.service import ServiceClient, ServiceThread
 
 from conftest import print_series
@@ -131,9 +133,14 @@ def test_service_throughput(benchmark):
 
     assert errors == [], f"requests failed: {errors[:3]}"
     assert len(latencies) == N_REQUESTS
-    ordered = sorted(latencies)
-    p50 = ordered[len(ordered) // 2]
-    p95 = ordered[int(len(ordered) * 0.95)]
+    # Same estimator the service's own telemetry uses (interpolated from
+    # cumulative buckets), so the benchmark numbers and a /metrics scrape
+    # of the run describe latency identically.
+    histogram = Histogram("latency", bounds=LATENCY_BUCKETS)
+    for latency in latencies:
+        histogram.observe(latency)
+    p50 = histogram.quantile(0.5)
+    p95 = histogram.quantile(0.95)
     throughput = N_REQUESTS / wall if wall else float("inf")
 
     print_series(

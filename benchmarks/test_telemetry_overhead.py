@@ -1,0 +1,183 @@
+"""Telemetry overhead — rolling aggregation + scraping must stay cheap.
+
+Not a paper figure: this is the acceptance gate for the service-grade
+telemetry layer (PR 8).  The PR 5 service-throughput scenario is re-run
+twice against a live HTTP server — once with request telemetry disabled
+(``MatchingService(telemetry=False)``, the PR 7 baseline path) and once
+with rolling windows + SLO evaluation on and a concurrent scraper
+hitting ``GET /metrics`` throughout the burst.  The claim: per-request
+window recording and Prometheus exposition add **under 5 %** to the
+mixed-workload wall clock.
+
+Each configuration is timed ``ROUNDS`` times and the best wall is
+compared (plus a small absolute epsilon, because CI hosts are noisy and
+the absolute walls are fractions of a second).  Results go to
+``benchmarks/BENCH_telemetry_overhead.json`` for the CI history.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.observability.export import parse_prometheus
+from repro.service import ServiceClient, ServiceThread
+
+from conftest import print_series
+
+N_SESSIONS = 2
+N_CLIENTS = 4
+N_REQUESTS = 120
+ROUNDS = 3
+
+#: relative bound asserted on best-of-rounds walls, plus absolute slack.
+OVERHEAD_FRACTION = 0.05
+OVERHEAD_SLACK_SECONDS = 0.1
+
+ATTRIBUTES = ["title", "author"]
+
+
+def _table_payload(side: str, rows: int = 12):
+    return {
+        "attributes": ATTRIBUTES,
+        "records": [
+            {
+                "id": f"{side}{i}",
+                "values": {
+                    "title": f"record {i} common title words {side}",
+                    "author": f"author {i % 5}",
+                },
+            }
+            for i in range(rows)
+        ],
+    }
+
+
+def _create_payload(name: str):
+    return {
+        "name": name,
+        "table_a": _table_payload("a"),
+        "table_b": _table_payload("b"),
+        "rules": (
+            "R1: jaccard_ws(title, title) >= 0.8\n"
+            "R2: jaro(author, author) >= 0.95 AND "
+            "jaccard_ws(title, title) >= 0.4"
+        ),
+        "blocker": {"kind": "overlap", "attribute": "title",
+                    "min_overlap": 2},
+    }
+
+
+def _request_mix(client: ServiceClient, session: str, tick: int):
+    """The PR 5 throughput mix: 70 % snapshot reads, 20 % delta ingests,
+    10 % pair explanations."""
+    slot = tick % 10
+    if slot < 7:
+        return client.matches(session) if slot % 2 else client.stats(session)
+    if slot < 9:
+        return client.ingest(
+            session,
+            [{"op": "update", "side": "a", "id": f"a{tick % 12}",
+              "values": {"author": f"author {tick % 7}"}}],
+        )
+    return client.explain(session, f"a{tick % 12}", f"b{tick % 12}")
+
+
+def _burst(host, port, sessions, scrape: bool) -> float:
+    """One timed burst; optionally a scraper thread polls /metrics."""
+    errors = []
+    counter = iter(range(N_REQUESTS))
+    counter_lock = threading.Lock()
+    done = threading.Event()
+
+    def client_loop():
+        client = ServiceClient(host, port)
+        while True:
+            with counter_lock:
+                tick = next(counter, None)
+            if tick is None:
+                return
+            try:
+                _request_mix(client, sessions[tick % N_SESSIONS], tick)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+    def scraper_loop():
+        client = ServiceClient(host, port)
+        while not done.is_set():
+            parse_prometheus(client.scrape_metrics())
+            done.wait(0.02)
+
+    workers = [threading.Thread(target=client_loop) for _ in range(N_CLIENTS)]
+    scraper = threading.Thread(target=scraper_loop) if scrape else None
+    begin = time.perf_counter()
+    if scraper is not None:
+        scraper.start()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - begin
+    done.set()
+    if scraper is not None:
+        scraper.join()
+    assert errors == [], f"requests failed: {errors[:3]}"
+    return wall
+
+
+def _best_wall(telemetry: bool) -> float:
+    thread = ServiceThread(port=0, telemetry=telemetry)
+    host, port = thread.start()
+    try:
+        setup = ServiceClient(host, port)
+        sessions = [
+            f"overhead-{'on' if telemetry else 'off'}-{i}"
+            for i in range(N_SESSIONS)
+        ]
+        for name in sessions:
+            setup.create_session(_create_payload(name))
+        walls = [
+            _burst(host, port, sessions, scrape=telemetry)
+            for _ in range(ROUNDS)
+        ]
+    finally:
+        thread.stop(graceful=False)
+    return min(walls)
+
+
+def test_telemetry_overhead(benchmark):
+    wall_off = benchmark.pedantic(
+        lambda: _best_wall(telemetry=False), rounds=1, iterations=1
+    )
+    wall_on = _best_wall(telemetry=True)
+    overhead = wall_on / wall_off - 1.0 if wall_off else 0.0
+
+    print_series(
+        f"Telemetry overhead ({N_CLIENTS} clients, {N_REQUESTS} requests, "
+        f"best of {ROUNDS})",
+        ["configuration", "wall"],
+        [
+            ["telemetry off (PR 7 path)", f"{wall_off:.3f}s"],
+            ["telemetry on + scraper", f"{wall_on:.3f}s"],
+            ["overhead", f"{overhead * 100:+.1f}%"],
+        ],
+    )
+    payload = {
+        "sessions": N_SESSIONS,
+        "clients": N_CLIENTS,
+        "requests": N_REQUESTS,
+        "rounds": ROUNDS,
+        "wall_off_seconds": wall_off,
+        "wall_on_seconds": wall_on,
+        "overhead_fraction": overhead,
+    }
+    out_path = Path(__file__).resolve().parent / "BENCH_telemetry_overhead.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    limit = wall_off * (1.0 + OVERHEAD_FRACTION) + OVERHEAD_SLACK_SECONDS
+    assert wall_on <= limit, (
+        f"telemetry adds {overhead * 100:.1f}% "
+        f"({wall_on:.3f}s vs {wall_off:.3f}s, limit {limit:.3f}s)"
+    )

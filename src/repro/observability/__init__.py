@@ -25,21 +25,38 @@ from contextlib import nullcontext
 from typing import Optional
 
 from .drift import (
+    DriftMonitor,
     DriftReport,
     FeatureDrift,
     PredicateDrift,
     detect_drift,
+    focus_rules_for_report,
     order_signature,
+)
+from .export import (
+    Exposition,
+    add_registry_snapshot,
+    add_request_telemetry,
+    parse_prometheus,
+    rotate_file,
 )
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
     record_batch_result,
     record_match_stats,
 )
 from .profiler import DEFAULT_SAMPLE_EVERY, Profiler
+from .rolling import (
+    RequestTelemetry,
+    RequestWindow,
+    RollingCounter,
+    RollingHistogram,
+)
+from .slo import SLO, AlertLog, SLOPolicy, SLOStatus, default_slos
 from .spans import SpanLog, SpanRecord, Tracer
 
 __all__ = [
@@ -51,15 +68,32 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "bucket_quantile",
     "Profiler",
+    "DriftMonitor",
     "DriftReport",
     "FeatureDrift",
     "PredicateDrift",
     "detect_drift",
+    "focus_rules_for_report",
     "order_signature",
     "record_match_stats",
     "record_batch_result",
     "maybe_span",
+    "RequestTelemetry",
+    "RequestWindow",
+    "RollingCounter",
+    "RollingHistogram",
+    "Exposition",
+    "add_registry_snapshot",
+    "add_request_telemetry",
+    "parse_prometheus",
+    "rotate_file",
+    "SLO",
+    "SLOPolicy",
+    "SLOStatus",
+    "AlertLog",
+    "default_slos",
 ]
 
 
@@ -86,6 +120,7 @@ class Observability:
         self.profiler: Optional[Profiler] = (
             Profiler(sample_every=sample_every) if profile else None
         )
+        self.drift_monitor: Optional[DriftMonitor] = None
 
     @property
     def enabled(self) -> bool:
@@ -100,6 +135,17 @@ class Observability:
 
     def disable_profiling(self) -> None:
         self.profiler = None
+
+    def attach_drift_monitor(self, every: int = 5, **kwargs) -> DriftMonitor:
+        """Attach (or replace) a :class:`DriftMonitor`; returns it.
+
+        A monitor needs observed costs/selectivities to compare, so a
+        profiler is attached too if one isn't already running.
+        """
+        if self.profiler is None:
+            self.enable_profiling()
+        self.drift_monitor = DriftMonitor(every=every, **kwargs)
+        return self.drift_monitor
 
     def export_json_lines(self) -> str:
         """Spans then metrics, one JSON object per line.
@@ -124,21 +170,38 @@ class Observability:
             )
         return "\n".join(lines)
 
-    def flush_json_lines(self, path) -> int:
+    def flush_json_lines(
+        self,
+        path,
+        max_bytes: Optional[int] = None,
+        backups: int = 3,
+    ) -> int:
         """Write :meth:`export_json_lines` to ``path``; returns line count.
 
         The service layer's graceful shutdown calls this per session so a
         stopped server leaves its telemetry on disk next to the
         checkpoints.  Parent directories are created; an empty export
         still produces the file (a truthful "nothing was recorded").
+
+        With ``max_bytes`` set, an existing file that would exceed the
+        cap is first rotated through ``path.1`` ... ``path.{backups}``
+        (see :func:`~repro.observability.export.rotate_file`) so a
+        long-lived session can't grow one unbounded sink file.
         """
         from pathlib import Path
 
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = self.export_json_lines()
-        path.write_text(payload + ("\n" if payload else ""), encoding="utf-8")
-        return 0 if not payload else payload.count("\n") + 1
+        if payload:
+            payload += "\n"
+        if max_bytes is not None:
+            rotate_file(
+                path, max_bytes, backups=backups,
+                incoming_bytes=len(payload.encode("utf-8")),
+            )
+        path.write_text(payload, encoding="utf-8")
+        return 0 if not payload else payload.count("\n")
 
     def __repr__(self) -> str:
         profiling = (

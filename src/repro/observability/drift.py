@@ -249,3 +249,151 @@ def detect_drift(
         cost_tolerance=cost_tolerance,
         selectivity_tolerance=selectivity_tolerance,
     )
+
+
+# ---------------------------------------------------------------------------
+# Continuous monitoring + refine warm-start hints
+# ---------------------------------------------------------------------------
+
+
+def focus_rules_for_report(
+    function: MatchingFunction, report: DriftReport
+) -> Tuple[str, ...]:
+    """Rules touched by the report's drift, in function order.
+
+    A rule is implicated when one of its predicates drifted in
+    selectivity, or when it uses a feature whose cost drifted.  This is
+    the bridge from "what moved" to "where refinement should look".
+    """
+    drifted_pids = {drift.pid for drift in report.drifted_predicates()}
+    drifted_features = {drift.name for drift in report.drifted_features()}
+    names: List[str] = []
+    for rule in function.rules:
+        implicated = any(
+            predicate.pid in drifted_pids
+            or predicate.feature.name in drifted_features
+            for predicate in rule.predicates
+        )
+        if implicated:
+            names.append(rule.name)
+    return tuple(names)
+
+
+class DriftMonitor:
+    """Re-runs :func:`detect_drift` every ``every`` streaming ingests.
+
+    Attached to an :class:`~repro.observability.Observability` (see
+    ``Observability.attach_drift_monitor``) and poked by
+    ``StreamingSession.ingest``.  Each check records its outcome into the
+    session's metrics registry (``drift.checks`` / ``drift.alerts``
+    counters, ``drift.features_drifted`` / ``drift.predicates_drifted`` /
+    ``drift.order_changed`` gauges), keeps a bounded report history, and
+    derives **refinement warm-start hints**: the set of rules implicated
+    by the latest drift, consumable as ``RefineConfig.focus_rules`` so
+    the search only generates edits targeting what actually moved.
+    """
+
+    def __init__(
+        self,
+        every: int = 5,
+        cost_tolerance: float = DEFAULT_COST_TOLERANCE,
+        selectivity_tolerance: float = DEFAULT_SELECTIVITY_TOLERANCE,
+        history_limit: int = 32,
+    ):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = int(every)
+        self.cost_tolerance = cost_tolerance
+        self.selectivity_tolerance = selectivity_tolerance
+        self.history_limit = int(history_limit)
+        self.ingests_seen = 0
+        self.checks_run = 0
+        self.checks_skipped = 0
+        self.history: List[DriftReport] = []
+        self.last_report: Optional[DriftReport] = None
+        self._focus: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------- hooks
+
+    def after_ingest(self, streaming) -> Optional[DriftReport]:
+        """Count one ingest; run a check when the cadence comes due."""
+        self.ingests_seen += 1
+        if self.ingests_seen % self.every:
+            return None
+        return self.check(streaming.session, streaming.observability)
+
+    def check(self, session, observability) -> Optional[DriftReport]:
+        """Run one drift check against ``session``'s live estimates.
+
+        Returns ``None`` (and counts a skip) when the session has no
+        estimates or no profiler — there is nothing to compare.
+        """
+        profiler = getattr(observability, "profiler", None) if observability else None
+        estimates = getattr(session, "estimates", None)
+        if profiler is None or estimates is None or not profiler.feature_costs:
+            self.checks_skipped += 1
+            return None
+        report = detect_drift(
+            session.function,
+            estimates,
+            profiler,
+            ordering_strategy=getattr(session, "ordering_strategy", "algorithm6"),
+            cost_tolerance=self.cost_tolerance,
+            selectivity_tolerance=self.selectivity_tolerance,
+        )
+        self.checks_run += 1
+        self.history.append(report)
+        if len(self.history) > self.history_limit:
+            del self.history[: len(self.history) - self.history_limit]
+        self.last_report = report
+        self._focus = focus_rules_for_report(session.function, report)
+        metrics = getattr(observability, "metrics", None)
+        if metrics is not None:
+            metrics.counter("drift.checks").inc()
+            metrics.gauge("drift.features_drifted").set(
+                len(report.drifted_features())
+            )
+            metrics.gauge("drift.predicates_drifted").set(
+                len(report.drifted_predicates())
+            )
+            metrics.gauge("drift.order_changed").set(
+                1.0 if report.order_changed else 0.0
+            )
+            if report.any_drift:
+                metrics.counter("drift.alerts").inc()
+        return report
+
+    # ------------------------------------------------------------- hints
+
+    def focus_rules(self) -> Tuple[str, ...]:
+        """Rules implicated by the most recent check (may be empty)."""
+        return self._focus
+
+    def refine_hints(self) -> dict:
+        """Warm-start kwargs for ``DebugSession.refine``.
+
+        Empty when the latest check saw no drift (or no check ran) —
+        callers can always splat the result: ``session.refine(**hints)``.
+        """
+        if self.last_report is None or not self.last_report.any_drift:
+            return {}
+        if not self._focus:
+            return {}
+        return {"focus_rules": self._focus}
+
+    def describe(self) -> dict:
+        """JSON-ready state for the service observability snapshot."""
+        return {
+            "every": self.every,
+            "ingests_seen": self.ingests_seen,
+            "checks_run": self.checks_run,
+            "checks_skipped": self.checks_skipped,
+            "history_length": len(self.history),
+            "last_any_drift": (
+                self.last_report.any_drift if self.last_report else None
+            ),
+            "focus_rules": list(self._focus),
+            "refine_hints": {
+                key: list(value) for key, value in self.refine_hints().items()
+            },
+        }

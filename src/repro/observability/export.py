@@ -1,0 +1,401 @@
+"""Exporters: Prometheus text exposition and JSON-lines file rotation.
+
+:class:`Exposition` builds Prometheus text format 0.0.4 — ``# TYPE``
+headers, label-escaped samples, and histogram families expanded into
+cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` series from the
+engine's per-bucket counts.  :func:`parse_prometheus` inverts the format
+well enough for round-trip tests and the workbench ``top`` dashboard —
+it is *not* a general Prometheus client.
+
+Mapping conventions (relied on by tests asserting JSON/scrape parity):
+
+* engine metric names are sanitized (``.`` → ``_``) and prefixed, so
+  session counter ``stream.batches`` scrapes as
+  ``repro_engine_stream_batches_total{session="demo"}``;
+* counters gain a ``_total`` suffix, gauges and histograms keep their
+  sanitized name;
+* histogram buckets are emitted cumulatively with ``le`` labels ending
+  in ``+Inf`` per the Prometheus convention, even though the in-process
+  representation is per-bucket.
+
+:func:`rotate_file` implements size-based generation shifting
+(``file`` → ``file.1`` → ``file.2`` ...) used by
+``Observability.flush_json_lines`` so long-lived sessions can't grow one
+unbounded ``observability.jsonl``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .metrics import Snapshot, bucket_quantile
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Make ``name`` a legal Prometheus metric name (dots become ``_``)."""
+    candidate = _NAME_BAD_CHARS.sub("_", name)
+    if not candidate or candidate[0].isdigit():
+        candidate = "_" + candidate
+    return candidate
+
+
+def escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            else:
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class Exposition:
+    """Accumulates samples; renders Prometheus text format 0.0.4."""
+
+    def __init__(self):
+        self._types: Dict[str, str] = {}
+        self._order: List[str] = []
+        self._samples: Dict[str, List[Tuple[LabelItems, float]]] = {}
+
+    # ------------------------------------------------------------- adding
+
+    def _family(self, name: str, type_: str) -> List[Tuple[LabelItems, float]]:
+        if not _NAME_OK.match(name):
+            raise ValueError(f"illegal metric name {name!r}")
+        known = self._types.get(name)
+        if known is None:
+            self._types[name] = type_
+            self._order.append(name)
+            self._samples[name] = []
+        elif known != type_:
+            raise ValueError(
+                f"metric {name!r} registered as {known}, re-added as {type_}"
+            )
+        return self._samples[name]
+
+    def add(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Dict[str, str]] = None,
+        type: str = "gauge",
+    ) -> None:
+        items: LabelItems = tuple(sorted((labels or {}).items()))
+        self._family(name, type).append((items, float(value)))
+
+    def add_histogram(
+        self,
+        name: str,
+        bounds: Iterable[float],
+        buckets: Iterable[float],
+        count: float,
+        total: float,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Expand per-bucket counts into cumulative ``le`` series."""
+        base: Dict[str, str] = dict(labels or {})
+        family = self._family(name, "histogram")
+        cumulative = 0.0
+        for bound, bucket in zip(bounds, buckets):
+            cumulative += bucket
+            items = tuple(sorted({**base, "le": format_value(bound)}.items()))
+            family.append((items, cumulative))
+        items = tuple(sorted(base.items()))
+        self._samples.setdefault(name + "_sum", [])
+        self._samples.setdefault(name + "_count", [])
+        self._samples[name + "_sum"].append((items, float(total)))
+        self._samples[name + "_count"].append((items, float(count)))
+
+    # ----------------------------------------------------------- rendering
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for name in self._order:
+            type_ = self._types[name]
+            lines.append(f"# TYPE {name} {type_}")
+            if type_ == "histogram":
+                self._render_samples(lines, name + "_bucket", self._samples[name])
+                self._render_samples(lines, name + "_sum", self._samples.get(name + "_sum", []))
+                self._render_samples(lines, name + "_count", self._samples.get(name + "_count", []))
+            else:
+                self._render_samples(lines, name, self._samples[name])
+        return "\n".join(lines) + "\n" if lines else ""
+
+    @staticmethod
+    def _render_samples(
+        lines: List[str],
+        name: str,
+        samples: List[Tuple[LabelItems, float]],
+    ) -> None:
+        for items, value in samples:
+            if items:
+                rendered = ",".join(
+                    f'{key}="{escape_label_value(str(val))}"'
+                    for key, val in items
+                )
+                lines.append(f"{name}{{{rendered}}} {format_value(value)}")
+            else:
+                lines.append(f"{name} {format_value(value)}")
+
+
+# ---------------------------------------------------------------------------
+# Engine-registry and request-telemetry adapters
+# ---------------------------------------------------------------------------
+
+
+def add_registry_snapshot(
+    exposition: Exposition,
+    snapshot: Snapshot,
+    labels: Optional[Dict[str, str]] = None,
+    prefix: str = "repro_engine",
+) -> None:
+    """Expose a :class:`MetricsRegistry` snapshot under ``prefix``.
+
+    Counter ``stream.batches`` → ``{prefix}_stream_batches_total``;
+    gauges keep their sanitized name; histograms expand into cumulative
+    bucket series.  The numbers are exactly the snapshot's — the parity
+    property ``GET /metrics`` tests rely on.
+    """
+    for name, data in sorted(snapshot.items()):
+        flat = sanitize_metric_name(f"{prefix}_{name}" if prefix else name)
+        kind = data["type"]
+        if kind == "counter":
+            exposition.add(flat + "_total", data["value"], labels, type="counter")
+        elif kind == "gauge":
+            exposition.add(flat, data["value"], labels, type="gauge")
+        elif kind == "histogram":
+            exposition.add_histogram(
+                flat,
+                data["bounds"],
+                data["buckets"],
+                data["count"],
+                data["total"],
+                labels,
+            )
+
+
+def add_request_telemetry(
+    exposition: Exposition,
+    telemetry,
+    prefix: str = "repro_http",
+) -> None:
+    """Expose a :class:`~repro.observability.rolling.RequestTelemetry`.
+
+    Rolling windows are inherently gauges (they describe the trailing
+    window, not a monotone total) except the latency histograms, which
+    are exposed as histogram families over the window.
+    """
+    snap = telemetry.snapshot()
+    window = snap["window_seconds"]
+    exposition.add(f"{prefix}_window_seconds", window, type="gauge")
+
+    def emit(scope_labels: Dict[str, str], window_snap: dict) -> None:
+        exposition.add(
+            f"{prefix}_requests", window_snap["requests"],
+            scope_labels, type="gauge",
+        )
+        exposition.add(
+            f"{prefix}_errors", window_snap["errors"],
+            scope_labels, type="gauge",
+        )
+        exposition.add(
+            f"{prefix}_error_rate", window_snap["error_rate"],
+            scope_labels, type="gauge",
+        )
+        exposition.add(
+            f"{prefix}_request_rate", window_snap["rate"],
+            scope_labels, type="gauge",
+        )
+
+    emit({}, snap["total"])
+    for endpoint, window_snap in snap["endpoints"].items():
+        emit({"endpoint": endpoint}, window_snap)
+    for session, window_snap in snap["sessions"].items():
+        emit({"session": session}, window_snap)
+
+    # Latency histograms need the raw buckets, not the snapshot dict.
+    buckets, count, total, _, _ = telemetry.total.latency.merged()
+    exposition.add_histogram(
+        f"{prefix}_request_seconds",
+        telemetry.total.latency.bounds, buckets, count, total,
+    )
+    for endpoint in sorted(snap["endpoints"]):
+        window_obj = telemetry.endpoint(endpoint)
+        if window_obj is None:
+            continue
+        buckets, count, total, _, _ = window_obj.latency.merged()
+        exposition.add_histogram(
+            f"{prefix}_request_seconds",
+            window_obj.latency.bounds, buckets, count, total,
+            labels={"endpoint": endpoint},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Parsing (round-trip tests + workbench `top`)
+# ---------------------------------------------------------------------------
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"')
+
+
+def _parse_number(token: str) -> float:
+    if token == "+Inf":
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    if token == "NaN":
+        return float("nan")
+    return float(token)
+
+
+def parse_prometheus(text: str) -> Dict[str, object]:
+    """Parse exposition text into ``{"types": ..., "samples": ...}``.
+
+    ``samples`` maps ``(name, sorted-label-items-tuple)`` to the float
+    value; ``types`` maps family name to declared type.  Raises
+    ``ValueError`` on a malformed sample line, making this usable as the
+    "is it parseable Prometheus text" check in tests.
+    """
+    types: Dict[str, str] = {}
+    samples: Dict[Tuple[str, LabelItems], float] = {}
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            raise ValueError(f"malformed sample on line {line_number}: {raw!r}")
+        labels_blob = match.group("labels")
+        items: List[Tuple[str, str]] = []
+        if labels_blob:
+            for label in _LABEL.finditer(labels_blob):
+                items.append(
+                    (label.group("key"), _unescape_label_value(label.group("value")))
+                )
+        key = (match.group("name"), tuple(sorted(items)))
+        samples[key] = _parse_number(match.group("value"))
+    return {"types": types, "samples": samples}
+
+
+def histogram_quantile(
+    samples: Dict[Tuple[str, LabelItems], float],
+    family: str,
+    q: float,
+    labels: Optional[Dict[str, str]] = None,
+) -> Optional[float]:
+    """Estimate a quantile from parsed cumulative ``_bucket`` samples.
+
+    ``labels`` selects a specific series (matched exactly, ignoring
+    ``le``).  Returns ``None`` when the series is absent or empty.
+    """
+    want = tuple(sorted((labels or {}).items()))
+    series: List[Tuple[float, float]] = []
+    for (name, items), value in samples.items():
+        if name != family + "_bucket":
+            continue
+        le = None
+        rest = []
+        for key, val in items:
+            if key == "le":
+                le = _parse_number(val)
+            else:
+                rest.append((key, val))
+        if le is None or tuple(sorted(rest)) != want:
+            continue
+        series.append((le, value))
+    if not series:
+        return None
+    series.sort()
+    bounds = [bound for bound, _ in series]
+    cumulative = [count for _, count in series]
+    total = cumulative[-1]
+    if not total:
+        return None
+    per_bucket = [cumulative[0]] + [
+        cumulative[i] - cumulative[i - 1] for i in range(1, len(cumulative))
+    ]
+    return bucket_quantile(bounds, per_bucket, int(total), q)
+
+
+# ---------------------------------------------------------------------------
+# Size-based file rotation
+# ---------------------------------------------------------------------------
+
+
+def rotate_file(
+    path,
+    max_bytes: int,
+    backups: int = 3,
+    incoming_bytes: int = 0,
+) -> bool:
+    """Shift ``path`` → ``path.1`` → ... when adding ``incoming_bytes``
+    would push it past ``max_bytes``.
+
+    Returns True when a rotation happened.  ``backups=0`` truncates (the
+    old file is simply removed).  Missing files are fine — this is a
+    best-effort sink, not a WAL.
+    """
+    path = os.fspath(path)
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return False
+    if size + incoming_bytes <= max_bytes:
+        return False
+    oldest = f"{path}.{backups}"
+    if backups > 0 and os.path.exists(oldest):
+        os.remove(oldest)
+    for generation in range(backups - 1, 0, -1):
+        source = f"{path}.{generation}"
+        if os.path.exists(source):
+            os.replace(source, f"{path}.{generation + 1}")
+    if backups > 0:
+        os.replace(path, f"{path}.1")
+    else:
+        os.remove(path)
+    return True

@@ -21,6 +21,57 @@ from typing import Dict, List, Optional, Union
 
 Snapshot = Dict[str, dict]
 
+
+def bucket_quantile(
+    bounds,
+    bucket_counts,
+    count: int,
+    q: float,
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+) -> float:
+    """Estimate the ``q``-quantile from per-bucket counts.
+
+    ``bounds`` are cumulative upper bounds ending in ``+inf``;
+    ``bucket_counts`` are the per-bucket (non-cumulative) observation
+    counts.  The estimate linearly interpolates within the bucket the
+    target rank falls into — the same scheme Prometheus's
+    ``histogram_quantile`` uses — clamped to the observed ``minimum`` /
+    ``maximum`` when known, which tightens the first and +inf buckets.
+    Returns 0.0 for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    if count <= 0:
+        return 0.0
+    rank = q * count
+    cumulative = 0
+    for position, bound in enumerate(bounds):
+        bucket = bucket_counts[position]
+        if bucket <= 0:
+            continue
+        if cumulative + bucket >= rank:
+            lower = bounds[position - 1] if position > 0 else 0.0
+            upper = bound
+            if minimum is not None:
+                lower = max(lower, minimum) if position == 0 else lower
+            if upper == float("inf"):
+                # +inf bucket: best estimate is the observed max (or the
+                # previous finite bound when no max was tracked).
+                return maximum if maximum is not None else lower
+            fraction = (rank - cumulative) / bucket
+            value = lower + (upper - lower) * fraction
+            if maximum is not None and value > maximum:
+                value = maximum
+            if minimum is not None and value < minimum:
+                value = minimum
+            return value
+        cumulative += bucket
+    # Rank past every populated bucket (q == 1.0 with rounding): the max.
+    if maximum is not None:
+        return maximum
+    return bounds[-2] if len(bounds) > 1 else 0.0
+
 #: Default histogram bucket upper bounds (seconds) — geometric ladder
 #: covering sub-microsecond feature computations up to multi-second runs.
 DEFAULT_BUCKETS = (
@@ -98,6 +149,17 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Interpolated ``q``-quantile estimate (see :func:`bucket_quantile`)."""
+        return bucket_quantile(
+            self.bounds,
+            self.bucket_counts,
+            self.count,
+            q,
+            minimum=self.min if self.count else None,
+            maximum=self.max if self.count else None,
+        )
 
     def as_dict(self) -> dict:
         return {

@@ -1,0 +1,349 @@
+"""Sliding time-window aggregation for service telemetry.
+
+The engine-side :class:`~repro.observability.metrics.MetricsRegistry`
+accumulates *forever* — right for totals, useless for "requests per
+second over the last minute".  This module adds windowed counterparts:
+
+* :class:`RollingCounter` — a count over the trailing window.
+* :class:`RollingHistogram` — a fixed-bucket histogram over the trailing
+  window, with :meth:`~RollingHistogram.quantile` interpolated from the
+  merged buckets (same estimator as ``Histogram.quantile``).
+* :class:`RequestWindow` — requests + errors + latency for one key.
+* :class:`RequestTelemetry` — the service-wide composite: a global
+  window plus per-endpoint and per-session windows, fed once per HTTP
+  request by the server and read by ``GET /metrics``, ``GET /health``,
+  and the SLO evaluator.
+
+Implementation is the classic ring of sub-window slices: the window is
+split into ``slices`` cells keyed by absolute slice index; advancing
+time zeroes expired cells lazily on access.  No threads, no timers —
+everything is O(slices) per read and O(1) per write, using a monotonic
+clock injected for testability.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .metrics import bucket_quantile
+
+#: Default window: one minute in twelve 5-second slices.
+DEFAULT_WINDOW_SECONDS = 60.0
+DEFAULT_SLICES = 12
+
+#: Request-latency bucket ladder (seconds) — finer than the engine's
+#: DEFAULT_BUCKETS at the sub-second range where HTTP latencies live.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, float("inf"),
+)
+
+
+class _Ring:
+    """Shared slice bookkeeping: maps a monotonic ``now`` to a cell.
+
+    ``_slot`` is the absolute slice index of the newest cell; advancing
+    by ``d`` slices clears ``min(d, slices)`` cells in ring order.
+    """
+
+    __slots__ = ("window_seconds", "slices", "slice_seconds", "_slot", "_clock")
+
+    def __init__(
+        self,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        slices: int = DEFAULT_SLICES,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if slices < 1:
+            raise ValueError("slices must be >= 1")
+        self.window_seconds = float(window_seconds)
+        self.slices = int(slices)
+        self.slice_seconds = self.window_seconds / self.slices
+        self._slot: Optional[int] = None
+        self._clock = clock
+
+    def now(self, now: Optional[float] = None) -> float:
+        return self._clock() if now is None else now
+
+    def advance(self, now: float, clear_cell: Callable[[int], None]) -> int:
+        """Move to the cell for ``now``, clearing expired cells.
+
+        Returns the ring position (0..slices-1) of the current cell.
+        """
+        slot = int(now / self.slice_seconds)
+        if self._slot is None:
+            self._slot = slot
+        elif slot > self._slot:
+            steps = min(slot - self._slot, self.slices)
+            for step in range(1, steps + 1):
+                clear_cell((self._slot + step) % self.slices)
+            self._slot = slot
+        # A stale ``now`` (caller passed an old timestamp) writes into
+        # the current cell; windows are approximate by construction.
+        return self._slot % self.slices
+
+
+class RollingCounter:
+    """Count of events over the trailing window."""
+
+    def __init__(
+        self,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        slices: int = DEFAULT_SLICES,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._ring = _Ring(window_seconds, slices, clock)
+        self._cells = [0.0] * self._ring.slices
+
+    @property
+    def window_seconds(self) -> float:
+        return self._ring.window_seconds
+
+    def _clear(self, position: int) -> None:
+        self._cells[position] = 0.0
+
+    def inc(self, amount: float = 1.0, now: Optional[float] = None) -> None:
+        moment = self._ring.now(now)
+        position = self._ring.advance(moment, self._clear)
+        self._cells[position] += amount
+
+    def total(self, now: Optional[float] = None) -> float:
+        moment = self._ring.now(now)
+        self._ring.advance(moment, self._clear)
+        return sum(self._cells)
+
+    def rate(self, now: Optional[float] = None) -> float:
+        """Events per second over the window."""
+        return self.total(now) / self._ring.window_seconds
+
+
+class _HistogramCell:
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self, n_buckets: int):
+        self.buckets = [0] * n_buckets
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def clear(self) -> None:
+        for position in range(len(self.buckets)):
+            self.buckets[position] = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class RollingHistogram:
+    """Fixed-bucket histogram over the trailing window.
+
+    Bucket bounds follow the engine convention: cumulative upper bounds
+    ending in ``+inf``, per-bucket (non-cumulative) counts.
+    """
+
+    def __init__(
+        self,
+        bounds=LATENCY_BUCKETS,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        slices: int = DEFAULT_SLICES,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.bounds = tuple(bounds)
+        if not self.bounds or self.bounds[-1] != float("inf"):
+            raise ValueError("histogram bounds must end with +inf")
+        self._ring = _Ring(window_seconds, slices, clock)
+        self._cells = [
+            _HistogramCell(len(self.bounds)) for _ in range(self._ring.slices)
+        ]
+
+    @property
+    def window_seconds(self) -> float:
+        return self._ring.window_seconds
+
+    def _clear(self, position: int) -> None:
+        self._cells[position].clear()
+
+    def observe(self, value: float, now: Optional[float] = None) -> None:
+        moment = self._ring.now(now)
+        cell = self._cells[self._ring.advance(moment, self._clear)]
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                cell.buckets[position] += 1
+                break
+        cell.count += 1
+        cell.total += value
+        if value < cell.min:
+            cell.min = value
+        if value > cell.max:
+            cell.max = value
+
+    def merged(self, now: Optional[float] = None) -> Tuple[List[int], int, float, float, float]:
+        """``(buckets, count, total, min, max)`` summed over live cells."""
+        moment = self._ring.now(now)
+        self._ring.advance(moment, self._clear)
+        buckets = [0] * len(self.bounds)
+        count = 0
+        total = 0.0
+        minimum = float("inf")
+        maximum = float("-inf")
+        for cell in self._cells:
+            if not cell.count:
+                continue
+            for position, value in enumerate(cell.buckets):
+                buckets[position] += value
+            count += cell.count
+            total += cell.total
+            if cell.min < minimum:
+                minimum = cell.min
+            if cell.max > maximum:
+                maximum = cell.max
+        return buckets, count, total, minimum, maximum
+
+    def count(self, now: Optional[float] = None) -> int:
+        return self.merged(now)[1]
+
+    def mean(self, now: Optional[float] = None) -> float:
+        _, count, total, _, _ = self.merged(now)
+        return total / count if count else 0.0
+
+    def quantile(self, q: float, now: Optional[float] = None) -> float:
+        """Interpolated ``q``-quantile over the window (0.0 when empty)."""
+        buckets, count, _, minimum, maximum = self.merged(now)
+        if not count:
+            return 0.0
+        return bucket_quantile(
+            self.bounds, buckets, count, q, minimum=minimum, maximum=maximum
+        )
+
+
+class RequestWindow:
+    """Requests, errors, and latency for one key (endpoint, session, or
+    the whole service)."""
+
+    def __init__(
+        self,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        slices: int = DEFAULT_SLICES,
+        clock: Callable[[], float] = time.monotonic,
+        latency_bounds=LATENCY_BUCKETS,
+    ):
+        self.requests = RollingCounter(window_seconds, slices, clock)
+        self.errors = RollingCounter(window_seconds, slices, clock)
+        self.latency = RollingHistogram(
+            latency_bounds, window_seconds, slices, clock
+        )
+
+    def record(
+        self, seconds: float, error: bool = False, now: Optional[float] = None
+    ) -> None:
+        self.requests.inc(1.0, now=now)
+        if error:
+            self.errors.inc(1.0, now=now)
+        self.latency.observe(seconds, now=now)
+
+    def error_rate(self, now: Optional[float] = None) -> float:
+        requests = self.requests.total(now)
+        if not requests:
+            return 0.0
+        return self.errors.total(now) / requests
+
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        requests = self.requests.total(now)
+        return {
+            "window_seconds": self.requests.window_seconds,
+            "requests": requests,
+            "errors": self.errors.total(now),
+            "error_rate": self.error_rate(now),
+            "rate": self.requests.rate(now),
+            "latency_mean": self.latency.mean(now),
+            "latency_p50": self.latency.quantile(0.5, now),
+            "latency_p95": self.latency.quantile(0.95, now),
+            "latency_p99": self.latency.quantile(0.99, now),
+        }
+
+
+class RequestTelemetry:
+    """Service-wide rolling request telemetry.
+
+    One global window, one per endpoint label (``"POST
+    /sessions/{name}/ingest"`` — names are templated so cardinality stays
+    bounded by the route table), and one per session name.  Thread-safe:
+    the asyncio event loop records while executor threads may be reading
+    through a scrape.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        slices: int = DEFAULT_SLICES,
+        clock: Callable[[], float] = time.monotonic,
+        latency_bounds=LATENCY_BUCKETS,
+        max_sessions: int = 512,
+    ):
+        self._make = lambda: RequestWindow(
+            window_seconds, slices, clock, latency_bounds
+        )
+        self._clock = clock
+        self.window_seconds = float(window_seconds)
+        self.total = self._make()
+        self.by_endpoint: Dict[str, RequestWindow] = {}
+        self.by_session: Dict[str, RequestWindow] = {}
+        self.max_sessions = max_sessions
+        self._mutex = threading.Lock()
+
+    def record_request(
+        self,
+        endpoint: str,
+        session: Optional[str],
+        seconds: float,
+        error: bool = False,
+        now: Optional[float] = None,
+    ) -> None:
+        moment = self._clock() if now is None else now
+        with self._mutex:
+            self.total.record(seconds, error, now=moment)
+            window = self.by_endpoint.get(endpoint)
+            if window is None:
+                window = self.by_endpoint[endpoint] = self._make()
+            window.record(seconds, error, now=moment)
+            if session is not None:
+                window = self.by_session.get(session)
+                if window is None:
+                    if len(self.by_session) >= self.max_sessions:
+                        return  # bounded cardinality: drop, keep totals
+                    window = self.by_session[session] = self._make()
+                window.record(seconds, error, now=moment)
+
+    def endpoint(self, name: str) -> Optional[RequestWindow]:
+        with self._mutex:
+            return self.by_endpoint.get(name)
+
+    def session(self, name: str) -> Optional[RequestWindow]:
+        with self._mutex:
+            return self.by_session.get(name)
+
+    def forget_session(self, name: str) -> None:
+        with self._mutex:
+            self.by_session.pop(name, None)
+
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        moment = self._clock() if now is None else now
+        with self._mutex:
+            return {
+                "window_seconds": self.window_seconds,
+                "total": self.total.snapshot(moment),
+                "endpoints": {
+                    name: window.snapshot(moment)
+                    for name, window in sorted(self.by_endpoint.items())
+                },
+                "sessions": {
+                    name: window.snapshot(moment)
+                    for name, window in sorted(self.by_session.items())
+                },
+            }

@@ -1,0 +1,213 @@
+"""Service-level objectives over rolling telemetry windows.
+
+An :class:`SLO` declares one objective — a latency quantile or an error
+rate — optionally scoped to a single endpoint label.  An
+:class:`SLOPolicy` evaluates its objectives against a
+:class:`~repro.observability.rolling.RequestTelemetry`, producing
+:class:`SLOStatus` rows and appending breaches to a bounded, cooldown-
+throttled :class:`AlertLog`.  The service surfaces both through
+``GET /health`` (operator view) and ``GET /metrics`` (scrape view).
+
+Evaluation is *pull-based*: nothing runs in the background; the policy
+is re-evaluated whenever health or metrics are read, which is exactly
+when anyone can observe the result.  ``min_requests`` guards against
+alerting on a nearly-empty window.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One objective.  ``kind`` is ``"latency"`` (quantile vs threshold
+    seconds) or ``"error_rate"`` (window error fraction vs threshold)."""
+
+    name: str
+    kind: str
+    threshold: float
+    quantile: float = 0.95
+    endpoint: Optional[str] = None
+    min_requests: int = 1
+
+    def __post_init__(self):
+        if self.kind not in ("latency", "error_rate"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.threshold < 0:
+            raise ValueError("SLO threshold must be non-negative")
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError("SLO quantile must be in (0, 1]")
+
+    def describe(self) -> str:
+        scope = self.endpoint or "all traffic"
+        if self.kind == "latency":
+            return (
+                f"p{int(self.quantile * 100)} latency < "
+                f"{self.threshold * 1000:g}ms on {scope}"
+            )
+        return f"error rate < {self.threshold:.1%} on {scope}"
+
+
+@dataclass
+class SLOStatus:
+    """One evaluation result.  ``ok`` is ``None`` when the window held
+    fewer than ``min_requests`` samples (insufficient data ≠ breach)."""
+
+    slo: SLO
+    ok: Optional[bool]
+    observed: Optional[float]
+    requests: float
+    #: Fraction of the budget left: 1.0 fully healthy, 0.0 at the
+    #: threshold, negative when breached (clamped at -1.0 for display).
+    budget_remaining: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.slo.name,
+            "kind": self.slo.kind,
+            "endpoint": self.slo.endpoint,
+            "objective": self.slo.describe(),
+            "threshold": self.slo.threshold,
+            "quantile": self.slo.quantile if self.slo.kind == "latency" else None,
+            "ok": self.ok,
+            "observed": self.observed,
+            "requests": self.requests,
+            "budget_remaining": self.budget_remaining,
+        }
+
+
+class AlertLog:
+    """Bounded breach log with per-SLO cooldown.
+
+    A breach only appends a new alert when the previous alert for the
+    same SLO is older than ``cooldown_seconds`` — a flapping objective
+    produces a trickle, not a flood.
+    """
+
+    def __init__(
+        self,
+        max_alerts: int = 100,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._alerts: Deque[dict] = deque(maxlen=max_alerts)
+        self._last_fired: Dict[str, float] = {}
+        self.total_fired = 0
+
+    def __len__(self) -> int:
+        return len(self._alerts)
+
+    def fire(
+        self, slo: SLO, observed: float, now: Optional[float] = None
+    ) -> bool:
+        moment = self._clock() if now is None else now
+        last = self._last_fired.get(slo.name)
+        if last is not None and moment - last < self.cooldown_seconds:
+            return False
+        self._last_fired[slo.name] = moment
+        self.total_fired += 1
+        self._alerts.append(
+            {
+                "at": moment,
+                "slo": slo.name,
+                "observed": observed,
+                "threshold": slo.threshold,
+                "message": (
+                    f"SLO breach: {slo.describe()} — observed "
+                    f"{observed:.6g}, threshold {slo.threshold:.6g}"
+                ),
+            }
+        )
+        return True
+
+    def tail(self, limit: int = 20) -> List[dict]:
+        alerts = list(self._alerts)
+        return alerts[-limit:]
+
+
+def default_slos() -> Tuple[SLO, ...]:
+    """Conservative defaults: overall p95 under 1s, error rate under 5%."""
+    return (
+        SLO(name="latency_p95", kind="latency", threshold=1.0,
+            quantile=0.95, min_requests=5),
+        SLO(name="error_rate", kind="error_rate", threshold=0.05,
+            min_requests=5),
+    )
+
+
+class SLOPolicy:
+    """A set of SLOs plus their alert log."""
+
+    def __init__(
+        self,
+        slos: Optional[Sequence[SLO]] = None,
+        max_alerts: int = 100,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.slos: Tuple[SLO, ...] = (
+            tuple(slos) if slos is not None else default_slos()
+        )
+        self.alerts = AlertLog(max_alerts, cooldown_seconds, clock)
+
+    def _window(self, telemetry, slo: SLO):
+        if slo.endpoint is None:
+            return telemetry.total
+        return telemetry.endpoint(slo.endpoint)
+
+    def evaluate(self, telemetry, now: Optional[float] = None) -> List[SLOStatus]:
+        """Evaluate every objective; breaches feed the alert log."""
+        statuses: List[SLOStatus] = []
+        for slo in self.slos:
+            window = self._window(telemetry, slo)
+            requests = window.requests.total() if window is not None else 0.0
+            if window is None or requests < slo.min_requests:
+                statuses.append(SLOStatus(slo, None, None, requests))
+                continue
+            if slo.kind == "latency":
+                observed = window.latency.quantile(slo.quantile)
+            else:
+                observed = window.error_rate()
+            ok = observed <= slo.threshold
+            if slo.threshold > 0:
+                budget = max(-1.0, 1.0 - observed / slo.threshold)
+            else:
+                budget = 0.0 if ok else -1.0
+            statuses.append(SLOStatus(slo, ok, observed, requests, budget))
+            if not ok:
+                self.alerts.fire(slo, observed, now=now)
+        return statuses
+
+    def payload(self, telemetry, alert_limit: int = 20) -> dict:
+        """JSON-ready view for ``GET /health``."""
+        statuses = self.evaluate(telemetry)
+        breached = [s for s in statuses if s.ok is False]
+        return {
+            "objectives": [status.as_dict() for status in statuses],
+            "breached": len(breached),
+            "alerts": self.alerts.tail(alert_limit),
+            "alerts_total": self.alerts.total_fired,
+        }
+
+
+def slos_from_payload(raw: Sequence[dict]) -> Tuple[SLO, ...]:
+    """Build SLOs from a JSON-ish list (service config / tests)."""
+    out: List[SLO] = []
+    for item in raw:
+        out.append(
+            SLO(
+                name=str(item["name"]),
+                kind=str(item.get("kind", "latency")),
+                threshold=float(item["threshold"]),
+                quantile=float(item.get("quantile", 0.95)),
+                endpoint=item.get("endpoint"),
+                min_requests=int(item.get("min_requests", 1)),
+            )
+        )
+    return tuple(out)

@@ -22,6 +22,7 @@ allocates nothing.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -106,6 +107,28 @@ class SpanLog:
             if record.name == name:
                 return record
         return None
+
+    def for_request(self, request_id: str) -> List[SpanRecord]:
+        """Spans stamped with ``attrs["request_id"] == request_id``.
+
+        The returned list is a consistent sub-forest: every span created
+        (or spliced) while that request's trace context was active, in
+        start order — renderable as its own tree.
+        """
+        return [
+            record
+            for record in self.records
+            if record.attrs.get("request_id") == request_id
+        ]
+
+    def request_ids(self) -> List[str]:
+        """Distinct request ids present in the log, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for record in self.records:
+            rid = record.attrs.get("request_id")
+            if isinstance(rid, str) and rid not in seen:
+                seen[rid] = None
+        return list(seen)
 
     # ------------------------------------------------------------- splice
 
@@ -202,9 +225,39 @@ class Tracer:
         self.log = log if log is not None else SpanLog()
         self._stack: List[int] = []
         self._epoch = time.perf_counter()
+        # Request correlation is thread-local: the service runs each
+        # request's engine work on one executor thread, so spans opened
+        # on that thread (including splices of worker logs) belong to
+        # the request whose context is active there.
+        self._context = threading.local()
 
     def _now(self) -> float:
         return time.perf_counter() - self._epoch
+
+    # ------------------------------------------------------ request context
+
+    @property
+    def active_request_id(self) -> Optional[str]:
+        """Request id of the trace context active on this thread, if any."""
+        return getattr(self._context, "request_id", None)
+
+    @contextmanager
+    def request_context(self, request_id: Optional[str]):
+        """Stamp every span opened (or spliced) inside with ``request_id``.
+
+        Contexts nest: the innermost non-``None`` id wins, and the prior
+        id is restored on exit.  A ``None`` id makes this a no-op wrapper
+        so callers need not branch.
+        """
+        if request_id is None:
+            yield
+            return
+        previous = getattr(self._context, "request_id", None)
+        self._context.request_id = request_id
+        try:
+            yield
+        finally:
+            self._context.request_id = previous
 
     @contextmanager
     def span(self, name: str, **attrs):
@@ -214,6 +267,9 @@ class Tracer:
             return
         parent_id = self._stack[-1] if self._stack else None
         record = self.log.new_span(name, parent_id, self._now(), attrs)
+        request_id = self.active_request_id
+        if request_id is not None:
+            record.attrs.setdefault("request_id", request_id)
         self._stack.append(record.span_id)
         try:
             yield record
@@ -233,7 +289,17 @@ class Tracer:
             return 0
         if parent_id is None:
             parent_id = self.current_span_id()
-        return self.log.splice(child, parent_id=parent_id, time_offset=self._now())
+        before = len(self.log.records)
+        spliced = self.log.splice(
+            child, parent_id=parent_id, time_offset=self._now()
+        )
+        request_id = self.active_request_id
+        if request_id is not None and spliced:
+            # Worker logs were recorded out-of-process with no context;
+            # stamp them with the request that dispatched the chunk.
+            for record in self.log.records[before:]:
+                record.attrs.setdefault("request_id", request_id)
+        return spliced
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"

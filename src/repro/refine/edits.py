@@ -670,6 +670,16 @@ def add_rule_edits(
 # ---------------------------------------------------------------------------
 
 
+def edit_targets_rules(edit: CandidateEdit, focus: Set[str]) -> bool:
+    """Does this edit modify one of the ``focus`` rules?
+
+    ``AddRule`` changes introduce a *new* rule, so they never target an
+    existing one and are excluded under any focus set.
+    """
+    rule_name = getattr(edit.change, "rule_name", None)
+    return rule_name is not None and rule_name in focus
+
+
 def generate_candidates(
     state: MatchState,
     gold: Set[PairId],
@@ -679,9 +689,15 @@ def generate_candidates(
     seed_rules: Sequence[Rule] = (),
     feature_universe: Sequence[Feature] = (),
     max_candidates: Optional[int] = None,
+    focus_rules: Optional[Sequence[str]] = None,
 ) -> List[CandidateEdit]:
     """The full candidate pool for one search node: every generator family,
-    structurally deduped, deterministically ranked best-predicted-first."""
+    structurally deduped, deterministically ranked best-predicted-first.
+
+    ``focus_rules`` (e.g. drift-monitor warm-start hints) restricts the
+    pool to edits targeting those rules — applied *before* ranking and
+    the ``max_candidates`` truncation, so a focused pool is a genuine
+    subset of the cold-start pool, never a re-ranking of it."""
     profile = error_profile(state, gold)
     pool: List[CandidateEdit] = []
     pool.extend(tighten_edits(state, gold, profile, max_per_slot=max_per_slot))
@@ -711,6 +727,9 @@ def generate_candidates(
             risk_sample=risk_sample,
         )
     )
+    if focus_rules:
+        focus = {str(name) for name in focus_rules}
+        pool = [edit for edit in pool if edit_targets_rules(edit, focus)]
     pool = dedupe_edits(pool)
     pool.sort(key=lambda item: (-item.score, item.change.describe()))
     if max_candidates is not None:

@@ -74,6 +74,10 @@ class RefineConfig:
     estimate_mode: str = "calibrated"
     #: example pair ids retained per edit in the attribution record.
     attribution_limit: int = 10
+    #: warm-start hint (e.g. from the observability drift monitor):
+    #: restrict candidate generation to edits targeting these rules.
+    #: Empty = cold start, the full pool.
+    focus_rules: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.budget < 1:
@@ -82,6 +86,11 @@ class RefineConfig:
             raise RefinementError("beam_width must be >= 1")
         if self.max_depth < 1:
             raise RefinementError("max_depth must be >= 1")
+        if not isinstance(self.focus_rules, tuple):
+            object.__setattr__(
+                self, "focus_rules",
+                tuple(str(name) for name in self.focus_rules),
+            )
 
 
 @dataclass(frozen=True)
@@ -453,6 +462,7 @@ class RefinementSearch:
                     seed_rules=self.seed_rules,
                     feature_universe=self.feature_universe,
                     max_candidates=config.max_candidates_per_round,
+                    focus_rules=config.focus_rules or None,
                 )
             self.candidates_generated += len(pool)
             self._counter("refine.candidates").inc(len(pool))

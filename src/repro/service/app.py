@@ -25,7 +25,8 @@ Routes
 ------
 ::
 
-    GET  /health                          liveness + session count
+    GET  /health                          liveness + sessions + SLO status
+    GET  /metrics                         Prometheus text exposition
     GET  /sessions                        list sessions
     POST /sessions                        create session
     GET  /sessions/{name}                 session info
@@ -37,10 +38,24 @@ Routes
     GET  /sessions/{name}/matches         labels (+ confusion if gold)
     GET  /sessions/{name}/stats           run/batch MatchStats
     GET  /sessions/{name}/metrics         metrics snapshot + diff
-    GET  /sessions/{name}/trace           span log
+    GET  /sessions/{name}/trace           span log (?request_id= filters)
     GET  /sessions/{name}/observability   spans+metrics+profile+drift
     POST /sessions/{name}/checkpoint      durably save now
     POST /shutdown                        graceful stop (drain + save)
+
+Request-scoped tracing: clients may send an ``X-Repro-Request-Id``
+header (``[A-Za-z0-9_-]{1,64}``); the server adopts it as the envelope
+``request_id`` and, for write actions on sessions with tracing enabled,
+activates a trace context on the executor thread so every span the
+operation opens — including spliced parallel-worker ``chunk:N`` spans —
+is stamped with that id.  ``GET /sessions/{name}/trace?request_id=...``
+then returns exactly that request's span tree.
+
+Rolling telemetry: unless constructed with ``telemetry=False``, every
+response is recorded into a :class:`RequestTelemetry` (sliding-window
+request counts, error rates, latency histograms per endpoint and per
+session), scraped by ``GET /metrics`` and evaluated against the SLO
+policy surfaced in ``GET /health``.
 """
 
 from __future__ import annotations
@@ -50,15 +65,20 @@ import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
+from urllib.parse import parse_qs
 
 from ..errors import ReproError
+from ..observability.export import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from ..observability.rolling import RequestTelemetry
+from ..observability.slo import SLO, SLOPolicy
 from .handlers import ServiceHandlers
 from .protocol import (
     ServiceError,
     envelope_error,
     envelope_ok,
     new_request_id,
+    valid_request_id,
 )
 from .registry import SessionRegistry
 
@@ -69,6 +89,16 @@ DEFAULT_DRAIN_TIMEOUT = 30.0
 
 #: writes take the session's exclusive lock; everything else is a read.
 _WRITE_ACTIONS = {"ingest", "edit", "explain", "refine"}
+
+#: default cap before the per-session observability.jsonl sink rotates.
+DEFAULT_FLUSH_MAX_BYTES = 8 * 1024 * 1024
+
+
+class _RawText(str):
+    """A route result to be written verbatim as a text body (no JSON
+    envelope) — the Prometheus scrape path."""
+
+    content_type = PROMETHEUS_CONTENT_TYPE
 
 
 class _RequestTooLarge(Exception):
@@ -92,6 +122,11 @@ class MatchingService:
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
         max_pending: Optional[int] = None,
         resolver=None,
+        telemetry: bool = True,
+        slos: Optional[Sequence[SLO]] = None,
+        telemetry_window_seconds: float = 60.0,
+        flush_max_bytes: Optional[int] = DEFAULT_FLUSH_MAX_BYTES,
+        flush_backups: int = 3,
     ):
         self.host = host
         self.port = port
@@ -101,7 +136,22 @@ class MatchingService:
         self.registry = SessionRegistry(
             checkpoint_root=checkpoint_root, **registry_kwargs
         )
-        self.handlers = ServiceHandlers(self.registry, resolver=resolver)
+        self.telemetry: Optional[RequestTelemetry] = (
+            RequestTelemetry(window_seconds=telemetry_window_seconds)
+            if telemetry
+            else None
+        )
+        self.slo_policy: Optional[SLOPolicy] = (
+            SLOPolicy(slos) if telemetry else None
+        )
+        self.handlers = ServiceHandlers(
+            self.registry,
+            resolver=resolver,
+            telemetry=self.telemetry,
+            slo_policy=self.slo_policy,
+        )
+        self.flush_max_bytes = flush_max_bytes
+        self.flush_backups = flush_backups
         self.request_timeout = request_timeout
         self._executor = ThreadPoolExecutor(
             max_workers=executor_workers, thread_name_prefix="repro-svc"
@@ -177,7 +227,11 @@ class MatchingService:
             observability = managed.streaming.observability
             if observability is None:
                 continue
-            observability.flush_json_lines(root / name / "observability.jsonl")
+            observability.flush_json_lines(
+                root / name / "observability.jsonl",
+                max_bytes=self.flush_max_bytes,
+                backups=self.flush_backups,
+            )
             flushed.append(name)
         return flushed
 
@@ -212,7 +266,9 @@ class MatchingService:
                     break
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "keep-alive") != "close"
-                status, payload = await self._dispatch(method, path, body)
+                status, payload = await self._dispatch(
+                    method, path, body, headers
+                )
                 await self._write_response(writer, status, payload, keep_alive)
                 if not keep_alive or self._shutting_down:
                     break
@@ -247,7 +303,12 @@ class MatchingService:
         return method, path, headers, body
 
     async def _write_response(self, writer, status, payload, keep_alive):
-        body = json.dumps(payload, default=str).encode("utf-8")
+        if isinstance(payload, _RawText):
+            body = str(payload).encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload, default=str).encode("utf-8")
+            content_type = "application/json"
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 409: "Conflict",
                   429: "Too Many Requests", 500: "Internal Server Error",
@@ -256,7 +317,7 @@ class MatchingService:
         )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
@@ -268,47 +329,99 @@ class MatchingService:
     # Routing and dispatch
     # ------------------------------------------------------------------
 
-    async def _dispatch(self, method, path, body):
-        request_id = new_request_id()
+    @staticmethod
+    def _endpoint_key(method, segments):
+        """Templated endpoint label + session name for telemetry.
+
+        Session names are folded into ``{name}`` so label cardinality is
+        bounded by the route table, with the per-session dimension kept
+        separately (and capped) by :class:`RequestTelemetry`.
+        """
+        if not segments:
+            return f"{method} /", None
+        if segments[0] == "sessions":
+            if len(segments) == 1:
+                return f"{method} /sessions", None
+            name = segments[1]
+            if len(segments) == 2:
+                return f"{method} /sessions/{{name}}", name
+            return f"{method} /sessions/{{name}}/{segments[2]}", name
+        return f"{method} /{segments[0]}", None
+
+    async def _dispatch(self, method, path, body, headers=None):
+        client_id = (headers or {}).get("x-repro-request-id")
+        if client_id is not None and valid_request_id(client_id):
+            request_id = client_id
+        else:
+            request_id = new_request_id()
         started = time.perf_counter()
-        if self._shutting_down:
-            error = ServiceError("shutting_down", "server is shutting down")
-            return error.status, envelope_error(error, request_id, started)
+        path, _, query_string = path.partition("?")
+        path = path.rstrip("/") or "/"
+        query = parse_qs(query_string) if query_string else {}
+        segments = [s for s in path.split("/") if s]
+        endpoint, session_name = self._endpoint_key(method, segments)
+        status = 500
         try:
-            payload = json.loads(body.decode("utf-8")) if body else None
-        except (ValueError, UnicodeDecodeError) as exc:
-            error = ServiceError("bad_request", f"invalid JSON body: {exc}")
-            return error.status, envelope_error(error, request_id, started)
+            if self._shutting_down:
+                error = ServiceError("shutting_down", "server is shutting down")
+                status = error.status
+                return status, envelope_error(error, request_id, started)
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else None
+            except (ValueError, UnicodeDecodeError) as exc:
+                error = ServiceError("bad_request", f"invalid JSON body: {exc}")
+                status = error.status
+                return status, envelope_error(error, request_id, started)
 
-        self._in_flight += 1
-        try:
-            result = await self._route(method, path.rstrip("/") or "/", payload)
-            return 200, envelope_ok(result, request_id, started)
-        except ServiceError as error:
-            return error.status, envelope_error(error, request_id, started)
-        except asyncio.TimeoutError:
-            error = ServiceError(
-                "timeout",
-                f"request exceeded {self.request_timeout:g}s; the session "
-                f"operation keeps running but this response is abandoned",
-            )
-            return error.status, envelope_error(error, request_id, started)
-        except ReproError as exc:
-            # Engine validation errors are the caller's fault.
-            error = ServiceError("bad_request", str(exc))
-            return error.status, envelope_error(error, request_id, started)
-        except Exception as exc:  # noqa: BLE001 — last-resort envelope
-            error = ServiceError("internal", f"{type(exc).__name__}: {exc}")
-            return error.status, envelope_error(error, request_id, started)
+            self._in_flight += 1
+            try:
+                result = await self._route(
+                    method, path, payload, query, request_id
+                )
+                status = 200
+                if isinstance(result, _RawText):
+                    return status, result
+                return status, envelope_ok(result, request_id, started)
+            except ServiceError as error:
+                status = error.status
+                return status, envelope_error(error, request_id, started)
+            except asyncio.TimeoutError:
+                error = ServiceError(
+                    "timeout",
+                    f"request exceeded {self.request_timeout:g}s; the session "
+                    f"operation keeps running but this response is abandoned",
+                )
+                status = error.status
+                return status, envelope_error(error, request_id, started)
+            except ReproError as exc:
+                # Engine validation errors are the caller's fault.
+                error = ServiceError("bad_request", str(exc))
+                status = error.status
+                return status, envelope_error(error, request_id, started)
+            except Exception as exc:  # noqa: BLE001 — last-resort envelope
+                error = ServiceError("internal", f"{type(exc).__name__}: {exc}")
+                status = error.status
+                return status, envelope_error(error, request_id, started)
+            finally:
+                self._in_flight -= 1
+                if self._in_flight == 0:
+                    self._drained.set()
         finally:
-            self._in_flight -= 1
-            if self._in_flight == 0:
-                self._drained.set()
+            if self.telemetry is not None:
+                self.telemetry.record_request(
+                    endpoint,
+                    session_name,
+                    time.perf_counter() - started,
+                    error=status >= 400,
+                )
 
-    async def _route(self, method, path, payload):
+    async def _route(self, method, path, payload, query=None, request_id=None):
+        query = query or {}
         segments = [s for s in path.split("/") if s]
         if path == "/health" and method == "GET":
             return await self._call(self.handlers.health)
+        if path == "/metrics" and method == "GET":
+            return _RawText(await self._call(self.handlers.scrape))
         if path == "/shutdown" and method == "POST":
             # Schedule the stop after this response flushes.
             asyncio.get_running_loop().create_task(self._stop_later())
@@ -320,16 +433,55 @@ class MatchingService:
         if len(segments) >= 2 and segments[0] == "sessions":
             name = segments[1]
             action = segments[2] if len(segments) > 2 else None
-            return await self._session_route(method, name, action, payload)
+            return await self._session_route(
+                method, name, action, payload, query, request_id
+            )
         raise ServiceError("not_found", f"no route {method} {path}")
 
-    async def _session_route(self, method, name, action, payload):
+    @staticmethod
+    def _query_value(query, key):
+        values = query.get(key)
+        return values[0] if values else None
+
+    def _traced(self, name, request_id, operation):
+        """Wrap a write operation so its spans carry ``request_id``.
+
+        The executor runs the operation on one thread; the tracer's
+        request context is thread-local, so concurrent requests against
+        other sessions can't cross-stamp.
+        """
+
+        def run():
+            try:
+                observability = self.registry.get(name).streaming.observability
+            except ServiceError:
+                observability = None
+            if observability is None or not observability.tracer.enabled:
+                return operation()
+            with observability.tracer.request_context(request_id):
+                return operation()
+
+        return run
+
+    async def _session_route(
+        self, method, name, action, payload, query=None, request_id=None
+    ):
         handlers = self.handlers
+        query = query or {}
         if action is None:
             if method == "GET":
                 return await self._call(handlers.session_info, name)
             if method == "DELETE":
                 return await self._call(handlers.close_session, name, payload)
+        trace_request_id = self._query_value(query, "request_id")
+        trace_limit = self._query_value(query, "limit")
+        if trace_limit is not None:
+            try:
+                trace_limit = int(trace_limit)
+            except ValueError:
+                raise ServiceError(
+                    "bad_request", f"'limit' must be an integer, got {trace_limit!r}"
+                )
         table = {
             ("POST", "ingest"): lambda: handlers.ingest(name, payload),
             ("POST", "edit"): lambda: handlers.edit_rule(name, payload),
@@ -339,7 +491,9 @@ class MatchingService:
             ("GET", "matches"): lambda: handlers.matches(name),
             ("GET", "stats"): lambda: handlers.stats(name),
             ("GET", "metrics"): lambda: handlers.metrics(name),
-            ("GET", "trace"): lambda: handlers.trace(name),
+            ("GET", "trace"): lambda: handlers.trace(
+                name, request_id=trace_request_id, limit=trace_limit
+            ),
             ("GET", "observability"): lambda: handlers.observability_snapshot(
                 name
             ),
@@ -349,6 +503,8 @@ class MatchingService:
             raise ServiceError(
                 "not_found", f"no route {method} /sessions/{name}/{action or ''}"
             )
+        if action in _WRITE_ACTIONS and request_id is not None:
+            operation = self._traced(name, request_id, operation)
         # Backpressure: claim the session's slot before queueing executor
         # work, release once the handler finishes (even on timeout the
         # slot is held until the work actually completes — the session is

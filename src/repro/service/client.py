@@ -18,10 +18,13 @@ reference consumer of the wire protocol.
 from __future__ import annotations
 
 import json
+import uuid
 from http.client import HTTPConnection
 from typing import List, Optional
+from urllib.parse import urlencode
 
 from ..errors import ReproError
+from .protocol import REQUEST_ID_HEADER
 
 
 class ServiceClientError(ReproError):
@@ -42,12 +45,25 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: request id sent with the most recent call — the handle for
+        #: ``trace(name, request_id=client.last_request_id)``.
+        self.last_request_id: Optional[str] = None
 
     # -- plumbing ------------------------------------------------------
 
-    def request(self, method: str, path: str, payload=None):
+    def request(self, method: str, path: str, payload=None,
+                request_id: Optional[str] = None, raw: bool = False):
+        """One HTTP round-trip.
+
+        Every request carries an ``X-Repro-Request-Id`` header (generated
+        unless ``request_id`` is given) that the server adopts as the
+        envelope id and the trace-context stamp; it is remembered as
+        :attr:`last_request_id`.  With ``raw=True`` the body is returned
+        as text without envelope unwrapping (the ``/metrics`` scrape).
+        """
         body = None
-        headers = {"Connection": "close"}
+        rid = request_id or uuid.uuid4().hex[:12]
+        headers = {"Connection": "close", REQUEST_ID_HEADER: rid}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -55,15 +71,23 @@ class ServiceClient:
         try:
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
-            raw = response.read()
+            blob = response.read()
         finally:
             connection.close()
+        self.last_request_id = rid
+        if raw:
+            text = blob.decode("utf-8")
+            if response.status >= 400:
+                raise ServiceClientError(
+                    "internal", response.status, text[:500]
+                )
+            return text
         try:
-            envelope = json.loads(raw.decode("utf-8"))
+            envelope = json.loads(blob.decode("utf-8"))
         except ValueError as exc:
             raise ServiceClientError(
                 "internal", response.status,
-                f"unparseable response: {raw[:200]!r}",
+                f"unparseable response: {blob[:200]!r}",
             ) from exc
         if not envelope.get("ok"):
             error = envelope.get("error", {})
@@ -78,6 +102,10 @@ class ServiceClient:
 
     def health(self) -> dict:
         return self.request("GET", "/health")
+
+    def scrape_metrics(self) -> str:
+        """Raw Prometheus text from ``GET /metrics``."""
+        return self.request("GET", "/metrics", raw=True)
 
     def shutdown(self) -> dict:
         return self.request("POST", "/shutdown")
@@ -138,8 +166,18 @@ class ServiceClient:
     def metrics(self, name: str) -> dict:
         return self.request("GET", f"/sessions/{name}/metrics")
 
-    def trace(self, name: str) -> dict:
-        return self.request("GET", f"/sessions/{name}/trace")
+    def trace(self, name: str, request_id: Optional[str] = None,
+              limit: Optional[int] = None) -> dict:
+        """Span log; ``request_id`` returns one request's span tree."""
+        params = {}
+        if request_id is not None:
+            params["request_id"] = request_id
+        if limit is not None:
+            params["limit"] = limit
+        path = f"/sessions/{name}/trace"
+        if params:
+            path += "?" + urlencode(params)
+        return self.request("GET", path)
 
     def observability(self, name: str) -> dict:
         return self.request("GET", f"/sessions/{name}/observability")

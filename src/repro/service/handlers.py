@@ -23,6 +23,11 @@ from typing import Optional
 from ..core.parser import format_function
 from ..core.persistence import stats_to_dict
 from ..observability import Observability, detect_drift
+from ..observability.export import (
+    Exposition,
+    add_registry_snapshot,
+    add_request_telemetry,
+)
 from ..streaming.session import StreamingSession
 from .protocol import (
     ServiceError,
@@ -44,21 +49,104 @@ from .registry import SessionRegistry
 class ServiceHandlers:
     """The service's operation surface over one :class:`SessionRegistry`."""
 
-    def __init__(self, registry: SessionRegistry, resolver=None):
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        resolver=None,
+        telemetry=None,
+        slo_policy=None,
+    ):
         self.registry = registry
         self.resolver = resolver
+        #: optional RequestTelemetry the app records every response into.
+        self.telemetry = telemetry
+        #: optional SLOPolicy evaluated on health/scrape reads.
+        self.slo_policy = slo_policy
 
     # ------------------------------------------------------------------
     # Service-level
     # ------------------------------------------------------------------
 
     def health(self) -> dict:
-        return {
+        out = {
             "status": "ok",
             "sessions": len(self.registry),
             "durable": self.registry.checkpoint_root is not None,
             "restore_failures": self.registry.restore_failures,
+            "sessions_state": self.registry.sessions_state(),
         }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry.snapshot()
+            if self.slo_policy is not None:
+                slo = self.slo_policy.payload(self.telemetry)
+                out["slo"] = slo
+                if slo["breached"]:
+                    out["status"] = "degraded"
+        return out
+
+    def scrape(self) -> str:
+        """Prometheus text exposition for ``GET /metrics``.
+
+        Three layers in one page: service HTTP telemetry (rolling
+        windows), registry gauges (session count, restore failures,
+        per-session dirty/pending/seq — the same numbers ``/health``
+        reports), and every observable session's engine metrics snapshot
+        labeled ``{session="name"}`` with values identical to its JSON
+        ``GET /sessions/{name}/metrics`` snapshot.
+        """
+        exposition = Exposition()
+        if self.telemetry is not None:
+            add_request_telemetry(exposition, self.telemetry)
+        exposition.add(
+            "repro_sessions", len(self.registry), type="gauge"
+        )
+        exposition.add(
+            "repro_registry_restore_failures",
+            len(self.registry.restore_failures),
+            type="gauge",
+        )
+        for state in self.registry.sessions_state():
+            labels = {"session": state["name"]}
+            exposition.add(
+                "repro_session_dirty", 1.0 if state["dirty"] else 0.0,
+                labels, type="gauge",
+            )
+            exposition.add(
+                "repro_session_pending", state["pending"], labels, type="gauge"
+            )
+            exposition.add(
+                "repro_session_seq", state["seq"], labels, type="gauge"
+            )
+        if self.slo_policy is not None and self.telemetry is not None:
+            statuses = self.slo_policy.evaluate(self.telemetry)
+            for status in statuses:
+                labels = {"slo": status.slo.name}
+                value = -1.0 if status.ok is None else (1.0 if status.ok else 0.0)
+                exposition.add("repro_slo_ok", value, labels, type="gauge")
+                if status.observed is not None:
+                    exposition.add(
+                        "repro_slo_observed", status.observed, labels,
+                        type="gauge",
+                    )
+            exposition.add(
+                "repro_slo_alerts_total",
+                self.slo_policy.alerts.total_fired,
+                type="counter",
+            )
+        for name in self.registry.names():
+            try:
+                managed = self.registry.get(name)
+            except ServiceError:
+                continue  # closed concurrently
+            if managed.streaming.observability is None:
+                continue
+            snapshot = managed.read(
+                lambda streaming: streaming.observability.metrics.snapshot()
+            )
+            add_registry_snapshot(
+                exposition, snapshot, labels={"session": name}
+            )
+        return exposition.render()
 
     def list_sessions(self) -> dict:
         return {"sessions": self.registry.list_sessions()}
@@ -81,7 +169,9 @@ class ServiceHandlers:
 
         Common options: ``workers``, ``observability`` (bool),
         ``profile`` (bool), ``use_kernels``, ``use_bounds``,
-        ``ordering``, ``memo_backend``.
+        ``ordering``, ``memo_backend``, and ``drift_every`` (int N:
+        re-run drift detection every N ingests and derive refinement
+        warm-start hints; implies ``profile``).
         """
         if not isinstance(payload, dict):
             raise ServiceError("bad_request", "body must be a JSON object")
@@ -95,9 +185,25 @@ class ServiceHandlers:
             for key in ("ordering", "memo_backend", "use_kernels", "use_bounds")
             if key in payload
         }
+        drift_every = payload.get("drift_every")
+        if drift_every is not None:
+            drift_every = int(drift_every)
+            if drift_every < 1:
+                raise ServiceError(
+                    "bad_request", "'drift_every' must be a positive integer"
+                )
         if payload.get("observability", True):
-            session_kwargs["observability"] = Observability(
-                enabled=True, profile=bool(payload.get("profile", False))
+            observability = Observability(
+                enabled=True,
+                profile=bool(payload.get("profile", bool(drift_every))),
+            )
+            if drift_every:
+                observability.attach_drift_monitor(every=drift_every)
+            session_kwargs["observability"] = observability
+        elif drift_every:
+            raise ServiceError(
+                "bad_request",
+                "'drift_every' requires observability to be enabled",
             )
 
         if "dataset" in payload:
@@ -252,15 +358,34 @@ class ServiceHandlers:
         real).
 
         Options (all optional): any :class:`repro.refine.RefineConfig`
-        field (``budget``, ``beam_width``, ``max_depth``, ``seed``, ...)
-        plus ``apply`` — ``"best"`` or a frontier index — to apply that
-        frontier entry's edit sequence before returning, closing the
-        debugging loop in one request.
+        field (``budget``, ``beam_width``, ``max_depth``, ``seed``,
+        ``focus_rules``, ...) plus ``apply`` — ``"best"`` or a frontier
+        index — to apply that frontier entry's edit sequence before
+        returning, and ``warm_start`` (bool) — adopt the session drift
+        monitor's current refine hints (e.g. ``focus_rules``) for any
+        field the payload didn't set explicitly.
         """
         payload = payload or {}
         if not isinstance(payload, dict):
             raise ServiceError("bad_request", "body must be a JSON object")
         config = refine_config_from_payload(payload)
+        warm_hints = {}
+        if payload.get("warm_start"):
+            managed_for_hints = self.registry.get(name)
+            observability = managed_for_hints.streaming.observability
+            monitor = (
+                observability.drift_monitor if observability is not None else None
+            )
+            if monitor is not None:
+                warm_hints = {
+                    key: value
+                    for key, value in monitor.refine_hints().items()
+                    if key not in payload
+                }
+            if warm_hints:
+                from dataclasses import replace as dataclass_replace
+
+                config = dataclass_replace(config, **warm_hints)
         apply_choice = payload.get("apply", None)
         if apply_choice not in (None, False, "best") and not isinstance(
             apply_choice, int
@@ -302,6 +427,11 @@ class ServiceHandlers:
             "seq": managed.seq,
             "report": refinement_to_payload(report),
             "applied": applied_payload,
+            "warm_start": (
+                {key: list(value) for key, value in warm_hints.items()}
+                if warm_hints
+                else None
+            ),
         }
 
     def explain(self, name: str, payload: dict) -> dict:
@@ -387,7 +517,13 @@ class ServiceHandlers:
 
         return managed.read(_metrics)
 
-    def trace(self, name: str, limit: Optional[int] = None) -> dict:
+    def trace(
+        self,
+        name: str,
+        limit: Optional[int] = None,
+        request_id: Optional[str] = None,
+    ) -> dict:
+        """Span log; ``request_id`` narrows to one request's span tree."""
         managed = self.registry.get(name)
 
         def _trace(streaming: StreamingSession) -> dict:
@@ -397,15 +533,23 @@ class ServiceHandlers:
                     "conflict",
                     f"session {name!r} was created without observability",
                 )
-            spans = [record.as_dict() for record in observability.tracer.log]
+            log = observability.tracer.log
+            if request_id is not None:
+                records = log.for_request(request_id)
+            else:
+                records = list(log)
+            spans = [record.as_dict() for record in records]
             if limit is not None:
                 spans = spans[-limit:]
-            return {
+            out = {
                 "session": name,
                 "seq": managed.seq,
-                "span_count": len(observability.tracer.log),
+                "span_count": len(records),
                 "spans": spans,
             }
+            if request_id is not None:
+                out["request_id"] = request_id
+            return out
 
         return managed.read(_trace)
 
@@ -431,6 +575,11 @@ class ServiceHandlers:
                     else None
                 ),
                 "drift": None,
+                "drift_monitor": (
+                    observability.drift_monitor.describe()
+                    if observability.drift_monitor is not None
+                    else None
+                ),
             }
             session = streaming.session
             if observability.profiler and session.estimates is not None:

@@ -24,6 +24,7 @@ server rebuilds each session's blocker before adopting its state.
 
 from __future__ import annotations
 
+import re
 import time
 import uuid
 from typing import Dict, List, Optional, Sequence
@@ -89,8 +90,26 @@ class ServiceError(ReproError):
 # ---------------------------------------------------------------------------
 
 
+#: header a client may set to name its request; the server adopts it as
+#: the envelope request id and the trace-context stamp for write actions.
+REQUEST_ID_HEADER = "X-Repro-Request-Id"
+
+_REQUEST_ID_PATTERN = re.compile(r"[A-Za-z0-9_-]{1,64}$")
+
+
 def new_request_id() -> str:
     return uuid.uuid4().hex[:12]
+
+
+def valid_request_id(candidate: str) -> bool:
+    """Is ``candidate`` acceptable as a client-supplied request id?
+
+    Constrained to 64 URL/label-safe characters so the id is safe to
+    echo into envelopes, span attrs, and query strings unquoted.
+    """
+    return bool(
+        isinstance(candidate, str) and _REQUEST_ID_PATTERN.match(candidate)
+    )
 
 
 def envelope_ok(result, request_id: str, started: float) -> dict:
@@ -325,6 +344,7 @@ _REFINE_CONFIG_FIELDS = {
     "cost_strategy": str,
     "estimate_mode": str,
     "admit_fractions": lambda value: tuple(float(v) for v in value),
+    "focus_rules": lambda value: tuple(str(v) for v in value),
 }
 
 

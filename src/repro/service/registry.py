@@ -213,6 +213,25 @@ class SessionRegistry:
             sessions, key=lambda m: m.name
         )]
 
+    def sessions_state(self) -> List[dict]:
+        """Cheap per-session liveness state, name-sorted.
+
+        The single source both ``GET /health`` and the ``GET /metrics``
+        gauges read, so the two views can never disagree about
+        dirty/pending/seq.
+        """
+        with self._mutex:
+            sessions = list(self._sessions.values())
+        return [
+            {
+                "name": managed.name,
+                "seq": managed.seq,
+                "dirty": managed.dirty,
+                "pending": managed.pending,
+            }
+            for managed in sorted(sessions, key=lambda m: m.name)
+        ]
+
     def close(self, name: str, checkpoint: bool = True, drop_checkpoint: bool = False) -> dict:
         """Remove a session, checkpointing it first by default.
 
@@ -284,6 +303,13 @@ class SessionRegistry:
                     "profile": bool(
                         observability is not None and observability.profiler
                     ),
+                    "drift_every": (
+                        observability.drift_monitor.every
+                        if observability is not None
+                        and getattr(observability, "drift_monitor", None)
+                        is not None
+                        else None
+                    ),
                 },
             )
             # Clear the dirty flag while the read lock is still held:
@@ -354,9 +380,14 @@ class SessionRegistry:
         if extra.get("observability"):
             from ..observability import Observability
 
-            streaming.session.observability = Observability(
+            observability = Observability(
                 enabled=True, profile=bool(extra.get("profile"))
             )
+            if extra.get("drift_every"):
+                observability.attach_drift_monitor(
+                    every=int(extra["drift_every"])
+                )
+            streaming.session.observability = observability
         managed = self.add(
             entry.name, streaming, blocker_spec=meta.get("blocker_spec")
         )

@@ -350,6 +350,9 @@ class StreamingSession:
             self.batch_history.append(result)
             if observability is not None:
                 record_batch_result(observability.metrics, result)
+                monitor = getattr(observability, "drift_monitor", None)
+                if monitor is not None:
+                    monitor.after_ingest(self)
             return result
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import shlex
 import sys
+import time
 from typing import Callable, Dict, List, Optional
 
 from .core.changes import (
@@ -129,6 +130,7 @@ class Workbench:
             "restore": self.cmd_restore,
             "serve": self.cmd_serve,
             "remote": self.cmd_remote,
+            "top": self.cmd_top,
         }
 
     # ------------------------------------------------------------------
@@ -208,6 +210,9 @@ class Workbench:
                 "  remote tighten|relax <name> <rule> <slot> <thr>",
                 "  remote refine <name> [--budget N] [--apply best|<i>]",
                 "  remote metrics <name> | trace <name>",
+                "  top [--watch N] [--interval S]",
+                "                               live dashboard from /metrics +",
+                "                               /health (rates, p95s, SLOs)",
             ]
         )
 
@@ -1033,6 +1038,118 @@ class Workbench:
                 )
             return "\n".join(lines)
         raise WorkbenchError(f"unknown remote action {action!r}; try 'help'")
+
+    def cmd_top(self, arguments: List[str]) -> str:
+        """Live service dashboard: polls ``GET /metrics`` (+ health SLO).
+
+        ``top`` renders one frame; ``top --watch N [--interval S]`` polls
+        N times, S seconds apart, returning every frame — the REPL's
+        stand-in for a terminal dashboard (and directly testable, since
+        each frame is plain text built from one scrape).
+        """
+        from .observability.export import histogram_quantile, parse_prometheus
+
+        client = self._require_remote()
+        frames_wanted, interval = 1, 2.0
+        iterator = iter(arguments)
+        for flag in iterator:
+            try:
+                if flag == "--watch":
+                    frames_wanted = int(next(iterator))
+                elif flag == "--interval":
+                    interval = float(next(iterator))
+                else:
+                    raise WorkbenchError(f"unknown flag {flag!r}")
+            except (StopIteration, ValueError):
+                raise WorkbenchError(f"{flag} needs a value") from None
+        if frames_wanted < 1:
+            raise WorkbenchError("--watch needs a positive count")
+
+        frames = []
+        for frame_index in range(frames_wanted):
+            if frame_index:
+                time.sleep(interval)
+            frames.append(
+                self._render_top_frame(client, parse_prometheus, histogram_quantile)
+            )
+        return "\n\n".join(frames)
+
+    @staticmethod
+    def _render_top_frame(client, parse_prometheus, histogram_quantile) -> str:
+        health = client.health()
+        parsed = parse_prometheus(client.scrape_metrics())
+        samples = parsed["samples"]
+
+        def sample(name, **labels):
+            return samples.get((name, tuple(sorted(labels.items()))))
+
+        lines = [
+            f"service: {health['status']}  sessions={health['sessions']}  "
+            f"durable={'yes' if health['durable'] else 'no'}  "
+            f"restore_failures={len(health['restore_failures'])}"
+        ]
+        window = sample("repro_http_window_seconds")
+        endpoints = sorted(
+            {
+                dict(labels).get("endpoint")
+                for (name, labels) in samples
+                if name == "repro_http_requests" and labels
+            }
+            - {None}
+        )
+        if window is not None:
+            lines.append(
+                f"requests (last {window:g}s):  "
+                f"{sample('repro_http_requests') or 0:g} total, "
+                f"{(sample('repro_http_request_rate') or 0.0):.2f}/s, "
+                f"{(sample('repro_http_error_rate') or 0.0):.1%} errors"
+            )
+            for endpoint in endpoints:
+                p50 = histogram_quantile(
+                    samples, "repro_http_request_seconds", 0.5,
+                    labels={"endpoint": endpoint},
+                )
+                p95 = histogram_quantile(
+                    samples, "repro_http_request_seconds", 0.95,
+                    labels={"endpoint": endpoint},
+                )
+                lines.append(
+                    f"  {endpoint}: "
+                    f"n={sample('repro_http_requests', endpoint=endpoint) or 0:g} "
+                    f"err={(sample('repro_http_error_rate', endpoint=endpoint) or 0.0):.1%} "
+                    f"p50={(p50 or 0.0) * 1000:.1f}ms "
+                    f"p95={(p95 or 0.0) * 1000:.1f}ms"
+                )
+        for state in health.get("sessions_state", []):
+            lines.append(
+                f"  session {state['name']}: seq={state['seq']} "
+                f"pending={state['pending']}"
+                f"{' [dirty]' if state['dirty'] else ''}"
+            )
+        slo = health.get("slo")
+        if slo:
+            for objective in slo["objectives"]:
+                if objective["ok"] is None:
+                    verdict = "no data"
+                elif objective["ok"]:
+                    verdict = "OK"
+                else:
+                    verdict = "BREACH"
+                observed = objective["observed"]
+                observed_text = (
+                    f" observed={observed:.4g}" if observed is not None else ""
+                )
+                lines.append(
+                    f"  slo {objective['name']}: {verdict} "
+                    f"({objective['objective']}{observed_text})"
+                )
+            if slo["alerts"]:
+                latest = slo["alerts"][-1]
+                lines.append(
+                    f"  alerts: {slo['alerts_total']} total, "
+                    f"latest: {latest['message']}"
+                )
+        return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
