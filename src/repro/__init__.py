@@ -22,7 +22,8 @@ ordering, incremental matching), :mod:`repro.similarity` (string measures),
 :mod:`repro.data` (tables + six synthetic datasets), :mod:`repro.blocking`,
 :mod:`repro.learning` (forest → rules), :mod:`repro.evaluation`,
 :mod:`repro.parallel` (sharded matching over a process pool),
-:mod:`repro.streaming` (incremental matching under record-level deltas).
+:mod:`repro.streaming` (incremental matching under record-level deltas),
+:mod:`repro.engine` (columnar plan/executor evaluation engine).
 """
 
 from .core import (
@@ -66,6 +67,13 @@ from .blocking import (
     blocking_recall,
 )
 from .data import CandidateSet, Dataset, Record, Table, dataset_names, load_dataset
+from .engine import (
+    ColumnarExecutor,
+    ColumnarMatcher,
+    MatchPlan,
+    apply_change_columnar,
+    plan_function,
+)
 from .errors import ReproError
 from .evaluation import confusion, precision_recall_f1
 from .learning import FeatureSpace, RandomForest, Workload, build_workload, extract_rules
@@ -94,6 +102,9 @@ __all__ = [
     # changes
     "Change", "AddPredicate", "RemovePredicate", "TightenPredicate",
     "RelaxPredicate", "AddRule", "RemoveRule", "apply_change",
+    # columnar engine
+    "ColumnarExecutor", "ColumnarMatcher", "MatchPlan",
+    "apply_change_columnar", "plan_function",
     # data & blocking
     "Record", "Table", "CandidateSet", "Dataset",
     "CartesianBlocker", "AttributeEquivalenceBlocker", "OverlapBlocker",

@@ -79,6 +79,16 @@ class TraceLog:
     ) -> None:
         self.predicate_falses.append((pair_index, rule_name, slot))
 
+    # Bulk recorders (the columnar engine's batched trace writes).  Facts
+    # append in ascending row order; since the bitmaps any replay target
+    # materializes are sets, batching changes nothing observable.
+
+    def record_rule_match_rows(self, rows, rule_name: str) -> None:
+        self.rule_matches.extend((int(row), rule_name) for row in rows)
+
+    def record_predicate_false_rows(self, rows, rule_name: str, slot: str) -> None:
+        self.predicate_falses.extend((int(row), rule_name, slot) for row in rows)
+
     def replay_into(
         self, recorder: TraceRecorder, index_offset: int = 0
     ) -> None:
@@ -424,11 +434,8 @@ class PrecomputeMatcher(Matcher):
         value_cache = ValueCache() if self.use_value_cache else None
         kernels = self.kernels
         for feature in features:
-            if (
-                kernels is not None
-                and value_cache is None
-                and kernels.supports(feature)
-            ):
+            use_kernel = kernels is not None and kernels.supports(feature)
+            if use_kernel and value_cache is None:
                 column = kernels.compute_column(feature, candidates)
                 memo.fill_column(feature.name, column)
                 count = len(candidates)
@@ -444,7 +451,14 @@ class PrecomputeMatcher(Matcher):
                         stats.record_hit()
                         memo.put(pair.index, feature.name, cached)
                         continue
-                    value = feature.compute(pair.record_a, pair.record_b)
+                    # Value-cache misses still compose with the kernel
+                    # layer: a supported feature computes through the
+                    # token cache (same value, fewer tokenizations)
+                    # instead of silently bypassing it.
+                    if use_kernel:
+                        value = kernels.compute(feature, pair)
+                    else:
+                        value = feature.compute(pair.record_a, pair.record_b)
                     stats.record_computation(feature.name)
                     value_cache.store(feature.name, value_a, value_b, value)
                 else:

@@ -97,6 +97,35 @@ class FeatureMemo(ABC):
         consumes it.
         """
 
+    # -- row-batch access (the columnar engine's view) -------------------
+    #
+    # Generic implementations loop over the scalar accessors so every
+    # backend works out of the box; ArrayMemo overrides them with single
+    # fancy-indexed array operations.  Semantics are defined to match the
+    # scalar accessors exactly (same entry accounting, same float64
+    # read-back), which the engine's bit-identity property relies on.
+
+    def valid_rows(self, feature_name: str, rows) -> np.ndarray:
+        """Bool mask over ``rows``: which pairs have the feature memoized."""
+        return np.fromiter(
+            (self.contains(int(row), feature_name) for row in rows),
+            dtype=bool,
+            count=len(rows),
+        )
+
+    def get_rows(self, feature_name: str, rows) -> np.ndarray:
+        """Memoized values for ``rows`` as float64 (all must be present)."""
+        return np.fromiter(
+            (self.get(int(row), feature_name) for row in rows),
+            dtype=np.float64,
+            count=len(rows),
+        )
+
+    def put_rows(self, feature_name: str, rows, values) -> None:
+        """Store one value per row (the batched counterpart of ``put``)."""
+        for row, value in zip(rows, values):
+            self.put(int(row), feature_name, float(value))
+
     def update_from(
         self,
         other: "FeatureMemo",
@@ -237,6 +266,25 @@ class ArrayMemo(FeatureMemo):
     def contains(self, pair_index: int, feature_name: str) -> bool:
         column = self._columns.get(feature_name)
         return column is not None and bool(self._valid[pair_index, column])
+
+    def valid_rows(self, feature_name: str, rows) -> np.ndarray:
+        column = self._columns.get(feature_name)
+        if column is None:
+            return np.zeros(len(rows), dtype=bool)
+        return self._valid[rows, column]
+
+    def get_rows(self, feature_name: str, rows) -> np.ndarray:
+        # astype(float64) mirrors the scalar get()'s float() cast, so a
+        # float32-backed memo reads back identically on both engines.
+        column = self._column(feature_name)
+        return self._values[rows, column].astype(np.float64)
+
+    def put_rows(self, feature_name: str, rows, values) -> None:
+        column = self.ensure_feature(feature_name)
+        newly = int((~self._valid[rows, column]).sum())
+        self._values[rows, column] = values
+        self._valid[rows, column] = True
+        self._entries += newly
 
     def fill_column(self, feature_name: str, values: np.ndarray) -> None:
         """Bulk-store a full column (used by the precomputation baselines)."""

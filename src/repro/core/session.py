@@ -105,6 +105,7 @@ class DebugSession:
         observability=None,
         use_kernels: bool = True,
         use_bounds: bool = True,
+        engine: str = "auto",
     ):
         """``paranoid=True`` re-validates the incremental state against a
         from-scratch run after every change — O(full run) per edit, test
@@ -122,7 +123,16 @@ class DebugSession:
         ``stats.bound_skips`` counts the skips.  Both default on; the
         same setting threads into parallel (``run(workers=...)``) and
         streaming runs of this session, so serial/parallel memo equality
-        is preserved either way."""
+        is preserved either way.
+
+        ``engine`` selects the evaluation engine: ``"scalar"`` is the
+        per-pair :class:`~repro.core.matchers.PairEvaluator` loop,
+        ``"columnar"`` the set-at-a-time plan/executor split of
+        :mod:`repro.engine` (bit-identical labels, counters, and state).
+        The default ``"auto"`` picks columnar when every feature of the
+        current function is kernel-supported and scalar otherwise —
+        partial-fallback plans are correct either way, but an
+        all-fallback plan would only add batching overhead."""
         if isinstance(function, str):
             function = parse_function(function)
         self.candidates = candidates
@@ -136,6 +146,11 @@ class DebugSession:
         self.observability = observability
         self.use_kernels = use_kernels
         self.use_bounds = use_bounds
+        if engine not in ("auto", "columnar", "scalar"):
+            raise MatchingError(
+                f"engine must be 'auto', 'columnar', or 'scalar', got {engine!r}"
+            )
+        self.engine = engine
         if use_kernels:
             from ..kernels import FeatureKernels
 
@@ -146,6 +161,69 @@ class DebugSession:
         self.state: Optional[MatchState] = None
         self.history: List[IncrementalResult] = []
         self.last_run: Optional[MatchResult] = None
+
+    # ------------------------------------------------------------------
+    # Engine selection
+    # ------------------------------------------------------------------
+
+    def _resolve_engine(self, function: MatchingFunction) -> str:
+        """The engine a run over ``function`` will actually use.
+
+        ``"auto"`` resolves per call (the function changes across edits):
+        columnar when the kernels support every feature, scalar otherwise.
+        """
+        if self.engine != "auto":
+            return self.engine
+        if self.kernels is None:
+            return "scalar"
+        if all(self.kernels.supports(feature) for feature in function.features()):
+            return "columnar"
+        return "scalar"
+
+    def compile_plan(self, function: Optional[MatchingFunction] = None):
+        """The :class:`~repro.engine.MatchPlan` for the current function.
+
+        Compiled against the session's kernels and cost estimates — the
+        workbench ``plan`` command renders its :meth:`describe`.
+        """
+        from ..engine import plan_function
+
+        if function is None:
+            function = (
+                self.state.function if self.state is not None
+                else self.initial_function
+            )
+        return plan_function(
+            function,
+            kernels=self.kernels,
+            estimates=self.estimates,
+            check_cache_first=self.check_cache_first,
+        )
+
+    def _full_matcher(self, memo, recorder):
+        """A full-run matcher honoring the resolved engine (reorder/rerun)."""
+        if self._resolve_engine(recorder.function) == "columnar":
+            from ..engine import ColumnarMatcher
+
+            return ColumnarMatcher(
+                memo=memo,
+                check_cache_first=self.check_cache_first,
+                recorder=recorder,
+                kernels=self.kernels,
+            )
+        return DynamicMemoMatcher(
+            memo=memo,
+            check_cache_first=self.check_cache_first,
+            recorder=recorder,
+            kernels=self.kernels,
+        )
+
+    def _report_engine_metrics(self, matcher) -> None:
+        if self.observability is None:
+            return
+        executor = getattr(matcher, "last_executor", None)
+        if executor is not None:
+            executor.report_metrics(self.observability.metrics)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -213,6 +291,10 @@ class DebugSession:
                             observability.profiler if observability else None
                         ),
                         kernels=self.kernels,
+                        engine=self._resolve_engine(function),
+                        metrics=(
+                            observability.metrics if observability else None
+                        ),
                     )
         if observability is not None:
             record_match_stats(observability.metrics, result.stats, prefix="run")
@@ -249,6 +331,7 @@ class DebugSession:
             estimates=self.estimates,
             observability=self.observability,
             kernels=self.kernels,
+            engine=self._resolve_engine(function),
         )
         result = matcher.run(function, self.candidates)
         state.labels = result.labels.copy()
@@ -256,9 +339,24 @@ class DebugSession:
         return result
 
     def apply(self, change: Change) -> IncrementalResult:
-        """Apply one edit incrementally (Algorithms 7-10)."""
+        """Apply one edit incrementally (Algorithms 7-10).
+
+        With a columnar engine the affected pairs run through the
+        set-at-a-time executor (:mod:`repro.engine.incremental`); the
+        resulting state is bit-identical to the scalar algorithms."""
         state = self._require_state()
-        result = apply_change(state, change)
+        if self._resolve_engine(state.function) == "columnar":
+            from ..engine import apply_change_columnar
+
+            result = apply_change_columnar(
+                state,
+                change,
+                metrics=(
+                    self.observability.metrics if self.observability else None
+                ),
+            )
+        else:
+            result = apply_change(state, change)
         self.history.append(result)
         if self.paranoid:
             scratch = DynamicMemoMatcher().run(state.function, self.candidates)
@@ -302,14 +400,10 @@ class DebugSession:
             check_cache_first=self.check_cache_first,
             kernels=self.kernels,
         )
-        matcher = DynamicMemoMatcher(
-            memo=state.memo,
-            check_cache_first=self.check_cache_first,
-            recorder=fresh,
-            kernels=self.kernels,
-        )
+        matcher = self._full_matcher(state.memo, fresh)
         result = matcher.run(function, self.candidates)
         fresh.labels = result.labels.copy()
+        self._report_engine_metrics(matcher)
         self.state = fresh
         self.last_run = result
         return result
@@ -325,14 +419,10 @@ class DebugSession:
             check_cache_first=self.check_cache_first,
             kernels=self.kernels,
         )
-        matcher = DynamicMemoMatcher(
-            memo=state.memo,
-            check_cache_first=self.check_cache_first,
-            recorder=fresh,
-            kernels=self.kernels,
-        )
+        matcher = self._full_matcher(state.memo, fresh)
         result = matcher.run(state.function, self.candidates)
         fresh.labels = result.labels.copy()
+        self._report_engine_metrics(matcher)
         self.state = fresh
         self.last_run = result
         return result
@@ -394,6 +484,7 @@ class DebugSession:
             feature_universe=feature_universe,
             observability=self.observability,
             kernels=self.kernels,
+            engine=self._resolve_engine(state.function),
         )
         return search.run()
 

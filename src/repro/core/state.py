@@ -110,6 +110,8 @@ class MatchState:
         check_cache_first: bool = False,
         profiler=None,
         kernels=None,
+        engine: str = "scalar",
+        metrics=None,
     ) -> Tuple["MatchState", MatchResult]:
         """Run DM+EE once, materializing state as a side effect.
 
@@ -117,6 +119,11 @@ class MatchState:
         the memo is cold and every bitmap is built from scratch.
         ``profiler`` (a :class:`repro.observability.Profiler`) samples
         observed costs during the run without touching the counters.
+
+        ``engine="columnar"`` runs the same DM+EE semantics through the
+        set-at-a-time :class:`~repro.engine.ColumnarMatcher` (bit-identical
+        labels, counters, and bitmaps); ``metrics`` (a registry) then
+        receives the ``engine.*`` counters.
         """
         if memo is None:
             names = [feature.name for feature in function.features()]
@@ -126,15 +133,28 @@ class MatchState:
                 else HashMemo(len(candidates), names)
             )
         state = cls(function, candidates, memo, check_cache_first, kernels=kernels)
-        matcher = DynamicMemoMatcher(
-            memo=memo,
-            check_cache_first=check_cache_first,
-            recorder=state,
-            profiler=profiler,
-            kernels=kernels,
-        )
+        if engine == "columnar":
+            from ..engine import ColumnarMatcher  # local: avoids an import cycle
+
+            matcher = ColumnarMatcher(
+                memo=memo,
+                check_cache_first=check_cache_first,
+                recorder=state,
+                profiler=profiler,
+                kernels=kernels,
+            )
+        else:
+            matcher = DynamicMemoMatcher(
+                memo=memo,
+                check_cache_first=check_cache_first,
+                recorder=state,
+                profiler=profiler,
+                kernels=kernels,
+            )
         result = matcher.run(function, candidates)
         state.labels = result.labels.copy()
+        if engine == "columnar" and metrics is not None:
+            matcher.last_executor.report_metrics(metrics)
         return state, result
 
     # ------------------------------------------------------------------
@@ -149,6 +169,23 @@ class MatchState:
         self, pair_index: int, rule_name: str, slot: str
     ) -> None:
         self._slot_bitmap((rule_name, slot))[pair_index] = True
+
+    # Bulk recorders (the columnar engine's batched writes).  Bitmaps are
+    # sets, so one fancy-indexed write per batch is observationally
+    # identical to the scalar per-pair calls.
+
+    def record_rule_match_rows(self, rows, rule_name: str) -> None:
+        self._rule_bitmap(rule_name)[rows] = True
+        self.attribution[rows] = self.function.rule_index(rule_name)
+
+    def record_predicate_false_rows(self, rows, rule_name: str, slot: str) -> None:
+        self._slot_bitmap((rule_name, slot))[rows] = True
+
+    def clear_rule_match_rows(self, rows, rule_name: str) -> None:
+        bitmap = self._rule_matched.get(rule_name)
+        if bitmap is not None:
+            bitmap[rows] = False
+        self.attribution[rows] = -1
 
     # ------------------------------------------------------------------
     # Bitmap access

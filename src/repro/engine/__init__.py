@@ -1,0 +1,42 @@
+"""Columnar evaluation engine: plan/executor split for set-at-a-time matching.
+
+Three stages (see ``docs/performance.md`` and ``DESIGN.md``):
+
+* :mod:`repro.engine.plan` — the **planner** lowers a parsed
+  :class:`~repro.core.rules.MatchingFunction` into a :class:`MatchPlan` of
+  ordered predicate steps annotated with cost-model estimates, kernel
+  support, and bound eligibility (plus a picklable :class:`PlanSpec` for
+  parallel workers);
+* :mod:`repro.engine.executor` — the **columnar executor** evaluates each
+  step as one vectorized mask over the surviving candidate indices, with
+  per-step scalar fallback for similarities without kernels, bit-identical
+  to the scalar :class:`~repro.core.matchers.PairEvaluator` path;
+* :mod:`repro.engine.incremental` — columnar mirrors of the paper's
+  incremental Algorithms 7-10, so rule edits (and the refinement search's
+  scorer) run as mask passes over the materialized state.
+"""
+
+from .executor import ColumnarExecutor, ColumnarMatcher
+from .incremental import (
+    apply_add_rule_columnar,
+    apply_change_columnar,
+    apply_loosening_columnar,
+    apply_remove_rule_columnar,
+    apply_strictening_columnar,
+)
+from .plan import MatchPlan, PlanSpec, PredicateStep, RuleStep, plan_function
+
+__all__ = [
+    "ColumnarExecutor",
+    "ColumnarMatcher",
+    "MatchPlan",
+    "PlanSpec",
+    "PredicateStep",
+    "RuleStep",
+    "apply_add_rule_columnar",
+    "apply_change_columnar",
+    "apply_loosening_columnar",
+    "apply_remove_rule_columnar",
+    "apply_strictening_columnar",
+    "plan_function",
+]

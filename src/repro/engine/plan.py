@@ -1,0 +1,242 @@
+"""Planner: lower a :class:`MatchingFunction` into an explicit ``MatchPlan``.
+
+The plan/executor split follows the relational idiom: the DSL parser
+produces the logical form (an ordered DNF), the planner annotates each
+predicate step with what the cost model and kernel layer know about it
+(estimated cost, selectivity, bound-skip rate, kernel support), and the
+columnar executor (:mod:`repro.engine.executor`) interprets the plan
+set-at-a-time.
+
+The plan is purely *descriptive*: evaluation order is the function's
+rule/predicate order (plus the same per-pair check-cache-first regrouping
+the scalar evaluator applies at runtime), so labels, counters, and trace
+output stay bit-identical to the scalar path.  Annotations exist for
+introspection (the workbench ``plan`` command) and for shipping cost
+context to parallel workers — the executor never branches on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.rules import MatchingFunction, Predicate, Rule
+from ..errors import EstimationError
+
+#: Annotation key: (rule name, predicate pid).
+AnnotationKey = Tuple[str, str]
+
+#: Annotation value: (est_cost, est_selectivity, bound_skip_rate).
+Annotation = Tuple[Optional[float], Optional[float], Optional[float]]
+
+
+@dataclass(frozen=True)
+class PredicateStep:
+    """One predicate of one rule, annotated for the columnar executor."""
+
+    predicate: Predicate
+    #: the kernel layer can batch-compute this feature (token-set measure
+    #: with unforked compare/score_sets).
+    kernel_supported: bool
+    #: the measure additionally exposes a size-only upper bound, so the
+    #: executor's bound pre-filter can decide rows without computing.
+    bound_eligible: bool
+    est_cost: Optional[float] = None
+    est_selectivity: Optional[float] = None
+    bound_skip_rate: Optional[float] = None
+
+    @property
+    def feature_name(self) -> str:
+        return self.predicate.feature.name
+
+    def describe(self) -> str:
+        tags = []
+        if self.kernel_supported:
+            tags.append("kernel")
+        else:
+            tags.append("scalar")
+        if self.bound_eligible:
+            tags.append("bound")
+        cost = "?" if self.est_cost is None else f"{self.est_cost * 1e6:.2f}us"
+        sel = "?" if self.est_selectivity is None else f"{self.est_selectivity:.3f}"
+        skip = (
+            "" if self.bound_skip_rate is None
+            else f" bound_skip={self.bound_skip_rate:.3f}"
+        )
+        return (
+            f"{self.predicate.pid}  cost={cost} sel={sel}{skip} "
+            f"[{','.join(tags)}]"
+        )
+
+
+@dataclass(frozen=True)
+class RuleStep:
+    """One rule: its predicate steps in static (parser) order."""
+
+    rule: Rule
+    steps: Tuple[PredicateStep, ...]
+
+    @property
+    def fully_kernel_supported(self) -> bool:
+        return all(step.kernel_supported for step in self.steps)
+
+
+@dataclass(frozen=True)
+class MatchPlan:
+    """An ordered, annotated physical plan for one matching function.
+
+    ``check_cache_first`` and ``use_bounds`` record the evaluation-mode
+    flags the plan was compiled under so an executor bound to the plan
+    reproduces the scalar evaluator's exact control flow.
+    """
+
+    function: MatchingFunction
+    rule_steps: Tuple[RuleStep, ...]
+    check_cache_first: bool = False
+    use_bounds: bool = False
+
+    @property
+    def fully_kernel_supported(self) -> bool:
+        return all(step.fully_kernel_supported for step in self.rule_steps)
+
+    def describe(self) -> str:
+        """Human-readable plan dump (the workbench ``plan`` command)."""
+        flags = []
+        flags.append(
+            "check_cache_first=on" if self.check_cache_first else "check_cache_first=off"
+        )
+        flags.append("bounds=on" if self.use_bounds else "bounds=off")
+        flags.append(
+            "fully kernel-supported" if self.fully_kernel_supported
+            else "partial scalar fallback"
+        )
+        lines = [
+            f"MatchPlan: {len(self.rule_steps)} rules, {', '.join(flags)}"
+        ]
+        for rule_step in self.rule_steps:
+            tag = "kernel" if rule_step.fully_kernel_supported else "mixed"
+            lines.append(f"  rule {rule_step.rule.name} [{tag}]")
+            for position, step in enumerate(rule_step.steps, start=1):
+                lines.append(f"    {position}. {step.describe()}")
+        return "\n".join(lines)
+
+    def spec(self) -> "PlanSpec":
+        """A picklable, function-free shadow of this plan (for workers)."""
+        annotations: Dict[AnnotationKey, Annotation] = {}
+        for rule_step in self.rule_steps:
+            for step in rule_step.steps:
+                annotations[(rule_step.rule.name, step.predicate.pid)] = (
+                    step.est_cost,
+                    step.est_selectivity,
+                    step.bound_skip_rate,
+                )
+        return PlanSpec(
+            check_cache_first=self.check_cache_first,
+            use_bounds=self.use_bounds,
+            annotations=annotations,
+        )
+
+
+@dataclass
+class PlanSpec:
+    """Picklable plan shadow shipped in :class:`repro.parallel.ChunkTask`.
+
+    Carries only the compile flags and the parent's cost annotations;
+    kernel support is *recomputed* on bind because the worker has its own
+    :class:`~repro.kernels.FeatureKernels` (or none at all) and support
+    must reflect the kernels that will actually execute the plan.
+    """
+
+    check_cache_first: bool = False
+    use_bounds: bool = False
+    annotations: Dict[AnnotationKey, Annotation] = field(default_factory=dict)
+
+    def bind(self, function: MatchingFunction, kernels=None) -> MatchPlan:
+        """Rebuild a full :class:`MatchPlan` against ``function``."""
+        plan = plan_function(
+            function,
+            kernels=kernels,
+            check_cache_first=self.check_cache_first,
+            use_bounds=self.use_bounds,
+        )
+        rule_steps = []
+        for rule_step in plan.rule_steps:
+            steps = []
+            for step in rule_step.steps:
+                annotation = self.annotations.get(
+                    (rule_step.rule.name, step.predicate.pid)
+                )
+                if annotation is None:
+                    steps.append(step)
+                    continue
+                cost, selectivity, skip_rate = annotation
+                steps.append(
+                    PredicateStep(
+                        predicate=step.predicate,
+                        kernel_supported=step.kernel_supported,
+                        bound_eligible=step.bound_eligible,
+                        est_cost=cost,
+                        est_selectivity=selectivity,
+                        bound_skip_rate=skip_rate,
+                    )
+                )
+            rule_steps.append(RuleStep(rule=rule_step.rule, steps=tuple(steps)))
+        return MatchPlan(
+            function=function,
+            rule_steps=tuple(rule_steps),
+            check_cache_first=self.check_cache_first,
+            use_bounds=self.use_bounds,
+        )
+
+
+def plan_function(
+    function: MatchingFunction,
+    kernels=None,
+    estimates=None,
+    check_cache_first: bool = False,
+    use_bounds: Optional[bool] = None,
+) -> MatchPlan:
+    """Compile ``function`` into a :class:`MatchPlan`.
+
+    ``use_bounds`` defaults to the kernels' own ``use_bounds`` flag (off
+    without kernels).  ``estimates`` (a :class:`repro.core.cost_model.Estimates`)
+    is optional; unknown costs/selectivities annotate as ``None`` rather
+    than failing the compile — plans must be buildable mid-edit, before
+    re-estimation has seen newly introduced features.
+    """
+    if use_bounds is None:
+        use_bounds = bool(kernels is not None and kernels.use_bounds)
+    rule_steps = []
+    for rule in function.rules:
+        steps = []
+        for predicate in rule.predicates:
+            feature = predicate.feature
+            supported = kernels is not None and kernels.supports(feature)
+            bound_eligible = bool(
+                supported and use_bounds and kernels.has_bound(feature)
+            )
+            cost = selectivity = skip_rate = None
+            if estimates is not None:
+                cost = estimates.feature_costs.get(feature.name)
+                try:
+                    selectivity = estimates.selectivity(predicate)
+                except EstimationError:
+                    selectivity = None
+                skip_rate = estimates.bound_skip_rates.get(predicate.pid)
+            steps.append(
+                PredicateStep(
+                    predicate=predicate,
+                    kernel_supported=supported,
+                    bound_eligible=bound_eligible,
+                    est_cost=cost,
+                    est_selectivity=selectivity,
+                    bound_skip_rate=skip_rate,
+                )
+            )
+        rule_steps.append(RuleStep(rule=rule, steps=tuple(steps)))
+    return MatchPlan(
+        function=function,
+        rule_steps=tuple(rule_steps),
+        check_cache_first=check_cache_first,
+        use_bounds=use_bounds,
+    )

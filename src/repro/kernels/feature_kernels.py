@@ -89,6 +89,11 @@ class FeatureKernels:
         """True when ``feature`` can run through the cached kernel path."""
         return self._plan(feature) is not None
 
+    def has_bound(self, feature) -> bool:
+        """True when the feature's measure exposes a size-only upper bound."""
+        plan = self._plan(feature)
+        return plan is not None and plan.has_bound
+
     def _make_plan(self, feature) -> Optional[_Plan]:
         sim = feature.sim
         if not isinstance(sim, TokenSetSimilarity):
@@ -170,6 +175,55 @@ class FeatureKernels:
             column[row] = score
         return column
 
+    def compute_rows(self, feature, candidates, rows) -> np.ndarray:
+        """The feature's score for the given candidate rows, as float64.
+
+        The row-subset counterpart of :meth:`compute_column` — the same
+        count-gathering loop and the same vectorized ``from_counts``
+        formula, so values and token-cache traffic are identical to
+        calling :meth:`compute` per pair (which is the fallback when the
+        measure has no ``from_counts``).
+        """
+        n = len(rows)
+        plan = self._plan(feature)
+        if plan is None or plan.from_counts is None:
+            return np.fromiter(
+                (self.compute(feature, candidates[int(row)]) for row in rows),
+                dtype=np.float64,
+                count=n,
+            )
+        intersection = np.empty(n, dtype=np.int64)
+        size_x = np.ones(n, dtype=np.int64)
+        size_y = np.ones(n, dtype=np.int64)
+        special = []  # (position, score) for None/empty rows the formula skips
+        cache = self.cache
+        key_a, key_b = plan.key_a, plan.key_b
+        attr_a, attr_b = plan.attr_a, plan.attr_b
+        tokenizer = plan.tokenizer
+        for position, row in enumerate(rows):
+            pair = candidates[int(row)]
+            record_a, record_b = pair.record_a, pair.record_b
+            if record_a.get(attr_a) is None or record_b.get(attr_b) is None:
+                intersection[position] = 0
+                special.append((position, 0.0))
+                continue
+            set_a = cache.token_set(key_a, "a", record_a, attr_a, tokenizer)
+            set_b = cache.token_set(key_b, "b", record_b, attr_b, tokenizer)
+            len_a, len_b = len(set_a), len(set_b)
+            if len_a == 0 or len_b == 0:
+                intersection[position] = 0
+                special.append((position, 1.0 if len_a == len_b else 0.0))
+                continue
+            intersection[position] = len(set_a & set_b)
+            size_x[position] = len_a
+            size_y[position] = len_b
+        column = np.asarray(
+            plan.from_counts(intersection, size_x, size_y), dtype=np.float64
+        )
+        for position, score in special:
+            column[position] = score
+        return column
+
     # --------------------------------------------------------- invalidation
 
     def invalidate_records(self, side: str, record_ids) -> int:
@@ -227,6 +281,57 @@ class FeatureKernels:
             pid = predicate.pid
             self.bound_skips[pid] = self.bound_skips.get(pid, 0) + 1
         return decided
+
+    def bound_rows(self, predicate, candidates, rows) -> np.ndarray:
+        """Per-row bound decisions as int8: 1 true, 0 false, -1 undecided.
+
+        The batched counterpart of :meth:`try_bound` — same per-pair
+        decision logic and token-cache traffic, with decided rows counted
+        into :attr:`bound_skips` in one addition.
+        """
+        n = len(rows)
+        out = np.full(n, -1, dtype=np.int8)
+        plan = self._plan(predicate.feature)
+        if plan is None or not plan.has_bound:
+            return out
+        cache = self.cache
+        key_a, key_b = plan.key_a, plan.key_b
+        attr_a, attr_b = plan.attr_a, plan.attr_b
+        tokenizer = plan.tokenizer
+        upper_bound = plan.sim.upper_bound
+        op = predicate.op
+        threshold = predicate.threshold
+        decided_count = 0
+        for position, row in enumerate(rows):
+            pair = candidates[int(row)]
+            record_a, record_b = pair.record_a, pair.record_b
+            if record_a.get(attr_a) is None or record_b.get(attr_b) is None:
+                continue  # full path is already trivially cheap (0.0)
+            set_a = cache.token_set(key_a, "a", record_a, attr_a, tokenizer)
+            set_b = cache.token_set(key_b, "b", record_b, attr_b, tokenizer)
+            if not set_a or not set_b:
+                continue
+            bound = upper_bound(len(set_a), len(set_b))
+            if bound is None:
+                continue
+            decision = None
+            if op == ">=":
+                decision = False if bound < threshold else None
+            elif op == ">":
+                decision = False if bound <= threshold else None
+            elif op == "==":
+                decision = False if bound < threshold else None
+            elif op == "<=":
+                decision = True if bound <= threshold else None
+            elif op == "<":
+                decision = True if bound < threshold else None
+            if decision is not None:
+                out[position] = 1 if decision else 0
+                decided_count += 1
+        if decided_count:
+            pid = predicate.pid
+            self.bound_skips[pid] = self.bound_skips.get(pid, 0) + decided_count
+        return out
 
     # -------------------------------------------------------------- metrics
 

@@ -90,6 +90,36 @@ class Profiler:
         self.rule_counts[name] = seen + 1
         return seen % self.sample_every == 0
 
+    # ----------------------------------------------- batched sampling
+    #
+    # The columnar engine sees N computations of a feature at once.  The
+    # batched hooks advance the same modular-sampling counters by N and
+    # report how many of those N positions the scalar path would have
+    # timed — so sampled-observation *counts* are engine-independent
+    # (only the observed durations differ: batch means vs. per-call).
+
+    def _sampled_in(self, seen: int, count: int) -> int:
+        """How many of positions [seen, seen+count) hit the sample grid."""
+        if count <= 0:
+            return 0
+        every = self.sample_every
+        first = seen if seen % every == 0 else seen + (every - seen % every)
+        last = seen + count - 1
+        if first > last:
+            return 0
+        return (last - first) // every + 1
+
+    def count_features(self, name: str, count: int) -> int:
+        """Count ``count`` computations of ``name``; sampled positions."""
+        seen = self.feature_counts.get(name, 0)
+        self.feature_counts[name] = seen + count
+        return self._sampled_in(seen, count)
+
+    def count_rules(self, name: str, count: int) -> int:
+        seen = self.rule_counts.get(name, 0)
+        self.rule_counts[name] = seen + count
+        return self._sampled_in(seen, count)
+
     # ----------------------------------------------------------- recording
 
     def record_feature(self, name: str, seconds: float) -> None:
@@ -114,6 +144,52 @@ class Profiler:
     def record_bound_skip(self, pid: str) -> None:
         """One predicate decision settled by a cheap bound (no compute)."""
         self.bound_skips[pid] = self.bound_skips.get(pid, 0) + 1
+
+    # ------------------------------------------------ batched recording
+
+    def _observe_bulk(self, histogram: Histogram, observations: int, seconds: float) -> None:
+        for position, bound in enumerate(histogram.bounds):
+            if seconds <= bound:
+                histogram.bucket_counts[position] += observations
+                break
+        histogram.count += observations
+        histogram.total += seconds * observations
+        if seconds < histogram.min:
+            histogram.min = seconds
+        if seconds > histogram.max:
+            histogram.max = seconds
+
+    def record_feature_bulk(self, name: str, observations: int, seconds: float) -> None:
+        """Record ``observations`` sampled computations at a mean duration."""
+        if observations <= 0:
+            return
+        histogram = self.feature_costs.get(name)
+        if histogram is None:
+            histogram = Histogram(name, bounds=COST_BUCKETS)
+            self.feature_costs[name] = histogram
+        self._observe_bulk(histogram, observations, seconds)
+
+    def record_rule_bulk(self, name: str, observations: int, seconds: float) -> None:
+        if observations <= 0:
+            return
+        histogram = self.rule_costs.get(name)
+        if histogram is None:
+            histogram = Histogram(name, bounds=COST_BUCKETS)
+            self.rule_costs[name] = histogram
+        self._observe_bulk(histogram, observations, seconds)
+
+    def record_predicate_bulk(self, pid: str, evals: int, trues: int) -> None:
+        """Count a batch of predicate outcomes (``evals`` >= ``trues``)."""
+        if evals <= 0:
+            return
+        self.predicate_evals[pid] = self.predicate_evals.get(pid, 0) + evals
+        if trues:
+            self.predicate_trues[pid] = self.predicate_trues.get(pid, 0) + trues
+
+    def record_bound_skip_bulk(self, pid: str, count: int) -> None:
+        if count <= 0:
+            return
+        self.bound_skips[pid] = self.bound_skips.get(pid, 0) + count
 
     # ------------------------------------------------------------- reading
 

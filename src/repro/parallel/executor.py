@@ -86,6 +86,7 @@ class ParallelMatcher:
         fault_plan: Optional[FaultPlan] = None,
         observability=None,
         kernels=None,
+        engine: str = "scalar",
     ):
         self.workers = workers if workers is not None else _default_workers()
         if self.workers < 1:
@@ -112,6 +113,15 @@ class ParallelMatcher:
         #: fresh per-shard kernel set.  The parent's instance serves the
         #: serial and in-parent fallback paths.  None = seed-exact paths.
         self.kernels = kernels
+        #: "scalar" or "columnar": the evaluation engine inside each worker
+        #: (and in every serial/in-parent fallback).  Chunk outcomes are
+        #: bit-identical either way; columnar chunks additionally ship
+        #: engine counters back for the parent's metrics.
+        if engine not in ("scalar", "columnar"):
+            raise ParallelExecutionError(
+                f"engine must be 'scalar' or 'columnar', got {engine!r}"
+            )
+        self.engine = engine
         self.last_plan: Optional[PartitionPlan] = None
         self.last_memo: Optional[FeatureMemo] = memo
         self.fallback_reason: Optional[str] = None
@@ -176,6 +186,18 @@ class ParallelMatcher:
                 if observability is not None and observability.profiler is not None
                 else 0
             )
+            plan_spec = None
+            if self.engine == "columnar":
+                # Compile once in the parent; workers re-bind the picklable
+                # spec to their re-materialized function + fresh kernels.
+                from ..engine import plan_function
+
+                plan_spec = plan_function(
+                    function,
+                    kernels=self.kernels,
+                    estimates=self.estimates,
+                    check_cache_first=self.check_cache_first,
+                ).spec()
             serialize_started = time.perf_counter()
             with maybe_span(observability, "serialize"):
                 try:
@@ -199,6 +221,8 @@ class ParallelMatcher:
                                     self.kernels is not None
                                     and self.kernels.use_bounds
                                 ),
+                                engine=self.engine,
+                                plan_spec=plan_spec,
                             )
                         )
                         for chunk in plan.chunks
@@ -255,6 +279,17 @@ class ParallelMatcher:
                         )
                     if outcome.profile is not None and observability.profiler is not None:
                         observability.profiler.merge(outcome.profile)
+                mask_evals = sum(outcome.mask_evals for outcome in outcomes)
+                scalar_fallbacks = sum(
+                    outcome.scalar_fallbacks for outcome in outcomes
+                )
+                if mask_evals or scalar_fallbacks:
+                    observability.metrics.counter("engine.mask_evals").inc(
+                        mask_evals
+                    )
+                    observability.metrics.counter(
+                        "engine.scalar_fallbacks"
+                    ).inc(scalar_fallbacks)
 
             stitch_started = time.perf_counter()
             with maybe_span(observability, "stitch"):
@@ -405,18 +440,38 @@ class ParallelMatcher:
         """
         self._note_fallback(reason)
         observability = self.observability
-        matcher = DynamicMemoMatcher(
-            memo=memo,
-            memo_backend=self.memo_backend,
-            check_cache_first=self.check_cache_first,
-            recorder=self.recorder,
-            profiler=(
-                observability.profiler if observability is not None else None
-            ),
-            kernels=self.kernels,
-        )
+        if self.engine == "columnar":
+            from ..engine import ColumnarMatcher
+
+            matcher = ColumnarMatcher(
+                memo=memo,
+                memo_backend=self.memo_backend,
+                check_cache_first=self.check_cache_first,
+                recorder=self.recorder,
+                profiler=(
+                    observability.profiler
+                    if observability is not None
+                    else None
+                ),
+                kernels=self.kernels,
+            )
+        else:
+            matcher = DynamicMemoMatcher(
+                memo=memo,
+                memo_backend=self.memo_backend,
+                check_cache_first=self.check_cache_first,
+                recorder=self.recorder,
+                profiler=(
+                    observability.profiler
+                    if observability is not None
+                    else None
+                ),
+                kernels=self.kernels,
+            )
         with maybe_span(observability, "serial_fallback", reason=reason):
             result = matcher.run(function, candidates)
+        if self.engine == "columnar" and observability is not None:
+            matcher.last_executor.report_metrics(observability.metrics)
         self.last_memo = matcher.last_memo
         match_seconds = result.stats.elapsed_seconds
         if partition_seconds is not None:

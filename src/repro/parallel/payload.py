@@ -135,6 +135,14 @@ class ChunkTask:
     #: use_kernels; changes memo contents, so tasks built for bare
     #: matchers leave it off).
     use_bounds: bool = False
+    #: evaluation engine inside the worker: "scalar" (PairEvaluator) or
+    #: "columnar" (the repro.engine plan/executor split).  Labels, stats,
+    #: memo contents, and trace facts are bit-identical either way.
+    engine: str = "scalar"
+    #: pre-compiled plan spec (repro.engine.PlanSpec) for columnar tasks —
+    #: picklable annotations only; kernel support is recomputed worker-side
+    #: via PlanSpec.bind.  None means the worker plans locally.
+    plan_spec: Optional[object] = None
     #: fault injection (tests only): number of times this chunk should
     #: still fail, and how ("raise" = exception, "exit" = kill the worker).
     fault_failures: int = 0
@@ -154,6 +162,8 @@ def build_chunk_task(
     profile_sample_every: int = 0,
     use_kernels: bool = False,
     use_bounds: bool = False,
+    engine: str = "scalar",
+    plan_spec: Optional[object] = None,
 ) -> ChunkTask:
     """Slice ``candidates`` down to ``chunk`` and pack a worker task."""
     pair_ids: List[Tuple[str, str]] = []
@@ -183,4 +193,6 @@ def build_chunk_task(
         profile_sample_every=profile_sample_every,
         use_kernels=use_kernels,
         use_bounds=use_bounds,
+        engine=engine,
+        plan_spec=plan_spec,
     )

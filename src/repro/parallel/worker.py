@@ -68,6 +68,10 @@ class ChunkOutcome:
     spans: Optional[object] = None
     #: worker-local Profiler snapshot (None unless profiling requested).
     profile: Optional[dict] = None
+    #: columnar-engine counters (0 for scalar chunks); the parent folds
+    #: them into its engine.* metrics.
+    mask_evals: int = 0
+    scalar_fallbacks: int = 0
 
 
 def _build_table(
@@ -131,17 +135,43 @@ def run_chunk(task: ChunkTask) -> ChunkOutcome:
 
             kernels = FeatureKernels(use_bounds=task.use_bounds)
 
-        memo = HashMemo(len(candidates))
         trace = TraceLog() if task.collect_trace else None
-        matcher = DynamicMemoMatcher(
-            memo=memo,
-            check_cache_first=task.check_cache_first,
-            recorder=trace,
-            profiler=profiler,
-            kernels=kernels,
-        )
+        executor = None
+        if task.engine == "columnar":
+            # Columnar chunks use a dense ArrayMemo (the executor's native
+            # backend); entries still travel back as sparse triples via
+            # items(), so the parent-side merge is backend-agnostic.
+            from ..core.memo import ArrayMemo
+            from ..engine import ColumnarMatcher
+
+            names = [feature.name for feature in function.features()]
+            memo = ArrayMemo(len(candidates), names)
+            plan = (
+                task.plan_spec.bind(function, kernels)
+                if task.plan_spec is not None
+                else None
+            )
+            matcher = ColumnarMatcher(
+                memo=memo,
+                check_cache_first=task.check_cache_first,
+                recorder=trace,
+                profiler=profiler,
+                kernels=kernels,
+                plan=plan,
+            )
+        else:
+            memo = HashMemo(len(candidates))
+            matcher = DynamicMemoMatcher(
+                memo=memo,
+                check_cache_first=task.check_cache_first,
+                recorder=trace,
+                profiler=profiler,
+                kernels=kernels,
+            )
         with tracer.span("match") if tracer is not None else _NULL_CONTEXT:
             result = matcher.run(function, candidates)
+        if task.engine == "columnar":
+            executor = matcher.last_executor
     return ChunkOutcome(
         chunk_id=task.chunk_id,
         labels=result.labels,
@@ -152,4 +182,8 @@ def run_chunk(task: ChunkTask) -> ChunkOutcome:
         elapsed_seconds=time.perf_counter() - started,
         spans=tracer.log if tracer is not None else None,
         profile=profiler.snapshot() if profiler is not None else None,
+        mask_evals=executor.mask_evals if executor is not None else 0,
+        scalar_fallbacks=(
+            executor.scalar_fallbacks if executor is not None else 0
+        ),
     )

@@ -221,11 +221,16 @@ class RefinementSearch:
         feature_universe: Sequence[Feature] = (),
         observability: Optional[Observability] = None,
         kernels=None,
+        engine: str = "scalar",
     ):
         if not gold:
             raise RefinementError(
                 "refinement needs gold labels (a non-empty set of matching "
                 "pair ids) to score candidates against"
+            )
+        if engine not in ("scalar", "columnar"):
+            raise RefinementError(
+                f"engine must be 'scalar' or 'columnar', got {engine!r}"
             )
         self.state = state
         self.candidates: CandidateSet = state.candidates
@@ -235,6 +240,12 @@ class RefinementSearch:
         self.feature_universe = tuple(feature_universe)
         self.observability = observability
         self.kernels = kernels
+        #: "scalar" applies candidate edits through the per-pair
+        #: Algorithms 7-10; "columnar" through their set-at-a-time mirrors
+        #: (repro.engine.incremental) — each scored edit becomes a handful
+        #: of mask passes over the checkpointed state.  Outcomes (labels,
+        #: counters, restored state) are bit-identical either way.
+        self.engine = engine
         self._gold_mask = np.fromiter(
             (pair.pair_id in gold for pair in self.candidates),
             dtype=bool,
@@ -370,6 +381,23 @@ class RefinementSearch:
         fresh.labels = result.labels.copy()
         self.state = fresh
 
+    def _apply(self, change: Change) -> None:
+        """Apply one candidate edit via the configured engine."""
+        if self.engine == "columnar":
+            from ..engine import apply_change_columnar
+
+            apply_change_columnar(
+                self.state,
+                change,
+                metrics=(
+                    self.observability.metrics
+                    if self.observability is not None
+                    else None
+                ),
+            )
+        else:
+            apply_change(self.state, change)
+
     def _counter(self, name: str):
         if self.observability is not None:
             return self.observability.metrics.counter(name)
@@ -494,7 +522,7 @@ class RefinementSearch:
         except ChangeError:
             return None
         try:
-            apply_change(state, edit.change)
+            self._apply(edit.change)
             self.incremental_evals += 1
             self._counter("refine.incremental_evals").inc()
             self.candidates_scored += 1
@@ -535,7 +563,7 @@ class RefinementSearch:
         for candidate, parent in ranked[: config.beam_width]:
             state.restore(parent.checkpoint)
             try:
-                apply_change(state, candidate.edits[-1])
+                self._apply(candidate.edits[-1])
                 self.incremental_evals += 1
                 self._counter("refine.incremental_evals").inc()
             except ChangeError:  # cannot happen: already applied once

@@ -361,22 +361,49 @@ class StreamingSession:
 
     def _rematch_serial(self, state, affected: Sequence[int], stats: MatchStats) -> None:
         observability = self.observability
-        evaluator = PairEvaluator(
-            stats,
-            memo=state.memo,
-            recorder=state,
-            check_cache_first=self.session.check_cache_first,
-            profiler=(
-                observability.profiler if observability is not None else None
-            ),
-            kernels=state.kernels,
+        profiler = (
+            observability.profiler if observability is not None else None
         )
-        rules = state.function.rules
-        for index in affected:
-            pair = state.candidates[index]
-            state.labels[index] = (
-                evaluator.first_matching_rule(pair, rules) is not None
+        if self.session._resolve_engine(state.function) == "columnar":
+            # Set-at-a-time re-match: one executor pass over the affected
+            # index set, recording into the state exactly as a full
+            # columnar run would (bit-identical to the scalar loop below).
+            from ..engine import ColumnarExecutor, plan_function
+
+            plan = plan_function(
+                state.function,
+                kernels=state.kernels,
+                estimates=self.session.estimates,
+                check_cache_first=self.session.check_cache_first,
             )
+            executor = ColumnarExecutor(
+                plan,
+                state.candidates,
+                state.memo,
+                stats,
+                recorder=state,
+                profiler=profiler,
+                kernels=state.kernels,
+            )
+            rows = np.asarray(affected, dtype=np.int64)
+            state.labels[rows] = executor.match_rows(rows)
+            if observability is not None:
+                executor.report_metrics(observability.metrics)
+        else:
+            evaluator = PairEvaluator(
+                stats,
+                memo=state.memo,
+                recorder=state,
+                check_cache_first=self.session.check_cache_first,
+                profiler=profiler,
+                kernels=state.kernels,
+            )
+            rules = state.function.rules
+            for index in affected:
+                pair = state.candidates[index]
+                state.labels[index] = (
+                    evaluator.first_matching_rule(pair, rules) is not None
+                )
         stats.pairs_evaluated += len(affected)
 
     def _rematch_parallel(self, state, affected: Sequence[int], stats: MatchStats) -> None:
@@ -407,6 +434,7 @@ class StreamingSession:
             estimates=self.session.estimates,
             observability=self.observability,
             kernels=state.kernels,
+            engine=self.session._resolve_engine(function),
         )
         result = matcher.run(function, sub_candidates)
         index_map = {local: affected[local] for local in range(len(affected))}

@@ -103,6 +103,7 @@ class Workbench:
             "load": self.cmd_load,
             "load-csv": self.cmd_load_csv,
             "rules": self.cmd_rules,
+            "plan": self.cmd_plan,
             "run": self.cmd_run,
             "ingest": self.cmd_ingest,
             "delta-stats": self.cmd_delta_stats,
@@ -168,6 +169,8 @@ class Workbench:
                 "  run [--workers N]            full matching run (orders rules first;",
                 "                               N>1 shards it over a process pool)",
                 "  rules                        list current rules",
+                "  plan                         compiled evaluation plan with",
+                "                               cost/selectivity annotations",
                 "  metrics                      P/R/F1 against gold",
                 "  explain <a_id> <b_id>        per-rule, per-predicate trace",
                 "  tighten <rule> <slot> <thr>  stricter threshold (Alg 7)",
@@ -320,6 +323,25 @@ class Workbench:
             f"({len(table_b)}): {len(candidates)} candidate pairs"
             + (f", {len(gold)} gold labels" if gold else "")
         )
+
+    def cmd_plan(self, arguments: List[str]) -> str:
+        """``plan`` — the compiled columnar evaluation plan of the current
+        function: ordered predicate steps with kernel support, bound
+        eligibility, and cost-model annotations, plus which engine the
+        session would pick for it."""
+        if arguments:
+            raise WorkbenchError("usage: plan")
+        if self.session is None:
+            raise WorkbenchError("load a dataset first")
+        session = self.session
+        function = (
+            session.state.function
+            if session.state is not None
+            else session.initial_function
+        )
+        plan = session.compile_plan(function)
+        resolved = session._resolve_engine(function)
+        return plan.describe() + f"\nengine: {session.engine} -> {resolved}"
 
     def cmd_run(self, arguments: List[str]) -> str:
         if self.session is None:

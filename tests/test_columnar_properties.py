@@ -1,0 +1,306 @@
+"""Property-based tests: the columnar engine is a pure performance
+transformation of the scalar evaluator.
+
+The PR's conservation property, hammered from every side: on randomly
+generated tables and rule sets — mixing kernel-supported features with
+ones the executor must evaluate through its per-step scalar fallback —
+the plan/executor split produces **bit-identical** labels, stats
+counters, memo contents, and trace facts, for every combination of
+check-cache-first, kernels, and bounds.  A deterministic dataset x
+blocker matrix covers the same invariant on realistic records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import AttributeEquivalenceBlocker, OverlapBlocker
+from repro.core import (
+    DynamicMemoMatcher,
+    Feature,
+    MatchingFunction,
+    Predicate,
+    RemoveRule,
+    Rule,
+    TightenPredicate,
+    apply_change,
+    parse_function,
+)
+from repro.core.matchers import TraceLog
+from repro.core.state import MatchState
+from repro.data import CandidateSet, Record, Table, load_dataset
+from repro.engine import ColumnarMatcher, apply_change_columnar, plan_function
+from repro.kernels import FeatureKernels
+from repro.similarity import ExactMatch, Jaccard, JaroWinkler, Levenshtein, Trigram
+
+ATTRIBUTES = ("name", "code")
+
+#: token-kernel-supported (jaccard_ws, trigram) deliberately mixed with
+#: unsupported measures (exact_match, jaro_winkler, levenshtein) so random
+#: functions routinely produce partial-fallback plans.
+FEATURE_POOL = [
+    Feature(Jaccard(), "name", "name"),
+    Feature(ExactMatch(), "name", "name"),
+    Feature(JaroWinkler(), "name", "name"),
+    Feature(Trigram(), "code", "code"),
+    Feature(ExactMatch(), "code", "code"),
+    Feature(Levenshtein(), "code", "code"),
+]
+
+#: all-supported subset: plans over these are fully kernel-backed.
+SUPPORTED_POOL = [
+    Feature(Jaccard(), "name", "name"),
+    Feature(Trigram(), "code", "code"),
+]
+
+value_strategy = st.text(alphabet="abcd 12", min_size=0, max_size=8)
+maybe_value = st.one_of(st.none(), value_strategy)
+
+#: the engine-flag matrix every parity property sweeps.
+FLAG_MATRIX = [
+    (check_cache_first, use_kernels, use_bounds)
+    for check_cache_first in (False, True)
+    for use_kernels, use_bounds in ((False, False), (True, False), (True, True))
+]
+
+
+@st.composite
+def tables_strategy(draw):
+    size_a = draw(st.integers(min_value=1, max_value=5))
+    size_b = draw(st.integers(min_value=1, max_value=5))
+    table_a = Table("A", ATTRIBUTES)
+    table_b = Table("B", ATTRIBUTES)
+    for index in range(size_a):
+        table_a.add(
+            Record(
+                f"a{index}",
+                {"name": draw(maybe_value), "code": draw(maybe_value)},
+            )
+        )
+    for index in range(size_b):
+        table_b.add(
+            Record(
+                f"b{index}",
+                {"name": draw(maybe_value), "code": draw(maybe_value)},
+            )
+        )
+    return table_a, table_b
+
+
+@st.composite
+def function_strategy(draw, pool=FEATURE_POOL):
+    n_rules = draw(st.integers(min_value=1, max_value=4))
+    rules = []
+    for rule_index in range(n_rules):
+        slots = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=len(pool) - 1),
+                    st.sampled_from([">=", ">", "<=", "<"]),
+                ),
+                min_size=1,
+                max_size=4,
+                unique_by=lambda item: (item[0], item[1] in (">=", ">")),
+            )
+        )
+        predicates = [
+            Predicate(
+                pool[feature_index],
+                op,
+                draw(
+                    st.floats(
+                        min_value=0.0, max_value=1.0, allow_nan=False, width=16
+                    )
+                ),
+            )
+            for feature_index, op in slots
+        ]
+        rules.append(Rule(f"r{rule_index}", predicates))
+    return MatchingFunction(rules)
+
+
+def cross_product(table_a: Table, table_b: Table) -> CandidateSet:
+    return CandidateSet.from_id_pairs(
+        table_a,
+        table_b,
+        [(a.record_id, b.record_id) for a in table_a for b in table_b],
+    )
+
+
+def run_both(function, candidates, check_cache_first, use_kernels, use_bounds):
+    """One scalar and one columnar run under identical flags."""
+    results = []
+    for matcher_class in (DynamicMemoMatcher, ColumnarMatcher):
+        kernels = (
+            FeatureKernels(use_bounds=use_bounds) if use_kernels else None
+        )
+        trace = TraceLog()
+        matcher = matcher_class(
+            check_cache_first=check_cache_first,
+            recorder=trace,
+            kernels=kernels,
+        )
+        result = matcher.run(function, candidates)
+        results.append((result, matcher.last_memo, trace, kernels))
+    return results
+
+
+def assert_parity(scalar, columnar):
+    result_s, memo_s, trace_s, kernels_s = scalar
+    result_c, memo_c, trace_c, kernels_c = columnar
+    assert (result_s.labels == result_c.labels).all()
+    for counter in (
+        "feature_computations",
+        "predicate_evaluations",
+        "rule_evaluations",
+        "memo_hits",
+        "bound_skips",
+        "pairs_evaluated",
+        "pairs_matched",
+    ):
+        assert getattr(result_s.stats, counter) == getattr(
+            result_c.stats, counter
+        ), counter
+    assert dict(result_s.stats.computations_by_feature) == dict(
+        result_c.stats.computations_by_feature
+    )
+    assert sorted(memo_s.items()) == sorted(memo_c.items())
+    assert sorted(trace_s.rule_matches) == sorted(trace_c.rule_matches)
+    assert sorted(trace_s.predicate_falses) == sorted(trace_c.predicate_falses)
+    if kernels_s is not None:
+        assert kernels_s.bound_skips == kernels_c.bound_skips
+
+
+@given(tables=tables_strategy(), function=function_strategy())
+@settings(max_examples=40, deadline=None)
+def test_columnar_matches_scalar(tables, function):
+    """Bit-identity across the full flag matrix, partial fallback included."""
+    candidates = cross_product(*tables)
+    for check_cache_first, use_kernels, use_bounds in FLAG_MATRIX:
+        scalar, columnar = run_both(
+            function, candidates, check_cache_first, use_kernels, use_bounds
+        )
+        assert_parity(scalar, columnar)
+
+
+@given(tables=tables_strategy(), function=function_strategy(pool=SUPPORTED_POOL))
+@settings(max_examples=25, deadline=None)
+def test_fully_supported_plans_never_fall_back(tables, function):
+    """An all-kernel function compiles to a fully supported plan and the
+    executor takes zero scalar fallbacks on it."""
+    candidates = cross_product(*tables)
+    kernels = FeatureKernels(use_bounds=True)
+    plan = plan_function(function, kernels=kernels)
+    assert plan.fully_kernel_supported
+    matcher = ColumnarMatcher(kernels=kernels)
+    matcher.run(function, candidates)
+    assert matcher.last_executor.scalar_fallbacks == 0
+    assert matcher.last_executor.mask_evals > 0
+    scalar, columnar = run_both(function, candidates, False, True, True)
+    assert_parity(scalar, columnar)
+
+
+@given(
+    tables=tables_strategy(),
+    function=function_strategy(),
+    rule_choice=st.integers(min_value=0, max_value=7),
+    tighten_by=st.floats(min_value=0.01, max_value=0.3, allow_nan=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_incremental_mirrors_match_scalar(
+    tables, function, rule_choice, tighten_by
+):
+    """apply_change vs apply_change_columnar: identical states after an
+    edit applied to identically materialized states."""
+    candidates = cross_product(*tables)
+    states = []
+    for engine in ("scalar", "columnar"):
+        kernels = FeatureKernels(use_bounds=True)
+        state, _ = MatchState.from_initial_run(
+            function, candidates, kernels=kernels, engine=engine
+        )
+        states.append(state)
+    state_s, state_c = states
+
+    rule = function.rules[rule_choice % len(function.rules)]
+    tightenable = [
+        p for p in rule.predicates if p.op in (">", ">=") and p.threshold < 0.99
+    ]
+    if tightenable:
+        predicate = tightenable[0]
+        change = TightenPredicate(
+            rule.name, predicate.slot, min(predicate.threshold + tighten_by, 1.0)
+        )
+    elif len(function.rules) > 1:
+        change = RemoveRule(rule.name)
+    else:
+        return  # nothing applicable to this draw
+    result_s = apply_change(state_s, change)
+    result_c = apply_change_columnar(state_c, change)
+
+    assert (state_s.labels == state_c.labels).all()
+    assert (state_s.attribution == state_c.attribution).all()
+    assert sorted(state_s.memo.items()) == sorted(state_c.memo.items())
+    assert set(state_s._rule_matched) == set(state_c._rule_matched)
+    for name, bitmap in state_s._rule_matched.items():
+        assert (bitmap == state_c._rule_matched[name]).all()
+    assert set(state_s._predicate_false) == set(state_c._predicate_false)
+    for key, bitmap in state_s._predicate_false.items():
+        assert (bitmap == state_c._predicate_false[key]).all()
+    assert result_s.newly_matched == result_c.newly_matched
+    assert result_s.newly_unmatched == result_c.newly_unmatched
+    assert result_s.affected_pairs == result_c.affected_pairs
+    state_s.check_soundness()
+    state_c.check_soundness()
+
+
+# ---------------------------------------------------------------------------
+# Deterministic dataset x blocker matrix
+# ---------------------------------------------------------------------------
+
+DATASET_FUNCTIONS = {
+    "products": """
+        R1: jaccard_ws(title, title) >= 0.45 AND trigram(modelno, modelno) >= 0.6
+        R2: jaro_winkler(title, title) >= 0.92
+        R3: exact_match(modelno, modelno) >= 1 AND jaccard_ws(title, title) >= 0.2
+    """,
+    "restaurants": """
+        R1: jaccard_ws(name, name) >= 0.5 AND trigram(phone, phone) >= 0.7
+        R2: levenshtein(name, name) >= 0.85 AND jaccard_ws(addr, addr) >= 0.3
+    """,
+}
+
+BLOCKERS = {
+    "products": [
+        OverlapBlocker("title", min_overlap=2, stop_fraction=0.25),
+        AttributeEquivalenceBlocker("brand"),
+    ],
+    "restaurants": [
+        OverlapBlocker("name", min_overlap=1),
+        AttributeEquivalenceBlocker("city"),
+    ],
+}
+
+
+@pytest.mark.parametrize("dataset_name", sorted(DATASET_FUNCTIONS))
+@pytest.mark.parametrize("blocker_index", [0, 1])
+@pytest.mark.parametrize(
+    "use_kernels,use_bounds", [(False, False), (True, False), (True, True)]
+)
+def test_dataset_blocker_matrix(dataset_name, blocker_index, use_kernels, use_bounds):
+    dataset = load_dataset(
+        dataset_name, shared=40, a_only=10, b_only=60, seed=5
+    )
+    blocker = BLOCKERS[dataset_name][blocker_index]
+    candidates = blocker.block(dataset.table_a, dataset.table_b)
+    if len(candidates) == 0:
+        pytest.skip("blocker produced no candidates at this scale")
+    function = parse_function(DATASET_FUNCTIONS[dataset_name])
+    for check_cache_first in (False, True):
+        scalar, columnar = run_both(
+            function, candidates, check_cache_first, use_kernels, use_bounds
+        )
+        assert_parity(scalar, columnar)

@@ -1,0 +1,524 @@
+"""Unit tests for the columnar plan/executor engine (:mod:`repro.engine`)
+and its integration points: session dispatch, parallel transport,
+streaming re-match, refinement scoring, metrics, and the workbench
+``plan`` command.
+
+Bit-identity of the engine itself is hammered property-style in
+:mod:`tests.test_columnar_properties`; this module pins down the concrete
+API surface — plan structure, spec round-trips, engine resolution rules,
+counter plumbing — with small deterministic inputs.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.blocking import CartesianBlocker
+from repro.core import (
+    CostEstimator,
+    DebugSession,
+    DynamicMemoMatcher,
+    TightenPredicate,
+    parse_function,
+)
+from repro.core.state import MatchState
+from repro.data import CandidateSet, Table
+from repro.engine import (
+    ColumnarMatcher,
+    MatchPlan,
+    apply_change_columnar,
+    plan_function,
+)
+from repro.engine.plan import PlanSpec
+from repro.errors import MatchingError, ParallelExecutionError, RefinementError
+from repro.kernels import FeatureKernels
+from repro.observability import Observability
+from repro.parallel import ParallelMatcher
+from repro.parallel.partitioner import Chunk
+from repro.parallel.payload import build_chunk_task, serialize_function
+from repro.parallel.worker import run_chunk
+from repro.refine import RefineConfig, RefinementSearch
+from repro.streaming import Delta, StreamingSession
+from repro.workbench import Workbench, WorkbenchError
+
+#: every feature kernel-supported (token measures) — auto picks columnar.
+SUPPORTED_DSL = """
+R1: jaccard_ws(name, name) >= 0.3 AND trigram(zip, zip) >= 0.6
+R2: trigram(name, name) >= 0.8
+"""
+
+#: jaro_winkler has no kernel — auto falls back to scalar; explicit
+#: columnar exercises the per-step scalar fallback.
+MIXED_DSL = """
+R1: jaccard_ws(name, name) >= 0.3
+R2: jaro_winkler(name, name) >= 0.9
+"""
+
+
+@pytest.fixture()
+def supported_function():
+    return parse_function(SUPPORTED_DSL)
+
+
+@pytest.fixture()
+def mixed_function():
+    return parse_function(MIXED_DSL)
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+
+
+class TestPlanner:
+    def test_plan_mirrors_function_order(self, supported_function):
+        plan = plan_function(supported_function)
+        assert isinstance(plan, MatchPlan)
+        assert [rs.rule.name for rs in plan.rule_steps] == ["R1", "R2"]
+        for rule_step, rule in zip(plan.rule_steps, supported_function.rules):
+            assert [s.predicate.pid for s in rule_step.steps] == [
+                p.pid for p in rule.predicates
+            ]
+
+    def test_kernel_support_flags(self, mixed_function):
+        kernels = FeatureKernels(use_bounds=True)
+        plan = plan_function(mixed_function, kernels=kernels)
+        (jaccard_step,) = plan.rule_steps[0].steps
+        (jw_step,) = plan.rule_steps[1].steps
+        assert jaccard_step.kernel_supported
+        assert jaccard_step.bound_eligible
+        assert not jw_step.kernel_supported
+        assert not jw_step.bound_eligible
+        assert not plan.fully_kernel_supported
+        assert plan.rule_steps[0].fully_kernel_supported
+        assert not plan.rule_steps[1].fully_kernel_supported
+
+    def test_no_kernels_means_all_scalar(self, supported_function):
+        plan = plan_function(supported_function)
+        assert not plan.use_bounds
+        for rule_step in plan.rule_steps:
+            for step in rule_step.steps:
+                assert not step.kernel_supported
+                assert not step.bound_eligible
+
+    def test_bounds_follow_kernel_flag(self, supported_function):
+        plan = plan_function(
+            supported_function, kernels=FeatureKernels(use_bounds=False)
+        )
+        assert not plan.use_bounds
+        assert all(
+            not step.bound_eligible
+            for rule_step in plan.rule_steps
+            for step in rule_step.steps
+        )
+
+    def test_annotations_from_estimates(
+        self, supported_function, people_candidates
+    ):
+        estimator = CostEstimator(
+            sample_fraction=1.0, min_sample=1, mode="calibrated"
+        )
+        estimates = estimator.estimate(supported_function, people_candidates)
+        plan = plan_function(supported_function, estimates=estimates)
+        for rule_step in plan.rule_steps:
+            for step in rule_step.steps:
+                assert step.est_cost is not None and step.est_cost > 0
+                assert step.est_selectivity is not None
+        # without estimates the same plan compiles with unknown costs
+        bare = plan_function(supported_function)
+        assert all(
+            step.est_cost is None and step.est_selectivity is None
+            for rule_step in bare.rule_steps
+            for step in rule_step.steps
+        )
+
+    def test_describe_lists_steps_and_tags(self, mixed_function):
+        text = plan_function(
+            mixed_function, kernels=FeatureKernels(use_bounds=True)
+        ).describe()
+        assert "MatchPlan: 2 rules" in text
+        assert "partial scalar fallback" in text
+        assert "rule R1 [kernel]" in text
+        assert "rule R2 [mixed]" in text
+        assert "[kernel,bound]" in text
+        assert "[scalar]" in text
+
+    def test_spec_round_trip_is_picklable(
+        self, supported_function, people_candidates
+    ):
+        kernels = FeatureKernels(use_bounds=True)
+        estimates = CostEstimator(
+            sample_fraction=1.0, min_sample=1, mode="calibrated"
+        ).estimate(supported_function, people_candidates, kernels=kernels)
+        plan = plan_function(
+            supported_function,
+            kernels=kernels,
+            estimates=estimates,
+            check_cache_first=True,
+        )
+        spec = pickle.loads(pickle.dumps(plan.spec()))
+        assert isinstance(spec, PlanSpec)
+        rebuilt = spec.bind(supported_function, FeatureKernels(use_bounds=True))
+        assert rebuilt.check_cache_first == plan.check_cache_first
+        assert rebuilt.use_bounds == plan.use_bounds
+        for original_rs, rebuilt_rs in zip(plan.rule_steps, rebuilt.rule_steps):
+            for original, copy in zip(original_rs.steps, rebuilt_rs.steps):
+                assert copy.kernel_supported == original.kernel_supported
+                assert copy.est_cost == original.est_cost
+                assert copy.est_selectivity == original.est_selectivity
+
+    def test_spec_bind_recomputes_support_for_worker_kernels(
+        self, supported_function
+    ):
+        spec = plan_function(
+            supported_function, kernels=FeatureKernels(use_bounds=True)
+        ).spec()
+        # a worker without kernels must get an all-scalar plan
+        rebuilt = spec.bind(supported_function, None)
+        assert all(
+            not step.kernel_supported
+            for rule_step in rebuilt.rule_steps
+            for step in rule_step.steps
+        )
+
+
+# ----------------------------------------------------------------------
+# Executor / matcher
+# ----------------------------------------------------------------------
+
+
+class TestColumnarMatcher:
+    def test_strategy_name(self):
+        assert ColumnarMatcher().strategy_name == "columnar"
+
+    def test_supported_plan_takes_no_fallbacks(
+        self, supported_function, people_candidates
+    ):
+        matcher = ColumnarMatcher(kernels=FeatureKernels(use_bounds=True))
+        result = matcher.run(supported_function, people_candidates)
+        executor = matcher.last_executor
+        assert executor.scalar_fallbacks == 0
+        assert executor.mask_evals > 0
+        scalar = DynamicMemoMatcher(
+            kernels=FeatureKernels(use_bounds=True)
+        ).run(supported_function, people_candidates)
+        assert np.array_equal(result.labels, scalar.labels)
+
+    def test_mixed_plan_falls_back_per_step(
+        self, mixed_function, people_candidates
+    ):
+        matcher = ColumnarMatcher(kernels=FeatureKernels(use_bounds=True))
+        result = matcher.run(mixed_function, people_candidates)
+        assert matcher.last_executor.scalar_fallbacks > 0
+        assert matcher.last_executor.mask_evals > 0
+        scalar = DynamicMemoMatcher(
+            kernels=FeatureKernels(use_bounds=True)
+        ).run(mixed_function, people_candidates)
+        assert np.array_equal(result.labels, scalar.labels)
+
+    def test_report_metrics_folds_counters(
+        self, mixed_function, people_candidates
+    ):
+        matcher = ColumnarMatcher(kernels=FeatureKernels())
+        matcher.run(mixed_function, people_candidates)
+        observability = Observability()
+        matcher.last_executor.report_metrics(observability.metrics)
+        assert (
+            observability.metrics.value("engine.mask_evals")
+            == matcher.last_executor.mask_evals
+        )
+        assert (
+            observability.metrics.value("engine.scalar_fallbacks")
+            == matcher.last_executor.scalar_fallbacks
+        )
+
+
+# ----------------------------------------------------------------------
+# Session dispatch
+# ----------------------------------------------------------------------
+
+
+class TestSessionEngine:
+    def test_invalid_engine_rejected(self, people_candidates, b1_function):
+        with pytest.raises(MatchingError, match="engine must be"):
+            DebugSession(people_candidates, b1_function, engine="vectorised")
+
+    def test_auto_resolution(self, people_candidates):
+        supported = parse_function(SUPPORTED_DSL)
+        mixed = parse_function(MIXED_DSL)
+        session = DebugSession(people_candidates, supported)
+        assert session.engine == "auto"
+        assert session._resolve_engine(supported) == "columnar"
+        assert session._resolve_engine(mixed) == "scalar"
+        no_kernels = DebugSession(
+            people_candidates, supported, use_kernels=False
+        )
+        assert no_kernels._resolve_engine(supported) == "scalar"
+        forced = DebugSession(people_candidates, mixed, engine="columnar")
+        assert forced._resolve_engine(mixed) == "columnar"
+
+    def test_run_and_apply_columnar_match_scalar(self, people_candidates):
+        sessions = []
+        for engine in ("scalar", "columnar"):
+            session = DebugSession(
+                people_candidates,
+                parse_function(SUPPORTED_DSL),
+                ordering="original",
+                engine=engine,
+                paranoid=True,  # re-validates state after every change
+            )
+            session.run()
+            rule = session.state.function.rules[0]
+            session.apply(
+                TightenPredicate(rule.name, rule.predicates[0].slot, 0.9)
+            )
+            sessions.append(session)
+        scalar, columnar = sessions
+        assert np.array_equal(scalar.state.labels, columnar.state.labels)
+        assert np.array_equal(
+            scalar.state.attribution, columnar.state.attribution
+        )
+        assert sorted(scalar.state.memo.items()) == sorted(
+            columnar.state.memo.items()
+        )
+
+    def test_rerun_and_reorder_under_columnar(self, people_candidates):
+        session = DebugSession(
+            people_candidates,
+            parse_function(SUPPORTED_DSL),
+            ordering="original",
+            engine="columnar",
+        )
+        first = session.run()
+        rerun = session.rerun_full()
+        assert np.array_equal(first.labels, rerun.labels)
+        reordered = session.reorder("original")
+        assert np.array_equal(first.labels, reordered.labels)
+
+    def test_compile_plan_uses_current_function(self, people_candidates):
+        session = DebugSession(
+            people_candidates, parse_function(SUPPORTED_DSL)
+        )
+        plan = session.compile_plan()  # before any run: initial function
+        assert isinstance(plan, MatchPlan)
+        assert plan.check_cache_first == session.check_cache_first
+        assert plan.fully_kernel_supported
+
+    def test_run_reports_engine_metrics(self, people_candidates):
+        observability = Observability()
+        session = DebugSession(
+            people_candidates,
+            parse_function(SUPPORTED_DSL),
+            engine="columnar",
+            observability=observability,
+        )
+        session.run()
+        assert observability.metrics.value("engine.mask_evals") > 0
+
+
+# ----------------------------------------------------------------------
+# Incremental
+# ----------------------------------------------------------------------
+
+
+class TestIncrementalColumnar:
+    def test_apply_change_columnar_stays_sound(
+        self, people_candidates, supported_function
+    ):
+        state, _ = MatchState.from_initial_run(
+            supported_function,
+            people_candidates,
+            kernels=FeatureKernels(use_bounds=True),
+            engine="columnar",
+        )
+        rule = state.function.rules[0]
+        change = TightenPredicate(rule.name, rule.predicates[0].slot, 0.95)
+        observability = Observability()
+        result = apply_change_columnar(
+            state, change, metrics=observability.metrics
+        )
+        assert result.change is change
+        state.check_soundness()
+
+
+# ----------------------------------------------------------------------
+# Parallel transport
+# ----------------------------------------------------------------------
+
+
+class TestParallelTransport:
+    def test_chunk_task_defaults_to_scalar(self, people_candidates):
+        function = parse_function(SUPPORTED_DSL)
+        task = build_chunk_task(
+            Chunk(0, 0, len(people_candidates)),
+            people_candidates,
+            serialize_function(function),
+        )
+        assert task.engine == "scalar"
+        assert task.plan_spec is None
+
+    def test_worker_runs_columnar_chunk(self, people_candidates):
+        function = parse_function(SUPPORTED_DSL)
+        kernels = FeatureKernels(use_bounds=True)
+        plan_spec = plan_function(function, kernels=kernels).spec()
+        task = build_chunk_task(
+            Chunk(0, 0, len(people_candidates)),
+            people_candidates,
+            serialize_function(function),
+            use_kernels=True,
+            use_bounds=True,
+            engine="columnar",
+            plan_spec=plan_spec,
+        )
+        outcome = run_chunk(task)
+        assert outcome.mask_evals > 0
+        assert outcome.scalar_fallbacks == 0
+        serial = DynamicMemoMatcher(kernels=FeatureKernels(use_bounds=True)).run(
+            function, people_candidates
+        )
+        assert np.array_equal(outcome.labels, serial.labels)
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ParallelExecutionError, match="engine must be"):
+            ParallelMatcher(workers=2, engine="simd")
+
+    def test_parallel_columnar_matches_serial_scalar(self, tiny_candidates):
+        function = parse_function(SUPPORTED_DSL.replace("name", "title").replace("zip", "brand"))
+        observability = Observability()
+        parallel = ParallelMatcher(
+            workers=2,
+            min_chunk_size=50,
+            kernels=FeatureKernels(use_bounds=True),
+            observability=observability,
+            engine="columnar",
+        ).run(function, tiny_candidates)
+        serial = DynamicMemoMatcher(
+            kernels=FeatureKernels(use_bounds=True)
+        ).run(function, tiny_candidates)
+        assert np.array_equal(parallel.labels, serial.labels)
+        assert observability.metrics.value("engine.mask_evals") > 0
+
+
+# ----------------------------------------------------------------------
+# Streaming
+# ----------------------------------------------------------------------
+
+
+class TestStreamingColumnar:
+    def _tables(self):
+        table_a = Table("A", ["name", "zip"])
+        table_a.add_row("a1", name="john doe", zip="53703")
+        table_a.add_row("a2", name="alice roe", zip="53706")
+        table_b = Table("B", ["name", "zip"])
+        table_b.add_row("b1", name="jon doe", zip="53703")
+        table_b.add_row("b2", name="bob poe", zip="10001")
+        return table_a, table_b
+
+    def test_ingest_rematches_through_executor(self):
+        table_a, table_b = self._tables()
+        stream = StreamingSession(
+            table_a,
+            table_b,
+            CartesianBlocker(),
+            parse_function(SUPPORTED_DSL),
+            ordering="original",
+            engine="columnar",
+        )
+        stream.run()
+        result = stream.ingest(
+            Delta("update", "b", "b2", {"name": "john doe"})
+        )
+        assert result.affected > 0
+        stream.session.state.check_soundness()
+        # fresh scalar run over the post-delta tables agrees
+        fresh = DebugSession(
+            CartesianBlocker().block(table_a, table_b),
+            parse_function(SUPPORTED_DSL),
+            ordering="original",
+            engine="scalar",
+        )
+        fresh_result = fresh.run()
+        live = {
+            pair.pair_id
+            for pair, label in zip(
+                stream.session.candidates, stream.session.state.labels
+            )
+            if label
+        }
+        fresh_matches = {
+            pair.pair_id
+            for pair, label in zip(fresh.candidates, fresh_result.labels)
+            if label
+        }
+        assert live == fresh_matches
+
+
+# ----------------------------------------------------------------------
+# Refinement
+# ----------------------------------------------------------------------
+
+
+class TestRefineColumnar:
+    def test_invalid_engine_rejected(self, people_candidates):
+        function = parse_function(SUPPORTED_DSL)
+        kernels = FeatureKernels(use_bounds=True)
+        state, _ = MatchState.from_initial_run(
+            function, people_candidates, kernels=kernels, engine="columnar"
+        )
+        with pytest.raises(RefinementError, match="engine must be"):
+            RefinementSearch(
+                state, {("a1", "b1")}, kernels=kernels, engine="auto"
+            )
+
+    def test_columnar_search_avoids_full_rematches(self, people_candidates):
+        function = parse_function(SUPPORTED_DSL)
+        kernels = FeatureKernels(use_bounds=True)
+        state, _ = MatchState.from_initial_run(
+            function, people_candidates, kernels=kernels, engine="columnar"
+        )
+        gold = {("a1", "b1"), ("a1", "b2")}
+        report = RefinementSearch(
+            state,
+            gold,
+            config=RefineConfig(budget=12, beam_width=1, max_depth=1),
+            kernels=kernels,
+            engine="columnar",
+        ).run()
+        assert report.full_rematches == 0
+        assert report.candidates_scored > 0
+        assert report.incremental_evals > 0
+
+
+# ----------------------------------------------------------------------
+# Workbench
+# ----------------------------------------------------------------------
+
+
+class TestWorkbenchPlan:
+    def test_plan_requires_session(self):
+        with pytest.raises(WorkbenchError, match="load a dataset"):
+            Workbench().execute("plan")
+
+    def test_plan_rejects_arguments(self, people_candidates):
+        bench = Workbench()
+        bench.session = DebugSession(
+            people_candidates, parse_function(SUPPORTED_DSL)
+        )
+        with pytest.raises(WorkbenchError, match="usage: plan"):
+            bench.execute("plan --verbose")
+
+    def test_plan_renders_plan_and_resolution(self, people_candidates):
+        bench = Workbench()
+        bench.session = DebugSession(
+            people_candidates, parse_function(SUPPORTED_DSL)
+        )
+        output = bench.execute("plan")
+        assert "MatchPlan:" in output
+        assert "engine: auto -> columnar" in output
+        assert "jaccard_ws(name,name)>=0.3" in output
+
+    def test_help_mentions_plan(self):
+        assert "plan" in Workbench().execute("help")

@@ -125,6 +125,34 @@ class TestPrecompute:
             < without.stats.feature_computations
         )
 
+    def test_value_cache_composes_with_kernels(self, people_candidates):
+        """Regression: ``use_value_cache=True`` used to silently bypass the
+        kernel layer entirely — value-cache *misses* now compute through
+        the token cache (same values, shared tokenizations)."""
+        from repro.kernels import FeatureKernels
+
+        function = parse_function(
+            "R1: jaccard_ws(name, name) >= 0.3 AND jaccard_ws(street, street) >= 0.3"
+        )
+        plain = PrecomputeMatcher(use_value_cache=True).run(
+            function, people_candidates
+        )
+        kernels = FeatureKernels()
+        with_kernels = PrecomputeMatcher(
+            use_value_cache=True, kernels=kernels
+        ).run(function, people_candidates)
+        assert np.array_equal(plain.labels, with_kernels.labels)
+        assert (
+            plain.stats.feature_computations
+            == with_kernels.stats.feature_computations
+        )
+        # the fix is observable as token-cache traffic: misses on first
+        # sight of each record's attribute, hits on re-tokenization.
+        traffic = sum(kernels.cache.hits.values()) + sum(
+            kernels.cache.misses.values()
+        )
+        assert traffic > 0
+
 
 class TestDynamicMemo:
     def test_memo_persists_across_runs(self, people_candidates, b1_function):
