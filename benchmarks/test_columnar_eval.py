@@ -9,11 +9,16 @@ loop with one NumPy mask per predicate step over the surviving candidate
 indices, reading memoized values as whole :class:`~repro.core.ArrayMemo`
 columns.
 
-This bench times both engines over the *same* warm memo on the products
-workload (kernel-supported rules only, so the columnar path never takes
-its scalar fallback), asserts bit-identical labels, and pins the
-speedup floor the PR promises: columnar >= 2x faster than warm-cache
-scalar.  Results land in ``benchmarks/BENCH_columnar_eval.json``.
+This bench runs the **stock learned products workload — all 255 rules,
+no filtering** — so it also pins the PR's coverage bar: with the exact,
+edit-distance, numeric, phonetic, and TF-IDF kernel families in place,
+at least 200 of the 255 learned rules must be fully kernel-supported
+(only monge_elkan steps remain per-pair), and the cost model's
+``engine="auto"`` decision must pick columnar for the plan.  It times
+both engines over the *same* warm memo, asserts bit-identical labels,
+and pins the speedup floor the PR promises: columnar >= 2x faster than
+warm-cache scalar.  Results — timings, coverage, and the auto-engine
+decision — land in ``benchmarks/BENCH_columnar_eval.json``.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.core import ArrayMemo, DynamicMemoMatcher, MatchingFunction, Predicate, Rule
+from repro.core import ArrayMemo, DebugSession, DynamicMemoMatcher
 from repro.engine import ColumnarMatcher, plan_function
 from repro.kernels import FeatureKernels
 
@@ -32,54 +37,33 @@ from conftest import print_series
 
 #: speedup floor asserted by this bench (columnar vs warm-cache scalar).
 MIN_SPEEDUP = 2.0
+#: coverage floor: fully kernel-supported rules out of the 255 learned.
+MIN_SUPPORTED_RULES = 200
 
 BENCH_PAIRS = 2500
-#: threshold sweep used to pad the learned kernel-supported rules into a
-#: realistically sized rule set (deterministic, no RNG).
-PAD_THRESHOLDS = (0.55, 0.7, 0.8, 0.9, 0.97)
 
 _RESULTS = {}
 
 
 @pytest.fixture(scope="module")
 def columnar_workload(products_workload, bench_candidates):
-    """(function, candidates, kernels): the learned rules whose features
-    are all kernel-supported, padded with a deterministic threshold sweep
-    over those same features so the rule set has bench-scale depth."""
+    """(function, candidates, kernels, plan): the stock 255-rule learned
+    products workload — nothing filtered, monge_elkan fallbacks and all —
+    compiled against the full kernel layer."""
     kernels = FeatureKernels()
-    rules = [
-        rule
-        for rule in products_workload.function.rules
-        if all(kernels.supports(p.feature) for p in rule.predicates)
-    ]
-    assert rules, "products workload lost all kernel-supported rules"
-    features = sorted(
-        {p.feature for rule in rules for p in rule.predicates},
-        key=lambda feature: feature.name,
-    )
-    padded = list(rules)
-    for f_index, feature in enumerate(features):
-        for t_index, threshold in enumerate(PAD_THRESHOLDS):
-            padded.append(
-                Rule(
-                    f"pad_{f_index}_{t_index}",
-                    [Predicate(feature, ">=", threshold)],
-                )
-            )
-    function = MatchingFunction(padded)
+    function = products_workload.function
     plan = plan_function(function, kernels=kernels)
-    assert plan.fully_kernel_supported
     candidates = bench_candidates.subset(
         range(min(BENCH_PAIRS, len(bench_candidates)))
     )
-    return function, candidates, kernels
+    return function, candidates, kernels, plan
 
 
 @pytest.fixture(scope="module")
 def warm_memo(columnar_workload):
     """A memo fully warmed by one scalar run — the debugging loop's
     steady state, where every needed (pair, feature) value is cached."""
-    function, candidates, kernels = columnar_workload
+    function, candidates, kernels, _ = columnar_workload
     memo = ArrayMemo(
         len(candidates), [feature.name for feature in function.features()]
     )
@@ -87,13 +71,49 @@ def warm_memo(columnar_workload):
     return memo
 
 
+def test_kernel_coverage_and_auto_decision(benchmark, columnar_workload):
+    """The PR's coverage bar: >= 200/255 learned rules fully
+    kernel-supported, and the cost model resolves auto -> columnar."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    function, candidates, _, plan = columnar_workload
+    total_rules = len(plan.rule_steps)
+    supported_rules = sum(
+        1 for rule_step in plan.rule_steps if rule_step.fully_kernel_supported
+    )
+    assert total_rules == 255
+    assert supported_rules >= MIN_SUPPORTED_RULES, (
+        f"only {supported_rules}/{total_rules} rules kernel-supported; "
+        f"floor is {MIN_SUPPORTED_RULES}"
+    )
+    decision = plan.decision
+    assert decision.engine == "columnar"
+    assert decision.mode == "mixed"  # monge_elkan keeps some steps scalar
+    assert decision.columnar_cost < decision.scalar_cost
+    # the session-level resolution agrees with the plan's decision
+    session = DebugSession(candidates, function)
+    assert session.engine == "auto"
+    assert session._resolve_engine(function) == "columnar"
+    _RESULTS["coverage"] = {
+        "total_rules": total_rules,
+        "supported_rules": supported_rules,
+        "total_steps": decision.total_steps,
+        "supported_steps": decision.supported_steps,
+        "decision": {
+            "engine": decision.engine,
+            "mode": decision.mode,
+            "columnar_cost_us_per_pair": decision.columnar_cost * 1e6,
+            "scalar_cost_us_per_pair": decision.scalar_cost * 1e6,
+        },
+    }
+
+
 @pytest.mark.parametrize("engine", ["scalar", "columnar"])
 def test_columnar_eval_point(benchmark, columnar_workload, warm_memo, engine):
-    function, candidates, kernels = columnar_workload
+    function, candidates, kernels, plan = columnar_workload
     if engine == "scalar":
         matcher = DynamicMemoMatcher(memo=warm_memo, kernels=kernels)
     else:
-        matcher = ColumnarMatcher(memo=warm_memo, kernels=kernels)
+        matcher = ColumnarMatcher(memo=warm_memo, kernels=kernels, plan=plan)
     holder = {}
 
     def run_once():
@@ -114,14 +134,17 @@ def test_columnar_eval_point(benchmark, columnar_workload, warm_memo, engine):
 
 def test_columnar_eval_report(benchmark, columnar_workload):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    function, candidates, _ = columnar_workload
+    function, candidates, _, _ = columnar_workload
     scalar = _RESULTS["scalar"]
     columnar = _RESULTS["columnar"]
+    coverage = _RESULTS["coverage"]
     speedup = scalar["seconds"] / columnar["seconds"]
 
     print_series(
         f"Columnar vs warm-cache scalar "
-        f"({len(candidates)} pairs, {len(function.rules)} rules)",
+        f"({len(candidates)} pairs, {len(function.rules)} rules, "
+        f"{coverage['supported_rules']}/{coverage['total_rules']} "
+        f"kernel-supported)",
         ["engine", "best of 3", "memo hits", "matches"],
         [
             [
@@ -131,7 +154,7 @@ def test_columnar_eval_report(benchmark, columnar_workload):
                 int(scalar["labels"].sum()),
             ],
             [
-                "columnar",
+                "columnar (auto)",
                 f"{columnar['seconds'] * 1000:.1f}ms",
                 columnar["stats"].memo_hits,
                 int(columnar["labels"].sum()),
@@ -150,6 +173,20 @@ def test_columnar_eval_report(benchmark, columnar_workload):
         "scalar_fallbacks": columnar["scalar_fallbacks"],
         "matches": int(columnar["labels"].sum()),
         "min_speedup_floor": MIN_SPEEDUP,
+        "kernel_coverage": {
+            "supported_rules": coverage["supported_rules"],
+            "total_rules": coverage["total_rules"],
+            "rule_fraction": (
+                coverage["supported_rules"] / coverage["total_rules"]
+            ),
+            "supported_steps": coverage["supported_steps"],
+            "total_steps": coverage["total_steps"],
+            "step_fraction": (
+                coverage["supported_steps"] / coverage["total_steps"]
+            ),
+            "min_supported_rules_floor": MIN_SUPPORTED_RULES,
+        },
+        "auto_engine_decision": coverage["decision"],
     }
     out_path = Path(__file__).resolve().parent / "BENCH_columnar_eval.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -161,10 +198,10 @@ def test_columnar_eval_report(benchmark, columnar_workload):
         assert getattr(scalar["stats"], counter) == getattr(
             columnar["stats"], counter
         ), counter
-    # 2. the fully supported plan never took the per-step fallback;
-    assert columnar["scalar_fallbacks"] == 0
+    # 2. the engine actually ran set-at-a-time (fallback steps allowed —
+    #    the stock workload keeps its monge_elkan rules);
     assert columnar["mask_evals"] > 0
-    # 3. the speedup the split exists for.
+    # 3. the speedup the split exists for, on the *unfiltered* workload.
     assert speedup >= MIN_SPEEDUP, (
         f"columnar only {speedup:.2f}x faster than warm-cache scalar; "
         f"floor is {MIN_SPEEDUP:.1f}x"

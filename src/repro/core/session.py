@@ -129,10 +129,12 @@ class DebugSession:
         per-pair :class:`~repro.core.matchers.PairEvaluator` loop,
         ``"columnar"`` the set-at-a-time plan/executor split of
         :mod:`repro.engine` (bit-identical labels, counters, and state).
-        The default ``"auto"`` picks columnar when every feature of the
-        current function is kernel-supported and scalar otherwise —
-        partial-fallback plans are correct either way, but an
-        all-fallback plan would only add batching overhead."""
+        The default ``"auto"`` resolves per plan through the cost model
+        (:func:`repro.engine.choose_engine`): columnar when the
+        kernel-supported steps carry enough of the expected per-pair work
+        to pay for the per-step fallback overhead of the unsupported
+        ones, scalar otherwise.  Mixed plans are correct either way —
+        the decision only moves wall-clock."""
         if isinstance(function, str):
             function = parse_function(function)
         self.candidates = candidates
@@ -169,16 +171,17 @@ class DebugSession:
     def _resolve_engine(self, function: MatchingFunction) -> str:
         """The engine a run over ``function`` will actually use.
 
-        ``"auto"`` resolves per call (the function changes across edits):
-        columnar when the kernels support every feature, scalar otherwise.
+        ``"auto"`` resolves per call (the function changes across edits)
+        by compiling the plan and reading the cost model's
+        :class:`~repro.engine.EngineDecision` — columnar exactly when its
+        estimated per-pair cost undercuts the scalar loop's, given the
+        session's kernels and current estimates.
         """
         if self.engine != "auto":
             return self.engine
         if self.kernels is None:
             return "scalar"
-        if all(self.kernels.supports(feature) for feature in function.features()):
-            return "columnar"
-        return "scalar"
+        return self.compile_plan(function).decision.engine
 
     def compile_plan(self, function: Optional[MatchingFunction] = None):
         """The :class:`~repro.engine.MatchPlan` for the current function.
@@ -300,8 +303,24 @@ class DebugSession:
             record_match_stats(observability.metrics, result.stats, prefix="run")
             if self.kernels is not None:
                 self.kernels.report_metrics(observability.metrics)
+                self._trace_unsupported(observability)
         self.last_run = result
         return result
+
+    def _trace_unsupported(self, observability) -> None:
+        """Record one trace span per newly-seen kernel-unsupported feature.
+
+        Pairs with the ``engine.kernel_unsupported`` counter: the metric
+        says *how many* features fell back to per-pair evaluation, the
+        spans say *which* and *why* (e.g. a TokenSetSimilarity subclass
+        overriding ``compare``, which :meth:`FeatureKernels.supports`
+        would otherwise reject silently).
+        """
+        for name, reason in self.kernels.drain_unsupported():
+            with observability.tracer.span(
+                "kernel.unsupported", feature=name, reason=reason
+            ):
+                pass
 
     def _run_parallel(self, function: MatchingFunction, workers: int) -> MatchResult:
         """Initial run via the parallel engine, materializing the same state
@@ -331,7 +350,9 @@ class DebugSession:
             estimates=self.estimates,
             observability=self.observability,
             kernels=self.kernels,
-            engine=self._resolve_engine(function),
+            # Pass "auto" through unresolved: each worker process re-binds
+            # the plan against its *own* kernels and resolves there.
+            engine=self.engine,
         )
         result = matcher.run(function, self.candidates)
         state.labels = result.labels.copy()

@@ -24,15 +24,25 @@ from .incremental import (
     apply_remove_rule_columnar,
     apply_strictening_columnar,
 )
-from .plan import MatchPlan, PlanSpec, PredicateStep, RuleStep, plan_function
+from .plan import (
+    EngineDecision,
+    MatchPlan,
+    PlanSpec,
+    PredicateStep,
+    RuleStep,
+    choose_engine,
+    plan_function,
+)
 
 __all__ = [
     "ColumnarExecutor",
     "ColumnarMatcher",
+    "EngineDecision",
     "MatchPlan",
     "PlanSpec",
     "PredicateStep",
     "RuleStep",
+    "choose_engine",
     "apply_add_rule_columnar",
     "apply_change_columnar",
     "apply_loosening_columnar",

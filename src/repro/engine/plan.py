@@ -11,15 +11,19 @@ The plan is purely *descriptive*: evaluation order is the function's
 rule/predicate order (plus the same per-pair check-cache-first regrouping
 the scalar evaluator applies at runtime), so labels, counters, and trace
 output stay bit-identical to the scalar path.  Annotations exist for
-introspection (the workbench ``plan`` command) and for shipping cost
-context to parallel workers — the executor never branches on them.
+introspection (the workbench ``plan`` command), for shipping cost
+context to parallel workers, and for the per-plan engine choice
+(:func:`choose_engine`, stored as :attr:`MatchPlan.decision`) that an
+``engine="auto"`` session resolves through — the executor itself never
+branches on them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
+from ..core.cost_model import CALIBRATED_BOUND_COST, CALIBRATED_TIER_COSTS
 from ..core.rules import MatchingFunction, Predicate, Rule
 from ..errors import EstimationError
 
@@ -29,21 +33,38 @@ AnnotationKey = Tuple[str, str]
 #: Annotation value: (est_cost, est_selectivity, bound_skip_rate).
 Annotation = Tuple[Optional[float], Optional[float], Optional[float]]
 
+#: Per-step interpreter overhead of the scalar per-pair loop (predicate
+#: dispatch, memo probe, profiler hooks) — measured on the learned
+#: products workload, same order of magnitude as a tier-3 feature.
+SCALAR_STEP_OVERHEAD = 1.5e-6
+#: Amortized per-(step, surviving row) overhead of a batched kernel step
+#: (mask arithmetic + column gather, spread over the whole column).
+COLUMNAR_SUPPORTED_OVERHEAD = 0.1e-6
+#: Per-row overhead of a columnar *fallback* step: the executor drops to
+#: per-pair evaluation but still pays index gathering and mask writes on
+#: top of the scalar loop's own dispatch cost.
+COLUMNAR_FALLBACK_OVERHEAD = 2.0e-6
+
 
 @dataclass(frozen=True)
 class PredicateStep:
     """One predicate of one rule, annotated for the columnar executor."""
 
     predicate: Predicate
-    #: the kernel layer can batch-compute this feature (token-set measure
-    #: with unforked compare/score_sets).
+    #: the kernel layer has a batched column plan for this feature (one of
+    #: the token-set / normalized-string / numeric / corpus-vector
+    #: families, with the family pipeline unforked).
     kernel_supported: bool
-    #: the measure additionally exposes a size-only upper bound, so the
-    #: executor's bound pre-filter can decide rows without computing.
+    #: the measure additionally exposes a cheap upper bound (token-set
+    #: sizes, string lengths), so the executor's bound pre-filter can
+    #: decide rows without computing.
     bound_eligible: bool
     est_cost: Optional[float] = None
     est_selectivity: Optional[float] = None
     bound_skip_rate: Optional[float] = None
+    #: why the kernel layer rejected this feature (``None`` when
+    #: supported) — surfaced by the workbench ``plan`` command.
+    unsupported_reason: Optional[str] = None
 
     @property
     def feature_name(self) -> str:
@@ -63,9 +84,13 @@ class PredicateStep:
             "" if self.bound_skip_rate is None
             else f" bound_skip={self.bound_skip_rate:.3f}"
         )
+        reason = (
+            "" if self.unsupported_reason is None
+            else f"  -- {self.unsupported_reason}"
+        )
         return (
             f"{self.predicate.pid}  cost={cost} sel={sel}{skip} "
-            f"[{','.join(tags)}]"
+            f"[{','.join(tags)}]{reason}"
         )
 
 
@@ -82,6 +107,112 @@ class RuleStep:
 
 
 @dataclass(frozen=True)
+class EngineDecision:
+    """The cost model's engine choice for one plan.
+
+    ``engine`` is what an ``"auto"`` session resolves to (``"columnar"``
+    or ``"scalar"``); ``mode`` refines it for display: ``"columnar"``
+    (every step kernel-supported), ``"mixed"`` (columnar chosen despite
+    per-step scalar fallbacks), or ``"scalar"``.  Costs are estimated
+    seconds per candidate pair for a full evaluation under each engine.
+    """
+
+    engine: str
+    mode: str
+    columnar_cost: float
+    scalar_cost: float
+    supported_steps: int
+    total_steps: int
+    reason: str
+
+    def describe(self) -> str:
+        return (
+            f"engine: {self.engine} ({self.mode})  "
+            f"columnar~{self.columnar_cost * 1e6:.2f}us/pair "
+            f"scalar~{self.scalar_cost * 1e6:.2f}us/pair  "
+            f"{self.reason}"
+        )
+
+
+def choose_engine(plan: "MatchPlan") -> EngineDecision:
+    """Pick columnar vs scalar for ``plan`` from its cost annotations.
+
+    Models one full evaluation of an average candidate pair.  Short
+    circuits make later work conditional, so each step is weighted by the
+    probability it runs: a rule is reached only if no earlier rule fired
+    (``reach *= 1 - rule_selectivity``), and a predicate within a rule
+    only if every earlier predicate of that rule held (prefix product of
+    selectivities).  The *compute* term (feature cost, discounted by the
+    bound pre-filter where eligible) is identical under both engines —
+    kernels replicate the scalar arithmetic — so the decision reduces to
+    per-step overheads: the scalar loop pays dispatch/memo-probe per
+    step, a supported columnar step amortizes to almost nothing, and a
+    columnar *fallback* step costs more than scalar (it adds index
+    gathering and mask writes on top of the same per-pair evaluation).
+    Columnar therefore wins exactly when supported steps carry enough of
+    the expected work to pay for the unsupported ones.
+
+    Steps missing annotations fall back to calibrated tier costs,
+    selectivity 0.5, and skip rate 0.0 — plans must be decidable
+    mid-edit, before re-estimation has seen new features.
+    """
+    scalar_cost = 0.0
+    columnar_cost = 0.0
+    supported = 0
+    total = 0
+    reach = 1.0
+    for rule_step in plan.rule_steps:
+        prefix = 1.0
+        for step in rule_step.steps:
+            total += 1
+            if step.kernel_supported:
+                supported += 1
+            cost = step.est_cost
+            if cost is None:
+                cost = CALIBRATED_TIER_COSTS.get(
+                    step.predicate.feature.sim.cost_tier, 5.0e-6
+                )
+            selectivity = step.est_selectivity
+            if selectivity is None:
+                selectivity = 0.5
+            skip = step.bound_skip_rate or 0.0
+            weight = reach * prefix
+            if step.bound_eligible:
+                compute = skip * CALIBRATED_BOUND_COST + (1.0 - skip) * (
+                    CALIBRATED_BOUND_COST + cost
+                )
+            else:
+                compute = cost
+            scalar_cost += weight * (compute + SCALAR_STEP_OVERHEAD)
+            columnar_cost += weight * (
+                compute
+                + (
+                    COLUMNAR_SUPPORTED_OVERHEAD
+                    if step.kernel_supported
+                    else COLUMNAR_FALLBACK_OVERHEAD
+                )
+            )
+            prefix *= selectivity
+        # ``prefix`` now holds the rule's conjunction selectivity.
+        reach *= 1.0 - prefix
+    engine = "columnar" if columnar_cost < scalar_cost else "scalar"
+    if engine == "columnar":
+        mode = "columnar" if supported == total else "mixed"
+    else:
+        mode = "scalar"
+    reason = f"{supported}/{total} steps kernel-supported"
+    return EngineDecision(
+        engine=engine,
+        mode=mode,
+        columnar_cost=columnar_cost,
+        scalar_cost=scalar_cost,
+        supported_steps=supported,
+        total_steps=total,
+        reason=reason,
+    )
+
+
+@dataclass(frozen=True)
 class MatchPlan:
     """An ordered, annotated physical plan for one matching function.
 
@@ -94,6 +225,9 @@ class MatchPlan:
     rule_steps: Tuple[RuleStep, ...]
     check_cache_first: bool = False
     use_bounds: bool = False
+    #: the cost model's engine choice; always populated by
+    #: :func:`plan_function` and :meth:`PlanSpec.bind`.
+    decision: Optional[EngineDecision] = None
 
     @property
     def fully_kernel_supported(self) -> bool:
@@ -113,6 +247,8 @@ class MatchPlan:
         lines = [
             f"MatchPlan: {len(self.rule_steps)} rules, {', '.join(flags)}"
         ]
+        if self.decision is not None:
+            lines.append(f"  {self.decision.describe()}")
         for rule_step in self.rule_steps:
             tag = "kernel" if rule_step.fully_kernel_supported else "mixed"
             lines.append(f"  rule {rule_step.rule.name} [{tag}]")
@@ -171,22 +307,24 @@ class PlanSpec:
                     continue
                 cost, selectivity, skip_rate = annotation
                 steps.append(
-                    PredicateStep(
-                        predicate=step.predicate,
-                        kernel_supported=step.kernel_supported,
-                        bound_eligible=step.bound_eligible,
+                    replace(
+                        step,
                         est_cost=cost,
                         est_selectivity=selectivity,
                         bound_skip_rate=skip_rate,
                     )
                 )
             rule_steps.append(RuleStep(rule=rule_step.rule, steps=tuple(steps)))
-        return MatchPlan(
+        bound = MatchPlan(
             function=function,
             rule_steps=tuple(rule_steps),
             check_cache_first=self.check_cache_first,
             use_bounds=self.use_bounds,
         )
+        # Re-decide the engine against the *worker's* kernels and the
+        # parent's cost annotations — support was recomputed above, so
+        # the same spec can resolve differently per process.
+        return replace(bound, decision=choose_engine(bound))
 
 
 def plan_function(
@@ -212,6 +350,12 @@ def plan_function(
         for predicate in rule.predicates:
             feature = predicate.feature
             supported = kernels is not None and kernels.supports(feature)
+            if supported:
+                reason = None
+            elif kernels is None:
+                reason = "no kernel layer bound (scalar session)"
+            else:
+                reason = kernels.support_reason(feature)
             bound_eligible = bool(
                 supported and use_bounds and kernels.has_bound(feature)
             )
@@ -231,12 +375,14 @@ def plan_function(
                     est_cost=cost,
                     est_selectivity=selectivity,
                     bound_skip_rate=skip_rate,
+                    unsupported_reason=reason,
                 )
             )
         rule_steps.append(RuleStep(rule=rule, steps=tuple(steps)))
-    return MatchPlan(
+    plan = MatchPlan(
         function=function,
         rule_steps=tuple(rule_steps),
         check_cache_first=check_cache_first,
         use_bounds=use_bounds,
     )
+    return replace(plan, decision=choose_engine(plan))

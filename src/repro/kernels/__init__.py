@@ -12,6 +12,9 @@ matching decision:
 * :class:`TokenCache` — per-(attribute, tokenizer) record token sets,
   computed once per record and reused across every pair, feature and rule
   that touches the same attribute.
+* :class:`DerivedValueCache` — the same idea for non-token derived forms:
+  normalized strings (exact/edit-distance families), parsed numbers, and
+  per-record TF-IDF vectors.
 * :class:`FeatureKernels` — the façade the matchers talk to: per-pair
   cached computation (:meth:`FeatureKernels.compute`), whole-column
   batched computation for the precompute strategies
@@ -25,7 +28,7 @@ decide a predicate when the decision is provably what the full
 computation would return.  See ``docs/performance.md``.
 """
 
-from .cache import TokenCache
+from .cache import DerivedValueCache, TokenCache
 from .feature_kernels import FeatureKernels
 
-__all__ = ["TokenCache", "FeatureKernels"]
+__all__ = ["TokenCache", "DerivedValueCache", "FeatureKernels"]

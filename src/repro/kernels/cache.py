@@ -1,25 +1,32 @@
-"""Per-record token-set cache keyed by (attribute, tokenizer).
+"""Per-record derived-value caches keyed by (attribute, derivation).
 
 A record that survives blocking typically appears in many candidate
-pairs, and a matching function typically applies several token-based
-features to the same attribute.  The seed path re-tokenized the value on
-every (pair, feature) touch; this cache tokenizes each record's value
-once per (attribute, tokenizer behaviour) and hands out the frozenset.
+pairs, and a matching function typically applies several features to the
+same attribute.  The seed path re-derived the comparison form (token set,
+normalized string, parsed number, TF-IDF vector) on every (pair, feature)
+touch; these caches derive each record's value once per (attribute,
+derivation behaviour) and hand out the result.
 
 Keys
 ----
-The outer key is ``(attribute, tokenizer.cache_key())`` — *behavioural*
-tokenizer identity, so two ``Jaccard(ws)`` and ``Dice(ws)`` features over
-the same attribute share one bucket, while ``qg3`` padded and unpadded do
-not.  The inner key is ``(side, record_id)``: record ids are unique per
-table side, and the streaming layer invalidates ids it touches (a
-``Table.replace`` swaps the record object under the same id, so identity
-of the id alone is not enough across deltas).
+The outer key is ``(attribute, <behavioural derivation key>)`` — for
+:class:`TokenCache` that is ``tokenizer.cache_key()``, so ``Jaccard(ws)``
+and ``Dice(ws)`` features over the same attribute share one bucket while
+``qg3`` padded and unpadded do not; for :class:`ValueCache` it is the
+*kind* tuple the kernel plan supplies (e.g. ``("norm", "lower")`` or
+``("number",)``).  The inner key is ``(side, record_id)``: record ids are
+unique per table side, and the streaming layer invalidates ids it touches
+(a ``Table.replace`` swaps the record object under the same id, so
+identity of the id alone is not enough across deltas).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Tuple
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` (e.g. a
+#: numeric value that failed to parse is cached as ``None``).
+_MISS = object()
 
 
 class TokenCache:
@@ -97,6 +104,123 @@ class TokenCache:
 
     def stats(self) -> List[dict]:
         """Per-(attribute, tokenizer) sizes and hit/miss counts."""
+        rows = []
+        for key, bucket in sorted(
+            self._buckets.items(), key=lambda item: self._labels[item[0]]
+        ):
+            hits = self.hits[key]
+            misses = self.misses[key]
+            total = hits + misses
+            rows.append(
+                {
+                    "label": self._labels[key],
+                    "entries": len(bucket),
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": hits / total if total else 0.0,
+                }
+            )
+        return rows
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class DerivedValueCache:
+    """Arbitrary derived values per (attribute, kind) per record.
+
+    The non-token counterpart of :class:`TokenCache`: normalized strings
+    for the exact/edit-distance kernel families, parsed floats for the
+    numeric family, weighted TF-IDF vectors for the corpus family.  (Not
+    to be confused with :class:`repro.core.memo.ValueCache`, the
+    *pair-level* value store of Algorithm 2 — this cache is per record.)
+    The *kind* half of the outer key is any hashable tuple identifying the
+    derivation behaviour; callers sharing a kind must derive identically.
+    Cached values may legitimately be ``None`` (a raw ``None`` attribute,
+    a string no number could be parsed from), which is why lookups use a
+    private miss sentinel rather than ``dict.get``'s default.
+    """
+
+    __slots__ = ("_buckets", "_labels", "hits", "misses")
+
+    def __init__(self):
+        #: (attribute, kind) -> {(side, record_id): derived value}
+        self._buckets: Dict[tuple, Dict[Tuple[str, str], object]] = {}
+        #: outer key -> human-readable label, e.g. ``"title:lower"``
+        self._labels: Dict[tuple, str] = {}
+        self.hits: Dict[tuple, int] = {}
+        self.misses: Dict[tuple, int] = {}
+
+    def bucket(self, attribute: str, kind: tuple, label: str) -> tuple:
+        """Return (and create if needed) the bucket key for a column.
+
+        ``label`` is the human-readable suffix used in stats rows
+        (``"{attribute}:{label}"``); it does not participate in identity.
+        """
+        key = (attribute, kind)
+        if key not in self._buckets:
+            self._buckets[key] = {}
+            self._labels[key] = f"{attribute}:{label}"
+            self.hits[key] = 0
+            self.misses[key] = 0
+        return key
+
+    def value(
+        self,
+        key: tuple,
+        side: str,
+        record,
+        attribute: str,
+        derive: Callable[[object], object],
+    ) -> object:
+        """The derived form of ``record.get(attribute)``, cached.
+
+        ``key`` must come from :meth:`bucket`; ``derive`` receives the raw
+        attribute value (possibly ``None``) on a miss.
+        """
+        bucket = self._buckets[key]
+        entry = (side, record.record_id)
+        value = bucket.get(entry, _MISS)
+        if value is _MISS:
+            self.misses[key] += 1
+            value = derive(record.get(attribute))
+            bucket[entry] = value
+        else:
+            self.hits[key] += 1
+        return value
+
+    # ------------------------------------------------------- invalidation
+
+    def invalidate_records(self, side: str, record_ids: Iterable[str]) -> int:
+        """Drop cached values for the given records on one side."""
+        ids = set(record_ids)
+        if not ids:
+            return 0
+        evicted = 0
+        for bucket in self._buckets.values():
+            for record_id in ids:
+                # Cached values may be None; pop against the miss sentinel
+                # so those evictions are counted too.
+                if bucket.pop((side, record_id), _MISS) is not _MISS:
+                    evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        for bucket in self._buckets.values():
+            bucket.clear()
+
+    # ------------------------------------------------------- introspection
+
+    def stats(self) -> List[dict]:
+        """Per-(attribute, kind) sizes and hit/miss counts."""
         rows = []
         for key, bucket in sorted(
             self._buckets.items(), key=lambda item: self._labels[item[0]]

@@ -21,6 +21,7 @@ fallbacks trade speed, never correctness.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import os
 import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, TimeoutError
@@ -49,6 +50,13 @@ FaultPlan = Dict[int, Tuple[int, str]]
 
 def _default_workers() -> int:
     return os.cpu_count() or 1
+
+
+#: Monotonic run stamp carried by every ChunkTask of one run.  Workers key
+#: their bound-plan cache on it, so an in-parent fallback chunk of run N
+#: can never reuse a plan (or kernels) bound for run N-1 — records may
+#: have changed in between.
+_RUN_TOKENS = itertools.count(1)
 
 
 class ParallelMatcher:
@@ -113,13 +121,16 @@ class ParallelMatcher:
         #: fresh per-shard kernel set.  The parent's instance serves the
         #: serial and in-parent fallback paths.  None = seed-exact paths.
         self.kernels = kernels
-        #: "scalar" or "columnar": the evaluation engine inside each worker
-        #: (and in every serial/in-parent fallback).  Chunk outcomes are
+        #: "scalar", "columnar", or "auto": the evaluation engine inside
+        #: each worker (and in every serial/in-parent fallback).  "auto"
+        #: ships unresolved — each worker binds the plan against its own
+        #: kernels and follows the cost model's decision; the serial
+        #: fallback resolves against the parent's.  Chunk outcomes are
         #: bit-identical either way; columnar chunks additionally ship
         #: engine counters back for the parent's metrics.
-        if engine not in ("scalar", "columnar"):
+        if engine not in ("scalar", "columnar", "auto"):
             raise ParallelExecutionError(
-                f"engine must be 'scalar' or 'columnar', got {engine!r}"
+                f"engine must be 'scalar', 'columnar', or 'auto', got {engine!r}"
             )
         self.engine = engine
         self.last_plan: Optional[PartitionPlan] = None
@@ -187,9 +198,10 @@ class ParallelMatcher:
                 else 0
             )
             plan_spec = None
-            if self.engine == "columnar":
+            if self.engine != "scalar":
                 # Compile once in the parent; workers re-bind the picklable
-                # spec to their re-materialized function + fresh kernels.
+                # spec to their re-materialized function + fresh kernels
+                # (and, for "auto", resolve the engine decision there).
                 from ..engine import plan_function
 
                 plan_spec = plan_function(
@@ -198,6 +210,7 @@ class ParallelMatcher:
                     estimates=self.estimates,
                     check_cache_first=self.check_cache_first,
                 ).spec()
+            run_token = next(_RUN_TOKENS)
             serialize_started = time.perf_counter()
             with maybe_span(observability, "serialize"):
                 try:
@@ -223,6 +236,7 @@ class ParallelMatcher:
                                 ),
                                 engine=self.engine,
                                 plan_spec=plan_spec,
+                                run_token=run_token,
                             )
                         )
                         for chunk in plan.chunks
@@ -290,6 +304,17 @@ class ParallelMatcher:
                     observability.metrics.counter(
                         "engine.scalar_fallbacks"
                     ).inc(scalar_fallbacks)
+                plan_binds = sum(outcome.plan_binds for outcome in outcomes)
+                plan_cache_hits = sum(
+                    outcome.plan_cache_hits for outcome in outcomes
+                )
+                if plan_binds or plan_cache_hits:
+                    observability.metrics.counter("engine.plan_binds").inc(
+                        plan_binds
+                    )
+                    observability.metrics.counter(
+                        "engine.plan_cache_hits"
+                    ).inc(plan_cache_hits)
 
             stitch_started = time.perf_counter()
             with maybe_span(observability, "stitch"):
@@ -440,7 +465,22 @@ class ParallelMatcher:
         """
         self._note_fallback(reason)
         observability = self.observability
-        if self.engine == "columnar":
+        engine = self.engine
+        if engine == "auto":
+            # Resolve against the parent's own kernels — this path runs in
+            # the parent process, so the workers' decisions don't apply.
+            if self.kernels is None:
+                engine = "scalar"
+            else:
+                from ..engine import plan_function
+
+                engine = plan_function(
+                    function,
+                    kernels=self.kernels,
+                    estimates=self.estimates,
+                    check_cache_first=self.check_cache_first,
+                ).decision.engine
+        if engine == "columnar":
             from ..engine import ColumnarMatcher
 
             matcher = ColumnarMatcher(
@@ -470,7 +510,7 @@ class ParallelMatcher:
             )
         with maybe_span(observability, "serial_fallback", reason=reason):
             result = matcher.run(function, candidates)
-        if self.engine == "columnar" and observability is not None:
+        if engine == "columnar" and observability is not None:
             matcher.last_executor.report_metrics(observability.metrics)
         self.last_memo = matcher.last_memo
         match_seconds = result.stats.elapsed_seconds

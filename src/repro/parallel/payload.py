@@ -135,14 +135,20 @@ class ChunkTask:
     #: use_kernels; changes memo contents, so tasks built for bare
     #: matchers leave it off).
     use_bounds: bool = False
-    #: evaluation engine inside the worker: "scalar" (PairEvaluator) or
-    #: "columnar" (the repro.engine plan/executor split).  Labels, stats,
-    #: memo contents, and trace facts are bit-identical either way.
+    #: evaluation engine inside the worker: "scalar" (PairEvaluator),
+    #: "columnar" (the repro.engine plan/executor split), or "auto" (the
+    #: worker binds the plan against its own kernels and follows the cost
+    #: model's decision).  Labels, stats, memo contents, and trace facts
+    #: are bit-identical either way.
     engine: str = "scalar"
-    #: pre-compiled plan spec (repro.engine.PlanSpec) for columnar tasks —
-    #: picklable annotations only; kernel support is recomputed worker-side
-    #: via PlanSpec.bind.  None means the worker plans locally.
+    #: pre-compiled plan spec (repro.engine.PlanSpec) for columnar/auto
+    #: tasks — picklable annotations only; kernel support is recomputed
+    #: worker-side via PlanSpec.bind.  None means the worker plans locally.
     plan_spec: Optional[object] = None
+    #: parent-run identifier: chunks of the same run share one worker-side
+    #: bound plan (and its kernels) per process, and a fresh token fences
+    #: off reuse across runs whose records may have changed.
+    run_token: int = 0
     #: fault injection (tests only): number of times this chunk should
     #: still fail, and how ("raise" = exception, "exit" = kill the worker).
     fault_failures: int = 0
@@ -164,6 +170,7 @@ def build_chunk_task(
     use_bounds: bool = False,
     engine: str = "scalar",
     plan_spec: Optional[object] = None,
+    run_token: int = 0,
 ) -> ChunkTask:
     """Slice ``candidates`` down to ``chunk`` and pack a worker task."""
     pair_ids: List[Tuple[str, str]] = []
@@ -195,4 +202,5 @@ def build_chunk_task(
         use_bounds=use_bounds,
         engine=engine,
         plan_spec=plan_spec,
+        run_token=run_token,
     )

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import time
+from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -47,6 +48,65 @@ class InjectedWorkerFault(RuntimeError):
 #: Shared no-op context manager for the untraced paths (stateless, safe
 #: to re-enter).
 _NULL_CONTEXT = nullcontext()
+
+#: Per-process bound-plan cache: one (function, kernels, plan) triple per
+#: distinct plan identity, reused across the chunks of one run.  Binding a
+#: PlanSpec re-parses the DSL and re-classifies every feature against the
+#: worker's kernels; a worker typically evaluates many chunks of the same
+#: run, so everything derived purely from the *task shape* (not the pair
+#: list) is shared.  Sharing the kernels is what makes this a real win:
+#: record-level derived values (token sets, normalized strings, TF-IDF
+#: vectors) survive across chunks that touch the same records.  Chunk
+#: outcomes stay bit-identical — labels, stats, memo, and trace depend
+#: only on feature *values*, never on cache temperature.  The key leads
+#: with ``run_token`` so no state leaks across runs (records may change
+#: between streaming deltas); LRU-capped since stale runs never recur.
+_BIND_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_BIND_CACHE_LIMIT = 8
+
+
+def _bind_cache_key(task: ChunkTask) -> tuple:
+    spec = task.plan_spec
+    return (
+        task.run_token,
+        task.function.dsl_text,
+        tuple(sorted(task.function.pickled_features.items())),
+        task.check_cache_first,
+        task.use_kernels,
+        task.use_bounds,
+        spec.check_cache_first,
+        spec.use_bounds,
+        tuple(sorted(spec.annotations.items())),
+    )
+
+
+def _bound_plan(task: ChunkTask):
+    """(function, kernels, plan, cache_hit) for a plan-carrying task."""
+    key = _bind_cache_key(task)
+    cached = _BIND_CACHE.get(key)
+    if cached is not None:
+        _BIND_CACHE.move_to_end(key)
+        function, kernels, plan = cached
+        return function, kernels, plan, True
+    function = task.function.materialize()
+    kernels = _make_kernels(task)
+    plan = task.plan_spec.bind(function, kernels)
+    _BIND_CACHE[key] = (function, kernels, plan)
+    while len(_BIND_CACHE) > _BIND_CACHE_LIMIT:
+        _BIND_CACHE.popitem(last=False)
+    return function, kernels, plan, False
+
+
+def _make_kernels(task: ChunkTask):
+    if not task.use_kernels:
+        return None
+    # Imported lazily, like observability: seed tasks never need it.  The
+    # cache is worker-local — built over the shard's re-hydrated records,
+    # so token sets (and all derived values) are bit-identical to the
+    # parent's.
+    from ..kernels import FeatureKernels
+
+    return FeatureKernels(use_bounds=task.use_bounds)
 
 
 @dataclass
@@ -72,6 +132,11 @@ class ChunkOutcome:
     #: them into its engine.* metrics.
     mask_evals: int = 0
     scalar_fallbacks: int = 0
+    #: plan-bind accounting: 1 if this chunk bound the PlanSpec afresh,
+    #: 1 if it reused a process-cached bound plan (both 0 for scalar
+    #: tasks); folded into the parent's engine.plan_* counters.
+    plan_binds: int = 0
+    plan_cache_hits: int = 0
 
 
 def _build_table(
@@ -111,10 +176,23 @@ def run_chunk(task: ChunkTask) -> ChunkOutcome:
         if tracer is not None
         else _NULL_CONTEXT
     ):
+        engine = task.engine
+        plan = None
+        plan_binds = plan_cache_hits = 0
         with (
             tracer.span("rebuild") if tracer is not None else _NULL_CONTEXT
         ):
-            function = task.function.materialize()
+            if engine != "scalar" and task.plan_spec is not None:
+                # Columnar/auto chunks share one bound plan (function +
+                # kernels + plan) per process across the run's chunks.
+                function, kernels, plan, cache_hit = _bound_plan(task)
+                if cache_hit:
+                    plan_cache_hits = 1
+                else:
+                    plan_binds = 1
+            else:
+                function = task.function.materialize()
+                kernels = _make_kernels(task)
             table_a = _build_table(
                 task.table_a_name, task.table_a_attributes, task.records_a
             )
@@ -125,19 +203,18 @@ def run_chunk(task: ChunkTask) -> ChunkOutcome:
                 table_a, table_b, task.pair_ids
             )
 
-        kernels = None
-        if task.use_kernels:
-            # Imported lazily, like observability: seed tasks never need it.
-            # The cache is per-shard — built over the re-hydrated records,
-            # so token sets (and all derived values) are bit-identical to
-            # the parent's.
-            from ..kernels import FeatureKernels
-
-            kernels = FeatureKernels(use_bounds=task.use_bounds)
+        if engine == "auto":
+            # Resolve against *this worker's* bound plan: support was
+            # recomputed for its kernels, so the decision is its own.
+            engine = (
+                plan.decision.engine
+                if plan is not None and plan.decision is not None
+                else "scalar"
+            )
 
         trace = TraceLog() if task.collect_trace else None
         executor = None
-        if task.engine == "columnar":
+        if engine == "columnar":
             # Columnar chunks use a dense ArrayMemo (the executor's native
             # backend); entries still travel back as sparse triples via
             # items(), so the parent-side merge is backend-agnostic.
@@ -146,11 +223,6 @@ def run_chunk(task: ChunkTask) -> ChunkOutcome:
 
             names = [feature.name for feature in function.features()]
             memo = ArrayMemo(len(candidates), names)
-            plan = (
-                task.plan_spec.bind(function, kernels)
-                if task.plan_spec is not None
-                else None
-            )
             matcher = ColumnarMatcher(
                 memo=memo,
                 check_cache_first=task.check_cache_first,
@@ -170,7 +242,7 @@ def run_chunk(task: ChunkTask) -> ChunkOutcome:
             )
         with tracer.span("match") if tracer is not None else _NULL_CONTEXT:
             result = matcher.run(function, candidates)
-        if task.engine == "columnar":
+        if engine == "columnar":
             executor = matcher.last_executor
     return ChunkOutcome(
         chunk_id=task.chunk_id,
@@ -186,4 +258,6 @@ def run_chunk(task: ChunkTask) -> ChunkOutcome:
         scalar_fallbacks=(
             executor.scalar_fallbacks if executor is not None else 0
         ),
+        plan_binds=plan_binds,
+        plan_cache_hits=plan_cache_hits,
     )

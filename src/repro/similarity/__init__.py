@@ -7,7 +7,11 @@ DSL and the feature-space builder.
 """
 
 from .alignment import NeedlemanWunsch, SmithWaterman
-from .base import SimilarityFunction
+from .base import (
+    ExactStringSimilarity,
+    NormalizedStringSimilarity,
+    SimilarityFunction,
+)
 from .corpus import Corpus
 from .editex import Editex, editex_distance
 from .exact import ExactMatch, NormalizedExactMatch, PrefixMatch, SuffixMatch
@@ -19,7 +23,13 @@ from .levenshtein import (
     damerau_levenshtein_distance,
     levenshtein_distance,
 )
-from .numeric import AbsoluteDifference, NumericExact, RelativeDifference
+from .numeric import (
+    AbsoluteDifference,
+    NumericExact,
+    NumericSimilarity,
+    RelativeDifference,
+    parse_number,
+)
 from .phonetic import Nysiis, nysiis_code
 from .registry import (
     default_instances,
@@ -27,8 +37,8 @@ from .registry import (
     register,
     registered_names,
 )
-from .soundex import Soundex, soundex_code
-from .tfidf import SoftTfIdf, TfIdf
+from .soundex import Soundex, SoundexTokenizer, soundex_code
+from .tfidf import CorpusVectorSimilarity, SoftTfIdf, TfIdf
 from .token_based import (
     Cosine,
     Dice,
@@ -47,6 +57,10 @@ from .tokenizers import (
 
 __all__ = [
     "SimilarityFunction",
+    "NormalizedStringSimilarity",
+    "ExactStringSimilarity",
+    "NumericSimilarity",
+    "CorpusVectorSimilarity",
     "Corpus",
     "ExactMatch",
     "NormalizedExactMatch",
@@ -65,6 +79,7 @@ __all__ = [
     "levenshtein_distance",
     "damerau_levenshtein_distance",
     "Soundex",
+    "SoundexTokenizer",
     "soundex_code",
     "Nysiis",
     "nysiis_code",
@@ -83,6 +98,7 @@ __all__ = [
     "NumericExact",
     "RelativeDifference",
     "AbsoluteDifference",
+    "parse_number",
     "Tokenizer",
     "WhitespaceTokenizer",
     "AlphanumericTokenizer",

@@ -83,3 +83,74 @@ class SimilarityFunction(ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NormalizedStringSimilarity(SimilarityFunction):
+    """String measures whose comparison factors through a per-value
+    normalization step (case folding, punctuation stripping, ...).
+
+    Splitting :meth:`compare` into :meth:`kernel_normalize` +
+    :meth:`score_norms` lets the kernel layer (:mod:`repro.kernels`) cache
+    the normalized form once per record and batch the scoring, reaching
+    *identical* code for the actual comparison.  Subclasses implement
+    :meth:`score_norms` and must not override :meth:`compare` — doing so
+    would fork the normalize-then-score contract the cache relies on.
+
+    Two hooks power the kernel layer:
+
+    * :attr:`normalize_key` — a hashable label identifying the
+      normalization behaviour, so measures that normalize identically
+      (e.g. every plain case-folding measure) share one cached column.
+    * :meth:`upper_bound_lengths` — a cheap upper bound on
+      :meth:`score_norms` given only the two *normalized* lengths, used
+      for threshold short-circuiting.  Soundness contract: the bound is
+      the score formula evaluated at its length-constrained maximum with
+      the same floating-point operation shape (plus an explicit margin
+      where the shape argument alone is not airtight), guaranteeing
+      ``score_norms(x, y) <= upper_bound_lengths(len(x), len(y))``.
+    """
+
+    #: Label of the normalization behaviour; measures sharing a key share
+    #: cached normalized columns in the kernel layer.
+    normalize_key: str = "lower"
+
+    def kernel_normalize(self, value: str) -> str:
+        """Normalize one non-``None`` value (default: case folding)."""
+        return value.lower()
+
+    def compare(self, x: str, y: str) -> float:
+        return self.score_norms(self.kernel_normalize(x), self.kernel_normalize(y))
+
+    @abstractmethod
+    def score_norms(self, x: str, y: str) -> float:
+        """Compare two pre-normalized strings."""
+
+    def upper_bound_lengths(self, len_x: int, len_y: int) -> Optional[float]:
+        """Upper bound on :meth:`score_norms` from normalized lengths, or
+        ``None`` when no useful bound exists (including degenerate lengths
+        where the full comparison is trivially cheap anyway)."""
+        return None
+
+
+class ExactStringSimilarity(NormalizedStringSimilarity):
+    """Equality measures: 1.0 iff the normalized forms are equal.
+
+    The kernel layer evaluates these as a vectorized hash-compare column
+    (intern each normalized value once, compare integer ids).
+    :attr:`empty_equal_score` is the score when *both* normalized forms
+    are empty: plain exact match keeps the equality answer (1.0), while
+    normalizations that can strip a value to nothing (punctuation-only
+    input) may declare the comparison uninformative (0.0).
+    """
+
+    empty_equal_score: float = 1.0
+
+    def score_norms(self, x: str, y: str) -> float:
+        if not x and not y:
+            return self.empty_equal_score
+        return 1.0 if x == y else 0.0
+
+    def upper_bound_lengths(self, len_x: int, len_y: int) -> Optional[float]:
+        # Equal strings have equal lengths, so unequal lengths bound the
+        # score at exactly 0.0 — the one decision this family needs.
+        return 1.0 if len_x == len_y else 0.0

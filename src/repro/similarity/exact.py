@@ -11,10 +11,10 @@ from __future__ import annotations
 
 import re
 
-from .base import SimilarityFunction
+from .base import ExactStringSimilarity, NormalizedStringSimilarity
 
 
-class ExactMatch(SimilarityFunction):
+class ExactMatch(ExactStringSimilarity):
     """1.0 iff the two values are equal as strings, else 0.0.
 
     With ``case_sensitive=False`` (default) comparison is done on
@@ -26,14 +26,13 @@ class ExactMatch(SimilarityFunction):
     def __init__(self, case_sensitive: bool = False):
         self.case_sensitive = case_sensitive
         self.name = "exact_match" if not case_sensitive else "exact_match_cs"
+        self.normalize_key = "identity" if case_sensitive else "lower"
 
-    def compare(self, x: str, y: str) -> float:
-        if not self.case_sensitive:
-            x, y = x.lower(), y.lower()
-        return 1.0 if x == y else 0.0
+    def kernel_normalize(self, value: str) -> str:
+        return value if self.case_sensitive else value.lower()
 
 
-class NormalizedExactMatch(SimilarityFunction):
+class NormalizedExactMatch(ExactStringSimilarity):
     """Equality after stripping all non-alphanumeric characters.
 
     ``"MN-12 345"`` equals ``"mn12345"``.  Useful for model numbers and
@@ -43,18 +42,16 @@ class NormalizedExactMatch(SimilarityFunction):
 
     name = "norm_exact_match"
     cost_tier = 1
+    normalize_key = "alnum"
+    # Two values made entirely of punctuation carry no signal.
+    empty_equal_score = 0.0
     _strip = re.compile(r"[^a-z0-9]+")
 
-    def compare(self, x: str, y: str) -> float:
-        nx = self._strip.sub("", x.lower())
-        ny = self._strip.sub("", y.lower())
-        if not nx and not ny:
-            # Two values made entirely of punctuation carry no signal.
-            return 0.0
-        return 1.0 if nx == ny else 0.0
+    def kernel_normalize(self, value: str) -> str:
+        return self._strip.sub("", value.lower())
 
 
-class PrefixMatch(SimilarityFunction):
+class PrefixMatch(NormalizedStringSimilarity):
     """Length of the common (case-folded) prefix over the shorter length.
 
     A cheap O(min(len)) measure that correlates well with equality for
@@ -64,8 +61,7 @@ class PrefixMatch(SimilarityFunction):
     name = "prefix"
     cost_tier = 1
 
-    def compare(self, x: str, y: str) -> float:
-        x, y = x.lower(), y.lower()
+    def score_norms(self, x: str, y: str) -> float:
         limit = min(len(x), len(y))
         if limit == 0:
             return 1.0 if len(x) == len(y) else 0.0
@@ -77,14 +73,13 @@ class PrefixMatch(SimilarityFunction):
         return common / limit
 
 
-class SuffixMatch(SimilarityFunction):
+class SuffixMatch(NormalizedStringSimilarity):
     """Length of the common (case-folded) suffix over the shorter length."""
 
     name = "suffix"
     cost_tier = 1
 
-    def compare(self, x: str, y: str) -> float:
-        x, y = x.lower(), y.lower()
+    def score_norms(self, x: str, y: str) -> float:
         limit = min(len(x), len(y))
         if limit == 0:
             return 1.0 if len(x) == len(y) else 0.0

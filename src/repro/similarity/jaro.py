@@ -8,7 +8,9 @@ which is exactly where the paper's sample rules use them (Figure 4:
 
 from __future__ import annotations
 
-from .base import SimilarityFunction
+from typing import Optional
+
+from .base import NormalizedStringSimilarity
 
 
 def jaro_similarity(x: str, y: str) -> float:
@@ -72,17 +74,37 @@ def jaro_winkler_similarity(x: str, y: str, prefix_weight: float = 0.1) -> float
     return jaro + prefix * prefix_weight * (1.0 - jaro)
 
 
-class Jaro(SimilarityFunction):
+def jaro_upper_bound(len_x: int, len_y: int) -> float:
+    """Length-only upper bound on :func:`jaro_similarity`.
+
+    At most ``min(len_x, len_y)`` characters can match, and the
+    transposition term ``(m - t) / m`` never exceeds 1 (its float
+    evaluation rounds to at most 1.0 because ``m - t <= m`` as ints).
+    The bound is the Jaro formula at that maximum with the identical
+    left-associated operation shape, so rounding monotonicity gives
+    ``jaro_similarity(x, y) <= jaro_upper_bound(len(x), len(y))``.
+    """
+    shortest = min(len_x, len_y)
+    return (shortest / len_x + shortest / len_y + 1.0) / 3.0
+
+
+class Jaro(NormalizedStringSimilarity):
     """Case-folded Jaro similarity."""
 
     name = "jaro"
     cost_tier = 2
 
-    def compare(self, x: str, y: str) -> float:
-        return jaro_similarity(x.lower(), y.lower())
+    def score_norms(self, x: str, y: str) -> float:
+        return jaro_similarity(x, y)
+
+    def upper_bound_lengths(self, len_x: int, len_y: int) -> Optional[float]:
+        if len_x == 0 or len_y == 0:
+            # Zero-length comparisons are trivially cheap; no bound needed.
+            return None
+        return jaro_upper_bound(len_x, len_y)
 
 
-class JaroWinkler(SimilarityFunction):
+class JaroWinkler(NormalizedStringSimilarity):
     """Case-folded Jaro-Winkler similarity with configurable prefix weight."""
 
     cost_tier = 2
@@ -95,5 +117,18 @@ class JaroWinkler(SimilarityFunction):
         self.prefix_weight = prefix_weight
         self.name = "jaro_winkler"
 
-    def compare(self, x: str, y: str) -> float:
-        return jaro_winkler_similarity(x.lower(), y.lower(), self.prefix_weight)
+    def score_norms(self, x: str, y: str) -> float:
+        return jaro_winkler_similarity(x, y, self.prefix_weight)
+
+    def upper_bound_lengths(self, len_x: int, len_y: int) -> Optional[float]:
+        if len_x == 0 or len_y == 0:
+            return None
+        jaro_bound = jaro_upper_bound(len_x, len_y)
+        prefix = min(4, len_x, len_y)
+        # jw = jaro + p*w*(1-jaro) is monotone in both jaro (w <= 0.25)
+        # and p, so substituting their maxima bounds the exact value; the
+        # Jaro bound appears twice with opposing float-rounding
+        # monotonicity, so add an explicit 1e-9 margin (orders of
+        # magnitude above the few-ulp rounding budget of this expression)
+        # rather than relying on operation shape alone.
+        return jaro_bound + prefix * self.prefix_weight * (1.0 - jaro_bound) + 1e-9

@@ -8,7 +8,9 @@ thresholded by rule predicates like any other feature.
 
 from __future__ import annotations
 
-from .base import SimilarityFunction
+from typing import Optional
+
+from .base import NormalizedStringSimilarity
 
 
 def levenshtein_distance(x: str, y: str) -> int:
@@ -75,7 +77,7 @@ def damerau_levenshtein_distance(x: str, y: str) -> int:
     return dist[-1][-1]
 
 
-class Levenshtein(SimilarityFunction):
+class Levenshtein(NormalizedStringSimilarity):
     """Normalized Levenshtein similarity: ``1 - dist / max(len(x), len(y))``.
 
     Two empty strings are defined to have similarity 1.0.
@@ -84,23 +86,39 @@ class Levenshtein(SimilarityFunction):
     name = "levenshtein"
     cost_tier = 3
 
-    def compare(self, x: str, y: str) -> float:
-        x, y = x.lower(), y.lower()
+    def score_norms(self, x: str, y: str) -> float:
         longest = max(len(x), len(y))
         if longest == 0:
             return 1.0
         return 1.0 - levenshtein_distance(x, y) / longest
 
+    def upper_bound_lengths(self, len_x: int, len_y: int) -> Optional[float]:
+        # dist >= |len_x - len_y| (every length-changing edit moves the
+        # length by one), and the bound below is the score formula with
+        # that integer lower bound substituted for dist.  Rounding
+        # monotonicity of / and - then gives score <= bound exactly.
+        longest = max(len_x, len_y)
+        if longest == 0:
+            return None
+        return 1.0 - abs(len_x - len_y) / longest
 
-class DamerauLevenshtein(SimilarityFunction):
+
+class DamerauLevenshtein(NormalizedStringSimilarity):
     """Normalized Damerau-Levenshtein similarity (transposition-aware)."""
 
     name = "damerau_levenshtein"
     cost_tier = 4
 
-    def compare(self, x: str, y: str) -> float:
-        x, y = x.lower(), y.lower()
+    def score_norms(self, x: str, y: str) -> float:
         longest = max(len(x), len(y))
         if longest == 0:
             return 1.0
         return 1.0 - damerau_levenshtein_distance(x, y) / longest
+
+    def upper_bound_lengths(self, len_x: int, len_y: int) -> Optional[float]:
+        # Transpositions never change lengths, so dist >= |len_x - len_y|
+        # holds for the OSA variant too; same argument as Levenshtein.
+        longest = max(len_x, len_y)
+        if longest == 0:
+            return None
+        return 1.0 - abs(len_x - len_y) / longest

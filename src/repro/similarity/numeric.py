@@ -9,7 +9,10 @@ with the package-wide missing-value convention.
 from __future__ import annotations
 
 import re
+from abc import abstractmethod
 from typing import Optional
+
+import numpy as np
 
 from .base import SimilarityFunction
 
@@ -28,20 +31,51 @@ def parse_number(value: str) -> Optional[float]:
     return float(match.group())
 
 
-class NumericExact(SimilarityFunction):
-    """1.0 iff the two values parse to the same number (within 1e-9)."""
+class NumericSimilarity(SimilarityFunction):
+    """Measures defined on the parsed numeric values of both inputs.
 
-    name = "numeric_exact"
-    cost_tier = 1
+    Splitting :meth:`compare` into :func:`parse_number` +
+    :meth:`score_numbers` lets the kernel layer cache the parsed float once
+    per record and score whole candidate columns at a time.  Subclasses
+    implement :meth:`score_numbers`; values that fail to parse score 0.0
+    before it is ever called.  Subclasses must not override
+    :meth:`compare` — that would fork the parse-then-score contract the
+    cache relies on.
+
+    :attr:`from_numbers` is the vectorized hook: subclasses replace it
+    with a method taking two float64 ndarrays (parsed values, no NaNs for
+    unparsed — those rows are handled upstream) and returning the float64
+    score column, replicating :meth:`score_numbers` bit-for-bit.
+    """
 
     def compare(self, x: str, y: str) -> float:
         nx, ny = parse_number(x), parse_number(y)
         if nx is None or ny is None:
             return 0.0
+        return self.score_numbers(nx, ny)
+
+    @abstractmethod
+    def score_numbers(self, nx: float, ny: float) -> float:
+        """Compare two successfully parsed numbers."""
+
+    #: Vectorized hook; None = no batched kernel for this measure.
+    from_numbers = None
+
+
+class NumericExact(NumericSimilarity):
+    """1.0 iff the two values parse to the same number (within 1e-9)."""
+
+    name = "numeric_exact"
+    cost_tier = 1
+
+    def score_numbers(self, nx: float, ny: float) -> float:
         return 1.0 if abs(nx - ny) <= 1e-9 else 0.0
 
+    def from_numbers(self, x, y):
+        return np.where(np.abs(x - y) <= 1e-9, 1.0, 0.0)
 
-class RelativeDifference(SimilarityFunction):
+
+class RelativeDifference(NumericSimilarity):
     """``1 - |x - y| / max(|x|, |y|)``, clipped to ``[0, 1]``.
 
     Two zeros score 1.0.  Good for prices, where a 5 % delta should score
@@ -51,17 +85,24 @@ class RelativeDifference(SimilarityFunction):
     name = "rel_diff"
     cost_tier = 1
 
-    def compare(self, x: str, y: str) -> float:
-        nx, ny = parse_number(x), parse_number(y)
-        if nx is None or ny is None:
-            return 0.0
+    def score_numbers(self, nx: float, ny: float) -> float:
         denominator = max(abs(nx), abs(ny))
         if denominator == 0.0:
             return 1.0
         return max(0.0, 1.0 - abs(nx - ny) / denominator)
 
+    def from_numbers(self, x, y):
+        denominator = np.maximum(np.abs(x), np.abs(y))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            raw = 1.0 - np.abs(x - y) / denominator
+        # where(raw > 0, ...) mirrors Python's max(0.0, raw) exactly,
+        # including raw=NaN -> 0.0 (max returns its first argument when
+        # the comparison is False).
+        scores = np.where(raw > 0.0, raw, 0.0)
+        return np.where(denominator == 0.0, 1.0, scores)
 
-class AbsoluteDifference(SimilarityFunction):
+
+class AbsoluteDifference(NumericSimilarity):
     """``max(0, 1 - |x - y| / scale)`` — linear decay over a fixed scale.
 
     ``scale`` is the difference at which similarity reaches zero; e.g.
@@ -76,8 +117,9 @@ class AbsoluteDifference(SimilarityFunction):
         self.scale = scale
         self.name = f"abs_diff_{scale:g}"
 
-    def compare(self, x: str, y: str) -> float:
-        nx, ny = parse_number(x), parse_number(y)
-        if nx is None or ny is None:
-            return 0.0
+    def score_numbers(self, nx: float, ny: float) -> float:
         return max(0.0, 1.0 - abs(nx - ny) / self.scale)
+
+    def from_numbers(self, x, y):
+        raw = 1.0 - np.abs(x - y) / self.scale
+        return np.where(raw > 0.0, raw, 0.0)

@@ -7,12 +7,20 @@ with many tokens pays the encoding cost repeatedly.  We reproduce that
 token-wise behaviour: the similarity is the Jaccard overlap of the Soundex
 codes of the two values' word tokens (identical to comparing codes directly
 for single-word values).
+
+Structurally, that makes Soundex a token-set measure whose tokenizer emits
+phonetic codes instead of words — so it is implemented as a
+:class:`~repro.similarity.token_based.Jaccard` over a
+:class:`SoundexTokenizer`, which routes it through the same token-cache and
+batched-count kernels as every other set measure.
 """
 
 from __future__ import annotations
 
-from .base import SimilarityFunction
-from .tokenizers import WhitespaceTokenizer
+from typing import List
+
+from .token_based import Jaccard
+from .tokenizers import Tokenizer
 
 _SOUNDEX_CODES = {
     "b": "1", "f": "1", "p": "1", "v": "1",
@@ -54,25 +62,33 @@ def soundex_code(word: str) -> str:
     return "".join(code).ljust(4, "0")
 
 
-class Soundex(SimilarityFunction):
+class SoundexTokenizer(Tokenizer):
+    """Whitespace-split, then encode each word with :func:`soundex_code`.
+
+    Fully non-alphabetic words encode to the empty string and are dropped,
+    reproducing the historical ``codes - {""}`` convention.
+    """
+
+    name = "soundex"
+
+    def _split(self, text: str) -> List[str]:
+        codes = []
+        for token in text.split():
+            code = soundex_code(token)
+            if code:
+                codes.append(code)
+        return codes
+
+
+class Soundex(Jaccard):
     """Jaccard overlap of per-token Soundex codes.
 
     For single-token values this degenerates to exact code equality
     (1.0 or 0.0), matching the classic "do these names sound alike" test.
     """
 
-    name = "soundex"
     cost_tier = 5
 
     def __init__(self):
-        self._tokenizer = WhitespaceTokenizer()
-
-    def compare(self, x: str, y: str) -> float:
-        codes_x = {soundex_code(t) for t in self._tokenizer.tokenize(x)} - {""}
-        codes_y = {soundex_code(t) for t in self._tokenizer.tokenize(y)} - {""}
-        if not codes_x and not codes_y:
-            return 1.0
-        if not codes_x or not codes_y:
-            return 0.0
-        overlap = len(codes_x & codes_y)
-        return overlap / len(codes_x | codes_y)
+        super().__init__(SoundexTokenizer())
+        self.name = "soundex"

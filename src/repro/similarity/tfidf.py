@@ -10,35 +10,86 @@ real statistics via :meth:`repro.learning.feature_space.FeatureSpace.bind_corpor
 
 from __future__ import annotations
 
+from abc import abstractmethod
+from typing import Dict, Tuple
+
 from .base import SimilarityFunction
 from .corpus import Corpus
 from .jaro import JaroWinkler
 from .tokenizers import Tokenizer, WhitespaceTokenizer
 
 
-class TfIdf(SimilarityFunction):
-    """Cosine similarity between L2-normalized TF-IDF vectors."""
+class CorpusVectorSimilarity(SimilarityFunction):
+    """Measures defined on the weighted TF-IDF vectors of both inputs.
 
-    cost_tier = 8
+    Splitting :meth:`compare` into :meth:`weight_vector` (tokenize + weight
+    one value against the bound corpus — cacheable per record) and
+    :meth:`score_vectors` (combine two precomputed vectors) lets the kernel
+    layer cache each record's vector once and reach *identical* scoring
+    code for every candidate pair.  Subclasses implement
+    :meth:`from_vectors` and must not override :meth:`compare` or
+    :meth:`score_vectors` — that would fork the empty-value conventions
+    and the cache contract.
+
+    Cached vectors are only valid against the corpus they were weighted
+    by, so cache consumers must key on (or invalidate with) the bound
+    :attr:`corpus` identity — :meth:`bind_corpus` swaps it wholesale.
+    """
+
     needs_corpus = True
 
     def __init__(self, tokenizer: Tokenizer | None = None, corpus: Corpus | None = None):
         self.tokenizer = tokenizer or WhitespaceTokenizer()
         self.corpus = corpus or Corpus(self.tokenizer)
-        self.name = f"tfidf_{self.tokenizer.name}"
 
     def bind_corpus(self, corpus: Corpus) -> None:
         self.corpus = corpus
 
-    def compare(self, x: str, y: str) -> float:
-        tokens_x = self.tokenizer.tokenize(x)
-        tokens_y = self.tokenizer.tokenize(y)
-        if not tokens_x and not tokens_y:
+    def weight_vector(self, value: str) -> Tuple[bool, Dict[str, float]]:
+        """``(tokenized_to_nothing, L2-normalized TF-IDF vector)`` for one
+        non-``None`` value under the currently bound corpus."""
+        tokens = self.tokenizer.tokenize(value)
+        return (not tokens, self.corpus.tfidf_vector(tokens))
+
+    def score_vectors(
+        self,
+        empty_x: bool,
+        vector_x: Dict[str, float],
+        empty_y: bool,
+        vector_y: Dict[str, float],
+    ) -> float:
+        """Score two pre-weighted vectors under the package conventions:
+        both values empty -> 1.0, either vector degenerate -> 0.0."""
+        if empty_x and empty_y:
             return 1.0
-        vector_x = self.corpus.tfidf_vector(tokens_x)
-        vector_y = self.corpus.tfidf_vector(tokens_y)
         if not vector_x or not vector_y:
             return 0.0
+        return self.from_vectors(vector_x, vector_y)
+
+    def compare(self, x: str, y: str) -> float:
+        empty_x, vector_x = self.weight_vector(x)
+        empty_y, vector_y = self.weight_vector(y)
+        return self.score_vectors(empty_x, vector_x, empty_y, vector_y)
+
+    @abstractmethod
+    def from_vectors(
+        self, vector_x: Dict[str, float], vector_y: Dict[str, float]
+    ) -> float:
+        """Combine two non-degenerate weighted vectors."""
+
+
+class TfIdf(CorpusVectorSimilarity):
+    """Cosine similarity between L2-normalized TF-IDF vectors."""
+
+    cost_tier = 8
+
+    def __init__(self, tokenizer: Tokenizer | None = None, corpus: Corpus | None = None):
+        super().__init__(tokenizer, corpus)
+        self.name = f"tfidf_{self.tokenizer.name}"
+
+    def from_vectors(
+        self, vector_x: Dict[str, float], vector_y: Dict[str, float]
+    ) -> float:
         if len(vector_y) < len(vector_x):
             vector_x, vector_y = vector_y, vector_x
         dot = sum(
@@ -51,7 +102,7 @@ class TfIdf(SimilarityFunction):
         return min(1.0, dot)
 
 
-class SoftTfIdf(SimilarityFunction):
+class SoftTfIdf(CorpusVectorSimilarity):
     """Soft TF-IDF (Cohen, Ravikumar & Fienberg 2003).
 
     Like TF-IDF cosine, but a token of one value may match a *similar*
@@ -69,7 +120,6 @@ class SoftTfIdf(SimilarityFunction):
     """
 
     cost_tier = 9
-    needs_corpus = True
 
     def __init__(
         self,
@@ -80,14 +130,10 @@ class SoftTfIdf(SimilarityFunction):
     ):
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
-        self.tokenizer = tokenizer or WhitespaceTokenizer()
-        self.corpus = corpus or Corpus(self.tokenizer)
+        super().__init__(tokenizer, corpus)
         self.secondary = secondary or JaroWinkler()
         self.threshold = threshold
         self.name = f"soft_tfidf_{self.tokenizer.name}"
-
-    def bind_corpus(self, corpus: Corpus) -> None:
-        self.corpus = corpus
 
     def _directed(self, vector_x: dict, vector_y: dict) -> float:
         total = 0.0
@@ -106,15 +152,9 @@ class SoftTfIdf(SimilarityFunction):
                 total += weight_x * best_weight * best_score
         return total
 
-    def compare(self, x: str, y: str) -> float:
-        tokens_x = self.tokenizer.tokenize(x)
-        tokens_y = self.tokenizer.tokenize(y)
-        if not tokens_x and not tokens_y:
-            return 1.0
-        vector_x = self.corpus.tfidf_vector(tokens_x)
-        vector_y = self.corpus.tfidf_vector(tokens_y)
-        if not vector_x or not vector_y:
-            return 0.0
+    def from_vectors(
+        self, vector_x: Dict[str, float], vector_y: Dict[str, float]
+    ) -> float:
         forward = self._directed(vector_x, vector_y)
         backward = self._directed(vector_y, vector_x)
         # Directed scores are already normalized by the L2 vectors; clip to

@@ -326,9 +326,11 @@ class Workbench:
 
     def cmd_plan(self, arguments: List[str]) -> str:
         """``plan`` — the compiled columnar evaluation plan of the current
-        function: ordered predicate steps with kernel support, bound
-        eligibility, and cost-model annotations, plus which engine the
-        session would pick for it."""
+        function: ordered predicate steps with kernel support (and *why*
+        an unsupported step falls back — feature family, overridden
+        compare), bound eligibility, and cost-model annotations, plus the
+        cost model's engine decision and which engine the session would
+        pick for it."""
         if arguments:
             raise WorkbenchError("usage: plan")
         if self.session is None:

@@ -34,26 +34,43 @@ from repro.core.state import MatchState
 from repro.data import CandidateSet, Record, Table, load_dataset
 from repro.engine import ColumnarMatcher, apply_change_columnar, plan_function
 from repro.kernels import FeatureKernels
-from repro.similarity import ExactMatch, Jaccard, JaroWinkler, Levenshtein, Trigram
+from repro.similarity import (
+    AbsoluteDifference,
+    ExactMatch,
+    Jaccard,
+    JaroWinkler,
+    Levenshtein,
+    MongeElkan,
+    Trigram,
+)
 
 ATTRIBUTES = ("name", "code")
 
-#: token-kernel-supported (jaccard_ws, trigram) deliberately mixed with
-#: unsupported measures (exact_match, jaro_winkler, levenshtein) so random
-#: functions routinely produce partial-fallback plans.
+#: every kernel family (token, exact, edit-distance, numeric) deliberately
+#: mixed with monge_elkan — which has no kernel family — so random
+#: functions routinely produce partial-fallback plans.  The numeric
+#: feature runs over mostly unparsable text, exercising the parse-failure
+#: (None -> 0.0) convention in both engines.
 FEATURE_POOL = [
     Feature(Jaccard(), "name", "name"),
     Feature(ExactMatch(), "name", "name"),
     Feature(JaroWinkler(), "name", "name"),
+    Feature(MongeElkan(), "name", "name"),
     Feature(Trigram(), "code", "code"),
     Feature(ExactMatch(), "code", "code"),
     Feature(Levenshtein(), "code", "code"),
+    Feature(AbsoluteDifference(scale=5.0), "code", "code"),
 ]
 
-#: all-supported subset: plans over these are fully kernel-backed.
+#: all-supported subset spanning the kernel families (with and without
+#: bounds): plans over these are fully kernel-backed.
 SUPPORTED_POOL = [
     Feature(Jaccard(), "name", "name"),
+    Feature(ExactMatch(), "name", "name"),
+    Feature(JaroWinkler(), "name", "name"),
     Feature(Trigram(), "code", "code"),
+    Feature(Levenshtein(), "code", "code"),
+    Feature(AbsoluteDifference(scale=5.0), "code", "code"),
 ]
 
 value_strategy = st.text(alphabet="abcd 12", min_size=0, max_size=8)
@@ -186,6 +203,35 @@ def test_columnar_matches_scalar(tables, function):
         assert_parity(scalar, columnar)
 
 
+@given(tables=tables_strategy(), function=function_strategy())
+@settings(max_examples=40, deadline=None)
+def test_cost_decision_is_consistent(tables, function):
+    """Every compiled plan carries a coherent cost-model decision, and the
+    engine it picks reproduces the scalar run bit-for-bit."""
+    kernels = FeatureKernels(use_bounds=True)
+    plan = plan_function(function, kernels=kernels)
+    decision = plan.decision
+    assert decision is not None
+    assert decision.engine in ("columnar", "scalar")
+    assert decision.total_steps == sum(
+        len(rule_step.steps) for rule_step in plan.rule_steps
+    )
+    assert decision.supported_steps == sum(
+        step.kernel_supported
+        for rule_step in plan.rule_steps
+        for step in rule_step.steps
+    )
+    # overheads are strict: all-supported -> columnar, none -> scalar
+    if plan.fully_kernel_supported:
+        assert decision.engine == "columnar" and decision.mode == "columnar"
+    if decision.supported_steps == 0:
+        assert decision.engine == "scalar"
+    # whichever engine the model picked, conservation holds
+    candidates = cross_product(*tables)
+    scalar, columnar = run_both(function, candidates, True, True, True)
+    assert_parity(scalar, columnar)
+
+
 @given(tables=tables_strategy(), function=function_strategy(pool=SUPPORTED_POOL))
 @settings(max_examples=25, deadline=None)
 def test_fully_supported_plans_never_fall_back(tables, function):
@@ -266,10 +312,12 @@ DATASET_FUNCTIONS = {
         R1: jaccard_ws(title, title) >= 0.45 AND trigram(modelno, modelno) >= 0.6
         R2: jaro_winkler(title, title) >= 0.92
         R3: exact_match(modelno, modelno) >= 1 AND jaccard_ws(title, title) >= 0.2
+        R4: monge_elkan(title, title) >= 0.95
     """,
     "restaurants": """
         R1: jaccard_ws(name, name) >= 0.5 AND trigram(phone, phone) >= 0.7
         R2: levenshtein(name, name) >= 0.85 AND jaccard_ws(addr, addr) >= 0.3
+        R3: soundex(name, name) >= 0.6 AND tfidf_ws(name, name) >= 0.4
     """,
 }
 

@@ -50,11 +50,19 @@ R1: jaccard_ws(name, name) >= 0.3 AND trigram(zip, zip) >= 0.6
 R2: trigram(name, name) >= 0.8
 """
 
-#: jaro_winkler has no kernel — auto falls back to scalar; explicit
-#: columnar exercises the per-step scalar fallback.
+#: monge_elkan has no kernel family — its steps take the per-step scalar
+#: fallback.  The cost model still picks columnar for this plan (the
+#: supported jaccard step carries enough of the expected work); an
+#: all-unsupported plan is what resolves scalar (see SCALAR_ONLY_DSL).
 MIXED_DSL = """
 R1: jaccard_ws(name, name) >= 0.3
-R2: jaro_winkler(name, name) >= 0.9
+R2: monge_elkan(name, name) >= 0.9
+"""
+
+#: every step unsupported — columnar would be pure fallback overhead, so
+#: the cost model resolves scalar.
+SCALAR_ONLY_DSL = """
+R1: monge_elkan(name, name) >= 0.9
 """
 
 
@@ -87,14 +95,24 @@ class TestPlanner:
         kernels = FeatureKernels(use_bounds=True)
         plan = plan_function(mixed_function, kernels=kernels)
         (jaccard_step,) = plan.rule_steps[0].steps
-        (jw_step,) = plan.rule_steps[1].steps
+        (me_step,) = plan.rule_steps[1].steps
         assert jaccard_step.kernel_supported
         assert jaccard_step.bound_eligible
-        assert not jw_step.kernel_supported
-        assert not jw_step.bound_eligible
+        assert jaccard_step.unsupported_reason is None
+        assert not me_step.kernel_supported
+        assert not me_step.bound_eligible
+        assert "kernel family" in me_step.unsupported_reason
         assert not plan.fully_kernel_supported
         assert plan.rule_steps[0].fully_kernel_supported
         assert not plan.rule_steps[1].fully_kernel_supported
+
+    def test_unsupported_reason_without_kernels(self, mixed_function):
+        plan = plan_function(mixed_function)
+        for rule_step in plan.rule_steps:
+            for step in rule_step.steps:
+                assert step.unsupported_reason == (
+                    "no kernel layer bound (scalar session)"
+                )
 
     def test_no_kernels_means_all_scalar(self, supported_function):
         plan = plan_function(supported_function)
@@ -145,6 +163,10 @@ class TestPlanner:
         assert "rule R2 [mixed]" in text
         assert "[kernel,bound]" in text
         assert "[scalar]" in text
+        # the *why* travels with the step, and the decision with the plan
+        assert "kernel family" in text
+        assert "engine: columnar (mixed)" in text
+        assert "us/pair" in text
 
     def test_spec_round_trip_is_picklable(
         self, supported_function, people_candidates
@@ -249,16 +271,35 @@ class TestSessionEngine:
     def test_auto_resolution(self, people_candidates):
         supported = parse_function(SUPPORTED_DSL)
         mixed = parse_function(MIXED_DSL)
+        scalar_only = parse_function(SCALAR_ONLY_DSL)
         session = DebugSession(people_candidates, supported)
         assert session.engine == "auto"
         assert session._resolve_engine(supported) == "columnar"
-        assert session._resolve_engine(mixed) == "scalar"
+        # mixed plans resolve by cost: the supported jaccard step carries
+        # enough expected work that columnar wins despite one fallback...
+        assert session._resolve_engine(mixed) == "columnar"
+        # ...whereas an all-fallback plan is pure overhead — scalar.
+        assert session._resolve_engine(scalar_only) == "scalar"
         no_kernels = DebugSession(
             people_candidates, supported, use_kernels=False
         )
         assert no_kernels._resolve_engine(supported) == "scalar"
-        forced = DebugSession(people_candidates, mixed, engine="columnar")
-        assert forced._resolve_engine(mixed) == "columnar"
+        forced = DebugSession(
+            people_candidates, scalar_only, engine="columnar"
+        )
+        assert forced._resolve_engine(scalar_only) == "columnar"
+
+    def test_decision_matches_resolution(self, people_candidates):
+        session = DebugSession(people_candidates, parse_function(MIXED_DSL))
+        plan = session.compile_plan()
+        decision = plan.decision
+        assert decision is not None
+        assert decision.engine == session._resolve_engine(
+            session.initial_function
+        )
+        assert decision.mode == "mixed"
+        assert decision.supported_steps == 1 and decision.total_steps == 2
+        assert decision.columnar_cost < decision.scalar_cost
 
     def test_run_and_apply_columnar_match_scalar(self, people_candidates):
         sessions = []
@@ -385,6 +426,55 @@ class TestParallelTransport:
         with pytest.raises(ParallelExecutionError, match="engine must be"):
             ParallelMatcher(workers=2, engine="simd")
 
+    def test_worker_bind_cache_reuses_plan(self, people_candidates):
+        import dataclasses
+
+        function = parse_function(SUPPORTED_DSL)
+        kernels = FeatureKernels(use_bounds=True)
+        plan_spec = plan_function(function, kernels=kernels).spec()
+        task = build_chunk_task(
+            Chunk(0, 0, len(people_candidates)),
+            people_candidates,
+            serialize_function(function),
+            use_kernels=True,
+            use_bounds=True,
+            engine="auto",
+            plan_spec=plan_spec,
+            run_token=990001,
+        )
+        first = run_chunk(task)
+        second = run_chunk(task)  # same process: cache must hit
+        assert first.plan_binds == 1 and first.plan_cache_hits == 0
+        assert second.plan_binds == 0 and second.plan_cache_hits == 1
+        assert np.array_equal(first.labels, second.labels)
+        assert first.mask_evals > 0  # auto resolved columnar in-worker
+        # a different run token fences off reuse across runs
+        third = run_chunk(dataclasses.replace(task, run_token=990002))
+        assert third.plan_binds == 1 and third.plan_cache_hits == 0
+
+    def test_worker_auto_matches_serial(self, people_candidates):
+        function = parse_function(MIXED_DSL)
+        kernels = FeatureKernels(use_bounds=True)
+        plan_spec = plan_function(function, kernels=kernels).spec()
+        task = build_chunk_task(
+            Chunk(0, 0, len(people_candidates)),
+            people_candidates,
+            serialize_function(function),
+            use_kernels=True,
+            use_bounds=True,
+            engine="auto",
+            plan_spec=plan_spec,
+            run_token=990003,
+        )
+        outcome = run_chunk(task)
+        # mixed plan: cost model picks columnar, monge_elkan falls back
+        assert outcome.mask_evals > 0
+        assert outcome.scalar_fallbacks > 0
+        serial = DynamicMemoMatcher(
+            kernels=FeatureKernels(use_bounds=True)
+        ).run(function, people_candidates)
+        assert np.array_equal(outcome.labels, serial.labels)
+
     def test_parallel_columnar_matches_serial_scalar(self, tiny_candidates):
         function = parse_function(SUPPORTED_DSL.replace("name", "title").replace("zip", "brand"))
         observability = Observability()
@@ -400,6 +490,30 @@ class TestParallelTransport:
         ).run(function, tiny_candidates)
         assert np.array_equal(parallel.labels, serial.labels)
         assert observability.metrics.value("engine.mask_evals") > 0
+
+    def test_parallel_auto_counts_plan_binds(self, tiny_candidates):
+        function = parse_function(
+            SUPPORTED_DSL.replace("name", "title").replace("zip", "brand")
+        )
+        observability = Observability()
+        matcher = ParallelMatcher(
+            workers=2,
+            min_chunk_size=50,
+            kernels=FeatureKernels(use_bounds=True),
+            observability=observability,
+            engine="auto",
+        )
+        parallel = matcher.run(function, tiny_candidates)
+        serial = DynamicMemoMatcher(
+            kernels=FeatureKernels(use_bounds=True)
+        ).run(function, tiny_candidates)
+        assert np.array_equal(parallel.labels, serial.labels)
+        if matcher.fallback_reason is None:
+            # pool path: every chunk bound or reused a worker-side plan
+            binds = observability.metrics.value("engine.plan_binds")
+            hits = observability.metrics.value("engine.plan_cache_hits")
+            assert binds >= 1
+            assert binds + hits == len(matcher.last_plan)
 
 
 # ----------------------------------------------------------------------

@@ -527,8 +527,12 @@ class TestSessionEquivalence:
 
         Some predicate drift is inherent here (sampled estimates vs
         early-exit-conditioned observations); the guarantee under test is
-        that bound skipping feeds the *same* observed selectivities, so
-        enabling caches/bounds changes no selectivity verdict.
+        that enabling caches/bounds flips no drift verdict.  The observed
+        selectivities themselves may shift by a hair: a bound-decided
+        feature is never memoized, and ``check_cache_first`` orders a
+        rule's predicates by memo membership, so widening bound coverage
+        legitimately changes which predicate of a rule is sampled first
+        for a handful of pairs.  Labels and verdicts stay identical.
         """
         from repro.core import CostEstimator
 
@@ -569,13 +573,20 @@ class TestSessionEquivalence:
 
         def selectivity_verdicts(report):
             return {
-                (drift.pid, drift.observed_selectivity, drift.drifted)
-                for drift in report.predicates
+                (drift.pid, drift.drifted) for drift in report.predicates
             }
 
         assert selectivity_verdicts(reports[True]) == selectivity_verdicts(
             reports[False]
         )
+        observed = {
+            drift.pid: drift.observed_selectivity
+            for drift in reports[True].predicates
+        }
+        for drift in reports[False].predicates:
+            assert observed[drift.pid] == pytest.approx(
+                drift.observed_selectivity, abs=0.05
+            )
 
 
 # ----------------------------------------------------------------------
@@ -734,3 +745,56 @@ class TestAccounting:
         first_hits = registry.value("cache.hit")
         kernels.report_metrics(registry)  # no new work: no double counting
         assert registry.value("cache.hit") == first_hits
+
+    def test_unsupported_metric_counts_each_feature_once(self):
+        from repro.observability.metrics import MetricsRegistry
+
+        kernels = FeatureKernels()
+        supported = Feature(Jaccard(), "text", "text")
+        unsupported = Feature(MongeElkan(), "text", "text")
+        assert kernels.supports(supported)
+        assert not kernels.supports(unsupported)
+        registry = MetricsRegistry()
+        kernels.report_metrics(registry)
+        assert registry.value("engine.kernel_unsupported") == 1
+        kernels.report_metrics(registry)  # one-time: no re-count
+        assert registry.value("engine.kernel_unsupported") == 1
+        assert "kernel family" in kernels.support_reason(unsupported)
+        assert kernels.support_reason(supported) is None
+
+    def test_drain_unsupported_is_one_shot(self):
+        kernels = FeatureKernels()
+        unsupported = Feature(MongeElkan(), "text", "text")
+        kernels.supports(unsupported)
+        drained = kernels.drain_unsupported()
+        assert [name for name, _ in drained] == [unsupported.name]
+        assert "kernel family" in drained[0][1]
+        assert kernels.drain_unsupported() == []
+
+    def test_session_traces_unsupported_features(self):
+        function = parse_function(
+            "R1: jaccard_ws(text, text) >= 0.3 AND "
+            "monge_elkan(text, text) >= 0.9"
+        )
+        observability = Observability()
+        session = DebugSession(
+            _cross_candidates(), function, observability=observability
+        )
+        session.run()
+        spans = [
+            record
+            for record in observability.tracer.log
+            if record.name == "kernel.unsupported"
+        ]
+        assert len(spans) == 1
+        assert "monge_elkan" in spans[0].attrs["feature"]
+        assert "kernel family" in spans[0].attrs["reason"]
+        session.run()  # one-shot: a second run adds no new fact
+        assert (
+            sum(
+                1
+                for record in observability.tracer.log
+                if record.name == "kernel.unsupported"
+            )
+            == 1
+        )
